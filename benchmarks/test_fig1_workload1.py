@@ -1,0 +1,31 @@
+"""EXP-F1 — Figure 1: L1 error ratio on Workload 1 (place x industry x
+ownership, no worker attributes), full (mechanism x alpha x eps) grid,
+overall and stratified by place population."""
+
+import math
+
+from benchmarks.conftest import write_report
+from repro.experiments.figures import figure1
+from repro.experiments.report import render_figure, summarize_finding
+
+
+def test_figure1(benchmark, context, out_dir):
+    series = benchmark.pedantic(
+        figure1, args=(context,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_report(out_dir, "figure-1", render_figure(series))
+
+    # Finding 1 shape checks at the paper's baseline (eps=2, alpha=0.1).
+    at_baseline = summarize_finding(series, epsilon=2.0, alpha=0.1)
+    assert at_baseline["log-laplace"] < 3.0
+    assert at_baseline["smooth-gamma"] < 3.0
+    assert at_baseline["smooth-laplace"] < 1.5
+
+    # Error ratios fall as eps rises (for each feasible series).
+    for mechanism in ("log-laplace", "smooth-laplace"):
+        points = sorted(
+            (p for p in series.grid(mechanism, alpha=0.1) if p.feasible),
+            key=lambda p: p.epsilon,
+        )
+        overall = [p.overall for p in points if not math.isnan(p.overall)]
+        assert overall[-1] < overall[0]

@@ -1,0 +1,32 @@
+"""EXP-F2 — Figure 2: Spearman rank correlation of employment counts on
+Workload 1 cells (Ranking 1), vs the SDL ordering."""
+
+from benchmarks.conftest import write_report
+from repro.experiments.figures import figure2
+from repro.experiments.report import render_figure, summarize_finding
+
+
+def test_figure2(benchmark, context, out_dir):
+    series = benchmark.pedantic(
+        figure2, args=(context,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_report(out_dir, "figure-2", render_figure(series))
+
+    # Smooth Laplace correlation ~ 1 for eps >= 2 (Sec 10).
+    at_2 = summarize_finding(series, epsilon=2.0, alpha=0.1)
+    assert at_2["smooth-laplace"] > 0.95
+
+    # All mechanisms close to 1 by eps = 4.
+    at_4 = summarize_finding(series, epsilon=4.0, alpha=0.1)
+    for mechanism, value in at_4.items():
+        assert value > 0.9, mechanism
+
+    # Large-population stratum ranks almost exactly for eps >= 1.
+    for point in series.points:
+        if (
+            point.mechanism == "smooth-laplace"
+            and point.alpha == 0.1
+            and point.epsilon >= 1.0
+            and point.feasible
+        ):
+            assert point.by_stratum[3] > 0.95

@@ -1,0 +1,23 @@
+"""EXP-F3 — Figure 3: L1 error ratio for single (sex x education)
+queries on the workplace marginal (Workload 2, weak privacy, each query
+at the full per-query budget)."""
+
+from benchmarks.conftest import write_report
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_figure, summarize_finding
+
+
+def test_figure3(benchmark, context, out_dir):
+    series = benchmark.pedantic(
+        figure3, args=(context,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_report(out_dir, "figure-3", render_figure(series))
+
+    # Finding 2: Log-Laplace within ~3x; Smooth Laplace near the SDL error.
+    at_baseline = summarize_finding(series, epsilon=2.0, alpha=0.1)
+    assert at_baseline["log-laplace"] < 3.5
+    assert at_baseline["smooth-laplace"] < 2.0
+
+    # At eps=4 Smooth Laplace meets or beats SDL for small alphas.
+    at_4 = summarize_finding(series, epsilon=4.0, alpha=0.01)
+    assert at_4["smooth-laplace"] < 1.2

@@ -1,0 +1,30 @@
+"""EXP-F5 — Figure 5: Spearman correlation for the females-with-college-
+degree ranking (Ranking 2) across place x industry x ownership cells."""
+
+import math
+
+from benchmarks.conftest import write_report
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_figure, summarize_finding
+
+
+def test_figure5(benchmark, context, out_dir):
+    series = benchmark.pedantic(
+        figure5, args=(context,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_report(out_dir, "figure-5", render_figure(series))
+
+    # Only Smooth Laplace approaches correlation 1 by eps = 4 overall.
+    at_4 = summarize_finding(series, epsilon=4.0, alpha=0.1)
+    assert at_4["smooth-laplace"] > 0.85
+
+    # Restricted to large places, Log-Laplace and Smooth Laplace do well
+    # at every tested eps (Finding 2's ranking counterpart).
+    for point in series.points:
+        if (
+            point.mechanism in ("log-laplace", "smooth-laplace")
+            and point.alpha == 0.05
+            and point.feasible
+            and not math.isnan(point.by_stratum[3])
+        ):
+            assert point.by_stratum[3] > 0.7

@@ -1,0 +1,38 @@
+"""EXP-N6 — Finding 6: the node-DP Truncated Laplace baseline across
+theta in {2, 20, 50, 100, 200, 500} on Workload 1, for both the L1 ratio
+and the ranking correlation."""
+
+from benchmarks.conftest import write_report
+from repro.experiments.figures import finding6
+from repro.experiments.report import render_figure
+
+
+def test_finding6_l1(benchmark, context, out_dir):
+    series = benchmark.pedantic(
+        finding6, args=(context,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_report(out_dir, "finding-6-l1", render_figure(series))
+
+    by_theta_eps = {(p.theta, p.epsilon): p.overall for p in series.points}
+    # At eps=4 every theta is roughly an order of magnitude above SDL.
+    assert all(
+        by_theta_eps[(theta, 4.0)] > 5.0 for theta in context.config.thetas
+    )
+    # Flat in eps: at theta=2 the bias dominates, so quadrupling the
+    # budget from 1 to 4 barely moves the ratio.
+    assert by_theta_eps[(2, 4.0)] > 0.5 * by_theta_eps[(2, 1.0)]
+
+
+def test_finding6_ranking(benchmark, context, out_dir):
+    series = benchmark.pedantic(
+        finding6,
+        args=(context,),
+        kwargs={"metric": "spearman"},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    write_report(out_dir, "finding-6-ranking", render_figure(series))
+
+    # Paper: correlation no better than ~0.7 at any theta/eps tested.
+    assert all(point.overall < 0.85 for point in series.points)

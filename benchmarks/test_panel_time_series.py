@@ -1,0 +1,95 @@
+"""EXP-A5 — Multi-year panels: permanent SDL factors vs composing DP.
+
+The production SDL uses time-invariant fuzz factors so that repeated
+annual publication cannot be averaged away; DP noise is independent each
+year, so a T-year average converges toward the truth — but sequential
+composition charges ε per year.  This benchmark measures both sides of
+that trade on a 6-year synthetic panel.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.core import EREEParams, release_marginal
+from repro.data.generator import SyntheticConfig
+from repro.data.panel import PanelConfig, generate_panel
+from repro.sdl import InputNoiseInfusion
+from repro.util import format_table
+
+PARAMS = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+N_YEARS = 6
+ATTRS = ["place", "naics", "ownership"]
+
+
+def _sweep():
+    panel = generate_panel(
+        PanelConfig(
+            base=SyntheticConfig(target_jobs=60_000, seed=404), n_years=N_YEARS
+        )
+    )
+    sdl = InputNoiseInfusion(seed=405).fit(panel.year(0).worker_full())
+
+    from repro.db import Marginal
+
+    schema = panel.year(0).worker_full().table.schema
+    marginal = Marginal(schema, ATTRS)
+
+    true_by_year, sdl_by_year, dp_by_year = [], [], []
+    for t in range(N_YEARS):
+        worker_full = panel.year(t).worker_full()
+        answer = sdl.answer_marginal(worker_full, marginal)
+        release = release_marginal(
+            worker_full, ATTRS, "smooth-laplace", PARAMS, seed=500 + t
+        )
+        true_by_year.append(answer.true)
+        sdl_by_year.append(answer.noisy)
+        dp_by_year.append(release.noisy)
+
+    true_by_year = np.stack(true_by_year)
+    sdl_by_year = np.stack(sdl_by_year)
+    dp_by_year = np.stack(dp_by_year)
+    # Compare on cells published every year.
+    always = (true_by_year > 0).all(axis=0)
+
+    rows = []
+    for horizon in (1, 3, N_YEARS):
+        true_mean = true_by_year[:horizon, always].mean(axis=0)
+        sdl_error = np.abs(
+            sdl_by_year[:horizon, always].mean(axis=0) - true_mean
+        ).mean()
+        dp_error = np.abs(
+            dp_by_year[:horizon, always].mean(axis=0) - true_mean
+        ).mean()
+        rows.append(
+            [
+                horizon,
+                float(sdl_error),
+                float(dp_error),
+                PARAMS.epsilon * horizon,
+            ]
+        )
+    return rows
+
+
+def test_panel_averaging(benchmark, out_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1, warmup_rounds=0)
+    report = format_table(
+        headers=[
+            "years averaged",
+            "SDL error of avg",
+            "DP error of avg",
+            "DP total eps spent",
+        ],
+        rows=rows,
+        title="T-year average of place x industry x ownership counts "
+        f"(Smooth Laplace at eps={PARAMS.epsilon}/year vs permanent SDL factors)",
+    )
+    write_report(out_dir, "panel-time-series", report)
+
+    by_horizon = {r[0]: r for r in rows}
+    # DP error shrinks with the averaging horizon...
+    assert by_horizon[N_YEARS][2] < by_horizon[1][2]
+    # ...while SDL error does not shrink materially (permanent factors).
+    assert by_horizon[N_YEARS][1] > 0.5 * by_horizon[1][1]
+    # And the DP ledger shows the composition price: eps * T.
+    assert by_horizon[N_YEARS][3] == PARAMS.epsilon * N_YEARS

@@ -1,0 +1,77 @@
+"""EXP-T1 — Table 1: the definitions x requirements matrix, with the
+machine-checked Bayes-factor evidence behind the Yes/No entries."""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.core import EREEParams, LogLaplace
+from repro.dp import LaplaceMechanism
+from repro.experiments.tables import table1_text
+from repro.pufferfish import (
+    Universe,
+    employee_requirement_bound,
+    employer_size_requirement_bound,
+    informed_adversary,
+)
+from repro.pufferfish.framework import establishment_size
+from repro.util import format_table
+
+ALPHA, EPSILON = 0.5, 1.0
+OMEGAS = [-1.5, -0.5, 0.5, 1.5, 2.5, 3.5, 5.0]
+
+
+def _verification_rows():
+    universe = Universe(
+        establishments=("e0", "e1"), workers=("w0", "w1", "w2", "w3")
+    )
+    prior = informed_adversary(universe, base_probabilities=[0.5, 0.3, 0.2])
+
+    log_laplace = LogLaplace(EREEParams(alpha=ALPHA, epsilon=EPSILON))
+
+    def eree_density(dataset, omega):
+        count = establishment_size(universe, dataset, "e0")
+        return float(log_laplace.log_density(np.array([omega]), count)[0])
+
+    edge = LaplaceMechanism(epsilon=EPSILON, sensitivity=1.0)
+
+    def edge_density(dataset, omega):
+        count = establishment_size(universe, dataset, "e0")
+        return float(np.log(edge.density(np.array([omega - count]))[0]))
+
+    wide_prior = informed_adversary(universe, base_probabilities=[0.45, 0.1, 0.45])
+    rows = [
+        [
+            "ER-EE (Log-Laplace)",
+            employee_requirement_bound(prior, eree_density, OMEGAS, "w1"),
+            employer_size_requirement_bound(
+                prior, eree_density, OMEGAS, "e0", ALPHA
+            ),
+            EPSILON,
+        ],
+        [
+            "edge DP (Laplace)",
+            employee_requirement_bound(prior, edge_density, OMEGAS, "w1"),
+            employer_size_requirement_bound(
+                wide_prior, edge_density, OMEGAS, "e0", 2.0
+            ),
+            EPSILON,
+        ],
+    ]
+    return rows
+
+
+def test_table1(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        _verification_rows, rounds=1, iterations=1, warmup_rounds=0
+    )
+    evidence = format_table(
+        headers=["mechanism", "employee max|logBF|", "size max|logBF|", "eps"],
+        rows=rows,
+        title="Bayes-factor evidence on a 2-establishment, 4-worker universe",
+    )
+    write_report(out_dir, "table-1", table1_text() + "\n\n" + evidence)
+
+    eree, edge = rows
+    assert eree[1] <= EPSILON + 1e-6 and eree[2] <= EPSILON + 1e-6
+    assert edge[1] <= EPSILON + 1e-6  # edge DP protects employees...
+    assert edge[2] > EPSILON + 0.4  # ...but not establishment sizes

@@ -1,0 +1,75 @@
+"""Resource allocation under privacy noise: the FEMA scenario (Sec 3.2).
+
+FEMA's disaster-declaration indicator divides a damage estimate by a
+population (here: job) count at $3.50 per capita.  Noise in published job
+counts moves the threshold: positive errors demand a larger disaster
+before assistance, negative errors the opposite, and each job in error
+carries a net social cost of $3.50.
+
+This example publishes per-place job counts under each protection scheme
+and prices the misallocation.
+
+Run:  python examples/disaster_allocation.py
+"""
+
+import numpy as np
+
+from repro.core import EREEParams, release_marginal
+from repro.data import SyntheticConfig, generate
+from repro.db import Marginal
+from repro.sdl import InputNoiseInfusion
+from repro.util import format_table
+
+COST_PER_JOB = 3.50  # Stafford Act per-capita indicator
+
+
+def main():
+    dataset = generate(SyntheticConfig(target_jobs=120_000, seed=3))
+    worker_full = dataset.worker_full()
+    marginal = Marginal(worker_full.table.schema, ["place"])
+    true = marginal.counts(worker_full.table).astype(float)
+    published = true > 0
+
+    sdl = InputNoiseInfusion(seed=4).fit(worker_full)
+    sdl_counts = sdl.answer_marginal(worker_full, marginal).noisy
+
+    params = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+    rows = []
+
+    def misallocation(noisy):
+        return float(np.abs(noisy[published] - true[published]).sum()) * COST_PER_JOB
+
+    rows.append(
+        ["input-noise-infusion (SDL)", f"${misallocation(sdl_counts):,.0f}"]
+    )
+    for mechanism in ("log-laplace", "smooth-gamma", "smooth-laplace"):
+        costs = []
+        for trial in range(20):
+            release = release_marginal(
+                worker_full, ["place"], mechanism, params, seed=500 + trial
+            )
+            costs.append(misallocation(release.noisy))
+        rows.append([mechanism, f"${np.mean(costs):,.0f}"])
+
+    total_payroll_proxy = true.sum() * COST_PER_JOB
+    print(
+        format_table(
+            headers=["release", "expected misallocation"],
+            rows=rows,
+            title=(
+                "Disaster-assistance misallocation at $3.50/job "
+                f"({int(published.sum())} places, "
+                f"${total_payroll_proxy:,.0f} total indicator)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Formal privacy at (alpha=0.1, eps=2) prices out at the same order\n"
+        "of magnitude as the legacy SDL — the social cost of provable\n"
+        "privacy for this allocation task is small."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""A full agency publication under one privacy budget.
+
+Real LODES/QWI releases are *sets* of tables published together.  This
+example declares a QWI-style suite — the headline place-level industry
+table, a county rollup, a demographic cut, and per-place totals — splits
+one (alpha, eps, delta) budget across them, releases everything, and
+shows the accountant's ledger alongside per-product accuracy.
+
+Run:  python examples/publication_suite.py
+"""
+
+import numpy as np
+
+from repro.core import EREEParams, qwi_style_suite
+from repro.data import SyntheticConfig, generate
+from repro.util import format_table
+
+
+def main():
+    dataset = generate(SyntheticConfig(target_jobs=120_000, seed=21))
+    worker_full = dataset.worker_full()
+
+    params = EREEParams(alpha=0.05, epsilon=8.0, delta=0.05)
+    suite = qwi_style_suite(params, mechanism_name="smooth-laplace")
+    result = suite.release(worker_full, seed=22)
+
+    per_product = suite.product_params()
+    rows = []
+    for product in suite.products:
+        release = result[product.name]
+        mask = release.released & (release.true > 0)
+        mean_l1 = float(
+            np.abs(release.noisy[mask] - release.true[mask]).mean()
+        )
+        relative = float(
+            (
+                np.abs(release.noisy[mask] - release.true[mask])
+                / release.true[mask]
+            ).mean()
+        )
+        rows.append(
+            [
+                product.name,
+                f"{per_product[product.name].epsilon:.2f}",
+                release.budget.mode,
+                int(mask.sum()),
+                mean_l1,
+                f"{relative:.1%}",
+            ]
+        )
+
+    print(
+        format_table(
+            headers=[
+                "product",
+                "eps",
+                "mode",
+                "cells",
+                "mean L1",
+                "mean rel. err",
+            ],
+            rows=rows,
+            title=(
+                "QWI-style publication at alpha=0.05, total eps=8, delta=0.05"
+            ),
+        )
+    )
+    print()
+    print(
+        f"Accountant: spent eps = {result.spent_epsilon:.3f} "
+        f"of {params.epsilon} (sequential composition across products;\n"
+        "each product's worker-attribute cells were budgeted by the "
+        "weak-privacy d*eps rule automatically)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""The Sec 5.2 inference attacks, end to end.
+
+Against the *current* SDL system (input noise infusion) an informed
+attacker targeting an establishment that is alone in its workplace cell
+can: (1) read off its workforce shape exactly; (2) with one known true
+cell, recover its secret fuzz factor and exact total employment; and
+(3) re-identify a worker who uniquely holds an attribute value, via the
+preserved zero cells.
+
+The same attacks against an (alpha, eps)-ER-EE private release fail.
+
+Run:  python examples/sdl_vulnerabilities.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    isolated_establishments,
+    reidentification_attack,
+    shape_attack,
+    size_attack,
+)
+from repro.attacks.reidentification import unique_value_workers
+from repro.core import EREEParams, SmoothLaplace
+from repro.data import SyntheticConfig, generate
+from repro.db import establishment_histograms
+from repro.sdl import InputNoiseInfusion
+
+WORKPLACE_ATTRS = ["place", "naics", "ownership"]
+WORKER_ATTRS = ["sex", "education"]
+
+
+def main():
+    dataset = generate(SyntheticConfig(target_jobs=60_000, seed=7))
+    worker_full = dataset.worker_full()
+    sdl = InputNoiseInfusion(seed=8).fit(worker_full)
+
+    targets = isolated_establishments(worker_full, WORKPLACE_ATTRS, min_size=25)
+    print(
+        f"{len(targets)} establishments are alone in their "
+        "place x sector x ownership cell (size >= 25) — each is attackable.\n"
+    )
+
+    # --- Attack 1: exact shape recovery --------------------------------
+    usable = None
+    for target in targets:
+        result = shape_attack(worker_full, sdl, target, WORKER_ATTRS)
+        if result.usable:
+            usable = result
+            break
+    assert usable is not None
+    print("[shape attack] target:", usable.target.workplace_values)
+    print(
+        "  recovered shape max error vs truth:"
+        f" {usable.max_shape_error:.2e}  (exact={usable.exact})"
+    )
+
+    # --- Attack 2: fuzz factor + total size recovery --------------------
+    size_result = size_attack(worker_full, sdl, usable.target, WORKER_ATTRS)
+    print("[size attack]  knowing one true cell count:")
+    print(
+        f"  recovered factor {size_result.recovered_factor:.6f} "
+        f"(truth {size_result.true_factor:.6f}), "
+        f"recovered size {size_result.recovered_size:.1f} "
+        f"(truth {size_result.true_size})"
+    )
+
+    # --- Attack 3: re-identification through preserved zeros ------------
+    for target in targets + isolated_establishments(
+        worker_full, WORKPLACE_ATTRS, min_size=2
+    ):
+        values = unique_value_workers(worker_full, target, "education")
+        if values:
+            reid = reidentification_attack(
+                worker_full, sdl, target, WORKER_ATTRS,
+                known_attribute="education", known_value=values[0],
+            )
+            print("[re-identification] the unique worker with", values[0])
+            print(
+                f"  candidates: {reid.candidate_profiles} -> "
+                f"succeeded={reid.succeeded}"
+            )
+            break
+
+    # --- The same shape attack against an ER-EE private release ---------
+    mechanism = SmoothLaplace(EREEParams(alpha=0.1, epsilon=1.0, delta=0.05))
+    true = (
+        establishment_histograms(worker_full, WORKER_ATTRS)[
+            usable.target.establishment
+        ]
+        .toarray()
+        .ravel()
+        .astype(float)
+    )
+    noisy = np.clip(
+        mechanism.release_counts(true, np.full_like(true, usable.target.size), seed=9),
+        0,
+        None,
+    )
+    recovered = noisy / noisy.sum()
+    truth = true / true.sum()
+    print("\n[defense] same pipeline vs a Smooth Laplace release:")
+    print(
+        "  recovered shape max error:"
+        f" {np.abs(recovered - truth).max():.3f}  (exact recovery impossible;"
+        " the Bayes factor is provably bounded by e^eps)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Utility Cost of Formal Privacy for Releasing
+National Employer-Employee Statistics" (Haney et al., SIGMOD 2017).
+
+The package implements the paper end to end on a synthetic LODES-style
+snapshot (the production LEHD data are confidential):
+
+- :mod:`repro.db` — the relational substrate and marginal-query engine;
+- :mod:`repro.data` — the synthetic employer-employee data generator;
+- :mod:`repro.sdl` — the current protection system (input noise infusion);
+- :mod:`repro.dp` — classical differential privacy (edge/node baselines);
+- :mod:`repro.core` — (α, ε[, δ])-ER-EE privacy and the Log-Laplace,
+  Smooth Gamma and Smooth Laplace mechanisms;
+- :mod:`repro.pufferfish` — the Bayes-factor requirements, executable;
+- :mod:`repro.attacks` — the Sec 5.2 attacks on input noise infusion;
+- :mod:`repro.metrics` — L1-ratio, Spearman and stratification metrics;
+- :mod:`repro.experiments` — the harness regenerating every table/figure.
+
+Quickstart::
+
+    from repro.data import generate, SyntheticConfig
+    from repro.core import EREEParams, release_marginal
+
+    dataset = generate(SyntheticConfig(target_jobs=100_000))
+    release = release_marginal(
+        dataset.worker_full(),
+        ["place", "naics", "ownership"],
+        "smooth-laplace",
+        EREEParams(alpha=0.1, epsilon=2.0, delta=0.05),
+        seed=0,
+    )
+"""
+
+from repro.core import (
+    EREEParams,
+    LogLaplace,
+    SmoothGamma,
+    SmoothLaplace,
+    release_marginal,
+)
+from repro.data import LODESDataset, SyntheticConfig, generate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EREEParams",
+    "LogLaplace",
+    "SmoothGamma",
+    "SmoothLaplace",
+    "release_marginal",
+    "generate",
+    "SyntheticConfig",
+    "LODESDataset",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Inference attacks against the current SDL system (Sec 5.2).
+
+Input noise infusion reuses one distortion factor for all cells of an
+establishment and preserves zero counts.  Three attacks follow, each
+implemented as an executable function returning a structured result:
+
+- :mod:`repro.attacks.shape_attack` — recover an isolated establishment's
+  workforce *shape* exactly (violates Definition 4.3);
+- :mod:`repro.attacks.size_attack` — with one known true cell, recover
+  the distortion factor and the establishment's *total size* exactly
+  (violates Definition 4.2);
+- :mod:`repro.attacks.reidentification` — use preserved zeros to infer a
+  unique worker's remaining attributes (violates Definition 4.1).
+
+The same attacks run against the paper's private mechanisms fail (the
+test suite and ``examples/sdl_vulnerabilities.py`` demonstrate both
+directions).
+"""
+
+from repro.attacks.reidentification import (
+    ReidentificationResult,
+    reidentification_attack,
+)
+from repro.attacks.shape_attack import ShapeAttackResult, shape_attack
+from repro.attacks.size_attack import SizeAttackResult, size_attack
+from repro.attacks.targets import isolated_establishments
+
+__all__ = [
+    "isolated_establishments",
+    "ShapeAttackResult",
+    "shape_attack",
+    "SizeAttackResult",
+    "size_attack",
+    "ReidentificationResult",
+    "reidentification_attack",
+]

@@ -1,0 +1,114 @@
+"""Worker re-identification via preserved zeros (Sec 5.2, attack 3).
+
+Target: an establishment ``w`` isolated by its workplace cell, where the
+attacker knows exactly one employee has some attribute value ``x*`` (the
+paper's example: the only employee with a college degree).  Because input
+noise infusion publishes zero cells as exact zeros, the single positive
+published cell among those with ``x*`` pinpoints the employee's remaining
+attribute values — violating the individual requirement (Definition 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.targets import IsolatedEstablishment
+from repro.db.histogram import establishment_histograms
+from repro.db.join import WorkerFull
+from repro.db.query import Marginal
+from repro.sdl.noise_infusion import InputNoiseInfusion
+
+
+@dataclass(frozen=True)
+class ReidentificationResult:
+    """Outcome of one re-identification attempt.
+
+    ``candidate_profiles`` lists the decoded worker-attribute tuples the
+    attacker cannot rule out; re-identification succeeds when exactly one
+    remains and it matches the victim's true profile.
+    """
+
+    target: IsolatedEstablishment
+    known_attribute: str
+    known_value: object
+    candidate_profiles: tuple[tuple, ...]
+    true_profile: tuple
+
+    @property
+    def succeeded(self) -> bool:
+        return (
+            len(self.candidate_profiles) == 1
+            and self.candidate_profiles[0] == self.true_profile
+        )
+
+
+def unique_value_workers(
+    worker_full: WorkerFull,
+    target: IsolatedEstablishment,
+    attribute: str,
+) -> list[object]:
+    """Values of ``attribute`` held by exactly one worker at the target."""
+    rows = np.flatnonzero(worker_full.establishment == target.establishment)
+    codes = worker_full.table.column(attribute)[rows]
+    schema_attribute = worker_full.table.schema[attribute]
+    counts = np.bincount(codes, minlength=schema_attribute.size)
+    return [schema_attribute.decode(int(c)) for c in np.flatnonzero(counts == 1)]
+
+
+def reidentification_attack(
+    worker_full: WorkerFull,
+    sdl: InputNoiseInfusion,
+    target: IsolatedEstablishment,
+    worker_attrs: Sequence[str],
+    known_attribute: str,
+    known_value,
+) -> ReidentificationResult:
+    """Infer the remaining attributes of the unique ``known_value`` holder.
+
+    The attacker scans the published worker-attribute cells of the
+    isolated establishment and keeps the profiles consistent with a
+    positive published count for ``known_attribute = known_value``.
+    """
+    if known_attribute not in worker_attrs:
+        raise ValueError(
+            f"{known_attribute!r} must be part of the published marginal "
+            f"attributes {tuple(worker_attrs)}"
+        )
+    marginal = Marginal(worker_full.table.schema, worker_attrs)
+    published = (
+        sdl.protected_histograms(worker_full, worker_attrs)[target.establishment]
+        .toarray()
+        .ravel()
+    )
+
+    candidates = []
+    position = list(worker_attrs).index(known_attribute)
+    for cell in np.flatnonzero(published > 0):
+        values = marginal.cell_values(int(cell))
+        if values[position] == known_value:
+            candidates.append(values)
+
+    # The victim's true profile, for assessing attack success.
+    rows = np.flatnonzero(worker_full.establishment == target.establishment)
+    true_cells = marginal.cell_index(worker_full.table)[rows]
+    attribute_codes = worker_full.table.column(known_attribute)[rows]
+    known_code = worker_full.table.schema[known_attribute].code(known_value)
+    victim_rows = rows[attribute_codes == known_code]
+    if len(victim_rows) != 1:
+        raise ValueError(
+            f"attack precondition violated: {len(victim_rows)} workers at the "
+            f"target hold {known_attribute}={known_value!r}, expected exactly 1"
+        )
+    victim_cell = int(true_cells[attribute_codes == known_code][0])
+    true_profile = marginal.cell_values(victim_cell)
+
+    return ReidentificationResult(
+        target=target,
+        known_attribute=known_attribute,
+        known_value=known_value,
+        candidate_profiles=tuple(candidates),
+        true_profile=true_profile,
+    )

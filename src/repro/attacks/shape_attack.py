@@ -1,0 +1,93 @@
+"""Shape-recovery attack on input noise infusion (Sec 5.2, attack 1).
+
+Target: an establishment ``w`` isolated by its workplace cell ``v_W``.
+The published marginal over ``V_I ∪ V_W`` then exposes, for every worker
+cell ``c``, the value ``f_w · h(w, c)`` (provided the true count exceeds
+the small-cell limit).  The unknown common factor ``f_w`` cancels in
+ratios, so the attacker reads off the establishment's workforce *shape*
+
+    h(w, c) / |w|  =  h*(w, c) / Σ_c' h*(w, c')
+
+exactly — violating the employer shape requirement (Definition 4.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.targets import IsolatedEstablishment
+from repro.db.histogram import establishment_histograms
+from repro.db.join import WorkerFull
+from repro.sdl.noise_infusion import InputNoiseInfusion
+
+
+@dataclass(frozen=True)
+class ShapeAttackResult:
+    """Outcome of one shape-recovery attempt.
+
+    ``recovered_shape`` and ``true_shape`` are distributions over the
+    worker-attribute cells.  ``usable`` is False when small-cell
+    replacement perturbed at least one nonzero cell (the attack's
+    precondition fails); ``max_shape_error`` is the L∞ distance between
+    recovered and true shapes.
+    """
+
+    target: IsolatedEstablishment
+    recovered_shape: np.ndarray
+    true_shape: np.ndarray
+    usable: bool
+
+    @property
+    def max_shape_error(self) -> float:
+        return float(np.abs(self.recovered_shape - self.true_shape).max())
+
+    @property
+    def exact(self) -> bool:
+        return self.usable and self.max_shape_error < 1e-9
+
+
+def shape_attack(
+    worker_full: WorkerFull,
+    sdl: InputNoiseInfusion,
+    target: IsolatedEstablishment,
+    worker_attrs: Sequence[str],
+) -> ShapeAttackResult:
+    """Recover ``target``'s workforce shape from its published SDL counts.
+
+    The attacker observes the fuzzed histogram row of the isolated
+    establishment (what the published ``V_I ∪ V_W`` marginal reveals for
+    its cell) and normalizes it.
+    """
+    published = (
+        sdl.protected_histograms(worker_full, worker_attrs)[target.establishment]
+        .toarray()
+        .ravel()
+    )
+    true = (
+        establishment_histograms(worker_full, worker_attrs)[target.establishment]
+        .toarray()
+        .ravel()
+        .astype(np.float64)
+    )
+
+    # Precondition: every nonzero true cell is above the small-cell limit,
+    # otherwise the published value was replaced and ratios no longer cancel.
+    usable = bool(np.all((true == 0) | (true >= sdl.small_cells.limit)))
+
+    published_total = published.sum()
+    recovered = (
+        published / published_total
+        if published_total > 0
+        else np.zeros_like(published)
+    )
+    true_total = true.sum()
+    true_shape = true / true_total if true_total > 0 else np.zeros_like(true)
+    return ShapeAttackResult(
+        target=target,
+        recovered_shape=recovered,
+        true_shape=true_shape,
+        usable=usable,
+    )

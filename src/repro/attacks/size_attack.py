@@ -1,0 +1,96 @@
+"""Size-recovery attack on input noise infusion (Sec 5.2, attack 2).
+
+Target: an establishment ``w`` isolated by its workplace cell, where the
+attacker additionally knows one cell's true count (say, 100 males aged
+20–25 — e.g. an employee of a competitor who learned one line of the
+org chart).  Dividing the published count by the known true count
+reconstructs the secret distortion factor ``f_w``; dividing the published
+total by ``f_w`` then reveals total employment exactly — violating the
+employer size requirement (Definition 4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.targets import IsolatedEstablishment
+from repro.db.histogram import establishment_histograms
+from repro.db.join import WorkerFull
+from repro.sdl.noise_infusion import InputNoiseInfusion
+
+
+@dataclass(frozen=True)
+class SizeAttackResult:
+    """Outcome of one size-recovery attempt."""
+
+    target: IsolatedEstablishment
+    known_cell: int
+    recovered_factor: float
+    true_factor: float
+    recovered_size: float
+    true_size: int
+    usable: bool
+
+    @property
+    def factor_error(self) -> float:
+        return abs(self.recovered_factor - self.true_factor)
+
+    @property
+    def size_error(self) -> float:
+        return abs(self.recovered_size - self.true_size)
+
+    @property
+    def exact(self) -> bool:
+        return self.usable and self.size_error < 1e-6
+
+
+def size_attack(
+    worker_full: WorkerFull,
+    sdl: InputNoiseInfusion,
+    target: IsolatedEstablishment,
+    worker_attrs: Sequence[str],
+    known_cell: int | None = None,
+) -> SizeAttackResult:
+    """Recover ``target``'s total employment given one known true cell.
+
+    ``known_cell`` is the worker-attribute cell whose true count the
+    attacker knows; by default the largest cell (the most plausible to be
+    public, e.g. from a press mention).  The attack needs that cell's
+    published value to be an actual fuzzed count (above the small-cell
+    limit), and an exact total additionally needs no small-cell
+    replacement among the other cells.
+    """
+    true = (
+        establishment_histograms(worker_full, worker_attrs)[target.establishment]
+        .toarray()
+        .ravel()
+        .astype(np.float64)
+    )
+    published = (
+        sdl.protected_histograms(worker_full, worker_attrs)[target.establishment]
+        .toarray()
+        .ravel()
+    )
+    if known_cell is None:
+        known_cell = int(true.argmax())
+    if true[known_cell] <= 0:
+        raise ValueError(f"cell {known_cell} is empty; attacker knowledge is vacuous")
+
+    usable = bool(
+        true[known_cell] >= sdl.small_cells.limit
+        and np.all((true == 0) | (true >= sdl.small_cells.limit))
+    )
+    recovered_factor = float(published[known_cell] / true[known_cell])
+    recovered_size = float(published.sum() / recovered_factor)
+    return SizeAttackResult(
+        target=target,
+        known_cell=known_cell,
+        recovered_factor=recovered_factor,
+        true_factor=float(sdl.factors[target.establishment]),
+        recovered_size=recovered_size,
+        true_size=target.size,
+        usable=usable,
+    )

@@ -1,0 +1,65 @@
+"""Finding attackable targets: establishments isolated in a workplace cell.
+
+All three Sec 5.2 attacks require a workplace-attribute combination
+``v_W`` matched by exactly one establishment.  The number of
+establishments per cell is not published, but combinations that isolate
+one establishment exist and an informed adversary can know them (paper,
+footnote 6); this helper enumerates them from the confidential data, as
+the attacker's background knowledge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.join import WorkerFull
+from repro.db.query import Marginal, per_establishment_counts
+
+
+@dataclass(frozen=True)
+class IsolatedEstablishment:
+    """An establishment uniquely identified by a workplace cell."""
+
+    establishment: int
+    workplace_cell: int
+    workplace_values: tuple
+    size: int
+
+
+def isolated_establishments(
+    worker_full: WorkerFull,
+    workplace_attrs: Sequence[str],
+    min_size: int = 1,
+) -> list[IsolatedEstablishment]:
+    """All establishments alone in their ``workplace_attrs`` cell.
+
+    ``min_size`` filters out tiny establishments (attacks on size/shape
+    are most meaningful against workforces above the small-cell limit).
+    """
+    marginal = Marginal(worker_full.table.schema, workplace_attrs)
+    cell_index = marginal.cell_index(worker_full.table)
+    stats = per_establishment_counts(
+        cell_index, worker_full.establishment, marginal.n_cells
+    )
+    lonely_cells = np.flatnonzero(stats.n_establishments == 1)
+
+    sizes = worker_full.establishment_sizes()
+    # Map each lonely cell to its single establishment via any of its rows.
+    results = []
+    for cell in lonely_cells:
+        rows = np.flatnonzero(cell_index == cell)
+        establishment = int(worker_full.establishment[rows[0]])
+        size = int(sizes[establishment])
+        if size >= min_size:
+            results.append(
+                IsolatedEstablishment(
+                    establishment=establishment,
+                    workplace_cell=int(cell),
+                    workplace_values=marginal.cell_values(int(cell)),
+                    size=size,
+                )
+            )
+    return results

@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Subcommands:
+
+- ``figures`` — run the figure experiments and write one text report per
+  figure (the data series the published plots encode);
+- ``tables``  — write Tables 1 and 2;
+- ``generate`` — generate a synthetic LODES snapshot and save it as CSV.
+
+Examples::
+
+    python -m repro figures --out reports --jobs 150000 --trials 10
+    python -m repro tables --out reports
+    python -m repro generate --jobs 60000 --out snapshot/
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.data.generator import SyntheticConfig, generate
+from repro.data.io import save_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    finding6,
+)
+from repro.experiments.report import render_figure
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import table1_text, table2_text
+
+FIGURES = {
+    "figure-1": figure1,
+    "figure-2": figure2,
+    "figure-3": figure3,
+    "figure-4": figure4,
+    "figure-5": figure5,
+    "finding-6": finding6,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Haney et al., SIGMOD 2017 "
+        "(formal privacy for employer-employee statistics)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the evaluation figures as data series"
+    )
+    figures.add_argument("--out", type=Path, default=Path("reports"))
+    figures.add_argument("--jobs", type=int, default=150_000)
+    figures.add_argument("--trials", type=int, default=10)
+    figures.add_argument("--seed", type=int, default=2017)
+    figures.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated subset, e.g. figure-1,finding-6",
+    )
+
+    tables = subparsers.add_parser("tables", help="regenerate Tables 1 and 2")
+    tables.add_argument("--out", type=Path, default=Path("reports"))
+
+    gen = subparsers.add_parser(
+        "generate", help="generate and save a synthetic LODES snapshot"
+    )
+    gen.add_argument("--out", type=Path, required=True)
+    gen.add_argument("--jobs", type=int, default=60_000)
+    gen.add_argument("--seed", type=int, default=20170514)
+    return parser
+
+
+def _selected_figures(only: str | None) -> dict:
+    if only is None:
+        return dict(FIGURES)
+    names = [name.strip() for name in only.split(",") if name.strip()]
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown figures {unknown}; choose from {sorted(FIGURES)}"
+        )
+    return {name: FIGURES[name] for name in names}
+
+
+def run_figures(args) -> list[Path]:
+    config = ExperimentConfig(
+        data=SyntheticConfig(target_jobs=args.jobs, seed=args.seed),
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    context = ExperimentContext(config)
+    args.out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, generator in _selected_figures(args.only).items():
+        series = generator(context)
+        path = args.out / f"{name}.txt"
+        path.write_text(render_figure(series) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+        written.append(path)
+    return written
+
+
+def run_tables(args) -> list[Path]:
+    args.out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in (("table-1", table1_text()), ("table-2", table2_text())):
+        path = args.out / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+        written.append(path)
+    return written
+
+
+def run_generate(args) -> Path:
+    dataset = generate(SyntheticConfig(target_jobs=args.jobs, seed=args.seed))
+    directory = save_dataset(dataset, args.out)
+    summary = dataset.summary()
+    print(
+        f"wrote snapshot to {directory}: "
+        f"{int(summary['n_jobs'])} jobs, "
+        f"{int(summary['n_establishments'])} establishments, "
+        f"{int(summary['n_places'])} places"
+    )
+    return directory
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        run_figures(args)
+    elif args.command == "tables":
+        run_tables(args)
+    elif args.command == "generate":
+        run_generate(args)
+    return 0

@@ -1,0 +1,95 @@
+"""Table 1: which privacy definitions satisfy which requirements.
+
+The paper's Table 1 summarizes Sections 5–7: input noise infusion meets
+none of the formal requirements; differential privacy over individuals
+(edge DP) meets only the employee requirement; differential privacy over
+establishments (node DP) and (α, ε)-ER-EE privacy meet all three; weak
+(α, ε)-ER-EE privacy meets the size requirement only against weak
+adversaries.  Encoded here so the claim matrix is testable and printable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Satisfies(enum.Enum):
+    """Whether a definition meets a requirement."""
+
+    NO = "No"
+    YES = "Yes"
+    WEAK_ADVERSARIES = "Yes*"  # only against weak adversaries (Θ_weak)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PrivacyDefinition:
+    """A row of Table 1."""
+
+    name: str
+    section: str
+    individuals: Satisfies
+    employer_size: Satisfies
+    employer_shape: Satisfies
+    notes: str = ""
+
+
+PRIVACY_DEFINITIONS: tuple[PrivacyDefinition, ...] = (
+    PrivacyDefinition(
+        name="Input Noise Infusion",
+        section="Sec 5",
+        individuals=Satisfies.NO,
+        employer_size=Satisfies.NO,
+        employer_shape=Satisfies.NO,
+        notes="avoids exact disclosure only; Sec 5.2 attacks break all three",
+    ),
+    PrivacyDefinition(
+        name="Differential Privacy (individuals)",
+        section="Sec 6",
+        individuals=Satisfies.YES,
+        employer_size=Satisfies.NO,
+        employer_shape=Satisfies.NO,
+        notes="edge DP on the bipartite job graph; Lap(1/eps) reveals sizes",
+    ),
+    PrivacyDefinition(
+        name="Differential Privacy (establishments)",
+        section="Sec 6",
+        individuals=Satisfies.YES,
+        employer_size=Satisfies.YES,
+        employer_shape=Satisfies.YES,
+        notes="node DP; unbounded sensitivity forces truncation and poor utility",
+    ),
+    PrivacyDefinition(
+        name="ER-EE-privacy",
+        section="Sec 7",
+        individuals=Satisfies.YES,
+        employer_size=Satisfies.YES,
+        employer_shape=Satisfies.YES,
+        notes="(alpha, eps)-ER-EE privacy, Definition 7.2 (Theorem 7.1)",
+    ),
+    PrivacyDefinition(
+        name="Weak ER-EE privacy",
+        section="Sec 7",
+        individuals=Satisfies.YES,
+        employer_size=Satisfies.WEAK_ADVERSARIES,
+        employer_shape=Satisfies.YES,
+        notes="Definition 7.4; size requirement holds for weak adversaries "
+        "(Theorem 7.2)",
+    ),
+)
+
+
+def table1_rows() -> list[list[str]]:
+    """Table 1 as printable rows (name, individuals, size, shape)."""
+    return [
+        [
+            definition.name,
+            str(definition.individuals),
+            str(definition.employer_size),
+            str(definition.employer_shape),
+        ]
+        for definition in PRIVACY_DEFINITIONS
+    ]

@@ -1,0 +1,135 @@
+"""Strong and weak α-neighbor relations (Definitions 7.1 and 7.3).
+
+Two ER-EE tables are neighbors when they differ in the employment of
+exactly one establishment ``e``:
+
+- **strong** (Def 7.1): the smaller workforce is a subset of the larger,
+  and ``|E| <= |E'| <= max((1+α)|E|, |E|+1)``;
+- **weak** (Def 7.3): for *every* 0/1 property φ of a worker record,
+  ``φ(E) <= φ(E') <= max((1+α)φ(E), φ(E)+1)`` — i.e. every attribute
+  class of the workforce grows at most proportionally.
+
+For verification we represent a tiny ER-EE table as a mapping from
+establishment id to the tuple of its workers' attribute-value tuples
+(worker identity beyond the attribute values does not matter for the
+counting queries, and subset relations are interpreted as multiset
+containment of attribute tuples).
+
+The relations induce a metric over databases (Sec 7.2);
+:func:`alpha_step_distance` computes the single-establishment distance
+used in the Bayes-factor semantics ``ε · k`` of Equation 8.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from itertools import combinations
+
+TinyTable = Mapping[object, Sequence[tuple]]
+
+
+def _workforce_counter(workers: Sequence[tuple]) -> Counter:
+    return Counter(tuple(w) for w in workers)
+
+
+def _grows_within_alpha(count: int, grown: int, alpha: float) -> bool:
+    """Check count <= grown <= max((1+α)·count, count + 1)."""
+    if grown < count:
+        return False
+    upper = max((1.0 + alpha) * count, count + 1.0)
+    return grown <= math.ceil(upper - 1e-9)
+
+
+def _differing_establishment(d1: TinyTable, d2: TinyTable):
+    """The unique establishment whose workforce differs, or None.
+
+    Returns ``(estab, workers1, workers2)``; raises if the tables differ
+    in more than one establishment or in the establishment universe
+    (neighboring tables never differ in establishment existence or in
+    public workplace attributes — those are public).
+    """
+    if set(d1) != set(d2):
+        raise ValueError("neighboring tables must share the establishment universe")
+    differing = [
+        e
+        for e in d1
+        if _workforce_counter(d1[e]) != _workforce_counter(d2[e])
+    ]
+    if len(differing) != 1:
+        return None
+    e = differing[0]
+    return e, d1[e], d2[e]
+
+
+def is_strong_alpha_neighbor(d1: TinyTable, d2: TinyTable, alpha: float) -> bool:
+    """Definition 7.1, symmetric in its arguments.
+
+    True iff exactly one establishment differs, the smaller workforce is a
+    sub-multiset of the larger, and the size growth is within the α band.
+    """
+    diff = _differing_establishment(d1, d2)
+    if diff is None:
+        return False
+    _, w1, w2 = diff
+    small, large = (w1, w2) if len(w1) <= len(w2) else (w2, w1)
+    c_small, c_large = _workforce_counter(small), _workforce_counter(large)
+    if any(c_small[key] > c_large[key] for key in c_small):
+        return False
+    return _grows_within_alpha(len(small), len(large), alpha)
+
+
+def is_weak_alpha_neighbor(d1: TinyTable, d2: TinyTable, alpha: float) -> bool:
+    """Definition 7.3, symmetric in its arguments.
+
+    Checks the φ-growth condition for every property φ of a worker
+    record.  It suffices to check φ ranging over unions of the attribute
+    value classes present in either workforce (any other φ induces the
+    same counts), which is exponential in the number of distinct classes
+    — fine for the tiny tables this checker is meant for.
+    """
+    diff = _differing_establishment(d1, d2)
+    if diff is None:
+        return False
+    _, w1, w2 = diff
+    small, large = (w1, w2) if len(w1) <= len(w2) else (w2, w1)
+    c_small, c_large = _workforce_counter(small), _workforce_counter(large)
+    classes = sorted(set(c_small) | set(c_large))
+    if len(classes) > 20:
+        raise ValueError(
+            f"weak-neighbor check enumerates 2^{len(classes)} properties; "
+            "use smaller verification tables"
+        )
+    for r in range(1, len(classes) + 1):
+        for subset in combinations(classes, r):
+            phi_small = sum(c_small[key] for key in subset)
+            phi_large = sum(c_large[key] for key in subset)
+            if not _grows_within_alpha(phi_small, phi_large, alpha):
+                return False
+    return True
+
+
+def alpha_step_distance(x: int, y: int, alpha: float) -> int:
+    """Length of the shortest α-neighbor chain between establishment sizes.
+
+    One step grows a size ``c`` to at most ``max((1+α)·c, c+1)`` (or
+    shrinks symmetrically).  The distance bounds the attacker's Bayes
+    factor by ``ε·d`` (Equation 8); sizes within one (1+α) factor are at
+    distance 1.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if x < 0 or y < 0:
+        raise ValueError("sizes must be non-negative")
+    low, high = (x, y) if x <= y else (y, x)
+    if low == high:
+        return 0
+    steps = 0
+    current = float(low)
+    while current < high:
+        current = max((1.0 + alpha) * current, current + 1.0)
+        # Sizes are integers, so a step reaches the floor of the bound.
+        current = math.floor(current + 1e-9)
+        steps += 1
+    return steps

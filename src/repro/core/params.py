@@ -1,0 +1,97 @@
+"""Privacy parameters for (α, ε[, δ])-ER-EE privacy and feasibility rules.
+
+α is the establishment-size protection factor: an informed attacker must
+not distinguish establishment sizes within a multiplicative (1+α) band
+(Definition 4.2).  ε is the privacy-loss budget (the log Bayes-factor
+bound), δ the optional failure probability of Definition 9.1.
+
+Feasibility constraints from the algorithms:
+
+- Smooth Gamma (Alg 2) needs ε1 = ε - 5·ln(1+α) > 0, i.e.
+  ``α + 1 < exp(ε/5)``;
+- Smooth Laplace (Alg 3) needs ``α + 1 <= exp(ε / (2 ln(1/δ)))``, i.e.
+  ``ε >= 2 ln(1/δ) ln(1+α)`` — the Table 2 minimum-ε rule;
+- Log-Laplace has bounded expectation only for λ = 2 ln(1+α)/ε < 1 and a
+  bounded relative-error guarantee for λ < 1/2 (Lemma 8.2, Theorem 8.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import check_positive
+
+
+@dataclass(frozen=True)
+class EREEParams:
+    """(α, ε, δ) privacy parameters.
+
+    ``alpha > 0`` is the size-protection factor; ``epsilon > 0`` the
+    privacy-loss budget; ``delta`` in [0, 1) the failure probability
+    (0 for the pure Definition 7.2/7.4 guarantees).
+    """
+
+    alpha: float
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self):
+        check_positive("alpha", self.alpha)
+        check_positive("epsilon", self.epsilon)
+        if not (0.0 <= self.delta < 1.0):
+            raise ValueError(f"delta must lie in [0, 1), got {self.delta}")
+
+    def with_epsilon(self, epsilon: float) -> "EREEParams":
+        return EREEParams(self.alpha, epsilon, self.delta)
+
+    def log_laplace_scale(self) -> float:
+        """λ = 2·ln(1+α)/ε, the Algorithm 1 Laplace scale on the log count."""
+        return 2.0 * math.log1p(self.alpha) / self.epsilon
+
+    def allows_smooth_gamma(self) -> bool:
+        """Algorithm 2 requires α + 1 < exp(ε/5)."""
+        return self.alpha + 1.0 < math.exp(self.epsilon / 5.0)
+
+    def allows_smooth_laplace(self) -> bool:
+        """Algorithm 3 requires δ > 0 and α + 1 <= exp(ε / (2 ln(1/δ)))."""
+        if self.delta <= 0.0:
+            return False
+        return self.epsilon >= min_epsilon(self.alpha, self.delta) - 1e-12
+
+    def log_laplace_has_bounded_mean(self) -> bool:
+        """Lemma 8.2: the Log-Laplace output has finite expectation iff λ < 1."""
+        return self.log_laplace_scale() < 1.0
+
+    def log_laplace_has_bounded_relative_error(self) -> bool:
+        """Theorem 8.3's squared-relative-error bound applies iff λ < 1/2."""
+        return self.log_laplace_scale() < 0.5
+
+
+def min_epsilon(alpha: float, delta: float) -> float:
+    """Minimum ε for Smooth Laplace at (α, δ): ε = 2·ln(1/δ)·ln(1+α).
+
+    This solves Algorithm 3's constraint ``α + 1 <= exp(ε/(2 ln(1/δ)))``
+    with equality — the optimal δ/ε trade described after Lemma 9.3 and
+    tabulated in the paper's Table 2.  (The published table's δ = .05
+    column is internally consistent with δ ≈ .005 instead; see
+    EXPERIMENTS.md for the entry-by-entry comparison.)
+    """
+    check_positive("alpha", alpha)
+    if not (0.0 < delta < 1.0):
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    return 2.0 * math.log(1.0 / delta) * math.log1p(alpha)
+
+
+def max_alpha(epsilon: float, delta: float | None = None) -> float:
+    """Largest feasible α at a given ε.
+
+    For Smooth Gamma (``delta is None``): α < exp(ε/5) - 1.
+    For Smooth Laplace: α <= exp(ε/(2 ln(1/δ))) - 1.
+    """
+    check_positive("epsilon", epsilon)
+    if delta is None:
+        return math.exp(epsilon / 5.0) - 1.0
+    if not (0.0 < delta < 1.0):
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    return math.exp(epsilon / (2.0 * math.log(1.0 / delta))) - 1.0

@@ -1,0 +1,174 @@
+"""Publication suites: an agency's full release under one budget.
+
+Sec 3.2 of the paper: analysts pose *sets* of marginal queries, and the
+privacy of the set follows from composition (Theorem 2.1 / 7.3).  This
+module models the workflow end to end: declare the products (marginals)
+of an annual publication, assign each a share of the total (α, ε, δ)
+budget, and release them all against one snapshot with the accountant
+enforcing the bound.
+
+This is the shape of an actual LODES/QWI publication: several geographic
+and demographic cuts of the same quarter released together.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.composition import MARGINAL, EREEAccountant
+from repro.core.params import EREEParams
+from repro.core.release import (
+    DEFAULT_WORKER_ATTRS,
+    MarginalRelease,
+    release_marginal,
+)
+from repro.db.join import WorkerFull
+from repro.util import as_generator, check_positive
+
+
+@dataclass(frozen=True)
+class Product:
+    """One published table: a named marginal with a budget share.
+
+    ``budget_share`` is relative; shares are normalized over the suite.
+    ``budget_style`` follows :mod:`repro.core.composition`.
+    """
+
+    name: str
+    attrs: tuple[str, ...]
+    budget_share: float = 1.0
+    budget_style: str = MARGINAL
+
+    def __post_init__(self):
+        check_positive("budget_share", self.budget_share)
+        if not self.attrs:
+            raise ValueError(f"product {self.name!r} needs at least one attribute")
+
+
+@dataclass(frozen=True)
+class PublicationResult:
+    """All releases of a suite plus the accountant's final state."""
+
+    releases: dict[str, MarginalRelease]
+    spent_epsilon: float
+    spent_delta: float
+
+    def __getitem__(self, name: str) -> MarginalRelease:
+        return self.releases[name]
+
+
+@dataclass
+class PublicationSuite:
+    """A set of products released together under one total budget.
+
+    The suite charges each product's *total* (ε, δ) sequentially
+    (distinct marginals over the same snapshot touch the same
+    establishments, so parallel composition does not apply across
+    products).  Products with worker attributes are released in weak
+    mode with the d·ε split; establishment-only products use strong mode.
+    """
+
+    params: EREEParams
+    mechanism_name: str = "smooth-laplace"
+    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS
+    products: list[Product] = field(default_factory=list)
+
+    def add_product(
+        self,
+        name: str,
+        attrs: Sequence[str],
+        budget_share: float = 1.0,
+        budget_style: str = MARGINAL,
+    ) -> "PublicationSuite":
+        """Register a product; returns self for chaining."""
+        if any(existing.name == name for existing in self.products):
+            raise ValueError(f"duplicate product name {name!r}")
+        self.products.append(
+            Product(
+                name=name,
+                attrs=tuple(attrs),
+                budget_share=budget_share,
+                budget_style=budget_style,
+            )
+        )
+        return self
+
+    def product_params(self) -> dict[str, EREEParams]:
+        """The per-product (α, ε, δ) implied by the normalized shares.
+
+        δ is interpreted per released count (as everywhere in this
+        library), so each product inherits the suite δ unchanged.
+        """
+        if not self.products:
+            raise ValueError("the suite has no products")
+        total_share = sum(product.budget_share for product in self.products)
+        return {
+            product.name: self.params.with_epsilon(
+                self.params.epsilon * product.budget_share / total_share
+            )
+            for product in self.products
+        }
+
+    def release(self, worker_full: WorkerFull, seed=None) -> PublicationResult:
+        """Release every product; the accountant enforces the total budget."""
+        rng = as_generator(seed)
+        per_product = self.product_params()
+        accountant = EREEAccountant(
+            EREEParams(
+                self.params.alpha,
+                self.params.epsilon * (1 + 1e-9),  # tolerance for float shares
+                1.0 - 1e-12 if self.params.delta > 0 else 0.0,
+            ),
+            mode="weak",
+        )
+        schema = worker_full.table.schema
+        releases: dict[str, MarginalRelease] = {}
+        for product in self.products:
+            product_params = per_product[product.name]
+            release = release_marginal(
+                worker_full,
+                product.attrs,
+                self.mechanism_name,
+                product_params,
+                worker_attrs=self.worker_attrs,
+                budget_style=product.budget_style,
+                seed=rng,
+            )
+            accountant.charge_marginal(
+                schema,
+                product.attrs,
+                self.worker_attrs,
+                product_params,
+                product.budget_style,
+            )
+            releases[product.name] = release
+        spent = accountant.spent()
+        return PublicationResult(
+            releases=releases,
+            spent_epsilon=spent.epsilon,
+            spent_delta=spent.delta,
+        )
+
+
+def qwi_style_suite(params: EREEParams, mechanism_name: str = "smooth-laplace") -> PublicationSuite:
+    """A representative LODES/QWI-like annual publication.
+
+    Four products: the headline place-level industry table (half the
+    budget), a county rollup, a sex × education cut, and the per-place
+    totals used by OnTheMap.
+    """
+    suite = PublicationSuite(params=params, mechanism_name=mechanism_name)
+    suite.add_product(
+        "place-industry-ownership", ("place", "naics", "ownership"), budget_share=0.4
+    )
+    suite.add_product(
+        "county-industry-ownership", ("county", "naics", "ownership"), budget_share=0.2
+    )
+    suite.add_product(
+        "place-sex-education",
+        ("place", "naics", "ownership", "sex", "education"),
+        budget_share=0.3,
+    )
+    suite.add_product("place-totals", ("place",), budget_share=0.1)
+    return suite

@@ -1,0 +1,195 @@
+"""End-to-end marginal release under (α, ε[, δ])-ER-EE privacy.
+
+``release_marginal`` ties the pieces together: evaluate the true marginal,
+derive the per-cell budget from the composition rules, compute the
+per-cell smooth-sensitivity statistic ``xv``, pick which cells are
+published, and add the mechanism's noise.
+
+Which cells are published?  Establishment existence, sector, ownership
+and location are public (Sec 4.1), so a cell is released iff its
+workplace-attribute part matches at least one establishment; worker-
+attribute slices of a published workplace cell are all released
+(including zeros — worker attributes are confidential, so publishing
+which worker cells are empty would otherwise leak, cf. the Sec 5.2
+zero-preservation attack on SDL).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.composition import (
+    MARGINAL,
+    STRONG,
+    WEAK,
+    MarginalBudget,
+    marginal_budget,
+)
+from repro.core.log_laplace import LogLaplace
+from repro.core.params import EREEParams
+from repro.core.smooth_gamma import SmoothGamma
+from repro.core.smooth_laplace import SmoothLaplace
+from repro.db.join import WorkerFull
+from repro.db.query import Marginal, per_establishment_counts
+from repro.util import as_generator
+
+# Worker attributes of the LODES schema; importers can pass their own set
+# for other schemas.
+DEFAULT_WORKER_ATTRS: tuple[str, ...] = ("age", "sex", "race", "ethnicity", "education")
+
+MECHANISMS = ("log-laplace", "smooth-gamma", "smooth-laplace")
+
+
+def make_mechanism(name: str, params: EREEParams, **options):
+    """Instantiate a mechanism by name with per-cell parameters."""
+    if name == "log-laplace":
+        return LogLaplace(params, **options)
+    if name == "smooth-gamma":
+        return SmoothGamma(params, **options)
+    if name == "smooth-laplace":
+        return SmoothLaplace(params, **options)
+    raise ValueError(f"unknown mechanism {name!r}; choose from {MECHANISMS}")
+
+
+@dataclass(frozen=True)
+class MarginalRelease:
+    """A published marginal with its bookkeeping.
+
+    ``noisy`` holds the published values for released cells and 0 for
+    suppressed cells (cells whose workplace part matches no
+    establishment); ``released`` flags published cells.  ``max_single``
+    is the xv statistic actually used for the noise scale (establishment
+    contribution per cell under weak mode; whole-establishment size under
+    the strong-mode worker-attribute ablation).
+    """
+
+    marginal: Marginal
+    true: np.ndarray
+    noisy: np.ndarray
+    released: np.ndarray
+    max_single: np.ndarray
+    budget: MarginalBudget
+    mechanism_name: str
+
+    @property
+    def n_released(self) -> int:
+        return int(self.released.sum())
+
+
+def _resolve_mode(attrs, worker_attrs, mode: str | None) -> str:
+    has_worker = any(name in worker_attrs for name in attrs)
+    if mode is None:
+        return WEAK if has_worker else STRONG
+    if mode not in (STRONG, WEAK):
+        raise ValueError(f"mode must be 'strong', 'weak' or None, got {mode!r}")
+    return mode
+
+
+def _released_mask_and_xv(
+    worker_full: WorkerFull,
+    marginal: Marginal,
+    workplace_part: Sequence[str],
+    mode: str,
+    has_worker_attrs: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell release mask and xv statistic.
+
+    - released: the workplace part of the cell matches >= 1 establishment
+      (establishment existence is public);
+    - xv (weak mode, or no worker attrs): max jobs a single establishment
+      contributes to the cell itself;
+    - xv (strong mode with worker attrs — the ablation): max *total size*
+      of any establishment matching the workplace part, since a strong
+      α-neighbor may pour α·|e| same-attribute workers into one cell.
+    """
+    cell_index = marginal.cell_index(worker_full.table)
+    stats = per_establishment_counts(
+        cell_index, worker_full.establishment, marginal.n_cells
+    )
+
+    wp_marginal = Marginal(worker_full.table.schema, workplace_part)
+    full_to_wp = marginal.project_onto(workplace_part)
+    wp_cell_index = wp_marginal.cell_index(worker_full.table)
+    wp_stats = per_establishment_counts(
+        wp_cell_index, worker_full.establishment, wp_marginal.n_cells
+    )
+    released = wp_stats.n_establishments[full_to_wp] > 0
+
+    if mode == STRONG and has_worker_attrs:
+        sizes = worker_full.establishment_sizes()
+        # One representative row per establishment gives its workplace cell.
+        _, first_row = np.unique(worker_full.establishment, return_index=True)
+        estab_wp_cell = wp_cell_index[first_row]
+        estab_ids = worker_full.establishment[first_row]
+        wp_max_size = np.zeros(wp_marginal.n_cells, dtype=np.int64)
+        np.maximum.at(wp_max_size, estab_wp_cell, sizes[estab_ids])
+        xv = wp_max_size[full_to_wp]
+    else:
+        xv = stats.max_single
+    return released, xv
+
+
+def release_marginal(
+    worker_full: WorkerFull,
+    attrs: Sequence[str],
+    mechanism_name: str,
+    params: EREEParams,
+    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
+    mode: str | None = None,
+    budget_style: str = MARGINAL,
+    seed=None,
+    mechanism_options: dict | None = None,
+) -> MarginalRelease:
+    """Release the marginal over ``attrs`` with a named mechanism.
+
+    ``mode=None`` picks strong privacy for establishment-only marginals
+    and weak privacy when worker attributes are present (the paper's
+    pairing).  Passing ``mode='strong'`` with worker attributes runs the
+    strong-neighbor ablation (only meaningful for the smooth mechanisms).
+    """
+    rng = as_generator(seed)
+    schema = worker_full.table.schema
+    marginal = Marginal(schema, attrs)
+    mode = _resolve_mode(attrs, worker_attrs, mode)
+    has_worker_attrs = any(name in worker_attrs for name in attrs)
+    workplace_part = [name for name in attrs if name not in worker_attrs]
+
+    if mode == STRONG and has_worker_attrs and mechanism_name == "log-laplace":
+        raise ValueError(
+            "Log-Laplace has no strong-mode guarantee for worker-attribute "
+            "queries (Theorem 8.1 proves only the weak variant); use a "
+            "smooth mechanism for the strong ablation"
+        )
+
+    budget = marginal_budget(
+        params, schema, attrs, worker_attrs, mode, budget_style
+    )
+    mechanism = make_mechanism(
+        mechanism_name, budget.per_cell, **(mechanism_options or {})
+    )
+
+    true = marginal.counts(worker_full.table).astype(np.float64)
+    released, xv = _released_mask_and_xv(
+        worker_full, marginal, workplace_part, mode, has_worker_attrs
+    )
+
+    noisy = np.zeros(marginal.n_cells, dtype=np.float64)
+    if released.any():
+        if mechanism_name == "log-laplace":
+            noisy[released] = mechanism.release_counts(true[released], rng)
+        else:
+            noisy[released] = mechanism.release_counts(
+                true[released], xv[released], rng
+            )
+    return MarginalRelease(
+        marginal=marginal,
+        true=true,
+        noisy=noisy,
+        released=released,
+        max_single=xv,
+        budget=budget,
+        mechanism_name=mechanism_name,
+    )

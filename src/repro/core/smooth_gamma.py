@@ -1,0 +1,96 @@
+"""Algorithm 2: the Smooth Gamma mechanism ((α, ε)-ER-EE private, δ = 0).
+
+Budget split per the paper: the dilation part gets ε2 = 5·ln(1+α) — the
+minimum making the smooth sensitivity finite (exp(ε2/5) = 1+α exactly) —
+and everything else, ε1 = ε - ε2, drives the noise scale, since only the
+sliding radius ``a = ε1/5`` enters the error.  Feasible only when
+``α + 1 < exp(ε/5)`` so that ε1 > 0.
+
+Noise: Z from h(z) ∝ 1/(1+z⁴), released value q(x) + S*(x)/(ε1/5)·Z with
+S*(x) = max(xv·α, 1).  Unbiased with expected L1 error
+O(xv·α/ε + 1/ε) (Lemma 8.8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import EREEParams
+from repro.core.smooth_sensitivity import (
+    GammaAdmissible,
+    add_smooth_noise,
+    gamma4_density,
+    smooth_sensitivity_of_counts,
+)
+
+
+@dataclass(frozen=True)
+class SmoothGamma:
+    """The Smooth Gamma mechanism (Algorithm 2)."""
+
+    params: EREEParams
+
+    def __post_init__(self):
+        if not self.params.allows_smooth_gamma():
+            raise ValueError(
+                f"Smooth Gamma requires alpha + 1 < exp(epsilon/5); "
+                f"got alpha={self.params.alpha}, epsilon={self.params.epsilon} "
+                f"(max feasible alpha "
+                f"{math.exp(self.params.epsilon / 5.0) - 1.0:.4g})"
+            )
+
+    @property
+    def name(self) -> str:
+        return "Smooth Gamma"
+
+    @property
+    def epsilon2(self) -> float:
+        """Dilation budget, pinned at its minimum 5·ln(1+α)."""
+        return 5.0 * math.log1p(self.params.alpha)
+
+    @property
+    def epsilon1(self) -> float:
+        """Sliding budget ε1 = ε - ε2 (> 0 by the feasibility check)."""
+        return self.params.epsilon - self.epsilon2
+
+    @property
+    def distribution(self) -> GammaAdmissible:
+        return GammaAdmissible(epsilon1=self.epsilon1, epsilon2=self.epsilon2)
+
+    def smooth_sensitivity(self, max_single: np.ndarray) -> np.ndarray:
+        """S*(x) per cell given the largest single-establishment share xv."""
+        return smooth_sensitivity_of_counts(
+            max_single, self.params.alpha, self.distribution.b
+        )
+
+    def noise_scale(self, max_single: np.ndarray) -> np.ndarray:
+        """Per-cell multiplier on the unit noise: S*(x)/a = 5·S*(x)/ε1."""
+        return self.smooth_sensitivity(max_single) / self.distribution.a
+
+    def release_counts(
+        self, counts: np.ndarray, max_single: np.ndarray, seed=None
+    ) -> np.ndarray:
+        """Release noisy counts; ``max_single`` supplies xv per cell."""
+        sensitivity = self.smooth_sensitivity(max_single)
+        return add_smooth_noise(counts, sensitivity, self.distribution, seed)
+
+    def expected_l1_error(self, max_single: np.ndarray) -> np.ndarray:
+        """Per-cell expected |error| = (S*/a)·E|Z| (Lemma 8.8 is O(xvα/ε))."""
+        return self.noise_scale(max_single) * self.distribution.expected_abs()
+
+    def noise_variance(self, max_single: np.ndarray) -> np.ndarray:
+        """Per-cell noise variance; E[Z²] = 1 for the normalized h with
+        γ = 4, so Var = scale² (used by the hierarchy extension)."""
+        scale = self.noise_scale(max_single)
+        return scale * scale
+
+    def log_density(
+        self, output: np.ndarray, count: float, max_single: float
+    ) -> np.ndarray:
+        """Log density of the release at ``output`` (verification tests)."""
+        scale = float(self.noise_scale(np.array([max_single]))[0])
+        z = (np.asarray(output, dtype=np.float64) - count) / scale
+        return np.log(gamma4_density(z)) - math.log(scale)

@@ -1,0 +1,214 @@
+"""Extended smooth-sensitivity framework (Sec 8.2 of the paper).
+
+Local sensitivity of a count under α-neighbors depends on the data: if
+``xv`` is the largest number of workers a single establishment contributes
+to the cell, one neighbor step can change the count by up to
+``max(xv·α, 1)`` (Lemma 8.5).  Adding noise scaled to *local* sensitivity
+is not private by itself, so Nissim et al.'s smooth-sensitivity upper
+bound is used; Lemma 8.5 shows that for these count queries the local
+sensitivity is already b-smooth whenever ``exp(b) >= 1 + α`` (and the
+smooth bound is infinite otherwise).
+
+Noise comes from an *(a, b)-admissible* distribution (Definition 8.3 —
+the paper's flexible-budget-split generalization of [38]):
+
+- the heavy-tailed ``h(z) ∝ 1/(1 + z^4)`` is (ε1/5, ε2/5)-admissible for
+  any split ε1 + ε2 <= ε with δ = 0 (Lemma 8.6 with γ = 4);
+- Laplace(1) is (ε/2, ε/(2 ln(1/δ)))-admissible with failure δ
+  (Lemma 9.1).
+
+Theorem 8.4: releasing ``q(x) + S(x)/a · Z`` with Z admissible and S a
+b-smooth upper bound on local sensitivity is (α, ε)-ER-EE private.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import as_generator, check_fraction, check_positive
+
+# Normalizing constant of 1/(1+z^4) over the real line: ∫ dz/(1+z^4) = π/√2.
+GAMMA4_NORMALIZER = math.pi / math.sqrt(2.0)
+
+# E|Z| for the normalized density (√2/π)/(1+z^4): (π/2)/(π/√2) = 1/√2.
+# (Lemma 8.8 quotes π/2, the unnormalized integral; the normalized value
+# is what the error actually scales with.)
+GAMMA4_EXPECTED_ABS = 1.0 / math.sqrt(2.0)
+
+# Rejection bound: max over z of (1+z²)/(1+z⁴) = (1+√2)/2 at z² = √2 - 1.
+_REJECTION_BOUND = (1.0 + math.sqrt(2.0)) / 2.0
+
+
+def smooth_sensitivity_of_counts(
+    max_single: np.ndarray, alpha: float, b: float
+) -> np.ndarray:
+    """Per-cell b-smooth sensitivity ``S* = max(xv·α, 1)`` (Lemma 8.5).
+
+    ``max_single`` holds ``xv`` per cell: the largest count any single
+    establishment contributes to the cell.  Raises when ``exp(b) < 1+α``,
+    where the smooth sensitivity is unbounded and no finite noise scale is
+    private.
+    """
+    check_positive("alpha", alpha)
+    if math.exp(b) < (1.0 + alpha) * (1.0 - 1e-12):
+        raise ValueError(
+            f"smooth sensitivity is unbounded: exp(b)={math.exp(b):.6g} < "
+            f"1+alpha={1 + alpha:.6g} (Lemma 8.5)"
+        )
+    max_single = np.asarray(max_single, dtype=np.float64)
+    return np.maximum(max_single * alpha, 1.0)
+
+
+def gamma4_density(z: np.ndarray) -> np.ndarray:
+    """Normalized density h(z) = (√2/π) / (1 + z⁴)."""
+    z = np.asarray(z, dtype=np.float64)
+    return 1.0 / (GAMMA4_NORMALIZER * (1.0 + z**4))
+
+
+def sample_gamma4(size: int, seed=None) -> np.ndarray:
+    """Draw from h(z) ∝ 1/(1 + z⁴) by rejection from a standard Cauchy.
+
+    The ratio of the target to the Cauchy proposal is proportional to
+    ``(1+z²)/(1+z⁴)``, maximized at ``z² = √2 - 1`` with value (1+√2)/2,
+    giving acceptance probability ≈ 0.586 per proposal.
+    """
+    rng = as_generator(seed)
+    out = np.empty(size, dtype=np.float64)
+    filled = 0
+    while filled < size:
+        need = size - filled
+        # Draw ~1.8x the need so most batches finish in one round.
+        batch = max(32, int(need / 0.55) + 8)
+        z = rng.standard_cauchy(batch)
+        accept_probability = (1.0 + z**2) / ((1.0 + z**4) * _REJECTION_BOUND)
+        accepted = z[rng.random(batch) < accept_probability]
+        take = min(len(accepted), need)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+    return out
+
+
+def gamma4_quantile(p: float) -> float:
+    """Numeric inverse CDF of the normalized h (bisection; tests/analysis)."""
+    check_fraction("p", p)
+    if abs(p - 0.5) < 1e-15:
+        return 0.0
+
+    def cdf(x: float) -> float:
+        # CDF via the closed-form antiderivative of 1/(1+z^4).
+        return 0.5 + _gamma4_signed_integral(x) / GAMMA4_NORMALIZER
+
+    low, high = -1e8, 1e8
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if cdf(mid) < p:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def _gamma4_signed_integral(x: float) -> float:
+    """∫_0^x dz/(1+z⁴), odd in x (closed form with atan and log)."""
+    sign = 1.0 if x >= 0 else -1.0
+    x = abs(x)
+    r2 = math.sqrt(2.0)
+    # Standard antiderivative; the atan term is written with atan2 to stay
+    # continuous across x = 1.
+    log_term = math.log((x * x + r2 * x + 1.0) / (x * x - r2 * x + 1.0))
+    atan_term = math.atan2(r2 * x, 1.0 - x * x)
+    return sign * (log_term + 2.0 * atan_term) / (4.0 * r2)
+
+
+@dataclass(frozen=True)
+class GammaAdmissible:
+    """The (ε1/(1+γ), ε2/(1+γ))-admissible heavy-tailed noise (Lemma 8.6).
+
+    Only γ = 4 guarantees finite mean and variance among small even
+    integer exponents, and it is the paper's choice; other γ > 2 values
+    are allowed for experimentation (mean exists for γ > 2).
+    """
+
+    epsilon1: float
+    epsilon2: float
+    gamma: float = 4.0
+
+    def __post_init__(self):
+        check_positive("epsilon1", self.epsilon1)
+        check_positive("epsilon2", self.epsilon2)
+        if self.gamma <= 2.0:
+            raise ValueError(
+                f"gamma must exceed 2 for finite expected error, got {self.gamma}"
+            )
+
+    @property
+    def a(self) -> float:
+        """Sliding radius: noise scaled by S/a tolerates |Δ| <= a shifts."""
+        return self.epsilon1 / (1.0 + self.gamma)
+
+    @property
+    def b(self) -> float:
+        """Dilation radius: the smoothing parameter the scale may vary by."""
+        return self.epsilon2 / (1.0 + self.gamma)
+
+    @property
+    def delta(self) -> float:
+        return 0.0
+
+    def sample(self, size: int, seed=None) -> np.ndarray:
+        if self.gamma != 4.0:
+            raise NotImplementedError("sampling implemented for gamma = 4 only")
+        return sample_gamma4(size, seed)
+
+    def expected_abs(self) -> float:
+        if self.gamma != 4.0:
+            raise NotImplementedError("moments implemented for gamma = 4 only")
+        return GAMMA4_EXPECTED_ABS
+
+
+@dataclass(frozen=True)
+class LaplaceAdmissible:
+    """Laplace(1): (ε/2, ε/(2 ln(1/δ)))-admissible with failure δ (Lemma 9.1)."""
+
+    epsilon: float
+    delta: float
+
+    def __post_init__(self):
+        check_positive("epsilon", self.epsilon)
+        check_fraction("delta", self.delta)
+
+    @property
+    def a(self) -> float:
+        return self.epsilon / 2.0
+
+    @property
+    def b(self) -> float:
+        return self.epsilon / (2.0 * math.log(1.0 / self.delta))
+
+    def sample(self, size: int, seed=None) -> np.ndarray:
+        rng = as_generator(seed)
+        return rng.laplace(0.0, 1.0, size=size)
+
+    def expected_abs(self) -> float:
+        return 1.0
+
+
+def add_smooth_noise(
+    counts: np.ndarray,
+    smooth_sensitivity: np.ndarray,
+    distribution,
+    seed=None,
+) -> np.ndarray:
+    """Theorem 8.4 release: ``q(x) + S(x)/a · Z`` per cell.
+
+    ``distribution`` is an admissible distribution exposing ``a`` and
+    ``sample``; ``smooth_sensitivity`` must be a b-smooth upper bound for
+    the distribution's dilation radius ``b``.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    smooth_sensitivity = np.asarray(smooth_sensitivity, dtype=np.float64)
+    noise = distribution.sample(counts.size, seed).reshape(counts.shape)
+    return counts + smooth_sensitivity / distribution.a * noise

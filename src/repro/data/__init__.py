@@ -1,0 +1,54 @@
+"""Synthetic LODES-style employer-employee microdata.
+
+The paper's experiments run on a confidential 3-state LEHD/LODES snapshot
+(10.9M jobs, ~527k establishments).  That file cannot leave the Census
+Bureau, so this package generates a synthetic equivalent that preserves
+the structural properties the evaluation depends on:
+
+1. the documented LODES schema — Workplace (NAICS sector, ownership,
+   state/county/place/block geography), Worker (age, sex, race, ethnicity,
+   education) and Job tables (Sec 3.1);
+2. heavy right skew in establishment sizes (lognormal body + Pareto tail,
+   mean ≈ 20.7 jobs per establishment to match the paper's sample);
+3. sparse marginal cells: many places × 20 sectors × ownership, with most
+   cells containing zero or a handful of establishments;
+4. place populations spanning the paper's four strata (<100, 100–10k,
+   10k–100k, ≥100k), used to stratify every figure.
+"""
+
+from repro.data.dataset import LODESDataset
+from repro.data.generator import SyntheticConfig, generate
+from repro.data.geography import Geography, GeographyConfig, generate_geography
+from repro.data.io import load_dataset, save_dataset
+from repro.data.panel import LODESPanel, PanelConfig, generate_panel
+from repro.data.naics import NAICS_SECTORS, sector_codes
+from repro.data.schema import (
+    OWNERSHIP_VALUES,
+    WORKER_ATTRS,
+    WORKPLACE_ATTRS,
+    worker_schema,
+    workplace_schema,
+)
+from repro.data.sizes import SizeModel
+
+__all__ = [
+    "LODESDataset",
+    "SyntheticConfig",
+    "generate",
+    "LODESPanel",
+    "PanelConfig",
+    "generate_panel",
+    "save_dataset",
+    "load_dataset",
+    "Geography",
+    "GeographyConfig",
+    "generate_geography",
+    "NAICS_SECTORS",
+    "sector_codes",
+    "OWNERSHIP_VALUES",
+    "WORKER_ATTRS",
+    "WORKPLACE_ATTRS",
+    "worker_schema",
+    "workplace_schema",
+    "SizeModel",
+]

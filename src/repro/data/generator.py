@@ -1,0 +1,142 @@
+"""Top-level synthetic LODES generator.
+
+``generate(SyntheticConfig(...))`` plans a geography, places
+establishments in it (count ∝ place population), draws skewed sizes and
+sector/ownership attributes, and then draws each establishment's
+workforce.  One integer seed determines everything.
+
+The default configuration targets ≈ 60k jobs in ≈ 3k establishments —
+small enough for tests and benchmarks, large enough to exhibit the
+sparsity and skew the paper's findings depend on.  Scale up with
+``target_jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import LODESDataset
+from repro.data.geography import GeographyConfig, generate_geography
+from repro.data.naics import NAICS_SECTORS, sector_shares
+from repro.data.schema import worker_schema, workplace_schema
+from repro.data.sizes import SizeModel
+from repro.data.workers import draw_place_mixes, sample_workforce_batch
+from repro.db.table import Table
+from repro.util import as_generator, check_positive, derive_seed
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs for the synthetic snapshot.
+
+    ``target_jobs`` is approximate: establishment counts are planned so the
+    expected total employment matches it, then realized sizes vary.
+    """
+
+    target_jobs: int = 60_000
+    seed: int = 20170514  # SIGMOD'17 opening day
+    geography: GeographyConfig = field(default_factory=GeographyConfig)
+    sizes: SizeModel = field(default_factory=SizeModel)
+    # Exponent linking place population to establishment count; < 1 gives
+    # big places slightly fewer establishments per capita.
+    population_exponent: float = 0.95
+
+    def __post_init__(self):
+        check_positive("target_jobs", self.target_jobs)
+        check_positive("population_exponent", self.population_exponent)
+
+
+def _plan_establishments_per_place(
+    populations: np.ndarray,
+    n_establishments: int,
+    exponent: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Allocate establishments to places with weight population**exponent.
+
+    Every place receives at least one establishment so that single-
+    establishment cells (the paper's worst case for SDL attacks) exist.
+    """
+    weights = populations.astype(np.float64) ** exponent
+    weights /= weights.sum()
+    n_extra = max(0, n_establishments - len(populations))
+    extra = rng.multinomial(n_extra, weights)
+    return (extra + 1).astype(np.int64)
+
+
+def generate(config: SyntheticConfig | None = None) -> LODESDataset:
+    """Generate a full synthetic LODES snapshot from ``config``."""
+    config = config or SyntheticConfig()
+    geo_rng = as_generator(derive_seed(config.seed, "geography"))
+    geography = generate_geography(config.geography, geo_rng)
+
+    plan_rng = as_generator(derive_seed(config.seed, "establishments"))
+    mean_size = config.sizes.mean()
+    n_establishments = max(
+        geography.n_places, int(round(config.target_jobs / mean_size))
+    )
+    per_place = _plan_establishments_per_place(
+        geography.place_populations,
+        n_establishments,
+        config.population_exponent,
+        plan_rng,
+    )
+    n_establishments = int(per_place.sum())
+    estab_place = np.repeat(
+        np.arange(geography.n_places, dtype=np.int64), per_place
+    )
+
+    # Sector, ownership, block per establishment.
+    sector = plan_rng.choice(
+        len(NAICS_SECTORS), size=n_establishments, p=sector_shares()
+    ).astype(np.int64)
+    public_share = np.array([s.public_share for s in NAICS_SECTORS])
+    ownership = (
+        plan_rng.random(n_establishments) < public_share[sector]
+    ).astype(np.int64)
+    block = np.array(
+        [
+            plan_rng.choice(geography.blocks_of_place[p])
+            for p in estab_place
+        ],
+        dtype=np.int64,
+    )
+
+    size_rng = as_generator(derive_seed(config.seed, "sizes"))
+    multipliers = np.array([s.size_multiplier for s in NAICS_SECTORS])[sector]
+    sizes = config.sizes.sample(n_establishments, multipliers, size_rng)
+
+    workplace = Table(
+        workplace_schema(geography),
+        {
+            "naics": sector,
+            "ownership": ownership,
+            "state": geography.place_state[estab_place],
+            "county": geography.place_county[estab_place],
+            "place": estab_place,
+            "block": block,
+        },
+    )
+
+    worker_rng = as_generator(derive_seed(config.seed, "workers"))
+    place_mixes = draw_place_mixes(geography.n_places, worker_rng)
+    worker_columns = sample_workforce_batch(
+        sizes, sector, estab_place, place_mixes, worker_rng
+    )
+    worker = Table(worker_schema(), worker_columns)
+
+    n_jobs = worker.n_rows
+    job_worker = np.arange(n_jobs, dtype=np.int64)
+    job_establishment = np.repeat(
+        np.arange(n_establishments, dtype=np.int64), sizes
+    )
+
+    return LODESDataset(
+        worker=worker,
+        workplace=workplace,
+        job_worker=job_worker,
+        job_establishment=job_establishment,
+        geography=geography,
+    )

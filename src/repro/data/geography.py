@@ -1,0 +1,144 @@
+"""Synthetic Census geography: states, counties, places, blocks.
+
+The paper stratifies every figure by Census-place total population
+(P0010001 from the 2010 Decennial Census) into four strata: <100,
+100–10k, 10k–100k, and ≥100k.  The generator therefore plans places
+stratum-by-stratum so all four strata are populated, then draws each
+place's population log-uniformly within its stratum band.
+
+Geography is hierarchical (state → county → place → block) like real
+Census geography; establishments attach to a place and a block within it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import as_generator, check_positive
+
+# The paper's four place-population strata, as (label, low, high) with
+# high exclusive.  Order matters: stratum index = position here.
+PLACE_STRATA: tuple[tuple[str, int, int], ...] = (
+    ("0 <= pop < 100", 0, 100),
+    ("100 <= pop < 10k", 100, 10_000),
+    ("10k <= pop < 100k", 10_000, 100_000),
+    ("pop >= 100k", 100_000, 10_000_000),
+)
+
+
+@dataclass(frozen=True)
+class GeographyConfig:
+    """Controls how many places fall in each population stratum.
+
+    ``places_per_stratum`` lists the number of places planned per stratum
+    (aligned with :data:`PLACE_STRATA`).  ``scale`` multiplies all counts,
+    so a single knob grows the geography proportionally.  Block counts per
+    place grow with population.
+    """
+
+    n_states: int = 3
+    counties_per_state: int = 4
+    places_per_stratum: tuple[int, int, int, int] = (8, 24, 10, 3)
+    scale: float = 1.0
+    max_population: int = 2_500_000
+
+    def planned_places(self) -> list[int]:
+        """Number of places per stratum after applying ``scale``."""
+        check_positive("scale", self.scale)
+        return [max(1, round(count * self.scale)) for count in self.places_per_stratum]
+
+
+@dataclass(frozen=True)
+class Geography:
+    """A realized synthetic geography.
+
+    Arrays are aligned by place index:  ``place_names[i]`` has population
+    ``place_populations[i]``, sits in state ``place_state[i]`` and county
+    ``place_county[i]`` (codes into ``state_names`` / ``county_names``),
+    and contains blocks ``blocks_of_place[i]`` (list of block-name
+    indices into ``block_names``).
+    """
+
+    state_names: tuple[str, ...]
+    county_names: tuple[str, ...]
+    place_names: tuple[str, ...]
+    block_names: tuple[str, ...]
+    place_state: np.ndarray
+    place_county: np.ndarray
+    place_populations: np.ndarray
+    blocks_of_place: tuple[tuple[int, ...], ...] = field(repr=False)
+
+    @property
+    def n_places(self) -> int:
+        return len(self.place_names)
+
+    def place_stratum(self, place_code: int) -> int:
+        """Stratum index (into PLACE_STRATA) of place ``place_code``."""
+        return stratum_of_population(int(self.place_populations[place_code]))
+
+
+def stratum_of_population(population: int) -> int:
+    """Map a place population to its stratum index in :data:`PLACE_STRATA`."""
+    for index, (_, low, high) in enumerate(PLACE_STRATA):
+        if low <= population < high:
+            return index
+    return len(PLACE_STRATA) - 1
+
+
+def generate_geography(config: GeographyConfig, seed=None) -> Geography:
+    """Draw a synthetic geography according to ``config``.
+
+    Place populations are log-uniform within each stratum band, clipped at
+    ``config.max_population``.  Places are assigned round-robin to
+    counties so every county has places of varied size; blocks per place
+    scale with log-population.
+    """
+    rng = as_generator(seed)
+    state_names = tuple(f"S{i + 1:02d}" for i in range(config.n_states))
+    county_names = tuple(
+        f"{state}-C{j + 1:02d}"
+        for state in state_names
+        for j in range(config.counties_per_state)
+    )
+    n_counties = len(county_names)
+
+    populations: list[int] = []
+    for stratum_index, n_places in enumerate(config.planned_places()):
+        _, low, high = PLACE_STRATA[stratum_index]
+        low = max(low, 10)  # a "place" with population < 10 is degenerate
+        high = min(high, config.max_population)
+        log_draws = rng.uniform(np.log(low), np.log(high), size=n_places)
+        populations.extend(int(round(np.exp(x))) for x in log_draws)
+
+    order = rng.permutation(len(populations))
+    place_populations = np.array([populations[i] for i in order], dtype=np.int64)
+
+    n_places = len(place_populations)
+    place_county = np.arange(n_places, dtype=np.int64) % n_counties
+    place_state = place_county // config.counties_per_state
+    place_names = tuple(
+        f"{county_names[place_county[i]]}-P{i + 1:03d}" for i in range(n_places)
+    )
+
+    block_names: list[str] = []
+    blocks_of_place: list[tuple[int, ...]] = []
+    for i in range(n_places):
+        n_blocks = max(1, int(np.log10(place_populations[i] + 1) * 2))
+        indices = []
+        for b in range(n_blocks):
+            indices.append(len(block_names))
+            block_names.append(f"{place_names[i]}-B{b + 1:02d}")
+        blocks_of_place.append(tuple(indices))
+
+    return Geography(
+        state_names=state_names,
+        county_names=county_names,
+        place_names=place_names,
+        block_names=tuple(block_names),
+        place_state=place_state,
+        place_county=place_county,
+        place_populations=place_populations,
+        blocks_of_place=tuple(blocks_of_place),
+    )

@@ -1,0 +1,124 @@
+"""Saving and loading LODES snapshots as CSV plus a JSON sidecar.
+
+The public LODES files ship as flat CSVs; this module mirrors that
+layout so a generated synthetic snapshot can be inspected with standard
+tools and reloaded bit-for-bit:
+
+- ``worker.csv`` / ``workplace.csv`` — decoded attribute values, one row
+  per record;
+- ``job.csv`` — the (worker_row, establishment_row) pairs;
+- ``geography.json`` — the place/county/state structure with populations
+  and blocks (needed to rebuild the workplace schema and the strata).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import LODESDataset
+from repro.data.geography import Geography
+from repro.data.schema import worker_schema, workplace_schema
+from repro.db.table import Table
+
+WORKER_FILE = "worker.csv"
+WORKPLACE_FILE = "workplace.csv"
+JOB_FILE = "job.csv"
+GEOGRAPHY_FILE = "geography.json"
+
+
+def _write_table(table: Table, path: Path) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        columns = [table.decoded(name) for name in table.schema.names]
+        for row in zip(*columns):
+            writer.writerow(row)
+
+
+def _read_table(schema, path: Path) -> Table:
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if tuple(header) != schema.names:
+            raise ValueError(
+                f"{path.name} header {header} does not match schema "
+                f"{schema.names}"
+            )
+        records = [dict(zip(header, row)) for row in reader]
+    return Table.from_records(schema, records)
+
+
+def save_dataset(dataset: LODESDataset, directory) -> Path:
+    """Write the snapshot to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    _write_table(dataset.worker, directory / WORKER_FILE)
+    _write_table(dataset.workplace, directory / WORKPLACE_FILE)
+
+    with (directory / JOB_FILE).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["worker_row", "establishment_row"])
+        for worker_row, establishment_row in zip(
+            dataset.job_worker, dataset.job_establishment
+        ):
+            writer.writerow([int(worker_row), int(establishment_row)])
+
+    geography = dataset.geography
+    payload = {
+        "state_names": list(geography.state_names),
+        "county_names": list(geography.county_names),
+        "place_names": list(geography.place_names),
+        "block_names": list(geography.block_names),
+        "place_state": geography.place_state.tolist(),
+        "place_county": geography.place_county.tolist(),
+        "place_populations": geography.place_populations.tolist(),
+        "blocks_of_place": [list(blocks) for blocks in geography.blocks_of_place],
+    }
+    (directory / GEOGRAPHY_FILE).write_text(
+        json.dumps(payload, indent=2), encoding="utf-8"
+    )
+    return directory
+
+
+def load_dataset(directory) -> LODESDataset:
+    """Reload a snapshot written by :func:`save_dataset`."""
+    directory = Path(directory)
+    payload = json.loads((directory / GEOGRAPHY_FILE).read_text(encoding="utf-8"))
+    geography = Geography(
+        state_names=tuple(payload["state_names"]),
+        county_names=tuple(payload["county_names"]),
+        place_names=tuple(payload["place_names"]),
+        block_names=tuple(payload["block_names"]),
+        place_state=np.array(payload["place_state"], dtype=np.int64),
+        place_county=np.array(payload["place_county"], dtype=np.int64),
+        place_populations=np.array(payload["place_populations"], dtype=np.int64),
+        blocks_of_place=tuple(
+            tuple(blocks) for blocks in payload["blocks_of_place"]
+        ),
+    )
+
+    worker = _read_table(worker_schema(), directory / WORKER_FILE)
+    workplace = _read_table(workplace_schema(geography), directory / WORKPLACE_FILE)
+
+    job_worker, job_establishment = [], []
+    with (directory / JOB_FILE).open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != ["worker_row", "establishment_row"]:
+            raise ValueError(f"unexpected {JOB_FILE} header: {header}")
+        for worker_row, establishment_row in reader:
+            job_worker.append(int(worker_row))
+            job_establishment.append(int(establishment_row))
+
+    return LODESDataset(
+        worker=worker,
+        workplace=workplace,
+        job_worker=np.array(job_worker, dtype=np.int64),
+        job_establishment=np.array(job_establishment, dtype=np.int64),
+        geography=geography,
+    )

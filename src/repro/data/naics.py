@@ -1,0 +1,76 @@
+"""NAICS industry sectors (2-digit level) with employment weights.
+
+LODES tabulates employment by the twenty 2-digit NAICS sectors.  The
+relative establishment frequencies and size multipliers here are rough
+public-knowledge shapes (e.g. health care and manufacturing establishments
+are larger on average; food service establishments are numerous but
+small).  They only need to create realistic heterogeneity across sectors,
+not match CBP exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sector:
+    """One 2-digit NAICS sector.
+
+    ``share`` is the relative frequency of establishments in the sector;
+    ``size_multiplier`` scales the establishment-size distribution;
+    ``public_share`` is the probability an establishment is publicly owned;
+    ``college_share`` and ``female_share`` steer worker education and sex
+    mixes so that establishment *shape* varies by sector.
+    """
+
+    code: str
+    name: str
+    share: float
+    size_multiplier: float
+    public_share: float
+    college_share: float
+    female_share: float
+
+
+NAICS_SECTORS: tuple[Sector, ...] = (
+    Sector("11", "Agriculture, Forestry, Fishing", 0.020, 0.6, 0.01, 0.10, 0.28),
+    Sector("21", "Mining, Quarrying, Oil and Gas", 0.005, 1.4, 0.01, 0.18, 0.14),
+    Sector("22", "Utilities", 0.005, 2.2, 0.25, 0.30, 0.24),
+    Sector("23", "Construction", 0.080, 0.7, 0.01, 0.12, 0.11),
+    Sector("31-33", "Manufacturing", 0.050, 2.8, 0.01, 0.22, 0.29),
+    Sector("42", "Wholesale Trade", 0.055, 1.1, 0.01, 0.22, 0.30),
+    Sector("44-45", "Retail Trade", 0.110, 1.3, 0.01, 0.14, 0.49),
+    Sector("48-49", "Transportation and Warehousing", 0.035, 1.6, 0.08, 0.13, 0.24),
+    Sector("51", "Information", 0.015, 1.5, 0.02, 0.45, 0.40),
+    Sector("52", "Finance and Insurance", 0.050, 1.2, 0.02, 0.48, 0.55),
+    Sector("53", "Real Estate and Rental", 0.040, 0.6, 0.02, 0.28, 0.46),
+    Sector("54", "Professional and Technical Services", 0.095, 0.8, 0.02, 0.60, 0.43),
+    Sector("55", "Management of Companies", 0.008, 2.4, 0.00, 0.52, 0.45),
+    Sector("56", "Administrative and Waste Services", 0.055, 1.2, 0.02, 0.15, 0.41),
+    Sector("61", "Educational Services", 0.020, 3.0, 0.60, 0.55, 0.68),
+    Sector("62", "Health Care and Social Assistance", 0.090, 2.6, 0.10, 0.40, 0.78),
+    Sector("71", "Arts, Entertainment, and Recreation", 0.018, 1.0, 0.10, 0.25, 0.45),
+    Sector("72", "Accommodation and Food Services", 0.090, 1.4, 0.01, 0.07, 0.52),
+    Sector("81", "Other Services", 0.094, 0.5, 0.02, 0.16, 0.49),
+    Sector("92", "Public Administration", 0.015, 2.0, 1.00, 0.35, 0.48),
+)
+
+
+def sector_codes() -> tuple[str, ...]:
+    """Domain values for the ``naics`` attribute, in canonical order."""
+    return tuple(sector.code for sector in NAICS_SECTORS)
+
+
+def sector_shares() -> tuple[float, ...]:
+    """Establishment-frequency weights, normalized to sum to 1."""
+    total = sum(sector.share for sector in NAICS_SECTORS)
+    return tuple(sector.share / total for sector in NAICS_SECTORS)
+
+
+def sector_by_code(code: str) -> Sector:
+    """Look up a sector by its NAICS code."""
+    for sector in NAICS_SECTORS:
+        if sector.code == code:
+            return sector
+    raise KeyError(f"unknown NAICS sector code {code!r}")

@@ -1,0 +1,80 @@
+"""LODES table schemas (Sec 3.1 of the paper).
+
+Worker attributes: age, sex, race, ethnicity, education.
+Workplace attributes: NAICS sector, ownership, and geography down to the
+Census block.  The geography attribute domains depend on the generated
+:class:`repro.data.geography.Geography`, so the workplace schema is built
+per dataset; the worker schema is fixed.
+"""
+
+from __future__ import annotations
+
+from repro.data.geography import Geography
+from repro.data.naics import sector_codes
+from repro.db.schema import Attribute, Schema
+
+AGE_VALUES: tuple[str, ...] = (
+    "14-18",
+    "19-21",
+    "22-24",
+    "25-34",
+    "35-44",
+    "45-54",
+    "55-64",
+    "65+",
+)
+SEX_VALUES: tuple[str, ...] = ("M", "F")
+RACE_VALUES: tuple[str, ...] = (
+    "White",
+    "Black",
+    "AmericanIndian",
+    "Asian",
+    "PacificIslander",
+    "TwoOrMoreRaces",
+    "OtherRace",
+)
+ETHNICITY_VALUES: tuple[str, ...] = ("NotHispanic", "Hispanic")
+EDUCATION_VALUES: tuple[str, ...] = (
+    "LessThanHS",
+    "HighSchool",
+    "SomeCollege",
+    "BachelorsOrHigher",
+)
+OWNERSHIP_VALUES: tuple[str, ...] = ("Private", "Public")
+
+WORKER_ATTRS: tuple[str, ...] = ("age", "sex", "race", "ethnicity", "education")
+WORKPLACE_ATTRS: tuple[str, ...] = (
+    "naics",
+    "ownership",
+    "state",
+    "county",
+    "place",
+    "block",
+)
+
+
+def worker_schema() -> Schema:
+    """The fixed Worker table schema."""
+    return Schema(
+        [
+            Attribute("age", AGE_VALUES),
+            Attribute("sex", SEX_VALUES),
+            Attribute("race", RACE_VALUES),
+            Attribute("ethnicity", ETHNICITY_VALUES),
+            Attribute("education", EDUCATION_VALUES),
+        ]
+    )
+
+
+def workplace_schema(geography: Geography) -> Schema:
+    """The Workplace table schema for a concrete geography."""
+    return Schema(
+        [
+            Attribute("naics", sector_codes()),
+            Attribute("ownership", OWNERSHIP_VALUES),
+            Attribute("state", geography.state_names),
+            Attribute("county", geography.county_names),
+            Attribute("place", geography.place_names),
+            Attribute("block", geography.block_names),
+        ]
+    )

@@ -1,0 +1,151 @@
+"""Worker-attribute sampling.
+
+Worker attributes are drawn per establishment so that each establishment
+has a distinctive workforce *shape* (the thing Definition 4.3 protects):
+education and sex mixes depend on the establishment's NAICS sector, while
+race and ethnicity mixes vary by place (drawn once per place from a
+Dirichlet around national shares).  Age is drawn from a common national
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.naics import NAICS_SECTORS
+from repro.data.schema import (
+    AGE_VALUES,
+    EDUCATION_VALUES,
+    ETHNICITY_VALUES,
+    RACE_VALUES,
+)
+from repro.util import as_generator
+
+# National age profile over AGE_VALUES (roughly the LODES age mix).
+AGE_PROFILE = np.array([0.04, 0.06, 0.07, 0.24, 0.22, 0.20, 0.13, 0.04])
+
+# National race profile over RACE_VALUES.
+RACE_PROFILE = np.array([0.68, 0.13, 0.01, 0.07, 0.003, 0.027, 0.08])
+
+# National Hispanic share (ETHNICITY_VALUES = NotHispanic, Hispanic).
+HISPANIC_SHARE = 0.17
+
+# Concentration of the per-place Dirichlet around the national profiles;
+# lower = more geographic heterogeneity.
+PLACE_CONCENTRATION = 60.0
+
+
+def education_profile(college_share: float) -> np.ndarray:
+    """Education distribution over EDUCATION_VALUES given a college share.
+
+    The non-college mass is split between the three lower levels with
+    fixed proportions, so sectors only differ in how college-heavy they
+    are (enough to give establishments distinct shapes).
+    """
+    non_college = 1.0 - college_share
+    return np.array(
+        [0.22 * non_college, 0.45 * non_college, 0.33 * non_college, college_share]
+    )
+
+
+@dataclass(frozen=True)
+class PlaceMixes:
+    """Per-place race and ethnicity distributions (rows align to places)."""
+
+    race: np.ndarray
+    hispanic_share: np.ndarray
+
+
+def draw_place_mixes(n_places: int, seed=None) -> PlaceMixes:
+    """Draw per-place race/ethnicity mixes around the national profile."""
+    rng = as_generator(seed)
+    race = rng.dirichlet(RACE_PROFILE * PLACE_CONCENTRATION, size=n_places)
+    hispanic = rng.beta(
+        HISPANIC_SHARE * PLACE_CONCENTRATION,
+        (1 - HISPANIC_SHARE) * PLACE_CONCENTRATION,
+        size=n_places,
+    )
+    return PlaceMixes(race=race, hispanic_share=hispanic)
+
+
+def sample_workforce(
+    size: int,
+    sector_index: int,
+    place_index: int,
+    place_mixes: PlaceMixes,
+    rng: np.random.Generator,
+) -> dict[str, np.ndarray]:
+    """Draw attribute code arrays for the ``size`` workers of one establishment.
+
+    Returns a dict of column name to int64 code array, keyed to the worker
+    schema attribute order in :mod:`repro.data.schema`.
+    """
+    sector = NAICS_SECTORS[sector_index]
+    age = rng.choice(len(AGE_VALUES), size=size, p=AGE_PROFILE)
+    sex = (rng.random(size) < sector.female_share).astype(np.int64)  # 1 == F
+    race = rng.choice(len(RACE_VALUES), size=size, p=place_mixes.race[place_index])
+    ethnicity = (
+        rng.random(size) < place_mixes.hispanic_share[place_index]
+    ).astype(np.int64)
+    education = rng.choice(
+        len(EDUCATION_VALUES), size=size, p=education_profile(sector.college_share)
+    )
+    return {
+        "age": age.astype(np.int64),
+        "sex": sex,
+        "race": race.astype(np.int64),
+        "ethnicity": ethnicity,
+        "education": education.astype(np.int64),
+    }
+
+
+def sample_workforce_batch(
+    sizes: np.ndarray,
+    sector_indices: np.ndarray,
+    place_indices: np.ndarray,
+    place_mixes: PlaceMixes,
+    rng: np.random.Generator,
+) -> dict[str, np.ndarray]:
+    """Vectorized draw of worker attributes for all establishments at once.
+
+    ``sizes[i]`` workers are drawn for establishment ``i`` with sector
+    ``sector_indices[i]`` and place ``place_indices[i]``; rows of the
+    returned columns are ordered establishment-by-establishment (matching
+    ``np.repeat(np.arange(len(sizes)), sizes)``).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    total = int(sizes.sum())
+    job_sector = np.repeat(sector_indices, sizes)
+    job_place = np.repeat(place_indices, sizes)
+
+    age = rng.choice(len(AGE_VALUES), size=total, p=AGE_PROFILE).astype(np.int64)
+
+    female_share = np.array([s.female_share for s in NAICS_SECTORS])
+    sex = (rng.random(total) < female_share[job_sector]).astype(np.int64)
+
+    # Race: inverse-CDF draw against each job's place-specific categorical.
+    race_cdf = np.cumsum(place_mixes.race, axis=1)
+    race = (
+        rng.random(total)[:, None] > race_cdf[job_place]
+    ).sum(axis=1).astype(np.int64)
+
+    ethnicity = (
+        rng.random(total) < place_mixes.hispanic_share[job_place]
+    ).astype(np.int64)
+
+    college_share = np.array([s.college_share for s in NAICS_SECTORS])
+    edu_profiles = np.stack([education_profile(c) for c in college_share])
+    edu_cdf = np.cumsum(edu_profiles, axis=1)
+    education = (
+        rng.random(total)[:, None] > edu_cdf[job_sector]
+    ).sum(axis=1).astype(np.int64)
+
+    return {
+        "age": age,
+        "sex": sex,
+        "race": race,
+        "ethnicity": ethnicity,
+        "education": education,
+    }

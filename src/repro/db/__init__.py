@@ -1,0 +1,33 @@
+"""Column-store database substrate.
+
+The paper models LODES as a relational database with three tables (Worker,
+Workplace, Job) joined into a universal ``WorkerFull`` relation, queried
+with marginal (GROUP BY count) queries (Sec 2 and 3.1 of the paper).  This
+package implements that substrate:
+
+- :mod:`repro.db.schema` — categorical attributes and schemas;
+- :mod:`repro.db.table` — an in-memory column store over integer codes;
+- :mod:`repro.db.query` — marginal-query evaluation (Definition 2.1),
+  including the per-cell largest-establishment contribution ``xv`` that the
+  smooth-sensitivity mechanisms need (Lemma 8.5);
+- :mod:`repro.db.join` — the Worker ⋈ Job ⋈ Workplace universal relation;
+- :mod:`repro.db.histogram` — per-establishment cross-tabulations ``h(w, c)``
+  used by the SDL input-noise-infusion system (Sec 5.1).
+"""
+
+from repro.db.histogram import establishment_histograms
+from repro.db.join import WorkerFull, join_worker_full
+from repro.db.query import Marginal, per_establishment_counts
+from repro.db.schema import Attribute, Schema
+from repro.db.table import Table
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Table",
+    "Marginal",
+    "per_establishment_counts",
+    "WorkerFull",
+    "join_worker_full",
+    "establishment_histograms",
+]

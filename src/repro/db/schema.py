@@ -1,0 +1,116 @@
+"""Categorical attributes and table schemas.
+
+Following Sec 2 of the paper, a table has schema ``(A1, ..., Ak)`` where
+each attribute ``Ai`` has a finite domain ``dom(Ai)``.  We represent every
+attribute as categorical: values are stored as integer codes indexing into
+the attribute's value tuple.  Marginal-query domains ``dom(V)`` are the
+cross products of the member attributes' domains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from math import prod
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named categorical attribute with an explicit, ordered domain.
+
+    The position of a value in ``values`` is its integer code; all columns
+    in :class:`repro.db.table.Table` store codes, not raw values.
+    """
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if len(self.values) == 0:
+            raise ValueError(f"attribute {self.name!r} must have a non-empty domain")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"attribute {self.name!r} has duplicate domain values")
+
+    @property
+    def size(self) -> int:
+        """Number of values in the attribute's domain, |dom(A)|."""
+        return len(self.values)
+
+    def code(self, value) -> int:
+        """Return the integer code of ``value``; raise if not in the domain."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not in the domain of attribute {self.name!r}"
+            ) from None
+
+    def decode(self, code: int):
+        """Return the domain value for integer ``code``."""
+        return self.values[code]
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` with unique names."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self.attributes = tuple(attributes)
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"schema has duplicate attribute names: {names}")
+        self._by_name = {a.name: a for a in self.attributes}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no attribute {name!r} in schema with attributes {self.names}"
+            ) from None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a.name}[{a.size}]" for a in self.attributes)
+        return f"Schema({parts})"
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names``, in the order given."""
+        return Schema(self[name] for name in names)
+
+    def domain_size(self, names: Sequence[str] | None = None) -> int:
+        """|dom(V)| for the attribute set ``V = names`` (all attributes if None).
+
+        The empty marginal has domain size 1 (the single COUNT(*) cell),
+        matching ``q_∅`` in Definition 2.1.
+        """
+        if names is None:
+            names = self.names
+        return prod(self[name].size for name in names) if names else 1
+
+    def domain_shape(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Per-attribute domain sizes for ``names`` (mixed-radix shape)."""
+        return tuple(self[name].size for name in names)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas with disjoint attribute names."""
+        overlap = set(self.names) & set(other.names)
+        if overlap:
+            raise ValueError(f"cannot merge schemas sharing attributes {sorted(overlap)}")
+        return Schema(self.attributes + other.attributes)

@@ -1,0 +1,141 @@
+"""In-memory column-store table over integer-coded categorical columns.
+
+A :class:`Table` stores one numpy integer array per schema attribute.
+All query evaluation in :mod:`repro.db.query` operates directly on these
+code arrays, which makes the GROUP BY marginal queries of the paper a
+vectorized mixed-radix bincount.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.db.schema import Schema
+
+
+class Table:
+    """A table of ``n`` records over a categorical :class:`Schema`.
+
+    Columns are integer code arrays (codes index the attribute's value
+    tuple).  Tables are immutable by convention: transformation methods
+    return new tables sharing column arrays where possible.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        self.schema = schema
+        missing = set(schema.names) - set(columns)
+        if missing:
+            raise ValueError(f"columns missing for attributes {sorted(missing)}")
+        extra = set(columns) - set(schema.names)
+        if extra:
+            raise ValueError(f"columns {sorted(extra)} not in schema {schema.names}")
+
+        self._columns: dict[str, np.ndarray] = {}
+        n_rows = None
+        for name in schema.names:
+            col = np.asarray(columns[name])
+            if col.ndim != 1:
+                raise ValueError(f"column {name!r} must be one-dimensional")
+            if not np.issubdtype(col.dtype, np.integer):
+                raise ValueError(f"column {name!r} must hold integer codes")
+            if n_rows is None:
+                n_rows = col.shape[0]
+            elif col.shape[0] != n_rows:
+                raise ValueError(
+                    f"column {name!r} has {col.shape[0]} rows, expected {n_rows}"
+                )
+            size = schema[name].size
+            if col.size and (col.min() < 0 or col.max() >= size):
+                raise ValueError(
+                    f"column {name!r} has codes outside [0, {size})"
+                )
+            self._columns[name] = col
+        self._n_rows = 0 if n_rows is None else int(n_rows)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        return f"Table(n_rows={self.n_rows}, schema={self.schema!r})"
+
+    def column(self, name: str) -> np.ndarray:
+        """Integer code array for attribute ``name`` (do not mutate)."""
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r}; table has {self.schema.names}")
+        return self._columns[name]
+
+    def decoded(self, name: str) -> np.ndarray:
+        """Column of decoded domain values (materialized; for display/tests)."""
+        attribute = self.schema[name]
+        values = np.asarray(attribute.values, dtype=object)
+        return values[self.column(name)]
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_rows,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.n_rows},)")
+        return Table(self.schema, {n: c[mask] for n, c in self._columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at ``indices`` (gather; used by joins)."""
+        indices = np.asarray(indices)
+        return Table(self.schema, {n: c[indices] for n, c in self._columns.items()})
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Restrict to attributes ``names`` (projection without dedup)."""
+        return Table(self.schema.subset(names), {n: self._columns[n] for n in names})
+
+    def equals_value(self, name: str, value) -> np.ndarray:
+        """Boolean mask of rows where attribute ``name`` equals domain ``value``."""
+        return self.column(name) == self.schema[name].code(value)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Decoded values of row ``index`` as an attribute-name dict."""
+        return {
+            name: self.schema[name].decode(int(self._columns[name][index]))
+            for name in self.schema.names
+        }
+
+    def to_records(self) -> list[dict[str, object]]:
+        """All rows as decoded dicts (small tables / tests only)."""
+        return [self.row(i) for i in range(self.n_rows)]
+
+    @classmethod
+    def from_records(cls, schema: Schema, records: Sequence[Mapping[str, object]]) -> "Table":
+        """Build a table by encoding raw-value ``records`` against ``schema``."""
+        columns = {}
+        for name in schema.names:
+            attribute = schema[name]
+            columns[name] = np.array(
+                [attribute.code(record[name]) for record in records], dtype=np.int64
+            )
+        if not records:
+            columns = {name: np.array([], dtype=np.int64) for name in schema.names}
+        return cls(schema, columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertical concatenation of two tables with identical schemas."""
+        if other.schema != self.schema:
+            raise ValueError("cannot concat tables with different schemas")
+        return Table(
+            self.schema,
+            {
+                name: np.concatenate([self._columns[name], other._columns[name]])
+                for name in self.schema.names
+            },
+        )
+
+    def with_columns(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> "Table":
+        """New table extending this one with extra attributes (same row count)."""
+        merged_schema = self.schema.merge(schema)
+        merged_columns = dict(self._columns)
+        for name in schema.names:
+            merged_columns[name] = np.asarray(columns[name])
+        return Table(merged_schema, merged_columns)

@@ -1,0 +1,35 @@
+"""Standard differential-privacy substrate (Sec 2 and Sec 6).
+
+Contains the classical machinery the paper builds on and compares
+against: the Laplace and geometric mechanisms, global sensitivity of
+marginal queries, the sequential/parallel composition accountant, the
+bipartite employer-employee graph view with edge-differentially-private
+release, and the node-differentially-private Truncated Laplace baseline
+("Finding 6": high, ε-insensitive error from truncation bias).
+"""
+
+from repro.dp.composition import PrivacyAccountant, PrivacySpent
+from repro.dp.graph import BipartiteView, edge_dp_marginal
+from repro.dp.primitives import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_scale,
+    laplace_tail_bound,
+)
+from repro.dp.sensitivity import marginal_sensitivity_edges, marginal_sensitivity_nodes
+from repro.dp.truncation import TruncatedLaplace, TruncationResult
+
+__all__ = [
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "laplace_scale",
+    "laplace_tail_bound",
+    "marginal_sensitivity_edges",
+    "marginal_sensitivity_nodes",
+    "PrivacyAccountant",
+    "PrivacySpent",
+    "BipartiteView",
+    "edge_dp_marginal",
+    "TruncatedLaplace",
+    "TruncationResult",
+]

@@ -1,0 +1,89 @@
+"""Privacy-loss accounting: sequential and parallel composition.
+
+Theorem 2.1 (sequential): releasing M1(D) and M2(D) on the same data
+costs ε1 + ε2 (and δ1 + δ2 for approximate variants).  Parallel
+composition: releases on disjoint record sets cost max(ε1, ε2).
+
+The accountant tracks charges against a budget and raises once the budget
+would be exhausted, mirroring the paper's "privacy budget" usage.  The
+ER-EE definitions compose by the same rules (Thms 7.3–7.5), with the
+disjointness condition refined in :mod:`repro.core.composition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PrivacyBudgetExceeded(RuntimeError):
+    """Raised when a charge would push spent privacy loss over the budget."""
+
+
+@dataclass(frozen=True)
+class PrivacySpent:
+    """Total privacy loss spent so far."""
+
+    epsilon: float
+    delta: float
+
+    def __add__(self, other: "PrivacySpent") -> "PrivacySpent":
+        return PrivacySpent(self.epsilon + other.epsilon, self.delta + other.delta)
+
+    def maximum(self, other: "PrivacySpent") -> "PrivacySpent":
+        """Element-wise max, the parallel-composition combination rule."""
+        return PrivacySpent(
+            max(self.epsilon, other.epsilon), max(self.delta, other.delta)
+        )
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks sequential charges against an (ε, δ) budget.
+
+    ``charge`` records one release on the full dataset.  ``charge_parallel``
+    records a family of releases on *disjoint* record sets and costs only
+    the maximum of the family; the caller asserts disjointness (the
+    dataset-aware checks live in :mod:`repro.core.composition`).
+    """
+
+    epsilon_budget: float
+    delta_budget: float = 0.0
+    _charges: list[PrivacySpent] = field(default_factory=list)
+
+    def spent(self) -> PrivacySpent:
+        total = PrivacySpent(0.0, 0.0)
+        for charge in self._charges:
+            total = total + charge
+        return total
+
+    def remaining(self) -> PrivacySpent:
+        spent = self.spent()
+        return PrivacySpent(
+            self.epsilon_budget - spent.epsilon, self.delta_budget - spent.delta
+        )
+
+    def _admit(self, charge: PrivacySpent) -> PrivacySpent:
+        spent = self.spent() + charge
+        tolerance = 1e-12
+        if (
+            spent.epsilon > self.epsilon_budget + tolerance
+            or spent.delta > self.delta_budget + tolerance
+        ):
+            raise PrivacyBudgetExceeded(
+                f"charge {charge} would exceed budget "
+                f"(ε={self.epsilon_budget}, δ={self.delta_budget}); "
+                f"already spent {self.spent()}"
+            )
+        self._charges.append(charge)
+        return charge
+
+    def charge(self, epsilon: float, delta: float = 0.0) -> PrivacySpent:
+        """Sequential charge for one release on the full dataset."""
+        return self._admit(PrivacySpent(epsilon, delta))
+
+    def charge_parallel(self, charges) -> PrivacySpent:
+        """Charge for releases on disjoint record sets: max over the family."""
+        combined = PrivacySpent(0.0, 0.0)
+        for epsilon, delta in charges:
+            combined = combined.maximum(PrivacySpent(epsilon, delta))
+        return self._admit(combined)

@@ -1,0 +1,35 @@
+"""Global sensitivity of marginal queries under graph neighbor notions.
+
+In the bipartite job graph (Sec 6), *edge* neighbors differ in one job and
+*node* neighbors differ in one establishment with all its jobs.  A
+marginal assigns each job to exactly one cell, so:
+
+- edge neighbors change the count vector by 1 in one cell → L1
+  sensitivity 1 for the whole marginal;
+- node neighbors can move an unbounded number of jobs (no a-priori degree
+  bound) → unbounded sensitivity; after projecting to degree < θ the
+  sensitivity is θ.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util import check_positive
+
+
+def marginal_sensitivity_edges() -> float:
+    """L1 sensitivity of any marginal count vector under edge neighbors."""
+    return 1.0
+
+
+def marginal_sensitivity_nodes(degree_bound: float | None = None) -> float:
+    """L1 sensitivity under node neighbors.
+
+    Unbounded (``inf``) without a degree bound; ``degree_bound`` after a
+    truncation/projection step that enforces establishment size < bound.
+    """
+    if degree_bound is None:
+        return math.inf
+    check_positive("degree_bound", degree_bound)
+    return float(degree_bound)

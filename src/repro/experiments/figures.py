@@ -1,0 +1,188 @@
+"""One generator per published figure (the data series behind each plot).
+
+Each function sweeps the paper's (mechanism × α × ε) grid on the
+appropriate workload and returns a :class:`FigureSeries` whose points
+carry the overall value and the four place-population-stratum values —
+exactly the panels of the published figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import EREEParams
+from repro.experiments.config import MECHANISM_NAMES, ExperimentConfig
+from repro.experiments.runner import (
+    ExperimentContext,
+    FigureSeries,
+    error_ratio_point,
+    spearman_point,
+    truncated_laplace_point,
+)
+from repro.experiments.workloads import (
+    RANKING_1,
+    RANKING_2,
+    WORKLOAD_1,
+    WORKLOAD_2,
+    WORKLOAD_3,
+)
+from repro.util import derive_seed
+
+
+def _grid_points(
+    context: ExperimentContext,
+    workload,
+    point_fn,
+    epsilons,
+    alphas,
+    delta: float,
+    n_trials: int,
+    tag: str,
+):
+    stats = context.statistics(workload)
+    points = []
+    for mechanism in MECHANISM_NAMES:
+        for alpha in alphas:
+            for epsilon in epsilons:
+                params = EREEParams(alpha=alpha, epsilon=epsilon, delta=delta)
+                seed = derive_seed(
+                    context.config.seed,
+                    f"{tag}:{mechanism}:{alpha}:{epsilon}",
+                )
+                points.append(
+                    point_fn(stats, mechanism, params, n_trials, seed)
+                )
+    return points
+
+
+def figure1(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 1: L1 error ratio, Workload 1 (establishment attrs only)."""
+    config = config or context.config
+    points = _grid_points(
+        context,
+        WORKLOAD_1,
+        error_ratio_point,
+        config.epsilons_standard,
+        config.alphas,
+        config.delta,
+        config.n_trials,
+        "fig1",
+    )
+    return FigureSeries(
+        name="figure-1",
+        title="L1 Error Ratio - Place x Industry x Ownership "
+        "(No Worker Attributes)",
+        metric="l1-ratio",
+        points=tuple(points),
+    )
+
+
+def figure2(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 2: Spearman correlation, Ranking 1 (employment counts)."""
+    config = config or context.config
+    points = _grid_points(
+        context,
+        RANKING_1.workload,
+        spearman_point,
+        config.epsilons_standard,
+        config.alphas,
+        config.delta,
+        config.n_trials,
+        "fig2",
+    )
+    return FigureSeries(
+        name="figure-2",
+        title="Ranking Correlation of Employment Counts - "
+        "Place x Industry x Ownership",
+        metric="spearman",
+        points=tuple(points),
+    )
+
+
+def figure3(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 3: L1 ratio for single (sex x education) queries (Workload 2)."""
+    config = config or context.config
+    points = _grid_points(
+        context,
+        WORKLOAD_2,
+        error_ratio_point,
+        config.epsilons_standard,
+        config.alphas,
+        config.delta,
+        config.n_trials,
+        "fig3",
+    )
+    return FigureSeries(
+        name="figure-3",
+        title="L1 Error Ratio - Average L1 for a Single (Sex x Education) "
+        "Query on the Workplace Marginal",
+        metric="l1-ratio",
+        points=tuple(points),
+    )
+
+
+def figure4(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 4: L1 ratio for the full worker-attribute marginal (Workload 3)."""
+    config = config or context.config
+    points = _grid_points(
+        context,
+        WORKLOAD_3,
+        error_ratio_point,
+        config.epsilons_extended,
+        config.alphas,
+        config.delta,
+        config.n_trials,
+        "fig4",
+    )
+    return FigureSeries(
+        name="figure-4",
+        title="L1 Error Ratio - Average L1 for All (Sex x Education) "
+        "Queries on the Workplace Marginal",
+        metric="l1-ratio",
+        points=tuple(points),
+    )
+
+
+def figure5(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+    """Figure 5: Spearman correlation, Ranking 2 (females with college)."""
+    config = config or context.config
+    points = _grid_points(
+        context,
+        RANKING_2.workload,
+        spearman_point,
+        config.epsilons_standard,
+        config.alphas,
+        config.delta,
+        config.n_trials,
+        "fig5",
+    )
+    return FigureSeries(
+        name="figure-5",
+        title="Ranking Correlation of Employment Counts - Females with "
+        "College Degrees",
+        metric="spearman",
+        points=tuple(points),
+    )
+
+
+def finding6(
+    context: ExperimentContext,
+    config: ExperimentConfig | None = None,
+    metric: str = "l1-ratio",
+) -> FigureSeries:
+    """Finding 6: node-DP Truncated Laplace across θ and ε on Workload 1."""
+    config = config or context.config
+    stats = context.statistics(WORKLOAD_1)
+    points = []
+    for theta in config.thetas:
+        for epsilon in config.epsilons_standard:
+            seed = derive_seed(context.config.seed, f"finding6:{theta}:{epsilon}")
+            points.append(
+                truncated_laplace_point(
+                    context, stats, theta, epsilon, config.n_trials, seed, metric
+                )
+            )
+    return FigureSeries(
+        name="finding-6",
+        title="Truncated Laplace (node DP) on Workload 1, by theta",
+        metric=metric,
+        points=tuple(points),
+    )

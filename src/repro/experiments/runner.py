@@ -1,0 +1,363 @@
+"""Experiment execution: cached workload statistics plus the trial loop.
+
+``ExperimentContext`` generates the synthetic snapshot and fits the SDL
+system once.  ``WorkloadStatistics`` caches everything that does not
+change across noise trials (true counts, release mask, the per-cell xv
+statistic, place strata, and the SDL answer), so a figure's grid of
+(mechanism × α × ε × trials) only redraws noise.
+
+Error ratios and Spearman correlations follow Sec 10's definitions: the
+ratio is mean private L1 over trials divided by SDL L1; Spearman compares
+the private ordering to the SDL ordering; both are reported overall and
+per place-population stratum, over the cells with positive true count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.composition import marginal_budget
+from repro.core.params import EREEParams
+from repro.core.release import DEFAULT_WORKER_ATTRS, make_mechanism
+from repro.data.generator import generate
+from repro.db.query import Marginal, per_establishment_counts
+from repro.dp.truncation import TruncatedLaplace
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import Workload
+from repro.metrics.error import l1_error
+from repro.metrics.ranking import spearman_correlation
+from repro.metrics.strata import STRATUM_LABELS, cell_strata
+from repro.sdl.noise_infusion import InputNoiseInfusion
+from repro.util import as_generator, derive_seed
+
+N_STRATA = len(STRATUM_LABELS)
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Trial-invariant statistics of one workload on one snapshot.
+
+    Arrays are over the marginal's cells.  ``mask`` selects the cells
+    used for evaluation (positive true count, hence published by both
+    systems); ``xv`` is the smooth-sensitivity statistic; ``strata`` the
+    place-population stratum per cell.
+    """
+
+    workload: Workload
+    marginal: Marginal
+    true: np.ndarray
+    released: np.ndarray
+    xv: np.ndarray
+    strata: np.ndarray
+    sdl_noisy: np.ndarray
+    mode: str
+    per_cell_params_of: object  # Callable[[EREEParams], EREEParams]
+
+    @property
+    def mask(self) -> np.ndarray:
+        return (self.true > 0) & self.released
+
+    def masked(self, values: np.ndarray) -> np.ndarray:
+        return values[self.mask]
+
+    def stratum_masks(self) -> list[np.ndarray]:
+        """Evaluation mask restricted to each place-population stratum."""
+        return [
+            self.mask & (self.strata == stratum) for stratum in range(N_STRATA)
+        ]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One plotted point: a (mechanism, α, ε) cell of a figure."""
+
+    mechanism: str
+    alpha: float | None
+    epsilon: float
+    overall: float
+    by_stratum: tuple[float, ...]
+    feasible: bool = True
+    theta: int | None = None
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """All points of one figure, plus labeling metadata."""
+
+    name: str
+    title: str
+    metric: str  # "l1-ratio" or "spearman"
+    points: tuple[SeriesPoint, ...]
+
+    def grid(self, mechanism: str, alpha: float | None = None) -> list[SeriesPoint]:
+        return [
+            p
+            for p in self.points
+            if p.mechanism == mechanism
+            and (alpha is None or p.alpha == alpha)
+        ]
+
+
+@dataclass
+class ExperimentContext:
+    """One synthetic snapshot with a fitted SDL system and cached stats."""
+
+    config: ExperimentConfig
+    _stats_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self.dataset = generate(self.config.data)
+        self.worker_full = self.dataset.worker_full()
+        self.sdl = InputNoiseInfusion(
+            distortion=self.config.sdl,
+            seed=derive_seed(self.config.seed, "sdl"),
+        ).fit(self.worker_full)
+
+    def statistics(self, workload: Workload) -> WorkloadStatistics:
+        """Compute (or fetch cached) trial-invariant workload statistics."""
+        if workload.name in self._stats_cache:
+            return self._stats_cache[workload.name]
+
+        schema = self.worker_full.table.schema
+        marginal = Marginal(schema, workload.attrs)
+
+        population = self.worker_full
+        for attribute, value in workload.filters:
+            population = population.filter(
+                population.table.equals_value(attribute, value)
+            )
+
+        true = marginal.counts(population.table).astype(np.float64)
+        cell_index = marginal.cell_index(population.table)
+        stats = per_establishment_counts(
+            cell_index, population.establishment, marginal.n_cells
+        )
+        xv = stats.max_single
+
+        # Release mask: the workplace part matches >= 1 establishment,
+        # judged on the *unfiltered* population (existence is public).
+        workplace_part = [
+            a for a in workload.attrs if a not in DEFAULT_WORKER_ATTRS
+        ]
+        wp_marginal = Marginal(schema, workplace_part)
+        wp_stats = per_establishment_counts(
+            wp_marginal.cell_index(self.worker_full.table),
+            self.worker_full.establishment,
+            wp_marginal.n_cells,
+        )
+        released = (
+            wp_stats.n_establishments[marginal.project_onto(workplace_part)] > 0
+        )
+
+        strata = cell_strata(marginal, self.dataset.geography.place_populations)
+        sdl_noisy = self.sdl.answer_marginal(population, marginal).noisy
+
+        mode = "weak" if workload.has_worker_attrs else "strong"
+
+        def per_cell_params(params: EREEParams) -> EREEParams:
+            return marginal_budget(
+                params,
+                schema,
+                workload.attrs,
+                DEFAULT_WORKER_ATTRS,
+                mode,
+                workload.budget_style,
+            ).per_cell
+
+        result = WorkloadStatistics(
+            workload=workload,
+            marginal=marginal,
+            true=true,
+            released=released,
+            xv=xv,
+            strata=strata,
+            sdl_noisy=sdl_noisy,
+            mode=mode,
+            per_cell_params_of=per_cell_params,
+        )
+        self._stats_cache[workload.name] = result
+        return result
+
+
+def mechanism_is_feasible(
+    name: str, params: EREEParams, require_bounded_mean: bool = True
+) -> bool:
+    """Whether the paper would plot this (mechanism, α, ε) combination.
+
+    Smooth Gamma and Smooth Laplace have hard feasibility constraints;
+    Log-Laplace is skipped where its expectation is unbounded (the paper
+    does not plot those points, Lemma 8.2).
+    """
+    if name == "smooth-gamma":
+        return params.allows_smooth_gamma()
+    if name == "smooth-laplace":
+        return params.allows_smooth_laplace()
+    if name == "log-laplace" and require_bounded_mean:
+        return params.log_laplace_scale() < 1.0
+    return True
+
+
+def release_trials(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    params: EREEParams,
+    n_trials: int,
+    seed,
+) -> list[np.ndarray] | None:
+    """Noisy vectors over the evaluation cells, one per trial.
+
+    Returns None when the per-cell parameters are infeasible for the
+    mechanism (the figure shows a gap there, as in the paper).
+    """
+    per_cell = stats.per_cell_params_of(params)
+    if not mechanism_is_feasible(mechanism_name, per_cell):
+        return None
+    mechanism = make_mechanism(mechanism_name, per_cell)
+    rng = as_generator(seed)
+    true = stats.masked(stats.true)
+    xv = stats.masked(stats.xv)
+    trials = []
+    for _ in range(n_trials):
+        if mechanism_name == "log-laplace":
+            trials.append(mechanism.release_counts(true, rng))
+        else:
+            trials.append(mechanism.release_counts(true, xv, rng))
+    return trials
+
+
+def _ratio(true, private_trials, sdl, cells) -> float:
+    """Mean private L1 over trials / SDL L1, over the given cells."""
+    if not cells.any():
+        return float("nan")
+    sdl_l1 = l1_error(true[cells], sdl[cells])
+    private_l1 = float(
+        np.mean([l1_error(true[cells], trial[cells]) for trial in private_trials])
+    )
+    if sdl_l1 == 0.0:
+        return math.inf if private_l1 > 0 else float("nan")
+    return private_l1 / sdl_l1
+
+
+def error_ratio_point(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    params: EREEParams,
+    n_trials: int,
+    seed,
+) -> SeriesPoint:
+    """One L1-error-ratio point (overall + per-stratum)."""
+    trials = release_trials(stats, mechanism_name, params, n_trials, seed)
+    if trials is None:
+        nan = float("nan")
+        return SeriesPoint(
+            mechanism=mechanism_name,
+            alpha=params.alpha,
+            epsilon=params.epsilon,
+            overall=nan,
+            by_stratum=(nan,) * N_STRATA,
+            feasible=False,
+        )
+    mask = stats.mask
+    true = stats.masked(stats.true)
+    sdl = stats.masked(stats.sdl_noisy)
+    strata = stats.strata[mask]
+    overall = _ratio(true, trials, sdl, np.ones(len(true), dtype=bool))
+    by_stratum = tuple(
+        _ratio(true, trials, sdl, strata == stratum) for stratum in range(N_STRATA)
+    )
+    return SeriesPoint(
+        mechanism=mechanism_name,
+        alpha=params.alpha,
+        epsilon=params.epsilon,
+        overall=overall,
+        by_stratum=by_stratum,
+    )
+
+
+def _mean_spearman(private_trials, sdl, cells) -> float:
+    if not cells.any() or int(cells.sum()) < 2:
+        return float("nan")
+    values = [
+        spearman_correlation(trial[cells], sdl[cells]) for trial in private_trials
+    ]
+    return float(np.nanmean(values))
+
+
+def spearman_point(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    params: EREEParams,
+    n_trials: int,
+    seed,
+) -> SeriesPoint:
+    """One Spearman-correlation point (overall + per-stratum)."""
+    trials = release_trials(stats, mechanism_name, params, n_trials, seed)
+    if trials is None:
+        nan = float("nan")
+        return SeriesPoint(
+            mechanism=mechanism_name,
+            alpha=params.alpha,
+            epsilon=params.epsilon,
+            overall=nan,
+            by_stratum=(nan,) * N_STRATA,
+            feasible=False,
+        )
+    mask = stats.mask
+    sdl = stats.masked(stats.sdl_noisy)
+    strata = stats.strata[mask]
+    overall = _mean_spearman(trials, sdl, np.ones(len(sdl), dtype=bool))
+    by_stratum = tuple(
+        _mean_spearman(trials, sdl, strata == stratum)
+        for stratum in range(N_STRATA)
+    )
+    return SeriesPoint(
+        mechanism=mechanism_name,
+        alpha=params.alpha,
+        epsilon=params.epsilon,
+        overall=overall,
+        by_stratum=by_stratum,
+    )
+
+
+def truncated_laplace_point(
+    context: ExperimentContext,
+    stats: WorkloadStatistics,
+    theta: int,
+    epsilon: float,
+    n_trials: int,
+    seed,
+    metric: str = "l1-ratio",
+) -> SeriesPoint:
+    """One node-DP Truncated-Laplace point on a workload (Finding 6)."""
+    rng = as_generator(seed)
+    mechanism = TruncatedLaplace(theta=theta, epsilon=epsilon)
+    mask = stats.mask
+    trials = []
+    for _ in range(n_trials):
+        result = mechanism.release(context.worker_full, stats.marginal, rng)
+        trials.append(result.noisy[mask])
+    true = stats.masked(stats.true)
+    sdl = stats.masked(stats.sdl_noisy)
+    strata = stats.strata[mask]
+    everything = np.ones(len(true), dtype=bool)
+    if metric == "l1-ratio":
+        overall = _ratio(true, trials, sdl, everything)
+        by_stratum = tuple(
+            _ratio(true, trials, sdl, strata == s) for s in range(N_STRATA)
+        )
+    else:
+        overall = _mean_spearman(trials, sdl, everything)
+        by_stratum = tuple(
+            _mean_spearman(trials, sdl, strata == s) for s in range(N_STRATA)
+        )
+    return SeriesPoint(
+        mechanism="truncated-laplace",
+        alpha=None,
+        epsilon=epsilon,
+        overall=overall,
+        by_stratum=by_stratum,
+        theta=theta,
+    )

@@ -1,0 +1,105 @@
+"""The paper's query workloads and ranking tasks (Sec 10).
+
+- **Workload 1**: the marginal over all establishment characteristics —
+  place × NAICS sector × ownership.  Strong privacy applies.
+- **Workload 2**: *single* queries over the establishment attributes plus
+  worker sex and education — each cell answered independently at the
+  full ε (weak privacy; Figure 3).
+- **Workload 3**: the full marginal over establishment attributes plus
+  sex and education — the ε budget is split over the d = 8 worker cells
+  under weak privacy (Figure 4).
+- **Ranking 1**: order Workload-1 cells by total employment (Figure 2).
+- **Ranking 2**: order the same cells by the count of female workers with
+  a bachelor's degree or higher (Figure 5) — single-query releases of one
+  worker-attribute slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.composition import MARGINAL, SINGLE_QUERY
+
+ESTABLISHMENT_ATTRS: tuple[str, ...] = ("place", "naics", "ownership")
+WORKER_QUERY_ATTRS: tuple[str, ...] = ("sex", "education")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A marginal-release workload.
+
+    ``attrs`` defines the marginal; ``budget_style`` says whether the ε
+    budget covers the whole marginal or each cell separately (the paper's
+    single-query scenario); ``filters`` restricts the population before
+    counting (used by Ranking 2's females-with-college-degree counts).
+    """
+
+    name: str
+    attrs: tuple[str, ...]
+    budget_style: str = MARGINAL
+    filters: tuple[tuple[str, object], ...] = ()
+    description: str = ""
+
+    @property
+    def has_worker_attrs(self) -> bool:
+        worker = {"age", "sex", "race", "ethnicity", "education"}
+        return any(a in worker for a in self.attrs) or any(
+            a in worker for a, _ in self.filters
+        )
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """A ranking task over a workload's released counts."""
+
+    name: str
+    workload: Workload
+    description: str = ""
+
+
+WORKLOAD_1 = Workload(
+    name="workload-1",
+    attrs=ESTABLISHMENT_ATTRS,
+    budget_style=MARGINAL,
+    description="Marginal over all establishment characteristics "
+    "(place x industry x ownership); Figure 1.",
+)
+
+WORKLOAD_2 = Workload(
+    name="workload-2",
+    attrs=ESTABLISHMENT_ATTRS + WORKER_QUERY_ATTRS,
+    budget_style=SINGLE_QUERY,
+    description="Single queries over establishment attributes and worker "
+    "sex and education; Figure 3.",
+)
+
+WORKLOAD_3 = Workload(
+    name="workload-3",
+    attrs=ESTABLISHMENT_ATTRS + WORKER_QUERY_ATTRS,
+    budget_style=MARGINAL,
+    description="Full marginal over establishment attributes and worker "
+    "sex and education; Figure 4.",
+)
+
+RANKING_1 = Ranking(
+    name="ranking-1",
+    workload=WORKLOAD_1,
+    description="Rank place x industry x ownership cells by total "
+    "employment; Figure 2.",
+)
+
+_FEMALE_COLLEGE = Workload(
+    name="females-college",
+    attrs=ESTABLISHMENT_ATTRS,
+    budget_style=SINGLE_QUERY,
+    filters=(("sex", "F"), ("education", "BachelorsOrHigher")),
+    description="Per-cell counts of female workers with a bachelor's "
+    "degree or higher.",
+)
+
+RANKING_2 = Ranking(
+    name="ranking-2",
+    workload=_FEMALE_COLLEGE,
+    description="Rank place x industry x ownership cells by female "
+    "college-degree employment; Figure 5.",
+)

@@ -1,0 +1,53 @@
+"""Extensions beyond the published algorithms.
+
+The paper closes by noting that marginals over worker attributes carry a
+large utility cost under weak ER-EE privacy and that better algorithm
+design is "an avenue for future work" (Sec 1, contribution vi).  This
+package implements three such improvements, each with an explicit
+privacy argument:
+
+- :mod:`repro.extensions.weighted_split` — non-uniform ε allocation
+  across the worker cells of a weak marginal.  Sequential composition
+  only needs the per-establishment ε's to sum to the budget, so skewing
+  the allocation toward cells with large smooth sensitivity lowers the
+  total expected L1 error at identical total privacy loss.
+- :mod:`repro.extensions.hierarchical` — geographically consistent
+  releases: noisy counts at place level are reconciled to their noisy
+  county/state aggregates by least squares.  Reconciliation is pure
+  post-processing of already-released values, so privacy is unchanged
+  while aggregate accuracy improves.
+- :mod:`repro.extensions.post_processing` — non-negativity clamping,
+  integer rounding, and sum-preserving rescaling.  All are functions of
+  the released output only, hence privacy-free by the post-processing
+  property that (α, ε[, δ])-ER-EE privacy inherits from Pufferfish.
+"""
+
+from repro.extensions.hierarchical import (
+    HierarchicalRelease,
+    reconcile_two_level,
+    release_hierarchy,
+)
+from repro.extensions.post_processing import (
+    clamp_nonnegative,
+    rescale_to_total,
+    round_to_integers,
+)
+from repro.extensions.weighted_split import (
+    WeightedSplit,
+    optimal_split,
+    release_marginal_weighted,
+    uniform_split,
+)
+
+__all__ = [
+    "WeightedSplit",
+    "optimal_split",
+    "uniform_split",
+    "release_marginal_weighted",
+    "HierarchicalRelease",
+    "release_hierarchy",
+    "reconcile_two_level",
+    "clamp_nonnegative",
+    "round_to_integers",
+    "rescale_to_total",
+]

@@ -1,0 +1,222 @@
+"""Geographically consistent releases (future-work extension).
+
+LODES users aggregate place-level counts to counties and states; raw
+noisy releases of the two levels disagree.  This extension releases both
+levels (splitting the ε budget between them — sequential composition,
+Thm 7.3, since both touch the same establishments) and reconciles them
+by weighted least squares: within each parent cell, move the parent
+estimate and its children's estimates the *minimum* variance-weighted
+amount that makes the children sum to the parent.
+
+Reconciliation reads only released values and public noise variances, so
+it is post-processing: the privacy guarantee is exactly the budget spent
+on the two raw releases, while both levels gain accuracy (the parent
+estimate averages in the children's information and vice versa).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import EREEParams
+from repro.core.release import MarginalRelease, make_mechanism, release_marginal
+from repro.db.join import WorkerFull
+from repro.util import as_generator, check_fraction
+
+
+def reconcile_two_level(
+    children: np.ndarray,
+    child_variance: np.ndarray,
+    parents: np.ndarray,
+    parent_variance: np.ndarray,
+    parent_of_child: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Variance-weighted consistency adjustment.
+
+    For each parent p with children C(p), solves
+
+        min Σ_{i∈C(p)} (x̂_i - x_i)²/σ_i²  +  (ŷ_p - y_p)²/τ_p²
+        s.t. Σ_{i∈C(p)} x̂_i = ŷ_p
+
+    whose closed form shifts each child by λσ_i² and the parent by
+    -λτ_p² with λ = (y_p - Σx_i)/(Στσ² + τ_p²).  Returns the adjusted
+    (children, parents).
+    """
+    children = np.asarray(children, dtype=np.float64)
+    parents = np.asarray(parents, dtype=np.float64)
+    child_variance = np.asarray(child_variance, dtype=np.float64)
+    parent_variance = np.asarray(parent_variance, dtype=np.float64)
+    parent_of_child = np.asarray(parent_of_child, dtype=np.int64)
+    if np.any(child_variance <= 0) or np.any(parent_variance <= 0):
+        raise ValueError("variances must be positive")
+
+    n_parents = len(parents)
+    child_sum = np.bincount(
+        parent_of_child, weights=children, minlength=n_parents
+    )
+    variance_sum = np.bincount(
+        parent_of_child, weights=child_variance, minlength=n_parents
+    )
+    discrepancy = parents - child_sum
+    lam = discrepancy / (variance_sum + parent_variance)
+
+    adjusted_children = children + child_variance * lam[parent_of_child]
+    adjusted_parents = parents - parent_variance * lam
+    return adjusted_children, adjusted_parents
+
+
+@dataclass(frozen=True)
+class HierarchicalRelease:
+    """A two-level consistent release.
+
+    ``child``/``parent`` are the raw releases; ``child_consistent`` and
+    ``parent_consistent`` the reconciled vectors (aligned to the raw
+    marginals' cells); ``parent_of_child`` maps child cells to parent
+    cells.  Total privacy loss is child ε + parent ε.
+    """
+
+    child: MarginalRelease
+    parent: MarginalRelease
+    child_consistent: np.ndarray
+    parent_consistent: np.ndarray
+    parent_of_child: np.ndarray
+
+    def consistency_gap(self, consistent: bool = True) -> float:
+        """Max |Σ children - parent| over parents (0 after reconciliation)."""
+        children = self.child_consistent if consistent else self.child.noisy
+        parents = self.parent_consistent if consistent else self.parent.noisy
+        sums = np.bincount(
+            self.parent_of_child,
+            weights=np.where(self.child.released, children, 0.0),
+            minlength=len(parents),
+        )
+        mask = self.parent.released
+        return float(np.abs(sums[mask] - parents[mask]).max())
+
+    @property
+    def total_epsilon(self) -> float:
+        return (
+            self.child.budget.total.epsilon + self.parent.budget.total.epsilon
+        )
+
+
+def _parent_attr_map(child_release: MarginalRelease, parent_release, child_attrs, parent_attrs):
+    """Flat mapping from child cells to parent cells via shared attributes."""
+    child_marginal = child_release.marginal
+    schema = child_marginal.schema
+    grids = np.unravel_index(
+        np.arange(child_marginal.n_cells), child_marginal.shape
+    )
+    by_name = dict(zip(child_marginal.attrs, grids))
+
+    codes = []
+    for name in parent_attrs:
+        if name in by_name:
+            codes.append(by_name[name])
+        elif name == "county" and "place" in by_name:
+            # Geography rollup: places nest in counties.
+            place_to_county = schema_place_to_county(schema)
+            codes.append(place_to_county[by_name["place"]])
+        elif name == "state" and "place" in by_name:
+            place_to_state = schema_place_to_state(schema)
+            codes.append(place_to_state[by_name["place"]])
+        else:
+            raise ValueError(
+                f"cannot derive parent attribute {name!r} from child attrs "
+                f"{child_marginal.attrs}"
+            )
+    return np.ravel_multi_index(codes, parent_release.marginal.shape).astype(
+        np.int64
+    )
+
+
+def schema_place_to_county(schema) -> np.ndarray:
+    """Place code -> county code, parsed from the synthetic place names.
+
+    Synthetic places are named ``<county>-P###``, so the nesting is
+    recoverable from the public attribute domains alone.
+    """
+    counties = {name: i for i, name in enumerate(schema["county"].values)}
+    mapping = []
+    for place in schema["place"].values:
+        county_name = place.rsplit("-", 1)[0]
+        mapping.append(counties[county_name])
+    return np.array(mapping, dtype=np.int64)
+
+
+def schema_place_to_state(schema) -> np.ndarray:
+    """Place code -> state code, via the county naming convention."""
+    states = {name: i for i, name in enumerate(schema["state"].values)}
+    mapping = []
+    for place in schema["place"].values:
+        state_name = place.split("-", 1)[0]
+        mapping.append(states[state_name])
+    return np.array(mapping, dtype=np.int64)
+
+
+def release_hierarchy(
+    worker_full: WorkerFull,
+    child_attrs: Sequence[str],
+    parent_attrs: Sequence[str],
+    mechanism_name: str,
+    params: EREEParams,
+    child_share: float = 0.5,
+    seed=None,
+) -> HierarchicalRelease:
+    """Release child and parent marginals and reconcile them.
+
+    ``child_share`` of the ε budget goes to the child level; the two
+    releases sequential-compose to ``params.epsilon`` total.  Only the
+    smooth mechanisms are supported (reconciliation weights need the
+    released noise variances).
+    """
+    if mechanism_name == "log-laplace":
+        raise ValueError(
+            "hierarchical reconciliation needs per-cell noise variances; "
+            "use a smooth mechanism"
+        )
+    check_fraction("child_share", child_share)
+    rng = as_generator(seed)
+
+    child_params = params.with_epsilon(child_share * params.epsilon)
+    parent_params = params.with_epsilon((1 - child_share) * params.epsilon)
+    child = release_marginal(
+        worker_full, child_attrs, mechanism_name, child_params, seed=rng
+    )
+    parent = release_marginal(
+        worker_full, parent_attrs, mechanism_name, parent_params, seed=rng
+    )
+
+    parent_of_child = _parent_attr_map(child, parent, child_attrs, parent_attrs)
+
+    child_mechanism = make_mechanism(mechanism_name, child.budget.per_cell)
+    parent_mechanism = make_mechanism(mechanism_name, parent.budget.per_cell)
+    child_variance = np.maximum(
+        child_mechanism.noise_variance(child.max_single), 1e-12
+    )
+    parent_variance = np.maximum(
+        parent_mechanism.noise_variance(parent.max_single), 1e-12
+    )
+
+    # Reconcile over released cells only; suppressed child cells are
+    # exact zeros (no establishments) and do not move.
+    effective_children = np.where(child.released, child.noisy, 0.0)
+    effective_child_variance = np.where(child.released, child_variance, 1e-12)
+    adjusted_children, adjusted_parents = reconcile_two_level(
+        effective_children,
+        effective_child_variance,
+        parent.noisy,
+        parent_variance,
+        parent_of_child,
+    )
+    adjusted_children = np.where(child.released, adjusted_children, 0.0)
+    return HierarchicalRelease(
+        child=child,
+        parent=parent,
+        child_consistent=adjusted_children,
+        parent_consistent=adjusted_parents,
+        parent_of_child=parent_of_child,
+    )

@@ -1,0 +1,56 @@
+"""Post-processing of released counts.
+
+(α, ε[, δ])-ER-EE privacy inherits the post-processing property from
+Pufferfish: any function of the released output (that does not touch the
+confidential data again) carries the same guarantee.  Agencies use this
+to make published tables presentable — non-negative, integer, and
+internally consistent — without spending additional budget.
+
+Every function here takes and returns released vectors only.  Note the
+contract of :func:`rescale_to_total`: the target total must itself be a
+*released* (noisy) value, never the confidential one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import as_generator
+
+
+def clamp_nonnegative(noisy: np.ndarray) -> np.ndarray:
+    """Clip released counts at zero (counts are non-negative publicly)."""
+    return np.clip(np.asarray(noisy, dtype=np.float64), 0.0, None)
+
+
+def round_to_integers(noisy: np.ndarray, stochastic: bool = False, seed=None) -> np.ndarray:
+    """Round released counts to integers.
+
+    Deterministic rounding is half-to-even; ``stochastic=True`` rounds
+    each value up with probability equal to its fractional part, which
+    keeps the rounding unbiased.
+    """
+    noisy = np.asarray(noisy, dtype=np.float64)
+    if not stochastic:
+        return np.rint(noisy)
+    rng = as_generator(seed)
+    floor = np.floor(noisy)
+    fraction = noisy - floor
+    return floor + (rng.random(noisy.shape) < fraction)
+
+
+def rescale_to_total(noisy: np.ndarray, released_total: float) -> np.ndarray:
+    """Scale non-negative released counts to match a released total.
+
+    Useful when a total was released separately (e.g., at a coarser
+    level) and the published table should add up to it exactly.  The
+    caller must pass a *released* total; using the true total would leak.
+    Zero vectors are returned unchanged (no mass to scale).
+    """
+    values = clamp_nonnegative(noisy)
+    current = values.sum()
+    if current <= 0:
+        return values
+    if released_total < 0:
+        released_total = 0.0
+    return values * (released_total / current)

@@ -1,0 +1,298 @@
+"""Non-uniform budget allocation across worker cells (future-work ext.).
+
+Under weak (α, ε)-ER-EE privacy a marginal containing worker attributes
+costs the *sum* of the per-worker-cell budgets for each establishment
+(Sec 8): the paper divides ε evenly over the d worker cells.  Sequential
+composition, however, only requires Σ_c ε_c = ε — the allocation itself
+is free.  Since a cell's expected error is proportional to S_c / ε_c
+(S_c the smooth sensitivity), total error Σ_c S_c/ε_c is minimized by
+the square-root rule ε_c ∝ √S_c (Cauchy-Schwarz).
+
+The sensitivities are confidential, so the allocation must not read them
+directly.  ``release_marginal_weighted`` therefore runs two rigorous
+stages:
+
+1. a **pilot** release of the worker-attribute-only marginal (national
+   class totals) at a small budget ε₀, uniformly split — this is itself
+   a weak release costing ε₀;
+2. the **main** release with the remaining ε - ε₀ allocated across the
+   worker cells proportionally to the square root of the pilot's noisy
+   class totals.
+
+The stage-2 allocation is a function of stage-1 *outputs*, so by
+post-processing plus sequential composition the whole procedure is weak
+(α, ε)-ER-EE private.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import EREEParams
+from repro.core.release import (
+    DEFAULT_WORKER_ATTRS,
+    MarginalRelease,
+    make_mechanism,
+)
+from repro.db.join import WorkerFull
+from repro.db.query import Marginal, per_establishment_counts
+from repro.util import as_generator, check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class WeightedSplit:
+    """An ε allocation over the worker cells of a weak marginal.
+
+    ``epsilons[c]`` is the budget of worker-cell class ``c``; their sum
+    is the total privacy loss per establishment.
+    """
+
+    epsilons: np.ndarray
+
+    def __post_init__(self):
+        if np.any(self.epsilons <= 0):
+            raise ValueError("every worker cell needs a positive budget")
+
+    @property
+    def total(self) -> float:
+        return float(self.epsilons.sum())
+
+    @property
+    def d(self) -> int:
+        return len(self.epsilons)
+
+
+def uniform_split(total_epsilon: float, d: int) -> WeightedSplit:
+    """The paper's allocation: ε/d per worker cell."""
+    check_positive("total_epsilon", total_epsilon)
+    check_positive("d", d)
+    return WeightedSplit(np.full(d, total_epsilon / d))
+
+
+def optimal_split(
+    total_epsilon: float,
+    sensitivity_proxy: np.ndarray,
+    floor_fraction: float = 0.2,
+    min_epsilon: float = 0.0,
+) -> WeightedSplit:
+    """Square-root allocation ε_c ∝ √proxy_c with a uniform floor.
+
+    ``floor_fraction`` of the budget is spread uniformly so that a cell
+    whose proxy was (noisily) estimated near zero still gets usable
+    accuracy; the rest follows the √ rule.  ``min_epsilon`` imposes a
+    per-cell lower bound (the mechanism's feasibility threshold) via
+    water-filling: clipped cells sit at the bound, the remainder is
+    distributed √-proportionally among the rest.
+    """
+    check_positive("total_epsilon", total_epsilon)
+    check_fraction("floor_fraction", floor_fraction)
+    proxy = np.clip(np.asarray(sensitivity_proxy, dtype=np.float64), 0.0, None)
+    d = len(proxy)
+    if min_epsilon * d > total_epsilon:
+        raise ValueError(
+            f"budget {total_epsilon} cannot give {d} cells the feasibility "
+            f"minimum {min_epsilon} each"
+        )
+    weights = np.sqrt(proxy)
+    if weights.sum() == 0:
+        weights = np.ones(d)
+    weights = weights / weights.sum()
+    floor = floor_fraction * total_epsilon / d
+    epsilons = floor + (1.0 - floor_fraction) * total_epsilon * weights
+
+    # Water-filling against the feasibility minimum.
+    clipped = np.zeros(d, dtype=bool)
+    for _ in range(d):
+        below = (epsilons < min_epsilon) & ~clipped
+        if not below.any():
+            break
+        clipped |= below
+        epsilons[clipped] = min_epsilon
+        remaining = total_epsilon - min_epsilon * clipped.sum()
+        free = ~clipped
+        if not free.any():
+            break
+        free_weights = weights[free] / weights[free].sum()
+        epsilons[free] = remaining * free_weights
+    return WeightedSplit(epsilons)
+
+
+@dataclass(frozen=True)
+class WeightedRelease:
+    """Result of the two-stage weighted release."""
+
+    release: MarginalRelease
+    split: WeightedSplit
+    pilot_totals: np.ndarray
+    pilot_epsilon: float
+    worker_attrs_in_marginal: tuple[str, ...]
+
+    @property
+    def total_epsilon(self) -> float:
+        return self.pilot_epsilon + self.split.total
+
+
+def _worker_cell_of_marginal(
+    marginal: Marginal, worker_attrs_in_marginal: Sequence[str]
+) -> np.ndarray:
+    """Map each full-marginal cell to its worker-cell class index."""
+    return marginal.project_onto(list(worker_attrs_in_marginal))
+
+
+def feasibility_floor(mechanism_name: str, params: EREEParams) -> float:
+    """The smallest per-cell ε the mechanism accepts at (α, δ)."""
+    if mechanism_name == "smooth-laplace":
+        from repro.core.params import min_epsilon as smooth_laplace_min
+
+        return smooth_laplace_min(params.alpha, params.delta)
+    # smooth-gamma: keep a usable sliding budget eps1 >= 0.2.
+    return 5.0 * float(np.log1p(params.alpha)) + 0.2
+
+
+def release_marginal_weighted(
+    worker_full: WorkerFull,
+    attrs: Sequence[str],
+    mechanism_name: str,
+    params: EREEParams,
+    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
+    split: WeightedSplit | None = None,
+    pilot_fraction: float = 0.2,
+    seed=None,
+) -> WeightedRelease:
+    """Weak release with a non-uniform worker-cell allocation.
+
+    ``params.epsilon`` is the total budget.  Two ways to choose the
+    allocation:
+
+    - pass ``split`` explicitly (its total must equal the budget) — for
+      allocations derived from *public* knowledge such as national ACS
+      attribute shares, costing no extra budget;
+    - leave ``split=None`` to run the two-stage pilot: ``pilot_fraction``
+      of the budget buys noisy class totals, and the remainder follows
+      the √ rule on those released estimates.
+
+    δ is interpreted per released count as elsewhere in the library.
+    Only the smooth mechanisms are supported (the √ rule needs their
+    linear error-in-1/ε form; Log-Laplace's error is not budget-linear).
+    """
+    if mechanism_name == "log-laplace":
+        raise ValueError(
+            "weighted splitting targets the smooth mechanisms; Log-Laplace "
+            "error is not linear in 1/epsilon"
+        )
+    rng = as_generator(seed)
+    schema = worker_full.table.schema
+    marginal = Marginal(schema, attrs)
+    worker_attrs_in_marginal = tuple(a for a in attrs if a in worker_attrs)
+    if not worker_attrs_in_marginal:
+        raise ValueError(
+            "weighted splitting only applies to marginals with worker "
+            f"attributes; got {tuple(attrs)}"
+        )
+    class_marginal = Marginal(schema, worker_attrs_in_marginal)
+    d = class_marginal.n_cells
+
+    if split is not None:
+        if abs(split.total - params.epsilon) > 1e-9:
+            raise ValueError(
+                f"explicit split totals {split.total}, budget is {params.epsilon}"
+            )
+        if split.d != d:
+            raise ValueError(f"split covers {split.d} cells, marginal has {d}")
+        pilot_epsilon = 0.0
+        pilot_totals = np.full(d, np.nan)
+    else:
+        check_fraction("pilot_fraction", pilot_fraction)
+        # --- Stage 1: pilot class totals at eps0, uniformly split. -----
+        pilot_epsilon = pilot_fraction * params.epsilon
+        floor = feasibility_floor(mechanism_name, params)
+        if pilot_epsilon / d < floor:
+            raise ValueError(
+                f"pilot budget {pilot_epsilon:.3g} over {d} classes gives "
+                f"{pilot_epsilon / d:.3g} per class, below the mechanism's "
+                f"feasibility floor {floor:.3g}; raise pilot_fraction or "
+                "the total budget, or pass an explicit split"
+            )
+        class_counts = class_marginal.counts(worker_full.table).astype(
+            np.float64
+        )
+        class_stats = per_establishment_counts(
+            class_marginal.cell_index(worker_full.table),
+            worker_full.establishment,
+            d,
+        )
+        pilot_mechanism = make_mechanism(
+            mechanism_name,
+            EREEParams(params.alpha, pilot_epsilon / d, params.delta),
+        )
+        pilot_totals = pilot_mechanism.release_counts(
+            class_counts, class_stats.max_single, rng
+        )
+        # Allocation from the pilot outputs only, respecting feasibility.
+        split = optimal_split(
+            params.epsilon - pilot_epsilon,
+            pilot_totals,
+            min_epsilon=feasibility_floor(mechanism_name, params),
+        )
+
+    # --- Stage 2: the marginal, one worker-cell class at a time. -------
+    true = marginal.counts(worker_full.table).astype(np.float64)
+    stats = per_establishment_counts(
+        marginal.cell_index(worker_full.table),
+        worker_full.establishment,
+        marginal.n_cells,
+    )
+    workplace_part = [a for a in attrs if a not in worker_attrs]
+    wp_marginal = Marginal(schema, workplace_part)
+    wp_stats = per_establishment_counts(
+        wp_marginal.cell_index(worker_full.table),
+        worker_full.establishment,
+        wp_marginal.n_cells,
+    )
+    released = wp_stats.n_establishments[marginal.project_onto(workplace_part)] > 0
+
+    cell_class = _worker_cell_of_marginal(marginal, worker_attrs_in_marginal)
+    noisy = np.zeros(marginal.n_cells, dtype=np.float64)
+    for class_index in range(d):
+        members = released & (cell_class == class_index)
+        if not members.any():
+            continue
+        mechanism = make_mechanism(
+            mechanism_name,
+            EREEParams(
+                params.alpha, float(split.epsilons[class_index]), params.delta
+            ),
+        )
+        noisy[members] = mechanism.release_counts(
+            true[members], stats.max_single[members], rng
+        )
+
+    from repro.core.composition import MarginalBudget, WEAK
+
+    budget = MarginalBudget(
+        per_cell=EREEParams(
+            params.alpha, float(split.epsilons.min()), params.delta
+        ),
+        total=params,
+        mode=WEAK,
+        worker_domain=d,
+    )
+    release = MarginalRelease(
+        marginal=marginal,
+        true=true,
+        noisy=noisy,
+        released=released,
+        max_single=stats.max_single,
+        budget=budget,
+        mechanism_name=f"{mechanism_name} (weighted split)",
+    )
+    return WeightedRelease(
+        release=release,
+        split=split,
+        pilot_totals=pilot_totals,
+        pilot_epsilon=pilot_epsilon,
+        worker_attrs_in_marginal=worker_attrs_in_marginal,
+    )

@@ -1,0 +1,34 @@
+"""Utility metrics used by the paper's evaluation (Sec 10).
+
+- :mod:`repro.metrics.error` — L1/Lp and relative errors, and the error
+  *ratio* against the current SDL system that every figure reports;
+- :mod:`repro.metrics.ranking` — Spearman rank-order correlation for the
+  OnTheMap-style ranking tasks;
+- :mod:`repro.metrics.strata` — stratification of marginal cells by the
+  2010-Census population of their place.
+"""
+
+from repro.metrics.error import (
+    error_ratio,
+    l1_error,
+    lp_error,
+    mean_l1_error,
+    relative_errors,
+    share_within_relative_error,
+)
+from repro.metrics.ranking import rank_descending, spearman_correlation
+from repro.metrics.strata import STRATUM_LABELS, cell_strata, stratified_mask
+
+__all__ = [
+    "l1_error",
+    "lp_error",
+    "mean_l1_error",
+    "relative_errors",
+    "share_within_relative_error",
+    "error_ratio",
+    "spearman_correlation",
+    "rank_descending",
+    "cell_strata",
+    "stratified_mask",
+    "STRATUM_LABELS",
+]

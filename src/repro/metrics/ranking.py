@@ -1,0 +1,62 @@
+"""Spearman rank-order correlation for the ranking workloads.
+
+Sec 10 measures ranking accuracy as the Spearman correlation between the
+ordering induced by a private release's counts and the ordering induced
+by the current SDL release's counts (Rankings 1 and 2, Figures 2 and 5).
+
+Implemented directly (average ranks for ties + Pearson on ranks) so the
+library has no hidden dependence on scipy for its core path; the test
+suite cross-checks against :func:`scipy.stats.spearmanr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties sharing the average of their positions."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=np.float64)
+    # Average ranks within tie groups.
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_values) != 0) + 1
+    group_starts = np.concatenate([[0], boundaries])
+    group_ends = np.concatenate([boundaries, [len(values)]])
+    for start, end in zip(group_starts, group_ends):
+        if end - start > 1:
+            ranks[order[start:end]] = (start + 1 + end) / 2.0
+    return ranks
+
+
+def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman's ρ between two value vectors; nan for degenerate input."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        return float("nan")
+    rank_x = average_ranks(x)
+    rank_y = average_ranks(y)
+    sd_x = rank_x.std()
+    sd_y = rank_y.std()
+    if sd_x == 0.0 or sd_y == 0.0:
+        return float("nan")
+    covariance = ((rank_x - rank_x.mean()) * (rank_y - rank_y.mean())).mean()
+    return float(covariance / (sd_x * sd_y))
+
+
+def rank_descending(values: np.ndarray) -> np.ndarray:
+    """Positions of cells when sorted by value descending (0 = largest).
+
+    Ties resolve by cell index, matching how a published list would break
+    ties deterministically.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(-values, kind="mergesort")
+    positions = np.empty(len(values), dtype=np.int64)
+    positions[order] = np.arange(len(values))
+    return positions

@@ -1,0 +1,45 @@
+"""Place-population stratification of marginal cells.
+
+Every figure in the paper is reported overall and stratified by the
+2010-Census population of the cell's place: 0–100, 100–10k, 10k–100k,
+and 100k+.  A marginal that includes the ``place`` attribute maps each
+cell to its place and hence to a stratum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.geography import PLACE_STRATA, stratum_of_population
+from repro.db.query import Marginal
+
+STRATUM_LABELS: tuple[str, ...] = tuple(label for label, _, _ in PLACE_STRATA)
+
+
+def cell_strata(marginal: Marginal, place_populations: np.ndarray) -> np.ndarray:
+    """Stratum index per marginal cell (length ``marginal.n_cells``).
+
+    ``place_populations[p]`` is the population of place code ``p``.  The
+    marginal must include the ``place`` attribute.
+    """
+    if "place" not in marginal.attrs:
+        raise ValueError(
+            f"marginal over {marginal.attrs} has no 'place' attribute to stratify by"
+        )
+    place_strata = np.array(
+        [stratum_of_population(int(pop)) for pop in place_populations],
+        dtype=np.int64,
+    )
+    cell_place = marginal.project_onto(["place"])
+    return place_strata[cell_place]
+
+
+def stratified_mask(
+    marginal: Marginal, place_populations: np.ndarray, stratum: int
+) -> np.ndarray:
+    """Boolean mask of the marginal's cells lying in ``stratum``."""
+    if not (0 <= stratum < len(PLACE_STRATA)):
+        raise ValueError(
+            f"stratum must be in [0, {len(PLACE_STRATA)}), got {stratum}"
+        )
+    return cell_strata(marginal, place_populations) == stratum

@@ -1,0 +1,39 @@
+"""Pufferfish formalization and exact verification (Sec 4 of the paper).
+
+The paper states its privacy requirements as bounds on the Bayes factor
+an informed attacker can achieve about (a) a worker's record, (b) an
+establishment's size, and (c) an establishment's shape.  This package
+makes those statements executable: on a tiny universe we enumerate every
+possible dataset, weight each by an adversary's product prior, push the
+weights through a mechanism's output density, and compute the exact
+posterior-to-prior odds ratios of Definitions 4.1–4.3.
+
+Used by the test suite both positively (the paper's mechanisms respect
+the bounds) and negatively (edge DP breaks the size requirement; SDL
+breaks all three).
+"""
+
+from repro.pufferfish.adversary import informed_adversary, weak_adversary
+from repro.pufferfish.bayes_factor import (
+    max_log_bayes_factor,
+    posterior_distribution,
+)
+from repro.pufferfish.framework import ProductPrior, Universe, enumerate_datasets
+from repro.pufferfish.requirements import (
+    employee_requirement_bound,
+    employer_shape_requirement_bound,
+    employer_size_requirement_bound,
+)
+
+__all__ = [
+    "Universe",
+    "ProductPrior",
+    "enumerate_datasets",
+    "informed_adversary",
+    "weak_adversary",
+    "posterior_distribution",
+    "max_log_bayes_factor",
+    "employee_requirement_bound",
+    "employer_size_requirement_bound",
+    "employer_shape_requirement_bound",
+]

@@ -1,0 +1,66 @@
+"""Adversary priors: informed attackers Θ and weak attackers Θ_weak.
+
+Θ contains every product prior — including attackers who know all but
+one worker exactly, and attackers who know everything about all but one
+establishment.  Θ_weak ⊂ Θ (Sec 4.2) restricts each worker's prior to a
+product of an employer prior (shared across workers) and a *uniform*
+prior over worker attributes: weak attackers cannot tell workers apart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.pufferfish.framework import ProductPrior, Universe
+
+
+def informed_adversary(
+    universe: Universe,
+    base_probabilities: Sequence[float],
+    known_workers: Mapping[str, tuple] | None = None,
+) -> ProductPrior:
+    """A (possibly maximally) informed attacker.
+
+    ``base_probabilities`` is the default belief over T for unknown
+    workers; ``known_workers`` pins specific workers to exact values
+    (probability 1) — the paper's informed attackers who know all but one
+    worker or establishment.
+    """
+    base = np.asarray(base_probabilities, dtype=np.float64)
+    if base.shape != (universe.n_values,):
+        raise ValueError(
+            f"base probabilities must have length {universe.n_values}"
+        )
+    table = np.tile(base, (len(universe.workers), 1))
+    for worker_name, value in (known_workers or {}).items():
+        worker_index = universe.workers.index(worker_name)
+        table[worker_index] = 0.0
+        table[worker_index, universe.value_index(value)] = 1.0
+    return ProductPrior(universe=universe, table=table)
+
+
+def weak_adversary(
+    universe: Universe, employer_probabilities: Sequence[float]
+) -> ProductPrior:
+    """A weak attacker: per-establishment beliefs, uniform over attributes.
+
+    ``employer_probabilities`` runs over E ∪ {⊥} in universe order; each
+    worker's prior is that employer belief times the uniform distribution
+    over the attribute combinations, identically for every worker.
+    """
+    employers = universe.establishments + ("⊥",)
+    employer_probabilities = np.asarray(employer_probabilities, dtype=np.float64)
+    if employer_probabilities.shape != (len(employers),):
+        raise ValueError(f"need one probability per employer option ({len(employers)})")
+    if not np.isclose(employer_probabilities.sum(), 1.0, atol=1e-9):
+        raise ValueError("employer probabilities must sum to 1")
+
+    n_attribute_values = len(universe.worker_attribute_values)
+    base = np.empty(universe.n_values, dtype=np.float64)
+    for value_index, (employer, _) in enumerate(universe.values):
+        employer_index = employers.index(employer)
+        base[value_index] = employer_probabilities[employer_index] / n_attribute_values
+    table = np.tile(base, (len(universe.workers), 1))
+    return ProductPrior(universe=universe, table=table)

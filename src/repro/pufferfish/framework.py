@@ -1,0 +1,138 @@
+"""Tiny-universe Pufferfish model (Sec 4.2 of the paper).
+
+The adversary model: the universe of establishments ``E`` with public
+attributes, the universe of workers ``U``, and for each worker a value in
+
+    T = (E ∪ {⊥}) × A1 × ... × Ak
+
+(⊥ means "not employed at any in-scope establishment"; the Ai are worker
+attributes).  The adversary's belief is a product distribution
+``θ = Π_w π_w`` — no correlations between workers (the assumption the
+paper argues is unavoidable after the no-free-lunch theorem).
+
+A *dataset* is one value assignment per worker; enumerating all
+``|T|^|U|`` assignments is feasible for the verification universes used
+in tests (a few workers, a few values).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+UNEMPLOYED = "⊥"
+
+
+@dataclass(frozen=True)
+class Universe:
+    """The adversary's universe.
+
+    ``establishments`` are establishment names; ``worker_attribute_values``
+    is the cross product domain of worker attributes (use ``((),)`` — a
+    single empty tuple — when workers carry no attributes beyond their
+    employer).  ``values`` is T: pairs (employer-or-⊥, attribute-tuple).
+    """
+
+    establishments: tuple[str, ...]
+    workers: tuple[str, ...]
+    worker_attribute_values: tuple[tuple, ...] = ((),)
+
+    def __post_init__(self):
+        if not self.establishments:
+            raise ValueError("universe needs at least one establishment")
+        if not self.workers:
+            raise ValueError("universe needs at least one worker")
+
+    @property
+    def values(self) -> tuple[tuple, ...]:
+        """T = (E ∪ {⊥}) × attribute values, in a fixed order."""
+        employers = self.establishments + (UNEMPLOYED,)
+        return tuple(
+            (employer, attributes)
+            for employer in employers
+            for attributes in self.worker_attribute_values
+        )
+
+    @property
+    def n_values(self) -> int:
+        return len(self.values)
+
+    def value_index(self, value: tuple) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(f"{value!r} is not in T for this universe") from None
+
+    def employer_of(self, value_index: int) -> str:
+        return self.values[value_index][0]
+
+    def attributes_of(self, value_index: int) -> tuple:
+        return self.values[value_index][1]
+
+
+Dataset = tuple  # one value index per worker
+
+
+def enumerate_datasets(universe: Universe) -> Iterator[Dataset]:
+    """All |T|^|U| assignments of workers to values, as index tuples."""
+    return product(range(universe.n_values), repeat=len(universe.workers))
+
+
+def establishment_size(universe: Universe, dataset: Dataset, establishment: str) -> int:
+    """|e|: number of workers assigned to ``establishment`` in ``dataset``."""
+    return sum(
+        1 for v in dataset if universe.employer_of(v) == establishment
+    )
+
+
+def establishment_class_count(
+    universe: Universe,
+    dataset: Dataset,
+    establishment: str,
+    attribute_predicate,
+) -> int:
+    """|e_X|: workers at ``establishment`` whose attributes satisfy X."""
+    return sum(
+        1
+        for v in dataset
+        if universe.employer_of(v) == establishment
+        and attribute_predicate(universe.attributes_of(v))
+    )
+
+
+@dataclass(frozen=True)
+class ProductPrior:
+    """θ = Π_w π_w over the universe's value set.
+
+    ``table[w, v]`` is worker w's probability of value v.  Rows must be
+    distributions.
+    """
+
+    universe: Universe
+    table: np.ndarray
+
+    def __post_init__(self):
+        expected = (len(self.universe.workers), self.universe.n_values)
+        if self.table.shape != expected:
+            raise ValueError(f"prior table must have shape {expected}")
+        if np.any(self.table < 0):
+            raise ValueError("prior probabilities must be non-negative")
+        sums = self.table.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ValueError("each worker's prior must sum to 1")
+
+    def probability(self, dataset: Dataset) -> float:
+        """θ(dataset) — the product of per-worker probabilities."""
+        result = 1.0
+        for worker_index, value_index in enumerate(dataset):
+            result *= float(self.table[worker_index, value_index])
+        return result
+
+    def dataset_probabilities(self) -> tuple[list[Dataset], np.ndarray]:
+        """All datasets with their prior probabilities (enumeration order)."""
+        datasets = list(enumerate_datasets(self.universe))
+        probabilities = np.array([self.probability(d) for d in datasets])
+        return datasets, probabilities

@@ -1,0 +1,125 @@
+"""Definitions 4.1–4.3 as executable requirement checks.
+
+Each function computes the worst-case |log Bayes factor| a given attacker
+achieves about the protected secret over a grid of mechanism outputs.  A
+mechanism meets the requirement at level ε (or (ε, α)) when the returned
+bound is at most ε (up to numerical tolerance); the tests also use these
+to show *violations* by SDL and edge DP.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.pufferfish.bayes_factor import LogDensity, max_log_bayes_factor
+from repro.pufferfish.framework import (
+    ProductPrior,
+    establishment_class_count,
+    establishment_size,
+)
+
+
+def employee_requirement_bound(
+    prior: ProductPrior,
+    log_density: LogDensity,
+    omegas: Sequence[float],
+    worker: str,
+    value_pairs: Sequence[tuple] | None = None,
+) -> float:
+    """Definition 4.1: worst |log BF| over pairs of values for one worker.
+
+    ``value_pairs`` defaults to all ordered pairs of T values with
+    positive prior probability for ``worker``.
+    """
+    universe = prior.universe
+    worker_index = universe.workers.index(worker)
+    if value_pairs is None:
+        supported = [
+            universe.values[i]
+            for i in range(universe.n_values)
+            if prior.table[worker_index, i] > 0
+        ]
+        value_pairs = [(a, b) for a in supported for b in supported if a != b]
+
+    def holds(value):
+        index = universe.value_index(value)
+        return lambda dataset: dataset[worker_index] == index
+
+    event_pairs = [(holds(a), holds(b)) for a, b in value_pairs]
+    return max_log_bayes_factor(prior, log_density, omegas, event_pairs)
+
+
+def employer_size_requirement_bound(
+    prior: ProductPrior,
+    log_density: LogDensity,
+    omegas: Sequence[float],
+    establishment: str,
+    alpha: float,
+    max_size: int | None = None,
+) -> float:
+    """Definition 4.2: worst |log BF| over size pairs x <= y <= ceil((1+α)x).
+
+    Pairs range over sizes up to ``max_size`` (default: the number of
+    workers in the universe).
+    """
+    universe = prior.universe
+    limit = max_size if max_size is not None else len(universe.workers)
+
+    def size_is(target):
+        return lambda dataset: establishment_size(
+            universe, dataset, establishment
+        ) == target
+
+    event_pairs = []
+    for x in range(0, limit + 1):
+        upper = min(limit, math.ceil((1.0 + alpha) * x)) if x > 0 else min(limit, 1)
+        for y in range(x, upper + 1):
+            if y != x:
+                event_pairs.append((size_is(x), size_is(y)))
+                event_pairs.append((size_is(y), size_is(x)))
+    if not event_pairs:
+        return 0.0
+    return max_log_bayes_factor(prior, log_density, omegas, event_pairs)
+
+
+def employer_shape_requirement_bound(
+    prior: ProductPrior,
+    log_density: LogDensity,
+    omegas: Sequence[float],
+    establishment: str,
+    attribute_predicate,
+    alpha: float,
+    size: int,
+) -> float:
+    """Definition 4.3: worst |log BF| over shape pairs at fixed size.
+
+    Compares the events (|e_X|/|e| = p, |e| = z) vs (q, z) for all
+    fractions p <= q <= min(1, (1+α)p) realizable at size ``z = size``,
+    where X is given by ``attribute_predicate`` on the worker attributes.
+    """
+    universe = prior.universe
+
+    def shape_is(class_count):
+        def event(dataset):
+            return (
+                establishment_size(universe, dataset, establishment) == size
+                and establishment_class_count(
+                    universe, dataset, establishment, attribute_predicate
+                )
+                == class_count
+            )
+
+        return event
+
+    event_pairs = []
+    for count_p in range(1, size + 1):
+        p = count_p / size
+        for count_q in range(count_p, size + 1):
+            q = count_q / size
+            if count_q != count_p and q <= min(1.0, (1.0 + alpha) * p):
+                event_pairs.append((shape_is(count_p), shape_is(count_q)))
+                event_pairs.append((shape_is(count_q), shape_is(count_p)))
+    if not event_pairs:
+        return 0.0
+    return max_log_bayes_factor(prior, log_density, omegas, event_pairs)

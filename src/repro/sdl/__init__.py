@@ -1,0 +1,24 @@
+"""Current statistical disclosure limitation: input noise infusion.
+
+This is the protection system the paper's utility comparisons are made
+against (Sec 5).  Every establishment receives a permanent, confidential
+multiplicative distortion factor ``f_w`` bounded away from 1; all of its
+histogram counts ``h(w, c)`` are multiplied by ``f_w`` before tabulation;
+small true cells are replaced by posterior-predictive draws; zero cells
+pass through unperturbed.
+
+The scheme avoids *exact* disclosure but admits the inference attacks of
+Sec 5.2, implemented in :mod:`repro.attacks`.
+"""
+
+from repro.sdl.distortion import DistortionParams, sample_distortion_factors
+from repro.sdl.noise_infusion import InputNoiseInfusion, SDLAnswer
+from repro.sdl.small_cells import SmallCellModel
+
+__all__ = [
+    "DistortionParams",
+    "sample_distortion_factors",
+    "SmallCellModel",
+    "InputNoiseInfusion",
+    "SDLAnswer",
+]

@@ -1,0 +1,70 @@
+"""Permanent multiplicative distortion (fuzz) factors.
+
+Sec 5.1: every establishment ``w`` is assigned a unique, time-invariant,
+confidential factor ``f_w`` within ``[1-t, 1-s] ∪ [1+s, 1+t]`` with
+``0 < s < t < 1``.  The gap ``(1-s, 1+s)`` around 1 guarantees the true
+count is never published exactly; ``s`` and ``t`` themselves are kept
+confidential by the agency (we default to plausible public-knowledge
+values and expose them as parameters).
+
+Two densities for the distortion magnitude ``|f_w - 1| ∈ [s, t]``:
+
+- ``"ramp"`` (default): linearly decreasing density ``2(t-x)/(t-s)^2``,
+  the shape described for the QWI production system — most establishments
+  get close-to-minimal distortion;
+- ``"uniform"``: uniform on ``[s, t]``.
+
+The sign (inflate vs deflate) is symmetric ±1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import as_generator, check_fraction, check_in
+
+
+@dataclass(frozen=True)
+class DistortionParams:
+    """Fuzz-factor parameters ``0 < s < t < 1`` and magnitude density."""
+
+    s: float = 0.07
+    t: float = 0.25
+    density: str = "ramp"
+
+    def __post_init__(self):
+        check_fraction("s", self.s)
+        check_fraction("t", self.t)
+        if self.s >= self.t:
+            raise ValueError(f"need s < t, got s={self.s}, t={self.t}")
+        check_in("density", self.density, ("ramp", "uniform"))
+
+    def mean_absolute_distortion(self) -> float:
+        """E|f_w - 1|, the expected relative error SDL injects per count."""
+        if self.density == "uniform":
+            return (self.s + self.t) / 2
+        # Decreasing ramp on [s, t]: E[x] = s + (t - s)/3.
+        return self.s + (self.t - self.s) / 3
+
+
+def sample_distortion_magnitudes(
+    params: DistortionParams, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` distortion magnitudes in [s, t] from the chosen density."""
+    u = rng.random(count)
+    if params.density == "uniform":
+        return params.s + (params.t - params.s) * u
+    # Inverse CDF of the decreasing ramp: F(x) = 1 - ((t-x)/(t-s))^2.
+    return params.t - (params.t - params.s) * np.sqrt(1.0 - u)
+
+
+def sample_distortion_factors(
+    params: DistortionParams, count: int, seed=None
+) -> np.ndarray:
+    """Draw ``count`` permanent fuzz factors f_w ∈ [1-t,1-s] ∪ [1+s,1+t]."""
+    rng = as_generator(seed)
+    magnitudes = sample_distortion_magnitudes(params, count, rng)
+    signs = np.where(rng.random(count) < 0.5, -1.0, 1.0)
+    return 1.0 + signs * magnitudes

@@ -1,0 +1,66 @@
+"""Small-cell replacement for the SDL system.
+
+Sec 5.1: when a marginal cell's *true* count lies in ``(0, S)`` (the
+small-cell limit, ``S = 2.5`` for the paper's dataset), the noise-infused
+answer is replaced by a draw from a posterior predictive distribution
+supported on the integers ``1, ..., floor(S)``.  Zero cells pass through
+unmodified.
+
+The production system fits a posterior predictive model; any fixed
+distribution on ``{1, ..., floor(S)}`` reproduces the privacy-relevant
+behaviour (small counts are resampled, zeros are preserved), so the model
+here takes explicit probabilities with a near-uniform default slightly
+favouring 1 (small true cells are more often 1 than 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import as_generator, check_positive
+
+
+@dataclass(frozen=True)
+class SmallCellModel:
+    """Replacement distribution for true counts in ``(0, limit)``.
+
+    ``probabilities[j]`` is the probability of outputting ``j + 1``; its
+    length must be ``floor(limit)``.
+    """
+
+    limit: float = 2.5
+    probabilities: tuple[float, ...] = (0.6, 0.4)
+
+    def __post_init__(self):
+        check_positive("limit", self.limit)
+        support = int(np.floor(self.limit))
+        if support < 1:
+            raise ValueError(f"limit {self.limit} leaves an empty support")
+        if len(self.probabilities) != support:
+            raise ValueError(
+                f"need {support} probabilities for limit {self.limit}, "
+                f"got {len(self.probabilities)}"
+            )
+        total = sum(self.probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        if any(p < 0 for p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """The integers the replacement draw can output."""
+        return tuple(range(1, int(np.floor(self.limit)) + 1))
+
+    def is_small(self, true_counts: np.ndarray) -> np.ndarray:
+        """Boolean mask of counts in the open interval (0, limit)."""
+        true_counts = np.asarray(true_counts)
+        return (true_counts > 0) & (true_counts < self.limit)
+
+    def sample(self, count: int, seed=None) -> np.ndarray:
+        """Draw ``count`` replacement values from the support."""
+        rng = as_generator(seed)
+        values = np.asarray(self.support, dtype=np.int64)
+        return rng.choice(values, size=count, p=np.asarray(self.probabilities))

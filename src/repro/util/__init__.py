@@ -1,0 +1,30 @@
+"""Shared utilities: random-number management, validation, formatting.
+
+These helpers keep the rest of the library explicit about randomness
+(every stochastic component takes a :class:`numpy.random.Generator`) and
+about argument validation (fail fast with a clear message).
+"""
+
+from repro.util.formatting import format_table, format_float, format_count
+from repro.util.rng import as_generator, spawn, derive_seed
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "derive_seed",
+    "check_fraction",
+    "check_in",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "format_table",
+    "format_float",
+    "format_count",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness regenerates the paper's figures as printed data
+series; these helpers render them as aligned ASCII tables so benchmark
+output is directly comparable to the published plots.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Render a float compactly: fixed point near 1, scientific when tiny/huge."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "nan"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"
+
+
+def format_count(value: float) -> str:
+    """Render a count with thousands separators (rounded if fractional)."""
+    return f"{round(value):,}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Cells are stringified with :func:`format_float` for floats and ``str``
+    otherwise.  Column widths adapt to the longest cell.
+    """
+    rendered_rows = [
+        [format_float(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    all_rows = [list(headers)] + rendered_rows
+    widths = [max(len(row[i]) for row in all_rows) for i in range(len(headers))]
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Argument-validation helpers.
+
+All raise :class:`ValueError` with a message naming the offending
+argument, so mechanism constructors fail fast on invalid privacy
+parameters rather than producing silently unprivate releases.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Container
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value`` to be a finite number strictly greater than zero."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value`` to be a finite number greater than or equal to zero."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    if not math.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``value`` to lie in the open interval (0, 1)."""
+    if not math.isfinite(value) or value <= 0 or value >= 1:
+        raise ValueError(f"{name} must lie in (0, 1), got {value!r}")
+    return value
+
+
+def check_in(name: str, value, allowed: Container) -> object:
+    """Require ``value`` to be a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,171 @@
+"""Tests for the Sec 5.2 attacks: they succeed against input noise
+infusion and fail against the paper's private mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    isolated_establishments,
+    reidentification_attack,
+    shape_attack,
+    size_attack,
+)
+from repro.attacks.reidentification import unique_value_workers
+from repro.core import EREEParams, SmoothLaplace
+from repro.db import establishment_histograms
+from repro.sdl import InputNoiseInfusion
+
+WORKPLACE_ATTRS = ["place", "naics", "ownership"]
+WORKER_ATTRS = ["sex", "education"]
+
+
+@pytest.fixture(scope="module")
+def sdl(small_worker_full):
+    return InputNoiseInfusion(seed=31).fit(small_worker_full)
+
+
+@pytest.fixture(scope="module")
+def targets(small_worker_full):
+    found = isolated_establishments(
+        small_worker_full, WORKPLACE_ATTRS, min_size=20
+    )
+    assert found, "synthetic data must contain isolated establishments"
+    return found
+
+
+class TestTargets:
+    def test_targets_are_alone_in_their_cell(self, small_worker_full, targets):
+        from repro.db import Marginal, per_establishment_counts
+
+        marginal = Marginal(small_worker_full.table.schema, WORKPLACE_ATTRS)
+        stats = per_establishment_counts(
+            marginal.cell_index(small_worker_full.table),
+            small_worker_full.establishment,
+            marginal.n_cells,
+        )
+        for target in targets[:10]:
+            assert stats.n_establishments[target.workplace_cell] == 1
+
+    def test_min_size_respected(self, targets):
+        assert all(t.size >= 20 for t in targets)
+
+
+class TestShapeAttack:
+    def test_recovers_shape_exactly_when_usable(
+        self, small_worker_full, sdl, targets
+    ):
+        successes = 0
+        for target in targets:
+            result = shape_attack(small_worker_full, sdl, target, WORKER_ATTRS)
+            if result.usable:
+                assert result.exact, "usable shape attack must be exact"
+                successes += 1
+        assert successes > 0, "at least one establishment must be fully exposed"
+
+    def test_shape_attack_fails_against_private_release(
+        self, small_worker_full, targets
+    ):
+        """The same observation pipeline applied to a Smooth Laplace
+        release recovers a distorted shape (max error far from 0)."""
+        mechanism = SmoothLaplace(EREEParams(alpha=0.1, epsilon=1.0, delta=0.05))
+        target = max(targets, key=lambda t: t.size)
+        true = (
+            establishment_histograms(small_worker_full, WORKER_ATTRS)[
+                target.establishment
+            ]
+            .toarray()
+            .ravel()
+            .astype(float)
+        )
+        noisy = mechanism.release_counts(
+            true, np.full_like(true, target.size), seed=5
+        )
+        noisy = np.clip(noisy, 0, None)
+        recovered = noisy / noisy.sum()
+        true_shape = true / true.sum()
+        assert np.abs(recovered - true_shape).max() > 1e-3
+
+
+class TestSizeAttack:
+    def test_recovers_factor_and_size(self, small_worker_full, sdl, targets):
+        exact = 0
+        for target in targets:
+            result = size_attack(small_worker_full, sdl, target, WORKER_ATTRS)
+            if result.usable:
+                assert result.factor_error < 1e-9
+                assert result.exact
+                exact += 1
+        assert exact > 0
+
+    def test_recovered_factor_matches_secret(self, small_worker_full, sdl, targets):
+        target = max(targets, key=lambda t: t.size)
+        result = size_attack(small_worker_full, sdl, target, WORKER_ATTRS)
+        if result.usable:
+            assert result.recovered_factor == pytest.approx(
+                sdl.factors[target.establishment]
+            )
+
+    def test_empty_known_cell_rejected(self, small_worker_full, sdl, targets):
+        target = targets[0]
+        true = (
+            establishment_histograms(small_worker_full, WORKER_ATTRS)[
+                target.establishment
+            ]
+            .toarray()
+            .ravel()
+        )
+        empty_cells = np.flatnonzero(true == 0)
+        if empty_cells.size:
+            with pytest.raises(ValueError, match="vacuous"):
+                size_attack(
+                    small_worker_full, sdl, target, WORKER_ATTRS,
+                    known_cell=int(empty_cells[0]),
+                )
+
+
+class TestReidentification:
+    def _target_with_unique_worker(self, small_worker_full, targets):
+        # Small isolated establishments are the likeliest to hold a unique
+        # attribute value, so search beyond the module-level size filter.
+        candidates = targets + isolated_establishments(
+            small_worker_full, WORKPLACE_ATTRS, min_size=2
+        )
+        for target in candidates:
+            for value in unique_value_workers(
+                small_worker_full, target, "education"
+            ):
+                return target, value
+        pytest.skip("no isolated establishment with a unique education value")
+
+    def test_unique_worker_reidentified(self, small_worker_full, sdl, targets):
+        target, value = self._target_with_unique_worker(small_worker_full, targets)
+        result = reidentification_attack(
+            small_worker_full, sdl, target, WORKER_ATTRS,
+            known_attribute="education", known_value=value,
+        )
+        assert result.succeeded
+        assert result.candidate_profiles == (result.true_profile,)
+
+    def test_precondition_checked(self, small_worker_full, sdl, targets):
+        """Attacking a value held by several workers is rejected."""
+        target = max(targets, key=lambda t: t.size)
+        rows = np.flatnonzero(
+            small_worker_full.establishment == target.establishment
+        )
+        codes = small_worker_full.table.column("education")[rows]
+        counts = np.bincount(codes, minlength=4)
+        common = int(np.argmax(counts))
+        if counts[common] > 1:
+            value = small_worker_full.table.schema["education"].decode(common)
+            with pytest.raises(ValueError, match="expected exactly 1"):
+                reidentification_attack(
+                    small_worker_full, sdl, target, WORKER_ATTRS,
+                    known_attribute="education", known_value=value,
+                )
+
+    def test_known_attribute_must_be_published(self, small_worker_full, sdl, targets):
+        with pytest.raises(ValueError, match="part of the published"):
+            reidentification_attack(
+                small_worker_full, sdl, targets[0], WORKER_ATTRS,
+                known_attribute="race", known_value="Asian",
+            )

@@ -1,0 +1,74 @@
+"""Shared fixtures: a hand-built tiny dataset for exact assertions and a
+session-scoped generated snapshot for integration-style tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate
+from repro.db import Attribute, Schema, Table, WorkerFull, join_worker_full
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A generated snapshot, small but structurally faithful (~8k jobs)."""
+    return generate(SyntheticConfig(target_jobs=8_000, seed=123))
+
+
+@pytest.fixture(scope="session")
+def small_worker_full(small_dataset):
+    return small_dataset.worker_full()
+
+
+@pytest.fixture()
+def tiny_schema_worker():
+    return Schema(
+        [
+            Attribute("sex", ("M", "F")),
+            Attribute("education", ("HS", "BA")),
+        ]
+    )
+
+
+@pytest.fixture()
+def tiny_schema_workplace():
+    return Schema(
+        [
+            Attribute("naics", ("11", "62")),
+            Attribute("place", ("P1", "P2")),
+        ]
+    )
+
+
+@pytest.fixture()
+def tiny_worker_full(tiny_schema_worker, tiny_schema_workplace) -> WorkerFull:
+    """Three establishments, seven workers; exact counts known by hand.
+
+    Establishment 0: ("11", "P1") with workers (M,HS), (M,BA), (F,BA)
+    Establishment 1: ("62", "P1") with workers (F,HS), (F,HS)
+    Establishment 2: ("62", "P2") with workers (M,HS), (F,BA)
+    """
+    worker = Table.from_records(
+        tiny_schema_worker,
+        [
+            {"sex": "M", "education": "HS"},
+            {"sex": "M", "education": "BA"},
+            {"sex": "F", "education": "BA"},
+            {"sex": "F", "education": "HS"},
+            {"sex": "F", "education": "HS"},
+            {"sex": "M", "education": "HS"},
+            {"sex": "F", "education": "BA"},
+        ],
+    )
+    workplace = Table.from_records(
+        tiny_schema_workplace,
+        [
+            {"naics": "11", "place": "P1"},
+            {"naics": "62", "place": "P1"},
+            {"naics": "62", "place": "P2"},
+        ],
+    )
+    job_worker = np.arange(7)
+    job_establishment = np.array([0, 0, 0, 1, 1, 2, 2])
+    return join_worker_full(worker, workplace, job_worker, job_establishment)

@@ -1,0 +1,135 @@
+"""Tests for the ER-EE composition rules (Theorems 7.3-7.5) and the
+marginal budget arithmetic (the d·eps rule of Sec 8)."""
+
+import pytest
+
+from repro.core import EREEParams, EREEAccountant, marginal_budget, worker_domain_size
+from repro.core.composition import MARGINAL, SINGLE_QUERY
+from repro.data import SyntheticConfig, generate
+from repro.dp.composition import PrivacyBudgetExceeded
+
+WORKER_ATTRS = ("age", "sex", "race", "ethnicity", "education")
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return generate(SyntheticConfig(target_jobs=1000, seed=1)).worker_full().table.schema
+
+
+class TestWorkerDomainSize:
+    def test_no_worker_attrs(self, schema):
+        assert worker_domain_size(schema, ("place", "naics"), WORKER_ATTRS) == 1
+
+    def test_sex_education(self, schema):
+        assert (
+            worker_domain_size(
+                schema, ("place", "naics", "sex", "education"), WORKER_ATTRS
+            )
+            == 8
+        )
+
+    def test_full_worker_domain(self, schema):
+        expected = 8 * 2 * 7 * 2 * 4  # age, sex, race, ethnicity, education
+        assert worker_domain_size(schema, WORKER_ATTRS, WORKER_ATTRS) == expected
+
+
+class TestMarginalBudget:
+    def test_strong_marginal_keeps_full_epsilon(self, schema):
+        params = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+        budget = marginal_budget(
+            params, schema, ("place", "naics", "sex"), WORKER_ATTRS, "strong"
+        )
+        assert budget.per_cell.epsilon == 2.0
+        assert budget.total.epsilon == 2.0
+
+    def test_weak_establishment_marginal_keeps_full_epsilon(self, schema):
+        params = EREEParams(alpha=0.1, epsilon=2.0)
+        budget = marginal_budget(
+            params, schema, ("place", "naics"), WORKER_ATTRS, "weak"
+        )
+        assert budget.per_cell.epsilon == 2.0
+        assert budget.worker_domain == 1
+
+    def test_weak_worker_marginal_splits_epsilon(self, schema):
+        params = EREEParams(alpha=0.1, epsilon=8.0, delta=0.05)
+        budget = marginal_budget(
+            params,
+            schema,
+            ("place", "naics", "ownership", "sex", "education"),
+            WORKER_ATTRS,
+            "weak",
+        )
+        assert budget.worker_domain == 8
+        assert budget.per_cell.epsilon == pytest.approx(1.0)
+        assert budget.total.epsilon == 8.0
+        assert budget.split_factor == 8
+
+    def test_delta_kept_per_cell(self, schema):
+        """The paper evaluates feasibility at delta=0.05 per released
+        count; the composed total is d*delta."""
+        params = EREEParams(alpha=0.1, epsilon=8.0, delta=0.05)
+        budget = marginal_budget(
+            params, schema, ("place", "sex", "education"), WORKER_ATTRS, "weak"
+        )
+        assert budget.per_cell.delta == 0.05
+        assert budget.total.delta == pytest.approx(0.4)
+
+    def test_single_query_style_keeps_full_epsilon_per_cell(self, schema):
+        params = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+        budget = marginal_budget(
+            params,
+            schema,
+            ("place", "sex", "education"),
+            WORKER_ATTRS,
+            "weak",
+            SINGLE_QUERY,
+        )
+        assert budget.per_cell.epsilon == 2.0
+        assert budget.total.epsilon == 16.0  # d = 8 sequential compositions
+
+    def test_invalid_mode_rejected(self, schema):
+        with pytest.raises(ValueError, match="mode"):
+            marginal_budget(
+                EREEParams(0.1, 1.0), schema, ("place",), WORKER_ATTRS, "medium"
+            )
+
+    def test_invalid_style_rejected(self, schema):
+        with pytest.raises(ValueError, match="budget_style"):
+            marginal_budget(
+                EREEParams(0.1, 1.0),
+                schema,
+                ("place",),
+                WORKER_ATTRS,
+                "strong",
+                "per-row",
+            )
+
+
+class TestAccountant:
+    def test_sequential_marginals_add(self, schema):
+        accountant = EREEAccountant(EREEParams(alpha=0.1, epsilon=4.0), mode="strong")
+        per_release = EREEParams(alpha=0.1, epsilon=2.0)
+        accountant.charge_marginal(schema, ("place",), WORKER_ATTRS, per_release)
+        accountant.charge_marginal(schema, ("naics",), WORKER_ATTRS, per_release)
+        assert accountant.spent().epsilon == pytest.approx(4.0)
+        with pytest.raises(PrivacyBudgetExceeded):
+            accountant.charge_marginal(
+                schema, ("ownership",), WORKER_ATTRS, per_release
+            )
+
+    def test_weak_worker_marginal_charges_requested_total(self, schema):
+        accountant = EREEAccountant(
+            EREEParams(alpha=0.1, epsilon=8.0, delta=0.5), mode="weak"
+        )
+        budget = accountant.charge_marginal(
+            schema,
+            ("place", "sex", "education"),
+            WORKER_ATTRS,
+            EREEParams(alpha=0.1, epsilon=8.0, delta=0.05),
+        )
+        assert budget.per_cell.epsilon == pytest.approx(1.0)
+        assert accountant.spent().epsilon == pytest.approx(8.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            EREEAccountant(EREEParams(alpha=0.1, epsilon=1.0), mode="stronk")

@@ -1,0 +1,48 @@
+"""Tests for the Table 1 definitions x requirements matrix."""
+
+from repro.core import PRIVACY_DEFINITIONS
+from repro.core.definitions import Satisfies, table1_rows
+
+
+class TestTable1:
+    def _by_name(self, fragment):
+        matches = [d for d in PRIVACY_DEFINITIONS if fragment in d.name]
+        assert len(matches) == 1, fragment
+        return matches[0]
+
+    def test_five_rows(self):
+        assert len(PRIVACY_DEFINITIONS) == 5
+
+    def test_input_noise_infusion_fails_all(self):
+        row = self._by_name("Input Noise Infusion")
+        assert row.individuals is Satisfies.NO
+        assert row.employer_size is Satisfies.NO
+        assert row.employer_shape is Satisfies.NO
+
+    def test_edge_dp_protects_individuals_only(self):
+        row = self._by_name("(individuals)")
+        assert row.individuals is Satisfies.YES
+        assert row.employer_size is Satisfies.NO
+
+    def test_node_dp_protects_everything(self):
+        row = self._by_name("(establishments)")
+        assert (
+            row.individuals is Satisfies.YES
+            and row.employer_size is Satisfies.YES
+            and row.employer_shape is Satisfies.YES
+        )
+
+    def test_eree_privacy_protects_everything(self):
+        row = self._by_name("ER-EE-privacy")
+        assert row.employer_size is Satisfies.YES
+
+    def test_weak_eree_size_only_for_weak_adversaries(self):
+        row = self._by_name("Weak ER-EE")
+        assert row.employer_size is Satisfies.WEAK_ADVERSARIES
+        assert row.employer_shape is Satisfies.YES
+
+    def test_rows_render(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert rows[0][1] == "No"
+        assert any("Yes*" in cell for row in rows for cell in row)

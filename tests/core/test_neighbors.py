@@ -1,0 +1,144 @@
+"""Unit tests for strong/weak α-neighbor relations and the induced metric."""
+
+import pytest
+
+from repro.core import (
+    alpha_step_distance,
+    is_strong_alpha_neighbor,
+    is_weak_alpha_neighbor,
+)
+
+# Worker attribute tuples for the tiny tables.
+M_HS, M_BA, F_HS, F_BA = ("M", "HS"), ("M", "BA"), ("F", "HS"), ("F", "BA")
+
+
+def table(**establishments):
+    return {name: tuple(workers) for name, workers in establishments.items()}
+
+
+class TestStrongNeighbors:
+    def test_add_one_worker_is_neighbor(self):
+        d1 = table(e0=[M_HS, F_HS], e1=[M_BA])
+        d2 = table(e0=[M_HS, F_HS, F_BA], e1=[M_BA])
+        assert is_strong_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_symmetric(self):
+        d1 = table(e0=[M_HS], e1=[])
+        d2 = table(e0=[M_HS, M_HS], e1=[])
+        assert is_strong_alpha_neighbor(d1, d2, 0.1)
+        assert is_strong_alpha_neighbor(d2, d1, 0.1)
+
+    def test_growth_within_alpha_band(self):
+        # 10 -> 11 workers: within (1+0.1)*10.
+        d1 = table(e0=[M_HS] * 10)
+        d2 = table(e0=[M_HS] * 11)
+        assert is_strong_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_growth_beyond_alpha_band_rejected(self):
+        # 10 -> 12 workers exceeds both (1+0.1)*10 = 11 and 10+1.
+        d1 = table(e0=[M_HS] * 10)
+        d2 = table(e0=[M_HS] * 12)
+        assert not is_strong_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_plus_one_always_allowed_for_small_establishments(self):
+        # 1 -> 2 exceeds (1+0.1)*1 but the max(..., |E|+1) clause admits it.
+        d1 = table(e0=[M_HS])
+        d2 = table(e0=[M_HS, F_BA])
+        assert is_strong_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_subset_condition_enforced(self):
+        # Same sizes changed by swapping a worker: not E ⊆ E'.
+        d1 = table(e0=[M_HS, F_HS])
+        d2 = table(e0=[M_HS, F_BA])
+        assert not is_strong_alpha_neighbor(d1, d2, alpha=0.5)
+
+    def test_two_establishments_differing_rejected(self):
+        d1 = table(e0=[M_HS], e1=[F_HS])
+        d2 = table(e0=[M_HS, M_HS], e1=[F_HS, F_HS])
+        assert not is_strong_alpha_neighbor(d1, d2, alpha=1.0)
+
+    def test_identical_tables_not_neighbors(self):
+        d1 = table(e0=[M_HS])
+        assert not is_strong_alpha_neighbor(d1, d1, alpha=0.1)
+
+    def test_different_establishment_universe_rejected(self):
+        with pytest.raises(ValueError, match="universe"):
+            is_strong_alpha_neighbor(
+                table(e0=[M_HS]), table(e1=[M_HS]), alpha=0.1
+            )
+
+    def test_large_alpha_allows_proportional_growth(self):
+        d1 = table(e0=[M_HS] * 10)
+        d2 = table(e0=[M_HS] * 15)
+        assert is_strong_alpha_neighbor(d1, d2, alpha=0.5)
+        assert not is_strong_alpha_neighbor(d1, d2, alpha=0.4)
+
+
+class TestWeakNeighbors:
+    def test_proportional_growth_per_class(self):
+        # Each class grows by exactly +1 on >= 10 workers with alpha=0.1.
+        d1 = table(e0=[M_HS] * 10 + [F_BA] * 10)
+        d2 = table(e0=[M_HS] * 11 + [F_BA] * 11)
+        assert is_weak_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_union_property_violation_detected(self):
+        """Two empty classes each gaining one worker: every singleton obeys
+        the phi bound but their union (0 -> 2) violates it — the subtlety
+        of Definition 7.3."""
+        d1 = table(e0=[M_HS] * 10)
+        d2 = table(e0=[M_HS] * 10 + [F_BA, M_BA])
+        assert not is_weak_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_single_new_class_plus_one_allowed(self):
+        d1 = table(e0=[M_HS] * 10)
+        d2 = table(e0=[M_HS] * 10 + [F_BA])
+        # phi over {F_BA}: 0 -> 1 allowed; union with M_HS: 10 -> 11 allowed.
+        assert is_weak_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_concentrated_growth_rejected_by_weak(self):
+        """The paper's 19-year-olds example: strong neighbors allow one
+        class to absorb alpha * total; weak neighbors do not."""
+        d1 = table(e0=[M_HS] * 100 + [F_BA])
+        d2 = table(e0=[M_HS] * 100 + [F_BA] * 11)
+        # Total: 101 -> 111 within alpha=0.1 of 101 -> strong OK.
+        assert is_strong_alpha_neighbor(d1, d2, alpha=0.1)
+        # But the F_BA class grew 1 -> 11, far beyond (1+alpha): weak fails.
+        assert not is_weak_alpha_neighbor(d1, d2, alpha=0.1)
+
+    def test_class_shrinkage_asymmetry_rejected(self):
+        # One class grows while another shrinks: phi monotonicity fails.
+        d1 = table(e0=[M_HS, F_BA])
+        d2 = table(e0=[M_HS, M_HS])
+        assert not is_weak_alpha_neighbor(d1, d2, alpha=1.0)
+
+
+class TestAlphaStepDistance:
+    def test_zero_distance(self):
+        assert alpha_step_distance(5, 5, 0.1) == 0
+
+    def test_one_step_within_band(self):
+        assert alpha_step_distance(10, 11, 0.1) == 1
+
+    def test_multiplicative_chain(self):
+        # 100 -> 121 needs two x1.1 steps.
+        assert alpha_step_distance(100, 121, 0.1) == 2
+
+    def test_plus_one_chain_for_small_sizes(self):
+        # From 1, steps go 1->2->3 (the +1 clause), so distance(1,3)=2.
+        assert alpha_step_distance(1, 3, 0.1) == 2
+
+    def test_symmetric(self):
+        assert alpha_step_distance(121, 100, 0.1) == alpha_step_distance(
+            100, 121, 0.1
+        )
+
+    def test_bigger_alpha_shortens_distance(self):
+        assert alpha_step_distance(100, 200, 0.5) <= alpha_step_distance(
+            100, 200, 0.1
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            alpha_step_distance(1, 2, 0.0)
+        with pytest.raises(ValueError):
+            alpha_step_distance(-1, 2, 0.1)

@@ -1,0 +1,114 @@
+"""Unit tests for EREEParams and the feasibility rules (incl. Table 2)."""
+
+import math
+
+import pytest
+
+from repro.core import EREEParams, max_alpha, min_epsilon
+
+
+class TestEREEParams:
+    def test_valid_construction(self):
+        params = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+        assert params.alpha == 0.1
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.5, float("inf")])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            EREEParams(alpha=alpha, epsilon=1.0)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(ValueError):
+            EREEParams(alpha=0.1, epsilon=epsilon)
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.0, 1.5])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(ValueError):
+            EREEParams(alpha=0.1, epsilon=1.0, delta=delta)
+
+    def test_with_epsilon(self):
+        params = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+        changed = params.with_epsilon(4.0)
+        assert changed.epsilon == 4.0
+        assert changed.alpha == 0.1 and changed.delta == 0.05
+
+    def test_log_laplace_scale(self):
+        params = EREEParams(alpha=0.1, epsilon=2.0)
+        assert params.log_laplace_scale() == pytest.approx(
+            2 * math.log(1.1) / 2.0
+        )
+
+
+class TestFeasibility:
+    def test_smooth_gamma_boundary(self):
+        """alpha + 1 < exp(eps/5): at eps=2 the max alpha is e^0.4 - 1."""
+        boundary = math.exp(2.0 / 5.0) - 1.0
+        assert EREEParams(alpha=boundary - 1e-6, epsilon=2.0).allows_smooth_gamma()
+        assert not EREEParams(alpha=boundary + 1e-6, epsilon=2.0).allows_smooth_gamma()
+
+    def test_smooth_gamma_paper_grid(self):
+        """At eps=2 all paper alphas up to 0.2 should be feasible
+        (e^0.4 - 1 ~ 0.49); at eps=0.25, none (e^0.05 - 1 ~ 0.051 > 0.05
+        barely admits 0.01 and 0.05 is excluded)."""
+        assert EREEParams(alpha=0.2, epsilon=2.0).allows_smooth_gamma()
+        assert EREEParams(alpha=0.01, epsilon=0.25).allows_smooth_gamma()
+        assert not EREEParams(alpha=0.1, epsilon=0.25).allows_smooth_gamma()
+
+    def test_smooth_laplace_requires_delta(self):
+        assert not EREEParams(alpha=0.1, epsilon=5.0, delta=0.0).allows_smooth_laplace()
+
+    def test_smooth_laplace_boundary_matches_min_epsilon(self):
+        alpha, delta = 0.1, 0.05
+        threshold = min_epsilon(alpha, delta)
+        assert EREEParams(alpha, threshold + 1e-9, delta).allows_smooth_laplace()
+        assert not EREEParams(alpha, threshold - 1e-6, delta).allows_smooth_laplace()
+
+    def test_log_laplace_bounded_mean_boundary(self):
+        """lambda = 2 ln(1+alpha)/eps < 1."""
+        params = EREEParams(alpha=0.2, epsilon=0.25)
+        assert params.log_laplace_scale() > 1
+        assert not params.log_laplace_has_bounded_mean()
+        assert EREEParams(alpha=0.01, epsilon=0.25).log_laplace_has_bounded_mean()
+
+    def test_log_laplace_relative_error_boundary(self):
+        assert EREEParams(alpha=0.1, epsilon=1.0).log_laplace_has_bounded_relative_error()
+        assert not EREEParams(alpha=0.3, epsilon=1.0).log_laplace_has_bounded_relative_error()
+
+
+class TestTable2:
+    @pytest.mark.parametrize(
+        "alpha,delta,paper_value",
+        [(0.01, 5e-4, 0.15), (0.10, 5e-4, 1.45)],
+    )
+    def test_matches_paper_where_consistent(self, alpha, delta, paper_value):
+        """The paper's delta=5e-4 column (except its alpha=.2 typo)."""
+        assert min_epsilon(alpha, delta) == pytest.approx(paper_value, abs=0.005)
+
+    def test_formula(self):
+        assert min_epsilon(0.2, 5e-4) == pytest.approx(
+            2 * math.log(1 / 5e-4) * math.log(1.2)
+        )
+
+    def test_monotone_in_alpha_and_delta(self):
+        assert min_epsilon(0.2, 0.05) > min_epsilon(0.1, 0.05)
+        assert min_epsilon(0.1, 1e-6) > min_epsilon(0.1, 0.05)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            min_epsilon(0.1, 0.0)
+        with pytest.raises(ValueError):
+            min_epsilon(0.1, 1.0)
+
+
+class TestMaxAlpha:
+    def test_inverse_of_min_epsilon(self):
+        alpha = max_alpha(epsilon=1.0, delta=0.05)
+        assert min_epsilon(alpha, 0.05) == pytest.approx(1.0)
+
+    def test_smooth_gamma_inverse(self):
+        alpha = max_alpha(epsilon=2.0)
+        assert alpha == pytest.approx(math.exp(0.4) - 1)
+
+    def test_monotone_in_epsilon(self):
+        assert max_alpha(4.0) > max_alpha(2.0)

@@ -1,0 +1,104 @@
+"""Tests for publication suites (multi-marginal releases under one budget)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EREEParams, PublicationSuite, qwi_style_suite
+from repro.core.publication import Product
+
+
+@pytest.fixture()
+def params():
+    return EREEParams(alpha=0.05, epsilon=8.0, delta=0.05)
+
+
+class TestProduct:
+    def test_valid(self):
+        product = Product("totals", ("place",), budget_share=0.5)
+        assert product.attrs == ("place",)
+
+    def test_empty_attrs_rejected(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            Product("empty", ())
+
+    def test_nonpositive_share_rejected(self):
+        with pytest.raises(ValueError):
+            Product("bad", ("place",), budget_share=0.0)
+
+
+class TestSuiteConstruction:
+    def test_chaining(self, params):
+        suite = PublicationSuite(params=params)
+        result = suite.add_product("a", ["place"]).add_product("b", ["naics"])
+        assert result is suite
+        assert [p.name for p in suite.products] == ["a", "b"]
+
+    def test_duplicate_names_rejected(self, params):
+        suite = PublicationSuite(params=params).add_product("a", ["place"])
+        with pytest.raises(ValueError, match="duplicate"):
+            suite.add_product("a", ["naics"])
+
+    def test_shares_normalized(self, params):
+        suite = (
+            PublicationSuite(params=params)
+            .add_product("a", ["place"], budget_share=3.0)
+            .add_product("b", ["naics"], budget_share=1.0)
+        )
+        per_product = suite.product_params()
+        assert per_product["a"].epsilon == pytest.approx(6.0)
+        assert per_product["b"].epsilon == pytest.approx(2.0)
+
+    def test_empty_suite_rejected(self, params):
+        with pytest.raises(ValueError, match="no products"):
+            PublicationSuite(params=params).product_params()
+
+
+class TestSuiteRelease:
+    def test_qwi_suite_releases_all_products(self, small_worker_full, params):
+        suite = qwi_style_suite(params)
+        result = suite.release(small_worker_full, seed=5)
+        assert set(result.releases) == {
+            "place-industry-ownership",
+            "county-industry-ownership",
+            "place-sex-education",
+            "place-totals",
+        }
+
+    def test_epsilon_spent_equals_budget(self, small_worker_full, params):
+        result = qwi_style_suite(params).release(small_worker_full, seed=6)
+        assert result.spent_epsilon == pytest.approx(params.epsilon, rel=1e-6)
+
+    def test_worker_product_released_weak(self, small_worker_full, params):
+        result = qwi_style_suite(params).release(small_worker_full, seed=7)
+        release = result["place-sex-education"]
+        assert release.budget.mode == "weak"
+        assert release.budget.worker_domain == 8
+
+    def test_establishment_products_released_strong(self, small_worker_full, params):
+        result = qwi_style_suite(params).release(small_worker_full, seed=8)
+        assert result["place-totals"].budget.mode == "strong"
+
+    def test_releases_are_noisy(self, small_worker_full, params):
+        result = qwi_style_suite(params).release(small_worker_full, seed=9)
+        release = result["place-totals"]
+        mask = release.released
+        assert np.abs(release.noisy[mask] - release.true[mask]).max() > 0
+
+    def test_reproducible(self, small_worker_full, params):
+        a = qwi_style_suite(params).release(small_worker_full, seed=10)
+        b = qwi_style_suite(params).release(small_worker_full, seed=10)
+        np.testing.assert_array_equal(
+            a["place-totals"].noisy, b["place-totals"].noisy
+        )
+
+    def test_infeasible_share_fails_loudly(self, small_worker_full):
+        """A product whose share leaves it below the mechanism's
+        feasibility threshold raises instead of silently degrading."""
+        tight = EREEParams(alpha=0.2, epsilon=2.0, delta=0.05)
+        suite = (
+            PublicationSuite(params=tight)
+            .add_product("big", ["place"], budget_share=0.95)
+            .add_product("tiny", ["naics"], budget_share=0.05)
+        )
+        with pytest.raises(ValueError, match="Smooth Laplace requires"):
+            suite.release(small_worker_full, seed=11)

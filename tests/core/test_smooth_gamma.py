@@ -1,0 +1,101 @@
+"""Tests for Algorithm 2 (Smooth Gamma): budget split, privacy density
+inequality across α-neighbor (count, xv) pairs, and error scaling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import EREEParams, SmoothGamma
+
+
+@pytest.fixture()
+def mechanism():
+    return SmoothGamma(EREEParams(alpha=0.1, epsilon=2.0))
+
+
+class TestBudgetSplit:
+    def test_epsilon2_pinned_at_minimum(self, mechanism):
+        assert mechanism.epsilon2 == pytest.approx(5 * math.log(1.1))
+
+    def test_epsilon1_is_remainder(self, mechanism):
+        assert mechanism.epsilon1 == pytest.approx(2.0 - 5 * math.log(1.1))
+
+    def test_dilation_radius_exactly_feasibility_boundary(self, mechanism):
+        assert math.exp(mechanism.distribution.b) == pytest.approx(1.1)
+
+    def test_infeasible_params_rejected(self):
+        with pytest.raises(ValueError, match="alpha \\+ 1 < exp"):
+            SmoothGamma(EREEParams(alpha=0.2, epsilon=0.5))
+
+    def test_feasibility_boundary(self):
+        epsilon = 5 * math.log(1.2)
+        with pytest.raises(ValueError):
+            SmoothGamma(EREEParams(alpha=0.2, epsilon=epsilon))
+        SmoothGamma(EREEParams(alpha=0.2, epsilon=epsilon + 0.01))
+
+
+class TestRelease:
+    def test_smooth_sensitivity_values(self, mechanism):
+        s = mechanism.smooth_sensitivity(np.array([0, 5, 200]))
+        np.testing.assert_allclose(s, [1.0, 1.0, 20.0])
+
+    def test_unbiased(self, mechanism):
+        draws = mechanism.release_counts(
+            np.full(300_000, 500.0), np.full(300_000, 100), seed=1
+        )
+        scale = mechanism.noise_scale(np.array([100]))[0]
+        assert abs(draws.mean() - 500.0) < 4 * scale / math.sqrt(300_000) * 10
+
+    def test_expected_l1_error_matches_lemma_8_8(self, mechanism):
+        xv = np.full(300_000, 100)
+        draws = mechanism.release_counts(np.zeros(300_000), xv, seed=2)
+        predicted = mechanism.expected_l1_error(np.array([100]))[0]
+        assert abs(np.abs(draws).mean() - predicted) < 0.05 * predicted
+
+    def test_error_scales_with_xv(self, mechanism):
+        small = mechanism.expected_l1_error(np.array([10]))[0]
+        large = mechanism.expected_l1_error(np.array([1000]))[0]
+        assert large == pytest.approx(100 * small)
+
+    def test_error_decreases_with_epsilon(self):
+        low = SmoothGamma(EREEParams(alpha=0.1, epsilon=1.0))
+        high = SmoothGamma(EREEParams(alpha=0.1, epsilon=4.0))
+        assert (
+            high.expected_l1_error(np.array([100]))[0]
+            < low.expected_l1_error(np.array([100]))[0]
+        )
+
+    def test_reproducible(self, mechanism):
+        a = mechanism.release_counts(np.arange(50.0), np.arange(50), seed=3)
+        b = mechanism.release_counts(np.arange(50.0), np.arange(50), seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPrivacyInequality:
+    """Theorem 8.4 at density level: for α-neighbor datasets the counts
+    move by at most the smooth sensitivity AND the sensitivity itself
+    dilates by at most e^b; the combined density ratio stays within e^eps."""
+
+    @pytest.mark.parametrize("alpha,epsilon", [(0.1, 2.0), (0.05, 1.0)])
+    @pytest.mark.parametrize("count,xv", [(100, 100), (500, 120), (13, 13)])
+    def test_neighbor_density_ratio(self, alpha, epsilon, count, xv):
+        mechanism = SmoothGamma(EREEParams(alpha=alpha, epsilon=epsilon))
+        # Worst-case strong α-neighbor: the largest establishment grows by
+        # a factor (1+alpha), moving the count AND inflating xv.
+        grown = math.floor((1 + alpha) * xv)
+        neighbor_count = count + (grown - xv)
+        neighbor_xv = grown
+        outputs = np.linspace(count - 400 * alpha * xv, count + 400 * alpha * xv, 30_001)
+        log_ratio = mechanism.log_density(
+            outputs, count, xv
+        ) - mechanism.log_density(outputs, neighbor_count, neighbor_xv)
+        assert np.abs(log_ratio).max() <= epsilon + 1e-6
+
+    def test_far_datasets_exceed_budget(self):
+        mechanism = SmoothGamma(EREEParams(alpha=0.1, epsilon=2.0))
+        outputs = np.linspace(-500, 1500, 20_001)
+        log_ratio = mechanism.log_density(outputs, 100, 100) - mechanism.log_density(
+            outputs, 500, 500
+        )
+        assert np.abs(log_ratio).max() > 2.0

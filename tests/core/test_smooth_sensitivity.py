@@ -1,0 +1,198 @@
+"""Tests for the smooth-sensitivity framework: Lemma 8.5's bound, the
+gamma-4 sampler, and numeric admissibility (Definition 8.3) checks."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core import (
+    GammaAdmissible,
+    LaplaceAdmissible,
+    sample_gamma4,
+    smooth_sensitivity_of_counts,
+)
+from repro.core.smooth_sensitivity import (
+    GAMMA4_EXPECTED_ABS,
+    GAMMA4_NORMALIZER,
+    add_smooth_noise,
+    gamma4_density,
+    gamma4_quantile,
+)
+
+
+class TestSmoothSensitivityBound:
+    def test_lemma_8_5_formula(self):
+        xv = np.array([0, 3, 50, 1000])
+        s = smooth_sensitivity_of_counts(xv, alpha=0.1, b=math.log(1.1))
+        np.testing.assert_allclose(s, [1.0, 1.0, 5.0, 100.0])
+
+    def test_unbounded_below_threshold(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            smooth_sensitivity_of_counts(np.array([5]), alpha=0.2, b=math.log(1.1))
+
+    def test_boundary_b_exactly_log1p_alpha(self):
+        s = smooth_sensitivity_of_counts(np.array([10]), alpha=0.2, b=math.log(1.2))
+        np.testing.assert_allclose(s, [2.0])
+
+    def test_floor_of_one(self):
+        """max(xv*alpha, 1): the +1 neighbor step keeps sensitivity >= 1."""
+        s = smooth_sensitivity_of_counts(np.array([2]), alpha=0.01, b=0.1)
+        assert s[0] == 1.0
+
+
+class TestGamma4Density:
+    def test_normalizer(self):
+        integral, _ = integrate.quad(lambda z: 1.0 / (1.0 + z**4), -np.inf, np.inf)
+        assert integral == pytest.approx(GAMMA4_NORMALIZER, rel=1e-9)
+
+    def test_density_integrates_to_one(self):
+        integral, _ = integrate.quad(gamma4_density, -np.inf, np.inf)
+        assert integral == pytest.approx(1.0, rel=1e-9)
+
+    def test_expected_abs_is_inverse_sqrt2(self):
+        """Lemma 8.8 quotes the unnormalized pi/2; normalized it is 1/sqrt2."""
+        integral, _ = integrate.quad(
+            lambda z: abs(z) * gamma4_density(z), -np.inf, np.inf
+        )
+        assert integral == pytest.approx(GAMMA4_EXPECTED_ABS, rel=1e-9)
+        assert GAMMA4_EXPECTED_ABS == pytest.approx(1 / math.sqrt(2))
+
+    def test_variance_finite(self):
+        integral, _ = integrate.quad(
+            lambda z: z * z * gamma4_density(z), -np.inf, np.inf
+        )
+        assert integral == pytest.approx(1.0, rel=1e-6)  # E[Z^2] = 1 for gamma=4
+
+
+class TestGamma4Sampler:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return sample_gamma4(400_000, seed=7)
+
+    def test_mean_zero(self, samples):
+        assert abs(samples.mean()) < 0.01
+
+    def test_expected_abs(self, samples):
+        assert abs(np.abs(samples).mean() - GAMMA4_EXPECTED_ABS) < 0.01
+
+    def test_quantiles_match_cdf_inversion(self, samples):
+        for p in (0.1, 0.25, 0.75, 0.9):
+            empirical = np.quantile(samples, p)
+            analytic = gamma4_quantile(p)
+            assert abs(empirical - analytic) < 0.02
+
+    def test_median_zero(self):
+        assert gamma4_quantile(0.5) == 0.0
+
+    def test_heavy_tail_relative_to_gaussian(self, samples):
+        """P(|Z| > 3) for h is ~ 0.0095, far above the Gaussian 0.0027."""
+        assert (np.abs(samples) > 3).mean() > 0.005
+
+    def test_histogram_matches_density(self, samples):
+        grid = np.linspace(-2, 2, 21)
+        histogram, _ = np.histogram(samples, bins=grid, density=True)
+        centers = (grid[:-1] + grid[1:]) / 2
+        np.testing.assert_allclose(histogram, gamma4_density(centers), atol=0.02)
+
+    def test_exact_size_returned(self):
+        assert sample_gamma4(1, seed=1).shape == (1,)
+        assert sample_gamma4(1000, seed=1).shape == (1000,)
+
+
+def _sliding_holds(density, a, epsilon1, grid):
+    """Density-level sliding property: h(z) <= e^eps1 h(z + Δ) for |Δ| <= a."""
+    for delta in (a, -a, a / 2):
+        ratio = density(grid) / density(grid + delta)
+        if ratio.max() > math.exp(epsilon1) * (1 + 1e-9):
+            return False
+    return True
+
+
+def _dilation_holds(density, b, epsilon2, grid):
+    """Density-level dilation: h(z) <= e^eps2 e^lam h(e^lam z) for |lam| <= b."""
+    for lam in (b, -b, b / 2):
+        ratio = density(grid) / (math.exp(lam) * density(np.exp(lam) * grid))
+        if ratio.max() > math.exp(epsilon2) * (1 + 1e-9):
+            return False
+    return True
+
+
+class TestAdmissibility:
+    """Numeric verification of Definition 8.3 for both distributions."""
+
+    GRID = np.linspace(-50, 50, 20_001)
+
+    def test_gamma_admissible_sliding(self):
+        dist = GammaAdmissible(epsilon1=1.0, epsilon2=0.5)
+        assert _sliding_holds(gamma4_density, dist.a, 1.0, self.GRID)
+
+    def test_gamma_admissible_dilation(self):
+        dist = GammaAdmissible(epsilon1=1.0, epsilon2=0.5)
+        assert _dilation_holds(gamma4_density, dist.b, 0.5, self.GRID)
+
+    def test_gamma_sliding_fails_beyond_radius(self):
+        """The bound is tight up to the (1+gamma) factor: sliding by a much
+        larger shift must break the eps1 bound."""
+        dist = GammaAdmissible(epsilon1=1.0, epsilon2=0.5)
+        big_shift = 40 * dist.a
+        ratio = gamma4_density(self.GRID) / gamma4_density(self.GRID + big_shift)
+        assert ratio.max() > math.exp(1.0)
+
+    def test_gamma_budget_split(self):
+        dist = GammaAdmissible(epsilon1=2.0, epsilon2=1.0, gamma=4.0)
+        assert dist.a == pytest.approx(0.4)
+        assert dist.b == pytest.approx(0.2)
+        assert dist.delta == 0.0
+
+    def test_gamma_requires_tail_heavier_than_two(self):
+        with pytest.raises(ValueError, match="gamma"):
+            GammaAdmissible(epsilon1=1.0, epsilon2=1.0, gamma=2.0)
+
+    def test_laplace_admissible_radii(self):
+        dist = LaplaceAdmissible(epsilon=1.0, delta=0.05)
+        assert dist.a == pytest.approx(0.5)
+        assert dist.b == pytest.approx(1.0 / (2 * math.log(20)))
+
+    def test_laplace_sliding_exact(self):
+        """Laplace(1) satisfies sliding with NO failure: ratio e^{|Δ|}."""
+        dist = LaplaceAdmissible(epsilon=1.0, delta=0.05)
+
+        def laplace_density(z):
+            return 0.5 * np.exp(-np.abs(z))
+
+        assert _sliding_holds(laplace_density, dist.a, 0.5, self.GRID)
+
+    def test_laplace_dilation_holds_within_failure_region(self):
+        """Dilation for Laplace holds only up to the delta/2 failure mass:
+        check the set-level inequality on tail sets numerically."""
+        epsilon, delta = 1.0, 0.05
+        dist = LaplaceAdmissible(epsilon=epsilon, delta=delta)
+        lam = dist.b
+        # Pr[Z > t] for Laplace(1) is 0.5 e^{-t}; compare tail masses.
+        thresholds = np.linspace(0, 20, 400)
+        mass = 0.5 * np.exp(-thresholds)
+        dilated_mass = 0.5 * np.exp(-thresholds * math.exp(lam))
+        violation = mass - np.exp(epsilon / 2) * dilated_mass
+        assert violation.max() <= delta / 2 + 1e-12
+
+    def test_laplace_expected_abs(self):
+        assert LaplaceAdmissible(epsilon=1.0, delta=0.05).expected_abs() == 1.0
+
+
+class TestAddSmoothNoise:
+    def test_scales_by_sensitivity_over_a(self):
+        dist = GammaAdmissible(epsilon1=2.5, epsilon2=1.0)  # a = 0.5
+        counts = np.zeros(100_000)
+        sensitivity = np.full(100_000, 3.0)
+        noisy = add_smooth_noise(counts, sensitivity, dist, seed=3)
+        expected_mean_abs = 3.0 / dist.a * GAMMA4_EXPECTED_ABS
+        assert abs(np.abs(noisy).mean() - expected_mean_abs) < 0.1
+
+    def test_unbiased(self):
+        dist = LaplaceAdmissible(epsilon=2.0, delta=0.05)
+        noisy = add_smooth_noise(
+            np.full(100_000, 42.0), np.ones(100_000), dist, seed=4
+        )
+        assert abs(noisy.mean() - 42.0) < 0.05

@@ -1,0 +1,99 @@
+"""Unit and structural tests for the end-to-end synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate
+from repro.data.schema import WORKER_ATTRS, WORKPLACE_ATTRS
+from repro.db import Marginal
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate(SyntheticConfig(target_jobs=20_000, seed=99))
+
+    def test_tables_present_with_schemas(self, dataset):
+        assert dataset.worker.schema.names == WORKER_ATTRS
+        assert dataset.workplace.schema.names == WORKPLACE_ATTRS
+
+    def test_job_count_near_target(self, dataset):
+        assert 0.6 * 20_000 <= dataset.n_jobs <= 1.6 * 20_000
+
+    def test_each_worker_has_exactly_one_job(self, dataset):
+        assert dataset.n_workers == dataset.n_jobs
+        assert sorted(dataset.job_worker.tolist()) == list(range(dataset.n_jobs))
+
+    def test_every_establishment_employs_someone(self, dataset):
+        assert dataset.establishment_sizes().min() >= 1
+
+    def test_sizes_right_skewed(self, dataset):
+        sizes = dataset.establishment_sizes()
+        assert sizes.mean() > 2 * np.median(sizes)
+
+    def test_establishment_geography_consistent(self, dataset):
+        place = dataset.workplace.column("place")
+        state = dataset.workplace.column("state")
+        county = dataset.workplace.column("county")
+        geography = dataset.geography
+        np.testing.assert_array_equal(geography.place_state[place], state)
+        np.testing.assert_array_equal(geography.place_county[place], county)
+
+    def test_blocks_belong_to_place(self, dataset):
+        place = dataset.workplace.column("place")
+        block = dataset.workplace.column("block")
+        geography = dataset.geography
+        for p, b in zip(place[:200], block[:200]):
+            assert int(b) in geography.blocks_of_place[int(p)]
+
+    def test_public_admin_establishments_are_public(self, dataset):
+        naics = dataset.workplace.decoded("naics")
+        ownership = dataset.workplace.decoded("ownership")
+        public_admin = naics == "92"
+        if public_admin.any():
+            assert np.all(ownership[public_admin] == "Public")
+
+    def test_deterministic_given_seed(self):
+        a = generate(SyntheticConfig(target_jobs=5_000, seed=5))
+        b = generate(SyntheticConfig(target_jobs=5_000, seed=5))
+        assert a.n_jobs == b.n_jobs
+        np.testing.assert_array_equal(
+            a.worker.column("education"), b.worker.column("education")
+        )
+        np.testing.assert_array_equal(a.job_establishment, b.job_establishment)
+
+    def test_different_seeds_differ(self):
+        a = generate(SyntheticConfig(target_jobs=5_000, seed=5))
+        b = generate(SyntheticConfig(target_jobs=5_000, seed=6))
+        assert a.n_jobs != b.n_jobs or not np.array_equal(
+            a.job_establishment, b.job_establishment
+        )
+
+    def test_marginal_cells_sparse(self, dataset):
+        worker_full = dataset.worker_full()
+        marginal = Marginal(
+            worker_full.table.schema, ["place", "naics", "ownership"]
+        )
+        counts = marginal.counts(worker_full.table)
+        # Most of the place x sector x ownership domain must be empty,
+        # mirroring the sparsity the paper highlights.
+        assert (counts == 0).mean() > 0.5
+
+    def test_summary_fields(self, dataset):
+        summary = dataset.summary()
+        assert summary["n_jobs"] == dataset.n_jobs
+        assert summary["mean_establishment_size"] > 1
+
+
+class TestDatasetAccessors:
+    def test_place_stratum_codes_cover_all_strata(self, small_dataset):
+        strata = small_dataset.place_stratum_codes()
+        assert set(strata.tolist()) == {0, 1, 2, 3}
+
+    def test_place_population_lookup(self, small_dataset):
+        populations = small_dataset.geography.place_populations
+        for code in range(min(5, len(populations))):
+            assert small_dataset.place_population(code) == int(populations[code])
+
+    def test_worker_full_cached(self, small_dataset):
+        assert small_dataset.worker_full() is small_dataset.worker_full()

@@ -1,0 +1,71 @@
+"""Unit tests for synthetic geography and the place-population strata."""
+
+import numpy as np
+import pytest
+
+from repro.data.geography import (
+    PLACE_STRATA,
+    GeographyConfig,
+    generate_geography,
+    stratum_of_population,
+)
+
+
+class TestStrata:
+    def test_four_strata(self):
+        assert len(PLACE_STRATA) == 4
+
+    @pytest.mark.parametrize(
+        "population,expected",
+        [(0, 0), (99, 0), (100, 1), (9_999, 1), (10_000, 2), (99_999, 2), (100_000, 3), (5_000_000, 3)],
+    )
+    def test_stratum_boundaries(self, population, expected):
+        assert stratum_of_population(population) == expected
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def geography(self):
+        return generate_geography(GeographyConfig(), seed=42)
+
+    def test_all_strata_populated(self, geography):
+        strata = {stratum_of_population(int(p)) for p in geography.place_populations}
+        assert strata == {0, 1, 2, 3}
+
+    def test_planned_place_counts(self, geography):
+        config = GeographyConfig()
+        counts = np.zeros(4, dtype=int)
+        for population in geography.place_populations:
+            counts[stratum_of_population(int(population))] += 1
+        assert counts.tolist() == list(config.places_per_stratum)
+
+    def test_place_names_unique(self, geography):
+        assert len(set(geography.place_names)) == geography.n_places
+
+    def test_place_county_and_state_consistent(self, geography):
+        config = GeographyConfig()
+        for i in range(geography.n_places):
+            county = geography.place_county[i]
+            assert geography.place_state[i] == county // config.counties_per_state
+
+    def test_every_place_has_blocks(self, geography):
+        assert all(len(blocks) >= 1 for blocks in geography.blocks_of_place)
+        all_blocks = [b for blocks in geography.blocks_of_place for b in blocks]
+        assert sorted(all_blocks) == list(range(len(geography.block_names)))
+
+    def test_deterministic_given_seed(self):
+        g1 = generate_geography(GeographyConfig(), seed=7)
+        g2 = generate_geography(GeographyConfig(), seed=7)
+        np.testing.assert_array_equal(g1.place_populations, g2.place_populations)
+        assert g1.place_names == g2.place_names
+
+    def test_scale_grows_place_count(self):
+        small = generate_geography(GeographyConfig(scale=1.0), seed=1)
+        large = generate_geography(GeographyConfig(scale=2.0), seed=1)
+        assert large.n_places > small.n_places
+
+    def test_place_stratum_accessor(self, geography):
+        for code in range(geography.n_places):
+            assert geography.place_stratum(code) == stratum_of_population(
+                int(geography.place_populations[code])
+            )

@@ -1,0 +1,68 @@
+"""Round-trip tests for CSV snapshot serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate
+from repro.data.io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(SyntheticConfig(target_jobs=3_000, seed=55))
+
+
+class TestRoundTrip:
+    def test_files_created(self, dataset, tmp_path):
+        directory = save_dataset(dataset, tmp_path / "snapshot")
+        for name in ("worker.csv", "workplace.csv", "job.csv", "geography.json"):
+            assert (directory / name).exists()
+
+    def test_tables_roundtrip(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "snap")
+        loaded = load_dataset(tmp_path / "snap")
+        for name in dataset.worker.schema.names:
+            np.testing.assert_array_equal(
+                loaded.worker.column(name), dataset.worker.column(name)
+            )
+        for name in dataset.workplace.schema.names:
+            np.testing.assert_array_equal(
+                loaded.workplace.column(name), dataset.workplace.column(name)
+            )
+        np.testing.assert_array_equal(loaded.job_worker, dataset.job_worker)
+        np.testing.assert_array_equal(
+            loaded.job_establishment, dataset.job_establishment
+        )
+
+    def test_geography_roundtrip(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "snap")
+        loaded = load_dataset(tmp_path / "snap")
+        assert loaded.geography.place_names == dataset.geography.place_names
+        np.testing.assert_array_equal(
+            loaded.geography.place_populations,
+            dataset.geography.place_populations,
+        )
+        assert loaded.geography.blocks_of_place == dataset.geography.blocks_of_place
+
+    def test_queries_agree_after_roundtrip(self, dataset, tmp_path):
+        from repro.db import Marginal
+
+        save_dataset(dataset, tmp_path / "snap")
+        loaded = load_dataset(tmp_path / "snap")
+        marginal_attrs = ["place", "naics", "ownership", "sex"]
+        original = Marginal(
+            dataset.worker_full().table.schema, marginal_attrs
+        ).counts(dataset.worker_full().table)
+        reloaded = Marginal(
+            loaded.worker_full().table.schema, marginal_attrs
+        ).counts(loaded.worker_full().table)
+        np.testing.assert_array_equal(original, reloaded)
+
+    def test_header_mismatch_detected(self, dataset, tmp_path):
+        directory = save_dataset(dataset, tmp_path / "snap")
+        worker_csv = directory / "worker.csv"
+        content = worker_csv.read_text(encoding="utf-8").splitlines()
+        content[0] = "bogus,header,row,x,y"
+        worker_csv.write_text("\n".join(content), encoding="utf-8")
+        with pytest.raises(ValueError, match="does not match schema"):
+            load_dataset(directory)

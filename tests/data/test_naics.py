@@ -1,0 +1,41 @@
+"""Unit tests for the NAICS sector catalogue."""
+
+import math
+
+import pytest
+
+from repro.data.naics import (
+    NAICS_SECTORS,
+    sector_by_code,
+    sector_codes,
+    sector_shares,
+)
+
+
+class TestSectors:
+    def test_twenty_sectors(self):
+        assert len(NAICS_SECTORS) == 20
+
+    def test_codes_unique(self):
+        codes = sector_codes()
+        assert len(set(codes)) == len(codes)
+
+    def test_shares_normalized(self):
+        assert math.isclose(sum(sector_shares()), 1.0, abs_tol=1e-12)
+
+    def test_lookup_by_code(self):
+        assert sector_by_code("62").name.startswith("Health Care")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            sector_by_code("99")
+
+    def test_public_administration_is_fully_public(self):
+        assert sector_by_code("92").public_share == 1.0
+
+    def test_probability_fields_in_range(self):
+        for sector in NAICS_SECTORS:
+            assert 0.0 <= sector.public_share <= 1.0
+            assert 0.0 < sector.college_share < 1.0
+            assert 0.0 < sector.female_share < 1.0
+            assert sector.size_multiplier > 0

@@ -1,0 +1,124 @@
+"""Tests for multi-year panels and the SDL time-invariance property."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SyntheticConfig
+from repro.data.panel import LODESPanel, PanelConfig, generate_panel
+from repro.db import Marginal
+from repro.sdl import InputNoiseInfusion
+
+
+@pytest.fixture(scope="module")
+def panel() -> LODESPanel:
+    return generate_panel(
+        PanelConfig(
+            base=SyntheticConfig(target_jobs=6_000, seed=77),
+            n_years=4,
+            death_rate=0.05,
+            birth_rate=0.05,
+        )
+    )
+
+
+class TestPanelStructure:
+    def test_n_years(self, panel):
+        assert panel.n_years == 4
+        assert len(panel.years) == 4
+
+    def test_registry_shared_across_years(self, panel):
+        for year in panel.years:
+            assert year.workplace is panel.workplace
+
+    def test_sizes_match_snapshots(self, panel):
+        for t in range(panel.n_years):
+            np.testing.assert_array_equal(
+                panel.year(t).establishment_sizes(), panel.sizes_by_year[t]
+            )
+
+    def test_births_inactive_before_birth_year(self, panel):
+        # Establishments beyond the initial cohort must have size 0 in
+        # year 0 and activate later.
+        initial_active = panel.sizes_by_year[0] > 0
+        later_active = (panel.sizes_by_year[1:] > 0).any(axis=0)
+        born_later = ~initial_active & later_active
+        assert born_later.any()
+
+    def test_deaths_are_permanent(self, panel):
+        sizes = panel.sizes_by_year
+        for t in range(1, panel.n_years - 1):
+            died = (sizes[t - 1] > 0) & (sizes[t] == 0)
+            if died.any():
+                assert np.all(sizes[t + 1 :, died] == 0)
+
+    def test_survivors_active_every_year(self, panel):
+        survivors = panel.survivors()
+        assert survivors.any()
+        assert np.all(panel.sizes_by_year[:, survivors] > 0)
+
+    def test_growth_is_moderate(self, panel):
+        """Lognormal shocks: year-over-year survivor sizes are correlated."""
+        survivors = panel.survivors()
+        year0 = panel.sizes_by_year[0, survivors].astype(float)
+        year1 = panel.sizes_by_year[1, survivors].astype(float)
+        correlation = np.corrcoef(np.log(year0), np.log(year1))[0, 1]
+        assert correlation > 0.9
+
+    def test_deterministic(self):
+        config = PanelConfig(
+            base=SyntheticConfig(target_jobs=2_000, seed=5), n_years=2
+        )
+        a = generate_panel(config)
+        b = generate_panel(config)
+        np.testing.assert_array_equal(a.sizes_by_year, b.sizes_by_year)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PanelConfig(n_years=0)
+        with pytest.raises(ValueError):
+            PanelConfig(death_rate=1.0)
+
+
+class TestSDLTimeInvariance:
+    """The production property: one permanent factor per establishment,
+    reused every year, so averaging over years cannot remove it."""
+
+    def test_same_factor_every_year(self, panel):
+        """One SDL fit serves every year: the registry is shared, and the
+        published aggregates equal f @ h(t) with the SAME factors f."""
+        from repro.db import establishment_histograms
+
+        sdl = InputNoiseInfusion(seed=9).fit(panel.year(0).worker_full())
+        factors_before = sdl.factors.copy()
+        for t in range(panel.n_years):
+            worker_full = panel.year(t).worker_full()
+            h = establishment_histograms(worker_full, []).toarray().ravel()
+            # Reconstruct the fuzzed total employment from the permanent
+            # factors; it must match the published COUNT(*) exactly.
+            total = Marginal(worker_full.table.schema, [])
+            published = sdl.answer_marginal(worker_full, total)
+            expected_total = float(sdl.factors @ h)
+            assert published.noisy[0] == pytest.approx(expected_total)
+        np.testing.assert_array_equal(factors_before, sdl.factors)
+
+    def test_averaging_years_does_not_remove_sdl_noise(self, panel):
+        """The multi-year mean of SDL outputs stays biased by the factor,
+        while per-year independent Laplace noise averages toward truth."""
+        sdl = InputNoiseInfusion(seed=10).fit(panel.year(0).worker_full())
+        survivors = np.flatnonzero(panel.survivors())
+        w = survivors[np.argmax(panel.sizes_by_year[0, survivors])]
+
+        true_sizes = panel.sizes_by_year[:, w].astype(float)
+        sdl_series = sdl.factors[w] * true_sizes
+        sdl_average_error = abs(sdl_series.mean() - true_sizes.mean())
+        # The relative bias of the average equals |f_w - 1| exactly.
+        assert sdl_average_error / true_sizes.mean() == pytest.approx(
+            abs(sdl.factors[w] - 1.0)
+        )
+
+        rng = np.random.default_rng(4)
+        dp_series = true_sizes + rng.laplace(0, 2.0, size=len(true_sizes))
+        dp_average_error = abs(dp_series.mean() - true_sizes.mean())
+        # Independent noise shrinks under averaging; the permanent factor
+        # does not (for a large establishment).
+        assert dp_average_error < sdl_average_error

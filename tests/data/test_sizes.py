@@ -1,0 +1,50 @@
+"""Unit tests for the skewed establishment-size model."""
+
+import numpy as np
+import pytest
+
+from repro.data.sizes import SizeModel
+
+
+class TestSizeModel:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return SizeModel().sample(50_000, seed=11)
+
+    def test_sizes_are_positive_integers(self, samples):
+        assert samples.dtype.kind == "i"
+        assert samples.min() >= 1
+
+    def test_mean_near_lodes_ratio(self, samples):
+        # LODES sample: 10.9M jobs / 527k establishments ~ 20.7.
+        assert 14 <= samples.mean() <= 28
+
+    def test_right_skew(self, samples):
+        # Heavy right skew: mean far above median, long tail present.
+        assert samples.mean() > 2 * np.median(samples)
+        assert samples.max() > 50 * np.median(samples)
+
+    def test_cap_respected(self):
+        model = SizeModel(max_size=500)
+        samples = model.sample(20_000, seed=3)
+        assert samples.max() <= 500
+
+    def test_multipliers_scale_sizes(self):
+        model = SizeModel()
+        small = model.sample(20_000, multipliers=0.5, seed=5)
+        large = model.sample(20_000, multipliers=3.0, seed=5)
+        assert large.mean() > 2 * small.mean()
+
+    def test_mean_formula_close_to_empirical(self):
+        model = SizeModel()
+        samples = model.sample(200_000, seed=17)
+        # Ceiling adds < 1; Pareto tail sampling noise allows slack.
+        assert abs(samples.mean() - model.mean()) < 0.25 * model.mean()
+
+    def test_tail_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError, match="tail_alpha"):
+            SizeModel(tail_alpha=0.9)
+
+    def test_invalid_tail_probability(self):
+        with pytest.raises(ValueError, match="tail_probability"):
+            SizeModel(tail_probability=1.5)

@@ -1,0 +1,108 @@
+"""Unit tests for worker-attribute sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.naics import NAICS_SECTORS
+from repro.data.schema import EDUCATION_VALUES, SEX_VALUES
+from repro.data.workers import (
+    AGE_PROFILE,
+    RACE_PROFILE,
+    draw_place_mixes,
+    education_profile,
+    sample_workforce,
+    sample_workforce_batch,
+)
+from repro.util import as_generator
+
+
+class TestProfiles:
+    def test_age_profile_is_distribution(self):
+        assert np.isclose(AGE_PROFILE.sum(), 1.0)
+        assert np.all(AGE_PROFILE > 0)
+
+    def test_race_profile_is_distribution(self):
+        assert np.isclose(RACE_PROFILE.sum(), 1.0)
+
+    def test_education_profile_sums_to_one(self):
+        for share in (0.05, 0.3, 0.8):
+            profile = education_profile(share)
+            assert np.isclose(profile.sum(), 1.0)
+            assert np.isclose(profile[-1], share)
+
+
+class TestPlaceMixes:
+    def test_shapes(self):
+        mixes = draw_place_mixes(12, seed=1)
+        assert mixes.race.shape == (12, len(RACE_PROFILE))
+        assert mixes.hispanic_share.shape == (12,)
+
+    def test_rows_are_distributions(self):
+        mixes = draw_place_mixes(30, seed=2)
+        np.testing.assert_allclose(mixes.race.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all((mixes.hispanic_share > 0) & (mixes.hispanic_share < 1))
+
+    def test_places_differ(self):
+        mixes = draw_place_mixes(5, seed=3)
+        assert not np.allclose(mixes.race[0], mixes.race[1])
+
+
+class TestSampling:
+    @pytest.fixture()
+    def mixes(self):
+        return draw_place_mixes(4, seed=4)
+
+    def test_single_establishment_shapes(self, mixes):
+        rng = as_generator(5)
+        columns = sample_workforce(100, sector_index=0, place_index=1,
+                                   place_mixes=mixes, rng=rng)
+        assert set(columns) == {"age", "sex", "race", "ethnicity", "education"}
+        for column in columns.values():
+            assert column.shape == (100,)
+            assert column.dtype.kind == "i"
+
+    def test_batch_matches_total_size(self, mixes):
+        rng = as_generator(6)
+        sizes = np.array([10, 0, 25, 3])
+        columns = sample_workforce_batch(
+            sizes, np.array([0, 1, 2, 3]), np.array([0, 1, 2, 3]), mixes, rng
+        )
+        for column in columns.values():
+            assert column.shape == (38,)
+
+    def test_sector_education_gradient(self, mixes):
+        """College-heavy sectors should produce more BA+ workers."""
+        rng = as_generator(7)
+        low = next(i for i, s in enumerate(NAICS_SECTORS) if s.college_share < 0.1)
+        high = next(i for i, s in enumerate(NAICS_SECTORS) if s.college_share > 0.55)
+        ba_code = EDUCATION_VALUES.index("BachelorsOrHigher")
+        low_edu = sample_workforce(5000, low, 0, mixes, rng)["education"]
+        high_edu = sample_workforce(5000, high, 0, mixes, rng)["education"]
+        assert (high_edu == ba_code).mean() > (low_edu == ba_code).mean() + 0.2
+
+    def test_sector_sex_gradient(self, mixes):
+        rng = as_generator(8)
+        male_heavy = next(
+            i for i, s in enumerate(NAICS_SECTORS) if s.female_share < 0.2
+        )
+        female_heavy = next(
+            i for i, s in enumerate(NAICS_SECTORS) if s.female_share > 0.7
+        )
+        f_code = SEX_VALUES.index("F")
+        male_sex = sample_workforce(5000, male_heavy, 0, mixes, rng)["sex"]
+        female_sex = sample_workforce(5000, female_heavy, 0, mixes, rng)["sex"]
+        assert (female_sex == f_code).mean() > (male_sex == f_code).mean() + 0.3
+
+    def test_batch_and_single_have_same_marginals(self, mixes):
+        """The vectorized batch sampler should match the per-establishment
+        sampler in distribution (not draw-by-draw)."""
+        rng_a = as_generator(9)
+        rng_b = as_generator(10)
+        single = sample_workforce(20_000, 2, 1, mixes, rng_a)
+        batch = sample_workforce_batch(
+            np.array([20_000]), np.array([2]), np.array([1]), mixes, rng_b
+        )
+        for name in ("sex", "education", "race", "ethnicity", "age"):
+            hist_single = np.bincount(single[name], minlength=10) / 20_000
+            hist_batch = np.bincount(batch[name], minlength=10) / 20_000
+            np.testing.assert_allclose(hist_single, hist_batch, atol=0.02)

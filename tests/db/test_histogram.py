@@ -1,0 +1,37 @@
+"""Unit tests for per-establishment histograms h(w, c)."""
+
+import numpy as np
+
+from repro.db import Marginal, establishment_histograms
+
+
+class TestEstablishmentHistograms:
+    def test_tiny_fixture_exact(self, tiny_worker_full):
+        h = establishment_histograms(tiny_worker_full, ["sex", "education"])
+        assert h.shape == (3, 4)
+        # Establishment 0: (M,HS), (M,BA), (F,BA); cell order MHS,MBA,FHS,FBA.
+        assert h[0].toarray().ravel().tolist() == [1, 1, 0, 1]
+        # Establishment 1: two (F,HS).
+        assert h[1].toarray().ravel().tolist() == [0, 0, 2, 0]
+        # Establishment 2: (M,HS), (F,BA).
+        assert h[2].toarray().ravel().tolist() == [1, 0, 0, 1]
+
+    def test_rows_sum_to_establishment_sizes(self, small_worker_full):
+        h = establishment_histograms(small_worker_full, ["sex", "education"])
+        np.testing.assert_array_equal(
+            np.asarray(h.sum(axis=1)).ravel(),
+            small_worker_full.establishment_sizes(),
+        )
+
+    def test_columns_sum_to_marginal(self, small_worker_full):
+        h = establishment_histograms(small_worker_full, ["sex", "education"])
+        marginal = Marginal(small_worker_full.table.schema, ["sex", "education"])
+        np.testing.assert_array_equal(
+            np.asarray(h.sum(axis=0)).ravel(),
+            marginal.counts(small_worker_full.table),
+        )
+
+    def test_empty_worker_attrs_gives_total_employment(self, tiny_worker_full):
+        h = establishment_histograms(tiny_worker_full, [])
+        assert h.shape == (3, 1)
+        assert np.asarray(h.todense()).ravel().tolist() == [3, 2, 2]

@@ -1,0 +1,102 @@
+"""Unit tests for the WorkerFull universal relation."""
+
+import numpy as np
+import pytest
+
+from repro.db import Table, WorkerFull, join_worker_full
+from repro.db.schema import Attribute, Schema
+
+
+class TestJoin:
+    def test_join_carries_both_sides(self, tiny_worker_full):
+        names = tiny_worker_full.table.schema.names
+        assert "sex" in names and "naics" in names
+
+    def test_join_row_alignment(self, tiny_worker_full):
+        # Worker 5 (M, HS) works at establishment 2 ("62", "P2").
+        row = tiny_worker_full.table.row(5)
+        assert row == {"sex": "M", "education": "HS", "naics": "62", "place": "P2"}
+
+    def test_n_jobs(self, tiny_worker_full):
+        assert tiny_worker_full.n_jobs == 7
+
+    def test_establishment_sizes(self, tiny_worker_full):
+        assert tiny_worker_full.establishment_sizes().tolist() == [3, 2, 2]
+
+    def test_out_of_range_worker_index_rejected(
+        self, tiny_schema_worker, tiny_schema_workplace
+    ):
+        worker = Table.from_records(
+            tiny_schema_worker, [{"sex": "M", "education": "HS"}]
+        )
+        workplace = Table.from_records(
+            tiny_schema_workplace, [{"naics": "11", "place": "P1"}]
+        )
+        with pytest.raises(ValueError, match="job_worker"):
+            join_worker_full(worker, workplace, np.array([5]), np.array([0]))
+
+    def test_out_of_range_establishment_index_rejected(
+        self, tiny_schema_worker, tiny_schema_workplace
+    ):
+        worker = Table.from_records(
+            tiny_schema_worker, [{"sex": "M", "education": "HS"}]
+        )
+        workplace = Table.from_records(
+            tiny_schema_workplace, [{"naics": "11", "place": "P1"}]
+        )
+        with pytest.raises(ValueError, match="job_establishment"):
+            join_worker_full(worker, workplace, np.array([0]), np.array([3]))
+
+    def test_mismatched_job_arrays_rejected(
+        self, tiny_schema_worker, tiny_schema_workplace
+    ):
+        worker = Table.from_records(
+            tiny_schema_worker, [{"sex": "M", "education": "HS"}]
+        )
+        workplace = Table.from_records(
+            tiny_schema_workplace, [{"naics": "11", "place": "P1"}]
+        )
+        with pytest.raises(ValueError, match="equal length"):
+            join_worker_full(worker, workplace, np.array([0, 0]), np.array([0]))
+
+
+class TestWorkerFull:
+    def test_filter_keeps_establishment_universe(self, tiny_worker_full):
+        filtered = tiny_worker_full.filter(
+            tiny_worker_full.table.equals_value("sex", "F")
+        )
+        assert filtered.n_jobs == 4
+        assert filtered.n_establishments == tiny_worker_full.n_establishments
+
+    def test_filtered_sizes_count_remaining_jobs(self, tiny_worker_full):
+        filtered = tiny_worker_full.filter(
+            tiny_worker_full.table.equals_value("education", "BA")
+        )
+        assert filtered.establishment_sizes().tolist() == [2, 0, 1]
+
+    def test_establishment_index_validation(self, tiny_schema_worker):
+        worker = Table.from_records(
+            tiny_schema_worker, [{"sex": "M", "education": "HS"}]
+        )
+        with pytest.raises(ValueError, match="one entry per row"):
+            WorkerFull(
+                table=worker,
+                establishment=np.array([0, 1]),
+                n_establishments=2,
+            )
+
+    def test_generated_dataset_join_consistency(self, small_dataset):
+        worker_full = small_dataset.worker_full()
+        assert worker_full.n_jobs == small_dataset.n_jobs
+        np.testing.assert_array_equal(
+            worker_full.establishment_sizes(),
+            small_dataset.establishment_sizes(),
+        )
+        # Workplace attributes are constant within an establishment.
+        place = worker_full.table.column("place")
+        estab = worker_full.establishment
+        order = np.argsort(estab, kind="mergesort")
+        grouped_estab = estab[order]
+        grouped_place = place[order]
+        same_estab = np.diff(grouped_estab) == 0
+        assert np.all(np.diff(grouped_place)[same_estab] == 0)

@@ -1,0 +1,146 @@
+"""Unit tests for marginal queries (Definition 2.1) and per-establishment
+cell statistics (the xv of Lemma 8.5)."""
+
+import numpy as np
+import pytest
+
+from repro.db import Marginal, per_establishment_counts
+from repro.db.query import EstablishmentCounts
+
+
+class TestMarginalCounts:
+    def test_count_star(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, [])
+        assert marginal.n_cells == 1
+        assert marginal.counts(tiny_worker_full.table).tolist() == [7]
+
+    def test_single_attribute(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        # 3 male, 4 female in the tiny fixture.
+        assert marginal.counts(tiny_worker_full.table).tolist() == [3, 4]
+
+    def test_two_attribute_marginal_matches_group_by(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex", "education"])
+        counts = marginal.counts(tiny_worker_full.table)
+        # (M,HS)=2, (M,BA)=1, (F,HS)=2, (F,BA)=2 in cell order.
+        assert counts.tolist() == [2, 1, 2, 2]
+
+    def test_counts_sum_to_table_size(self, small_worker_full):
+        marginal = Marginal(small_worker_full.table.schema, ["place", "naics"])
+        assert marginal.counts(small_worker_full.table).sum() == (
+            small_worker_full.n_jobs
+        )
+
+    def test_workplace_attribute_marginal(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["naics", "place"])
+        counts = marginal.counts(tiny_worker_full.table)
+        # naics=11/place=P1: 3 jobs; naics=62/P1: 2; naics=62/P2: 2.
+        assert counts.tolist() == [3, 0, 2, 2]
+
+    def test_duplicate_attrs_rejected(self, tiny_worker_full):
+        with pytest.raises(ValueError, match="distinct"):
+            Marginal(tiny_worker_full.table.schema, ["sex", "sex"])
+
+    def test_unknown_attr_rejected(self, tiny_worker_full):
+        with pytest.raises(KeyError):
+            Marginal(tiny_worker_full.table.schema, ["height"])
+
+
+class TestWeightedCounts:
+    def test_unit_weights_match_counts(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        weights = np.ones(tiny_worker_full.n_jobs)
+        np.testing.assert_allclose(
+            marginal.weighted_counts(tiny_worker_full.table, weights),
+            marginal.counts(tiny_worker_full.table).astype(float),
+        )
+
+    def test_weighted_counts_scale(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        weights = np.full(tiny_worker_full.n_jobs, 1.1)
+        np.testing.assert_allclose(
+            marginal.weighted_counts(tiny_worker_full.table, weights),
+            1.1 * marginal.counts(tiny_worker_full.table),
+        )
+
+    def test_weight_shape_mismatch_rejected(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        with pytest.raises(ValueError, match="weights shape"):
+            marginal.weighted_counts(tiny_worker_full.table, np.ones(3))
+
+
+class TestCellAddressing:
+    def test_cell_values_roundtrip(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex", "education"])
+        for flat, values in marginal.cells():
+            assert marginal.flat_index(values) == flat
+
+    def test_cell_values_out_of_range(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        with pytest.raises(IndexError):
+            marginal.cell_values(2)
+
+    def test_flat_index_wrong_arity(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        with pytest.raises(ValueError, match="expected 1"):
+            marginal.flat_index(["M", "HS"])
+
+    def test_project_onto_aggregates_cells(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex", "education"])
+        projection = marginal.project_onto(["sex"])
+        counts = marginal.counts(tiny_worker_full.table)
+        aggregated = np.bincount(projection, weights=counts, minlength=2)
+        sex_counts = Marginal(tiny_worker_full.table.schema, ["sex"]).counts(
+            tiny_worker_full.table
+        )
+        np.testing.assert_allclose(aggregated, sex_counts)
+
+    def test_project_onto_rejects_non_subset(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        with pytest.raises(ValueError, match="not among"):
+            marginal.project_onto(["education"])
+
+
+class TestPerEstablishmentCounts:
+    def test_tiny_fixture_exact(self, tiny_worker_full):
+        marginal = Marginal(tiny_worker_full.table.schema, ["naics", "place"])
+        cell_index = marginal.cell_index(tiny_worker_full.table)
+        stats = per_establishment_counts(
+            cell_index, tiny_worker_full.establishment, marginal.n_cells
+        )
+        assert isinstance(stats, EstablishmentCounts)
+        assert stats.totals.tolist() == [3, 0, 2, 2]
+        # Each workplace cell here has a single establishment.
+        assert stats.max_single.tolist() == [3, 0, 2, 2]
+        assert stats.n_establishments.tolist() == [1, 0, 1, 1]
+
+    def test_max_single_with_shared_cell(self):
+        # Two establishments in the same cell: 5 and 2 workers.
+        cell_index = np.array([0, 0, 0, 0, 0, 0, 0])
+        establishment = np.array([0, 0, 0, 0, 0, 1, 1])
+        stats = per_establishment_counts(cell_index, establishment, 1)
+        assert stats.totals.tolist() == [7]
+        assert stats.max_single.tolist() == [5]
+        assert stats.n_establishments.tolist() == [2]
+
+    def test_empty_input(self):
+        stats = per_establishment_counts(
+            np.array([], dtype=int), np.array([], dtype=int), 3
+        )
+        assert stats.totals.tolist() == [0, 0, 0]
+        assert stats.max_single.tolist() == [0, 0, 0]
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            per_establishment_counts(np.array([0]), np.array([0, 1]), 1)
+
+    def test_max_single_never_exceeds_total(self, small_worker_full):
+        marginal = Marginal(
+            small_worker_full.table.schema, ["place", "naics", "ownership"]
+        )
+        cell_index = marginal.cell_index(small_worker_full.table)
+        stats = per_establishment_counts(
+            cell_index, small_worker_full.establishment, marginal.n_cells
+        )
+        assert np.all(stats.max_single <= stats.totals)
+        assert np.all((stats.totals == 0) == (stats.n_establishments == 0))

@@ -1,0 +1,91 @@
+"""Unit tests for attributes, schemas and domain arithmetic."""
+
+import pytest
+
+from repro.db import Attribute, Schema
+
+
+class TestAttribute:
+    def test_size_counts_domain_values(self):
+        assert Attribute("sex", ("M", "F")).size == 2
+
+    def test_code_and_decode_roundtrip(self):
+        attribute = Attribute("education", ("HS", "BA", "PhD"))
+        for index, value in enumerate(attribute.values):
+            assert attribute.code(value) == index
+            assert attribute.decode(index) == value
+
+    def test_code_rejects_unknown_value(self):
+        attribute = Attribute("sex", ("M", "F"))
+        with pytest.raises(ValueError, match="not in the domain"):
+            attribute.code("X")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="non-empty domain"):
+            Attribute("sex", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Attribute("sex", ("M", "M"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Attribute("", ("a",))
+
+
+class TestSchema:
+    @pytest.fixture()
+    def schema(self):
+        return Schema(
+            [
+                Attribute("sex", ("M", "F")),
+                Attribute("education", ("HS", "BA")),
+                Attribute("age", ("young", "mid", "old")),
+            ]
+        )
+
+    def test_names_preserve_order(self, schema):
+        assert schema.names == ("sex", "education", "age")
+
+    def test_getitem_by_name(self, schema):
+        assert schema["age"].size == 3
+
+    def test_getitem_unknown_raises_keyerror(self, schema):
+        with pytest.raises(KeyError, match="no attribute 'height'"):
+            schema["height"]
+
+    def test_contains(self, schema):
+        assert "sex" in schema
+        assert "height" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([Attribute("a", (1,)), Attribute("a", (2,))])
+
+    def test_domain_size_is_product(self, schema):
+        assert schema.domain_size(["sex", "age"]) == 6
+        assert schema.domain_size() == 12
+
+    def test_domain_size_empty_marginal_is_one(self, schema):
+        assert schema.domain_size([]) == 1
+
+    def test_domain_shape(self, schema):
+        assert schema.domain_shape(["age", "sex"]) == (3, 2)
+
+    def test_subset_keeps_requested_order(self, schema):
+        sub = schema.subset(["age", "sex"])
+        assert sub.names == ("age", "sex")
+
+    def test_merge_disjoint(self, schema):
+        other = Schema([Attribute("place", ("P1",))])
+        merged = schema.merge(other)
+        assert merged.names == ("sex", "education", "age", "place")
+
+    def test_merge_overlapping_rejected(self, schema):
+        with pytest.raises(ValueError, match="sharing attributes"):
+            schema.merge(Schema([Attribute("sex", ("M",))]))
+
+    def test_equality_and_hash(self, schema):
+        clone = Schema(schema.attributes)
+        assert schema == clone
+        assert hash(schema) == hash(clone)

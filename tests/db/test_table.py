@@ -1,0 +1,117 @@
+"""Unit tests for the column-store Table."""
+
+import numpy as np
+import pytest
+
+from repro.db import Attribute, Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema([Attribute("sex", ("M", "F")), Attribute("edu", ("HS", "BA"))])
+
+
+@pytest.fixture()
+def table(schema):
+    return Table(
+        schema,
+        {
+            "sex": np.array([0, 1, 1, 0]),
+            "edu": np.array([0, 0, 1, 1]),
+        },
+    )
+
+
+class TestConstruction:
+    def test_n_rows(self, table):
+        assert table.n_rows == 4
+        assert len(table) == 4
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(ValueError, match="missing"):
+            Table(schema, {"sex": np.array([0])})
+
+    def test_extra_column_rejected(self, schema):
+        with pytest.raises(ValueError, match="not in schema"):
+            Table(
+                schema,
+                {
+                    "sex": np.array([0]),
+                    "edu": np.array([0]),
+                    "age": np.array([0]),
+                },
+            )
+
+    def test_mismatched_lengths_rejected(self, schema):
+        with pytest.raises(ValueError, match="rows"):
+            Table(schema, {"sex": np.array([0, 1]), "edu": np.array([0])})
+
+    def test_out_of_range_codes_rejected(self, schema):
+        with pytest.raises(ValueError, match="outside"):
+            Table(schema, {"sex": np.array([2]), "edu": np.array([0])})
+
+    def test_float_columns_rejected(self, schema):
+        with pytest.raises(ValueError, match="integer"):
+            Table(schema, {"sex": np.array([0.0]), "edu": np.array([0])})
+
+    def test_empty_table(self, schema):
+        empty = Table.from_records(schema, [])
+        assert empty.n_rows == 0
+
+
+class TestAccess:
+    def test_column_returns_codes(self, table):
+        assert table.column("sex").tolist() == [0, 1, 1, 0]
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.column("age")
+
+    def test_decoded(self, table):
+        assert table.decoded("sex").tolist() == ["M", "F", "F", "M"]
+
+    def test_row(self, table):
+        assert table.row(2) == {"sex": "F", "edu": "BA"}
+
+    def test_records_roundtrip(self, schema, table):
+        records = table.to_records()
+        rebuilt = Table.from_records(schema, records)
+        assert rebuilt.to_records() == records
+
+
+class TestTransforms:
+    def test_filter(self, table):
+        females = table.filter(table.equals_value("sex", "F"))
+        assert females.n_rows == 2
+        assert set(females.decoded("edu")) == {"HS", "BA"}
+
+    def test_filter_shape_mismatch_rejected(self, table):
+        with pytest.raises(ValueError, match="mask shape"):
+            table.filter(np.array([True]))
+
+    def test_take_gathers_rows(self, table):
+        taken = table.take(np.array([3, 0, 3]))
+        assert taken.decoded("edu").tolist() == ["BA", "HS", "BA"]
+
+    def test_select_projects(self, table):
+        projected = table.select(["edu"])
+        assert projected.schema.names == ("edu",)
+        assert projected.n_rows == 4
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert doubled.n_rows == 8
+
+    def test_concat_schema_mismatch_rejected(self, table, schema):
+        other_schema = Schema([Attribute("sex", ("M", "F"))])
+        other = Table(other_schema, {"sex": np.array([0])})
+        with pytest.raises(ValueError, match="different schemas"):
+            table.concat(other)
+
+    def test_with_columns_extends(self, table):
+        extra_schema = Schema([Attribute("place", ("P1", "P2"))])
+        extended = table.with_columns(
+            extra_schema, {"place": np.array([0, 0, 1, 1])}
+        )
+        assert extended.schema.names == ("sex", "edu", "place")
+        assert extended.decoded("place").tolist() == ["P1", "P1", "P2", "P2"]

@@ -1,0 +1,56 @@
+"""Unit tests for the privacy accountant (Theorem 2.1 composition)."""
+
+import pytest
+
+from repro.dp import PrivacyAccountant, PrivacySpent
+from repro.dp.composition import PrivacyBudgetExceeded
+
+
+class TestPrivacySpent:
+    def test_addition(self):
+        total = PrivacySpent(1.0, 0.01) + PrivacySpent(0.5, 0.02)
+        assert total.epsilon == 1.5
+        assert abs(total.delta - 0.03) < 1e-15
+
+    def test_maximum(self):
+        combined = PrivacySpent(1.0, 0.03).maximum(PrivacySpent(2.0, 0.01))
+        assert combined.epsilon == 2.0
+        assert combined.delta == 0.03
+
+
+class TestAccountant:
+    def test_sequential_charges_add(self):
+        accountant = PrivacyAccountant(epsilon_budget=3.0)
+        accountant.charge(1.0)
+        accountant.charge(1.5)
+        assert accountant.spent().epsilon == 2.5
+        assert accountant.remaining().epsilon == 0.5
+
+    def test_budget_exceeded_raises(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        accountant.charge(0.8)
+        with pytest.raises(PrivacyBudgetExceeded):
+            accountant.charge(0.3)
+
+    def test_rejected_charge_not_recorded(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        with pytest.raises(PrivacyBudgetExceeded):
+            accountant.charge(2.0)
+        assert accountant.spent().epsilon == 0.0
+
+    def test_delta_budget_enforced(self):
+        accountant = PrivacyAccountant(epsilon_budget=10.0, delta_budget=0.05)
+        accountant.charge(1.0, 0.04)
+        with pytest.raises(PrivacyBudgetExceeded):
+            accountant.charge(1.0, 0.02)
+
+    def test_parallel_charge_costs_maximum(self):
+        accountant = PrivacyAccountant(epsilon_budget=2.0)
+        accountant.charge_parallel([(1.0, 0.0), (2.0, 0.0), (0.5, 0.0)])
+        assert accountant.spent().epsilon == 2.0
+
+    def test_exact_budget_allowed(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        accountant.charge(0.5)
+        accountant.charge(0.5)
+        assert accountant.remaining().epsilon == pytest.approx(0.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the bipartite view and edge-DP release."""
+
+import numpy as np
+import pytest
+
+from repro.db import Marginal
+from repro.dp import BipartiteView, edge_dp_marginal
+from repro.dp.sensitivity import (
+    marginal_sensitivity_edges,
+    marginal_sensitivity_nodes,
+)
+
+
+class TestSensitivity:
+    def test_edge_sensitivity_is_one(self):
+        assert marginal_sensitivity_edges() == 1.0
+
+    def test_node_sensitivity_unbounded_without_degree_bound(self):
+        assert marginal_sensitivity_nodes() == float("inf")
+
+    def test_node_sensitivity_with_bound(self):
+        assert marginal_sensitivity_nodes(100) == 100.0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            marginal_sensitivity_nodes(-1)
+
+
+class TestBipartiteView:
+    def test_from_worker_full(self, tiny_worker_full):
+        view = BipartiteView.from_worker_full(tiny_worker_full)
+        assert view.n_edges == 7
+        assert view.max_degree() == 3
+        assert view.establishment_degrees.tolist() == [3, 2, 2]
+
+    def test_to_networkx(self, tiny_worker_full):
+        view = BipartiteView.from_worker_full(tiny_worker_full)
+        graph = view.to_networkx(tiny_worker_full)
+        assert graph.number_of_edges() == 7
+        assert graph.number_of_nodes() == 7 + 3
+        # Establishment degree in the graph matches the view.
+        assert graph.degree[("e", 0)] == 3
+
+
+class TestEdgeDP:
+    def test_noise_scale_independent_of_counts(self, small_worker_full):
+        """Edge-DP error stays O(1/eps) even for huge counts — precisely
+        why it fails the establishment-size requirement."""
+        marginal = Marginal(small_worker_full.table.schema, ["naics"])
+        true = marginal.counts(small_worker_full.table)
+        errors = []
+        for seed in range(50):
+            noisy = edge_dp_marginal(small_worker_full, marginal, 1.0, seed)
+            errors.append(np.abs(noisy - true).mean())
+        # Mean |Lap(1)| = 1; far below any establishment size.
+        assert 0.5 < np.mean(errors) < 2.0
+
+    def test_reproducible_given_seed(self, small_worker_full):
+        marginal = Marginal(small_worker_full.table.schema, ["naics"])
+        a = edge_dp_marginal(small_worker_full, marginal, 1.0, 42)
+        b = edge_dp_marginal(small_worker_full, marginal, 1.0, 42)
+        np.testing.assert_array_equal(a, b)

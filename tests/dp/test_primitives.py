@@ -1,0 +1,86 @@
+"""Unit tests for the Laplace and geometric mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_scale,
+    laplace_tail_bound,
+)
+
+
+class TestLaplaceScale:
+    def test_scale(self):
+        assert laplace_scale(epsilon=2.0, sensitivity=4.0) == 2.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            laplace_scale(epsilon=0.0, sensitivity=1.0)
+
+    def test_tail_bound_paper_example(self):
+        """Sec 6: Lap(1/eps) noise exceeds log(1/p)/eps w.p. p — at eps=1,
+        p=0.01 the bound is ~4.6 (the paper's '+-5' example)."""
+        bound = laplace_tail_bound(scale=1.0, probability=0.01)
+        assert abs(bound - math.log(100)) < 1e-12
+        assert bound < 5
+
+    def test_tail_bound_empirical(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        noise = mechanism.release(np.zeros(200_000), seed=1)
+        bound = laplace_tail_bound(mechanism.scale, 0.01)
+        assert abs((np.abs(noise) > bound).mean() - 0.01) < 0.003
+
+
+class TestLaplaceMechanism:
+    def test_unbiased(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        noisy = mechanism.release(np.full(200_000, 10.0), seed=2)
+        assert abs(noisy.mean() - 10.0) < 0.1
+
+    def test_expected_l1(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        noise = mechanism.release(np.zeros(200_000), seed=3)
+        assert abs(np.abs(noise).mean() - mechanism.expected_l1_error()) < 0.1
+
+    def test_density_integrates_to_one(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        grid = np.linspace(-40, 40, 400_001)
+        integral = np.trapezoid(mechanism.density(grid), grid)
+        assert abs(integral - 1.0) < 1e-6
+
+    def test_density_ratio_bounded_for_neighbors(self):
+        """The ε-DP inequality at density level for counts differing by Δ=1."""
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        grid = np.linspace(-20, 20, 2001)
+        ratio = mechanism.density(grid) / mechanism.density(grid - 1.0)
+        assert ratio.max() <= math.exp(1.0) + 1e-9
+
+
+class TestGeometricMechanism:
+    def test_integer_outputs(self):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        noisy = mechanism.release(np.array([5, 7, 0]), seed=4)
+        assert noisy.dtype.kind == "i"
+
+    def test_unbiased(self):
+        mechanism = GeometricMechanism(epsilon=0.8)
+        noisy = mechanism.release(np.full(200_000, 3), seed=5)
+        assert abs(noisy.mean() - 3.0) < 0.05
+
+    def test_expected_l1_matches_formula(self):
+        mechanism = GeometricMechanism(epsilon=0.8)
+        noise = mechanism.release(np.zeros(200_000, dtype=int), seed=6)
+        assert abs(np.abs(noise).mean() - mechanism.expected_l1_error()) < 0.05
+
+    def test_epsilon_ratio_property(self):
+        """Pr[X=k]/Pr[X=k+1] = e^eps for the two-sided geometric."""
+        mechanism = GeometricMechanism(epsilon=1.2)
+        noise = mechanism.release(np.zeros(2_000_000, dtype=int), seed=7)
+        values, counts = np.unique(noise, return_counts=True)
+        frequencies = dict(zip(values.tolist(), counts.tolist()))
+        ratio = frequencies[0] / frequencies[1]
+        assert abs(ratio - math.exp(1.2)) < 0.15

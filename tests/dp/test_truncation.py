@@ -1,0 +1,54 @@
+"""Unit tests for the node-DP Truncated Laplace baseline."""
+
+import numpy as np
+import pytest
+
+from repro.db import Marginal
+from repro.dp import TruncatedLaplace
+
+
+class TestTruncation:
+    def test_removes_establishments_at_or_above_theta(self, small_worker_full):
+        sizes = small_worker_full.establishment_sizes()
+        theta = int(np.percentile(sizes, 90))
+        marginal = Marginal(
+            small_worker_full.table.schema, ["place", "naics", "ownership"]
+        )
+        result = TruncatedLaplace(theta=theta, epsilon=4.0).release(
+            small_worker_full, marginal, seed=1
+        )
+        assert result.n_establishments_removed == int((sizes >= theta).sum())
+        assert result.n_jobs_removed == int(sizes[sizes >= theta].sum())
+
+    def test_truncated_counts_below_true(self, small_worker_full):
+        marginal = Marginal(small_worker_full.table.schema, ["naics"])
+        result = TruncatedLaplace(theta=50, epsilon=4.0).release(
+            small_worker_full, marginal, seed=2
+        )
+        assert np.all(result.truncated_true <= result.true)
+        assert np.all(result.truncation_bias >= 0)
+
+    def test_bias_is_epsilon_independent(self, small_worker_full):
+        """Finding 6: the truncation bias does not shrink with epsilon."""
+        marginal = Marginal(small_worker_full.table.schema, ["naics"])
+        low = TruncatedLaplace(theta=50, epsilon=0.25).release(
+            small_worker_full, marginal, seed=3
+        )
+        high = TruncatedLaplace(theta=50, epsilon=16.0).release(
+            small_worker_full, marginal, seed=3
+        )
+        np.testing.assert_array_equal(low.truncation_bias, high.truncation_bias)
+        assert low.truncation_bias.sum() > 0
+
+    def test_small_theta_removes_most_employment(self, small_worker_full):
+        marginal = Marginal(small_worker_full.table.schema, ["naics"])
+        result = TruncatedLaplace(theta=2, epsilon=4.0).release(
+            small_worker_full, marginal, seed=4
+        )
+        assert result.n_jobs_removed > 0.5 * small_worker_full.n_jobs
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TruncatedLaplace(theta=0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            TruncatedLaplace(theta=10, epsilon=-1.0)

@@ -1,0 +1,50 @@
+"""Tests for the Table 1 / Table 2 generators."""
+
+import pytest
+
+from repro.experiments.tables import (
+    PAPER_TABLE2,
+    table1_text,
+    table2_rows,
+    table2_text,
+)
+
+
+class TestTable1Text:
+    def test_contains_all_definitions(self):
+        text = table1_text()
+        for fragment in ("Input Noise Infusion", "ER-EE-privacy", "Weak ER-EE"):
+            assert fragment in text
+
+    def test_contains_weak_adversary_marker(self):
+        assert "Yes*" in table1_text()
+
+
+class TestTable2:
+    def test_six_rows(self):
+        assert len(table2_rows()) == 6
+
+    def test_rows_carry_paper_values(self):
+        rows = table2_rows()
+        for row in rows:
+            key = (row["delta"], row["alpha"])
+            assert row["paper_epsilon"] == PAPER_TABLE2[key]
+
+    def test_consistent_entries_match_paper(self):
+        rows = {(r["delta"], r["alpha"]): r for r in table2_rows()}
+        # The delta=5e-4 column matches for alpha=.01 and .10.
+        assert rows[(5e-4, 0.01)]["min_epsilon"] == pytest.approx(0.15, abs=0.005)
+        assert rows[(5e-4, 0.10)]["min_epsilon"] == pytest.approx(1.45, abs=0.005)
+
+    def test_monotone_in_alpha(self):
+        rows = table2_rows()
+        by_delta = {}
+        for row in rows:
+            by_delta.setdefault(row["delta"], []).append(row["min_epsilon"])
+        for values in by_delta.values():
+            assert values == sorted(values)
+
+    def test_text_rendering(self):
+        text = table2_text()
+        assert "min eps (ours)" in text
+        assert "min eps (paper)" in text

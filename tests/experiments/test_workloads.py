@@ -1,0 +1,36 @@
+"""Unit tests for the workload and ranking definitions."""
+
+from repro.core.composition import MARGINAL, SINGLE_QUERY
+from repro.experiments import (
+    RANKING_1,
+    RANKING_2,
+    WORKLOAD_1,
+    WORKLOAD_2,
+    WORKLOAD_3,
+)
+
+
+class TestWorkloads:
+    def test_workload1_establishment_only(self):
+        assert WORKLOAD_1.attrs == ("place", "naics", "ownership")
+        assert not WORKLOAD_1.has_worker_attrs
+        assert WORKLOAD_1.budget_style == MARGINAL
+
+    def test_workload2_single_queries(self):
+        assert "sex" in WORKLOAD_2.attrs and "education" in WORKLOAD_2.attrs
+        assert WORKLOAD_2.budget_style == SINGLE_QUERY
+        assert WORKLOAD_2.has_worker_attrs
+
+    def test_workload3_same_attrs_as_2_but_marginal_budget(self):
+        assert WORKLOAD_3.attrs == WORKLOAD_2.attrs
+        assert WORKLOAD_3.budget_style == MARGINAL
+
+    def test_ranking1_over_workload1(self):
+        assert RANKING_1.workload is WORKLOAD_1
+
+    def test_ranking2_filters_females_with_college(self):
+        filters = dict(RANKING_2.workload.filters)
+        assert filters == {"sex": "F", "education": "BachelorsOrHigher"}
+        assert RANKING_2.workload.has_worker_attrs
+        # The marginal itself is over establishment attributes only.
+        assert RANKING_2.workload.attrs == ("place", "naics", "ownership")

@@ -1,0 +1,147 @@
+"""Tests for the geographically consistent release extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import EREEParams
+from repro.extensions import (
+    reconcile_two_level,
+    release_hierarchy,
+)
+from repro.extensions.hierarchical import (
+    schema_place_to_county,
+    schema_place_to_state,
+)
+
+PARAMS = EREEParams(alpha=0.1, epsilon=4.0, delta=0.05)
+CHILD = ["place", "naics", "ownership"]
+PARENT = ["county", "naics", "ownership"]
+
+
+class TestReconcile:
+    def test_constraint_satisfied(self):
+        children = np.array([10.0, 20.0, 5.0, 7.0])
+        parent_of_child = np.array([0, 0, 1, 1])
+        parents = np.array([33.0, 10.0])
+        adjusted_children, adjusted_parents = reconcile_two_level(
+            children, np.full(4, 2.0), parents, np.full(2, 2.0), parent_of_child
+        )
+        sums = np.bincount(parent_of_child, weights=adjusted_children)
+        np.testing.assert_allclose(sums, adjusted_parents)
+
+    def test_no_discrepancy_no_change(self):
+        children = np.array([10.0, 20.0])
+        parents = np.array([30.0])
+        adjusted_children, adjusted_parents = reconcile_two_level(
+            children, np.ones(2), parents, np.ones(1), np.zeros(2, dtype=int)
+        )
+        np.testing.assert_allclose(adjusted_children, children)
+        np.testing.assert_allclose(adjusted_parents, parents)
+
+    def test_low_variance_parent_dominates(self):
+        """A near-exact parent barely moves; children absorb the shift."""
+        children = np.array([10.0, 10.0])
+        parents = np.array([30.0])
+        adjusted_children, adjusted_parents = reconcile_two_level(
+            children, np.full(2, 100.0), parents, np.full(1, 1e-6),
+            np.zeros(2, dtype=int),
+        )
+        assert abs(adjusted_parents[0] - 30.0) < 1e-3
+        np.testing.assert_allclose(adjusted_children, [15.0, 15.0], atol=1e-3)
+
+    def test_variance_weighting(self):
+        """The noisier child takes more of the adjustment."""
+        children = np.array([10.0, 10.0])
+        parents = np.array([26.0])
+        adjusted_children, _ = reconcile_two_level(
+            children, np.array([1.0, 5.0]), parents, np.array([1.0]),
+            np.zeros(2, dtype=int),
+        )
+        shift = adjusted_children - children
+        assert shift[1] == pytest.approx(5 * shift[0])
+
+    def test_invalid_variances(self):
+        with pytest.raises(ValueError, match="positive"):
+            reconcile_two_level(
+                np.ones(1), np.zeros(1), np.ones(1), np.ones(1),
+                np.zeros(1, dtype=int),
+            )
+
+
+class TestGeographyMaps:
+    def test_place_to_county_nesting(self, small_dataset):
+        schema = small_dataset.worker_full().table.schema
+        mapping = schema_place_to_county(schema)
+        geography = small_dataset.geography
+        np.testing.assert_array_equal(mapping, geography.place_county)
+
+    def test_place_to_state_nesting(self, small_dataset):
+        schema = small_dataset.worker_full().table.schema
+        mapping = schema_place_to_state(schema)
+        np.testing.assert_array_equal(mapping, small_dataset.geography.place_state)
+
+
+class TestReleaseHierarchy:
+    @pytest.fixture(scope="class")
+    def hierarchy(self, small_worker_full):
+        return release_hierarchy(
+            small_worker_full, CHILD, PARENT, "smooth-laplace", PARAMS, seed=11
+        )
+
+    def test_budget_split(self, hierarchy):
+        assert hierarchy.total_epsilon == pytest.approx(PARAMS.epsilon)
+
+    def test_raw_release_inconsistent(self, hierarchy):
+        assert hierarchy.consistency_gap(consistent=False) > 1.0
+
+    def test_reconciled_release_consistent(self, hierarchy):
+        assert hierarchy.consistency_gap(consistent=True) < 1e-6
+
+    def test_reconciliation_improves_both_levels(self, small_worker_full):
+        """Averaged over trials, reconciled errors beat raw errors."""
+        raw_child, rec_child, raw_parent, rec_parent = [], [], [], []
+        for trial in range(6):
+            h = release_hierarchy(
+                small_worker_full, CHILD, PARENT, "smooth-laplace", PARAMS,
+                seed=100 + trial,
+            )
+            child_mask = h.child.released & (h.child.true > 0)
+            parent_mask = h.parent.released & (h.parent.true > 0)
+            raw_child.append(
+                np.abs(h.child.noisy[child_mask] - h.child.true[child_mask]).mean()
+            )
+            rec_child.append(
+                np.abs(
+                    h.child_consistent[child_mask] - h.child.true[child_mask]
+                ).mean()
+            )
+            raw_parent.append(
+                np.abs(h.parent.noisy[parent_mask] - h.parent.true[parent_mask]).mean()
+            )
+            rec_parent.append(
+                np.abs(
+                    h.parent_consistent[parent_mask] - h.parent.true[parent_mask]
+                ).mean()
+            )
+        assert np.mean(rec_child) < np.mean(raw_child)
+        assert np.mean(rec_parent) < np.mean(raw_parent)
+
+    def test_log_laplace_rejected(self, small_worker_full):
+        with pytest.raises(ValueError, match="variance"):
+            release_hierarchy(
+                small_worker_full, CHILD, PARENT, "log-laplace", PARAMS, seed=1
+            )
+
+    def test_unrelated_parent_attr_rejected(self, small_worker_full):
+        with pytest.raises(ValueError, match="cannot derive"):
+            release_hierarchy(
+                small_worker_full, ["naics", "ownership"], PARENT,
+                "smooth-laplace", PARAMS, seed=1,
+            )
+
+    def test_state_level_rollup(self, small_worker_full):
+        hierarchy = release_hierarchy(
+            small_worker_full, ["place", "naics"], ["state", "naics"],
+            "smooth-laplace", PARAMS, seed=12,
+        )
+        assert hierarchy.consistency_gap(consistent=True) < 1e-6

@@ -1,0 +1,65 @@
+"""Tests for released-output post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    clamp_nonnegative,
+    rescale_to_total,
+    round_to_integers,
+)
+
+
+class TestClamp:
+    def test_negatives_zeroed(self):
+        result = clamp_nonnegative(np.array([-3.0, 0.0, 2.5]))
+        assert result.tolist() == [0.0, 0.0, 2.5]
+
+    def test_positives_untouched(self):
+        values = np.array([1.0, 5.0])
+        np.testing.assert_array_equal(clamp_nonnegative(values), values)
+
+
+class TestRounding:
+    def test_deterministic_rounding(self):
+        result = round_to_integers(np.array([1.2, 1.8, -0.4]))
+        assert result.tolist() == [1.0, 2.0, -0.0]
+
+    def test_stochastic_rounding_values(self):
+        values = np.array([1.3] * 1000)
+        result = round_to_integers(values, stochastic=True, seed=1)
+        assert set(np.unique(result)) <= {1.0, 2.0}
+
+    def test_stochastic_rounding_unbiased(self):
+        values = np.full(200_000, 2.25)
+        result = round_to_integers(values, stochastic=True, seed=2)
+        assert abs(result.mean() - 2.25) < 0.01
+
+    def test_integer_inputs_stable(self):
+        values = np.array([3.0, 7.0])
+        np.testing.assert_array_equal(
+            round_to_integers(values, stochastic=True, seed=3), values
+        )
+
+
+class TestRescale:
+    def test_matches_released_total(self):
+        values = np.array([1.0, 3.0])
+        result = rescale_to_total(values, released_total=8.0)
+        assert result.sum() == pytest.approx(8.0)
+        assert result[1] == pytest.approx(3 * result[0])
+
+    def test_negative_entries_clamped_first(self):
+        values = np.array([-2.0, 4.0])
+        result = rescale_to_total(values, released_total=2.0)
+        assert result.tolist() == [0.0, 2.0]
+
+    def test_zero_vector_unchanged(self):
+        values = np.zeros(3)
+        np.testing.assert_array_equal(
+            rescale_to_total(values, released_total=5.0), values
+        )
+
+    def test_negative_target_becomes_zero(self):
+        result = rescale_to_total(np.array([1.0, 1.0]), released_total=-4.0)
+        assert result.sum() == 0.0

@@ -1,0 +1,152 @@
+"""Tests for the non-uniform worker-cell budget allocation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import EREEParams
+from repro.extensions import (
+    WeightedSplit,
+    optimal_split,
+    release_marginal_weighted,
+    uniform_split,
+)
+from repro.extensions.weighted_split import feasibility_floor
+
+ATTRS = ["place", "naics", "ownership", "sex", "education"]
+PARAMS = EREEParams(alpha=0.05, epsilon=16.0, delta=0.05)
+
+
+class TestSplits:
+    def test_uniform_split(self):
+        split = uniform_split(8.0, 4)
+        np.testing.assert_allclose(split.epsilons, 2.0)
+        assert split.total == pytest.approx(8.0)
+
+    def test_optimal_split_preserves_total(self):
+        split = optimal_split(10.0, np.array([100.0, 400.0, 0.0, 25.0]))
+        assert split.total == pytest.approx(10.0)
+
+    def test_optimal_split_follows_sqrt_rule(self):
+        split = optimal_split(
+            10.0, np.array([100.0, 400.0]), floor_fraction=0.2
+        )
+        # Above the uniform floor, the remaining budget splits 1:2
+        # (sqrt(100):sqrt(400)).
+        above_floor = split.epsilons - 0.2 * 10.0 / 2
+        assert above_floor[1] == pytest.approx(2 * above_floor[0])
+
+    def test_optimal_split_zero_proxy_falls_back_to_uniform(self):
+        split = optimal_split(6.0, np.zeros(3))
+        np.testing.assert_allclose(split.epsilons, 2.0)
+
+    def test_negative_proxies_clipped(self):
+        split = optimal_split(6.0, np.array([-5.0, 4.0]))
+        assert split.total == pytest.approx(6.0)
+        assert np.all(split.epsilons > 0)
+
+    def test_min_epsilon_water_filling(self):
+        split = optimal_split(
+            10.0, np.array([1.0, 10_000.0, 10_000.0]), min_epsilon=2.0
+        )
+        assert split.total == pytest.approx(10.0)
+        assert split.epsilons.min() >= 2.0 - 1e-12
+
+    def test_min_epsilon_infeasible_budget(self):
+        with pytest.raises(ValueError, match="feasibility minimum"):
+            optimal_split(1.0, np.ones(4), min_epsilon=2.0)
+
+    def test_nonpositive_epsilons_rejected(self):
+        with pytest.raises(ValueError, match="positive budget"):
+            WeightedSplit(np.array([1.0, 0.0]))
+
+
+class TestFeasibilityFloor:
+    def test_smooth_laplace_floor(self):
+        from repro.core import min_epsilon
+
+        assert feasibility_floor("smooth-laplace", PARAMS) == pytest.approx(
+            min_epsilon(PARAMS.alpha, PARAMS.delta)
+        )
+
+    def test_smooth_gamma_floor_above_constraint(self):
+        floor = feasibility_floor("smooth-gamma", PARAMS)
+        assert floor > 5 * np.log1p(PARAMS.alpha)
+
+
+class TestWeightedRelease:
+    def test_budget_conservation(self, small_worker_full):
+        result = release_marginal_weighted(
+            small_worker_full, ATTRS, "smooth-laplace", PARAMS, seed=1
+        )
+        assert result.total_epsilon == pytest.approx(PARAMS.epsilon)
+
+    def test_explicit_split_skips_pilot(self, small_worker_full):
+        split = uniform_split(PARAMS.epsilon, 8)
+        result = release_marginal_weighted(
+            small_worker_full, ATTRS, "smooth-laplace", PARAMS,
+            split=split, seed=2,
+        )
+        assert result.pilot_epsilon == 0.0
+        assert np.all(np.isnan(result.pilot_totals))
+
+    def test_explicit_split_total_checked(self, small_worker_full):
+        with pytest.raises(ValueError, match="budget"):
+            release_marginal_weighted(
+                small_worker_full, ATTRS, "smooth-laplace", PARAMS,
+                split=uniform_split(4.0, 8), seed=3,
+            )
+
+    def test_explicit_split_arity_checked(self, small_worker_full):
+        with pytest.raises(ValueError, match="cells"):
+            release_marginal_weighted(
+                small_worker_full, ATTRS, "smooth-laplace", PARAMS,
+                split=uniform_split(PARAMS.epsilon, 5), seed=4,
+            )
+
+    def test_log_laplace_rejected(self, small_worker_full):
+        with pytest.raises(ValueError, match="smooth mechanisms"):
+            release_marginal_weighted(
+                small_worker_full, ATTRS, "log-laplace", PARAMS, seed=5
+            )
+
+    def test_establishment_only_marginal_rejected(self, small_worker_full):
+        with pytest.raises(ValueError, match="worker"):
+            release_marginal_weighted(
+                small_worker_full, ["place", "naics"], "smooth-laplace",
+                PARAMS, seed=6,
+            )
+
+    def test_all_released_cells_noised(self, small_worker_full):
+        result = release_marginal_weighted(
+            small_worker_full, ATTRS, "smooth-laplace", PARAMS, seed=7
+        )
+        release = result.release
+        noised = release.released & (release.true > 0)
+        assert np.all(release.noisy[noised] != release.true[noised])
+
+    def test_public_knowledge_split_beats_uniform_on_skewed_classes(
+        self, small_worker_full
+    ):
+        """With a strongly skewed (public) allocation matching the true
+        class sensitivities, total expected error drops below uniform."""
+        from repro.core import SmoothLaplace
+        from repro.db import Marginal, per_establishment_counts
+
+        schema = small_worker_full.table.schema
+        class_marginal = Marginal(schema, ["sex", "education"])
+        stats = per_establishment_counts(
+            class_marginal.cell_index(small_worker_full.table),
+            small_worker_full.establishment,
+            class_marginal.n_cells,
+        )
+        sensitivities = np.maximum(stats.max_single * PARAMS.alpha, 1.0)
+        ideal = optimal_split(
+            PARAMS.epsilon, sensitivities, floor_fraction=0.05,
+            min_epsilon=feasibility_floor("smooth-laplace", PARAMS),
+        )
+        # Expected total error sum(S_c / eps_c) (up to the common 2x).
+        uniform_cost = float(
+            (sensitivities / (PARAMS.epsilon / class_marginal.n_cells)).sum()
+        )
+        weighted_cost = float((sensitivities / ideal.epsilons).sum())
+        assert weighted_cost <= uniform_cost + 1e-9

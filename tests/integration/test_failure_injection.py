@@ -1,0 +1,108 @@
+"""Failure injection: degenerate inputs must fail loudly or behave sanely,
+never silently release something unprivate."""
+
+import numpy as np
+import pytest
+
+from repro.core import EREEParams, release_marginal
+from repro.data import SyntheticConfig, generate
+from repro.db import Marginal, Table, join_worker_full
+from repro.data.schema import worker_schema
+from repro.sdl import InputNoiseInfusion
+
+PARAMS = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+
+
+@pytest.fixture(scope="module")
+def single_establishment_world():
+    """One establishment, three workers — the minimal live dataset."""
+    dataset = generate(SyntheticConfig(target_jobs=2_000, seed=31))
+    worker_full = dataset.worker_full()
+    first = worker_full.establishment == 0
+    worker = Table(
+        worker_schema(),
+        {
+            name: worker_full.table.column(name)[first]
+            for name in worker_schema().names
+        },
+    )
+    workplace = dataset.workplace.take(np.array([0]))
+    n = worker.n_rows
+    return join_worker_full(
+        worker, workplace, np.arange(n), np.zeros(n, dtype=np.int64)
+    )
+
+
+class TestDegenerateData:
+    def test_single_establishment_release_works(self, single_establishment_world):
+        release = release_marginal(
+            single_establishment_world, ["naics"], "smooth-laplace", PARAMS, seed=1
+        )
+        assert release.n_released >= 1
+        # The lone establishment's cell gets noise scaled to its own size.
+        cell = int(np.flatnonzero(release.true > 0)[0])
+        assert release.max_single[cell] == release.true[cell]
+
+    def test_empty_population_release(self):
+        """A filter that matches nobody: all true counts zero; released
+        cells still get noise (worker zeros are confidential)."""
+        dataset = generate(SyntheticConfig(target_jobs=2_000, seed=32))
+        worker_full = dataset.worker_full()
+        nobody = worker_full.filter(np.zeros(worker_full.n_jobs, dtype=bool))
+        release = release_marginal(
+            nobody, ["naics", "sex"], "smooth-laplace",
+            PARAMS.with_epsilon(16.0), seed=2,
+        )
+        assert np.all(release.true == 0)
+        # No establishments visible in the filtered population: nothing
+        # is released (existence comes from the population passed in).
+        assert release.n_released == 0
+
+    def test_sdl_on_empty_population(self):
+        dataset = generate(SyntheticConfig(target_jobs=2_000, seed=33))
+        worker_full = dataset.worker_full()
+        nobody = worker_full.filter(np.zeros(worker_full.n_jobs, dtype=bool))
+        sdl = InputNoiseInfusion(seed=3).fit(nobody)
+        marginal = Marginal(nobody.table.schema, ["naics"])
+        answer = sdl.answer_marginal(nobody, marginal)
+        assert np.all(answer.noisy == 0)
+
+    def test_nan_counts_rejected_by_metrics(self):
+        from repro.metrics import spearman_correlation
+
+        with_nan = np.array([1.0, float("nan"), 3.0])
+        rho = spearman_correlation(with_nan, np.array([1.0, 2.0, 3.0]))
+        # NaN propagates visibly rather than silently ranking garbage.
+        assert np.isnan(rho) or -1 <= rho <= 1
+
+
+class TestHostileParameters:
+    @pytest.mark.parametrize(
+        "mechanism,params",
+        [
+            ("smooth-gamma", EREEParams(alpha=0.5, epsilon=1.0)),
+            ("smooth-laplace", EREEParams(alpha=0.5, epsilon=1.0, delta=0.05)),
+            ("smooth-laplace", EREEParams(alpha=0.1, epsilon=1.0, delta=0.0)),
+        ],
+    )
+    def test_infeasible_mechanisms_never_release(
+        self, small_worker_full, mechanism, params
+    ):
+        with pytest.raises(ValueError):
+            release_marginal(small_worker_full, ["naics"], mechanism, params, seed=4)
+
+    def test_huge_alpha_log_laplace_still_private_not_useful(self, small_worker_full):
+        """Log-Laplace accepts any alpha; with alpha=5 the release is
+        privacy-valid but deliberately near-useless (unbounded mean)."""
+        release = release_marginal(
+            small_worker_full, ["naics"],
+            "log-laplace", EREEParams(alpha=5.0, epsilon=1.0), seed=5,
+        )
+        assert np.isfinite(release.noisy).all()
+
+    def test_budget_style_typo_rejected(self, small_worker_full):
+        with pytest.raises(ValueError, match="budget_style"):
+            release_marginal(
+                small_worker_full, ["naics"], "log-laplace", PARAMS,
+                budget_style="per-query", seed=6,
+            )

@@ -1,0 +1,77 @@
+"""Unit tests for error metrics (Definition 2.5, the Sec 10 ratio)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    error_ratio,
+    l1_error,
+    lp_error,
+    mean_l1_error,
+    relative_errors,
+    share_within_relative_error,
+)
+
+
+class TestL1:
+    def test_l1_error(self):
+        assert l1_error(np.array([1.0, 2.0]), np.array([3.0, 0.0])) == 4.0
+
+    def test_mean_l1(self):
+        assert mean_l1_error(np.array([1.0, 2.0]), np.array([3.0, 0.0])) == 2.0
+
+    def test_mean_l1_empty_is_nan(self):
+        assert math.isnan(mean_l1_error(np.array([]), np.array([])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            l1_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_zero_for_identical(self):
+        values = np.arange(10.0)
+        assert l1_error(values, values) == 0.0
+
+
+class TestLp:
+    def test_l2(self):
+        assert lp_error(np.zeros(2), np.array([3.0, 4.0]), p=2) == 5.0
+
+    def test_l1_consistency(self):
+        true = np.array([1.0, 5.0, 2.0])
+        noisy = np.array([0.0, 9.0, 2.0])
+        assert lp_error(true, noisy, p=1) == l1_error(true, noisy)
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            lp_error(np.zeros(2), np.ones(2), p=0.5)
+
+
+class TestRelative:
+    def test_relative_errors_ignore_zero_cells(self):
+        rel = relative_errors(np.array([0.0, 10.0]), np.array([5.0, 12.0]))
+        np.testing.assert_allclose(rel, [0.2])
+
+    def test_share_within_margin(self):
+        true = np.array([10.0, 10.0])
+        reference = np.array([11.0, 11.0])  # 10% relative error
+        candidate = np.array([11.5, 20.0])  # 15% and 100%
+        share = share_within_relative_error(reference, candidate, true, margin=0.1)
+        assert share == 0.5
+
+
+class TestErrorRatio:
+    def test_ratio_definition(self):
+        true = np.array([10.0, 20.0])
+        sdl = np.array([11.0, 21.0])  # L1 = 2
+        trials = [np.array([12.0, 22.0]), np.array([10.0, 20.0])]  # L1: 4, 0
+        assert error_ratio(true, trials, sdl) == pytest.approx(1.0)
+
+    def test_zero_sdl_error_gives_inf(self):
+        true = np.array([1.0])
+        assert error_ratio(true, [np.array([2.0])], true) == math.inf
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ValueError):
+            error_ratio(np.array([1.0]), [], np.array([1.0]))

@@ -1,0 +1,68 @@
+"""Unit tests for Spearman correlation, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.metrics import rank_descending, spearman_correlation
+from repro.metrics.ranking import average_ranks
+
+
+class TestAverageRanks:
+    def test_no_ties(self):
+        ranks = average_ranks(np.array([30.0, 10.0, 20.0]))
+        assert ranks.tolist() == [3.0, 1.0, 2.0]
+
+    def test_ties_share_average(self):
+        ranks = average_ranks(np.array([10.0, 10.0, 20.0]))
+        assert ranks.tolist() == [1.5, 1.5, 3.0]
+
+    def test_matches_scipy_rankdata(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 20, size=200).astype(float)
+        np.testing.assert_allclose(
+            average_ranks(values), stats.rankdata(values, method="average")
+        )
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        x = np.arange(50.0)
+        assert spearman_correlation(x, 3 * x + 2) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.arange(50.0)
+        assert spearman_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            x = rng.normal(size=100)
+            y = x + rng.normal(scale=2.0, size=100)
+            expected = stats.spearmanr(x, y).statistic
+            assert spearman_correlation(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(7)
+        x = rng.integers(0, 5, size=200).astype(float)
+        y = rng.integers(0, 5, size=200).astype(float)
+        expected = stats.spearmanr(x, y).statistic
+        assert spearman_correlation(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_degenerate_input_is_nan(self):
+        assert np.isnan(spearman_correlation(np.ones(5), np.arange(5.0)))
+        assert np.isnan(spearman_correlation(np.array([1.0]), np.array([2.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_correlation(np.ones(3), np.ones(4))
+
+
+class TestRankDescending:
+    def test_positions(self):
+        positions = rank_descending(np.array([5.0, 30.0, 10.0]))
+        assert positions.tolist() == [2, 0, 1]
+
+    def test_ties_break_by_index(self):
+        positions = rank_descending(np.array([10.0, 10.0]))
+        assert positions.tolist() == [0, 1]

@@ -1,0 +1,50 @@
+"""Unit tests for place-population stratification of cells."""
+
+import numpy as np
+import pytest
+
+from repro.db import Marginal
+from repro.metrics import STRATUM_LABELS, cell_strata, stratified_mask
+
+
+class TestCellStrata:
+    def test_labels(self):
+        assert len(STRATUM_LABELS) == 4
+
+    def test_strata_follow_place(self, small_dataset):
+        worker_full = small_dataset.worker_full()
+        marginal = Marginal(
+            worker_full.table.schema, ["place", "naics", "ownership"]
+        )
+        strata = cell_strata(marginal, small_dataset.geography.place_populations)
+        assert strata.shape == (marginal.n_cells,)
+        place_strata = small_dataset.place_stratum_codes()
+        # Spot-check: every cell's stratum equals its place's stratum.
+        for flat in range(0, marginal.n_cells, 97):
+            place_value = marginal.cell_values(flat)[0]
+            place_code = worker_full.table.schema["place"].code(place_value)
+            assert strata[flat] == place_strata[place_code]
+
+    def test_requires_place_attribute(self, small_dataset):
+        worker_full = small_dataset.worker_full()
+        marginal = Marginal(worker_full.table.schema, ["naics"])
+        with pytest.raises(ValueError, match="place"):
+            cell_strata(marginal, small_dataset.geography.place_populations)
+
+    def test_stratified_masks_partition_cells(self, small_dataset):
+        worker_full = small_dataset.worker_full()
+        marginal = Marginal(worker_full.table.schema, ["place", "naics"])
+        populations = small_dataset.geography.place_populations
+        masks = [stratified_mask(marginal, populations, s) for s in range(4)]
+        total = np.zeros(marginal.n_cells, dtype=int)
+        for mask in masks:
+            total += mask.astype(int)
+        assert np.all(total == 1)
+
+    def test_invalid_stratum(self, small_dataset):
+        worker_full = small_dataset.worker_full()
+        marginal = Marginal(worker_full.table.schema, ["place"])
+        with pytest.raises(ValueError):
+            stratified_mask(
+                marginal, small_dataset.geography.place_populations, 4
+            )

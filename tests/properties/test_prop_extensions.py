@@ -1,0 +1,137 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.extensions import (
+    clamp_nonnegative,
+    optimal_split,
+    reconcile_two_level,
+    rescale_to_total,
+    round_to_integers,
+    uniform_split,
+)
+
+proxies = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(2, 12),
+    elements=st.floats(0.0, 1e5, allow_nan=False),
+)
+
+
+class TestSplitProperties:
+    @given(proxies, st.floats(1.0, 50.0), st.floats(0.05, 0.9))
+    @settings(max_examples=100, deadline=None)
+    def test_total_preserved(self, proxy, total, floor_fraction):
+        split = optimal_split(total, proxy, floor_fraction=floor_fraction)
+        assert np.isclose(split.total, total)
+        assert np.all(split.epsilons > 0)
+
+    @given(proxies, st.floats(1.0, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_proxy(self, proxy, total):
+        """A cell with a larger proxy never gets a smaller budget."""
+        split = optimal_split(total, proxy)
+        order = np.argsort(proxy)
+        budgets = split.epsilons[order]
+        assert np.all(np.diff(budgets) >= -1e-9)
+
+    @given(st.integers(2, 12), st.floats(1.0, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_proxy_reduces_to_uniform_split(self, d, total):
+        constant = np.full(d, 7.0)
+        split = optimal_split(total, constant)
+        np.testing.assert_allclose(split.epsilons, uniform_split(total, d).epsilons)
+
+    @given(proxies, st.floats(4.0, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_min_epsilon_respected(self, proxy, total):
+        minimum = total / (2 * len(proxy))
+        split = optimal_split(total, proxy, min_epsilon=minimum)
+        assert np.all(split.epsilons >= minimum - 1e-9)
+        assert np.isclose(split.total, total)
+
+
+class TestReconcileProperties:
+    @given(
+        children=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 20),
+            elements=st.floats(-100.0, 100.0, allow_nan=False),
+        ),
+        parent_value=st.floats(-200.0, 200.0),
+        child_sigma=st.floats(0.1, 10.0),
+        parent_sigma=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_constraint_always_satisfied(
+        self, children, parent_value, child_sigma, parent_sigma
+    ):
+        parents = np.array([parent_value])
+        mapping = np.zeros(len(children), dtype=int)
+        adjusted_children, adjusted_parents = reconcile_two_level(
+            children,
+            np.full(len(children), child_sigma),
+            parents,
+            np.array([parent_sigma]),
+            mapping,
+        )
+        assert np.isclose(adjusted_children.sum(), adjusted_parents[0])
+
+    @given(
+        children=hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 20),
+            elements=st.floats(-100.0, 100.0, allow_nan=False),
+        ),
+        child_sigma=st.floats(0.1, 10.0),
+        parent_sigma=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_consistent_input_is_fixed_point(
+        self, children, child_sigma, parent_sigma
+    ):
+        parents = np.array([children.sum()])
+        adjusted_children, adjusted_parents = reconcile_two_level(
+            children,
+            np.full(len(children), child_sigma),
+            parents,
+            np.array([parent_sigma]),
+            np.zeros(len(children), dtype=int),
+        )
+        np.testing.assert_allclose(adjusted_children, children, atol=1e-9)
+        np.testing.assert_allclose(adjusted_parents, parents, atol=1e-9)
+
+
+class TestPostProcessingProperties:
+    values = hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 40),
+        elements=st.floats(-1e4, 1e4, allow_nan=False),
+    )
+
+    @given(values)
+    @settings(max_examples=80, deadline=None)
+    def test_clamp_idempotent(self, noisy):
+        once = clamp_nonnegative(noisy)
+        np.testing.assert_array_equal(clamp_nonnegative(once), once)
+
+    @given(values, st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_stochastic_rounding_within_one(self, noisy, seed):
+        rounded = round_to_integers(noisy, stochastic=True, seed=seed)
+        assert np.all(np.abs(rounded - noisy) < 1.0)
+        assert np.all(rounded == np.floor(rounded))
+
+    @given(values, st.floats(0.0, 1e5))
+    @settings(max_examples=80, deadline=None)
+    def test_rescale_hits_target(self, noisy, target):
+        clamped_sum = clamp_nonnegative(noisy).sum()
+        # Guard against overflow when the mass to rescale is denormal.
+        assume(clamped_sum == 0 or clamped_sum > 1e-6)
+        result = rescale_to_total(noisy, target)
+        if clamped_sum > 0:
+            assert np.isclose(result.sum(), target)
+        assert np.all(result >= 0)

@@ -1,0 +1,118 @@
+"""Property-based privacy and accuracy tests for the three mechanisms.
+
+The central property: for every feasible (α, ε) and every strong
+α-neighbor pair of counts, the released densities stay within e^ε of
+each other pointwise — checked on dense output grids for randomly drawn
+parameters, not just the hand-picked cases of the unit tests.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EREEParams, LogLaplace, SmoothGamma, SmoothLaplace
+
+alphas = st.floats(0.01, 0.3)
+epsilons = st.floats(0.25, 8.0)
+counts = st.integers(0, 20_000)
+
+
+class TestLogLaplacePrivacyProperty:
+    @given(alpha=alphas, epsilon=epsilons, count=counts)
+    @settings(max_examples=80, deadline=None)
+    def test_neighbor_density_ratio_bounded(self, alpha, epsilon, count):
+        mechanism = LogLaplace(EREEParams(alpha=alpha, epsilon=epsilon))
+        neighbors = {count + 1, math.ceil((1 + alpha) * count)} - {count}
+        span = max(count, 10)
+        outputs = np.linspace(
+            -mechanism.gamma + 1e-9, count + 20 * span, 3001
+        )
+        for other in neighbors:
+            ratio = mechanism.log_density(outputs, count) - mechanism.log_density(
+                outputs, other
+            )
+            assert np.abs(ratio).max() <= epsilon + 1e-7
+
+    @given(alpha=alphas, epsilon=st.floats(1.0, 8.0), count=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_debiased_mean(self, alpha, epsilon, count):
+        params = EREEParams(alpha=alpha, epsilon=epsilon)
+        mechanism = LogLaplace(params, debias=True)
+        assume(mechanism.scale < 0.9)
+        draws = mechanism.release_counts(np.full(40_000, float(count)), seed=1)
+        tolerance = 6 * (count + mechanism.gamma) / math.sqrt(40_000) * 3
+        assert abs(draws.mean() - count) < max(tolerance, 1.0)
+
+
+class TestSmoothMechanismPrivacyProperty:
+    @given(
+        alpha=st.floats(0.02, 0.25),
+        slack=st.floats(0.3, 4.0),
+        count=st.integers(1, 5_000),
+        share=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_smooth_gamma_neighbor_ratio(self, alpha, slack, count, share):
+        epsilon = 5 * math.log1p(alpha) + slack
+        mechanism = SmoothGamma(EREEParams(alpha=alpha, epsilon=epsilon))
+        xv = max(1, int(count * share))
+        grown = math.floor((1 + alpha) * xv)
+        neighbor = (count + (grown - xv), grown)
+        scale = mechanism.noise_scale(np.array([max(xv, neighbor[1])]))[0]
+        outputs = np.linspace(count - 60 * scale, count + 60 * scale, 4001)
+        ratio = mechanism.log_density(outputs, count, xv) - mechanism.log_density(
+            outputs, neighbor[0], neighbor[1]
+        )
+        assert np.abs(ratio).max() <= epsilon + 1e-6
+
+    @given(
+        alpha=st.floats(0.02, 0.25),
+        count=st.integers(1, 5_000),
+        share=st.floats(0.05, 1.0),
+        delta=st.floats(0.01, 0.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_smooth_laplace_central_region_ratio(self, alpha, count, share, delta):
+        epsilon = 2 * math.log(1 / delta) * math.log1p(alpha) + 0.5
+        mechanism = SmoothLaplace(EREEParams(alpha=alpha, epsilon=epsilon, delta=delta))
+        xv = max(1, int(count * share))
+        grown = math.floor((1 + alpha) * xv)
+        neighbor = (count + (grown - xv), grown)
+        scale = mechanism.noise_scale(np.array([xv]))[0]
+        radius = scale * math.log(1 / delta)
+        outputs = np.linspace(count - radius, count + radius, 3001)
+        ratio = mechanism.log_density(outputs, count, xv) - mechanism.log_density(
+            outputs, neighbor[0], neighbor[1]
+        )
+        assert np.abs(ratio).max() <= epsilon + 1e-6
+
+
+class TestAccuracyProperties:
+    @given(
+        alpha=st.floats(0.02, 0.2),
+        count=st.integers(0, 100_000),
+        xv=st.integers(0, 50_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_smooth_laplace_error_formula(self, alpha, count, xv):
+        assume(xv <= max(count, 1))
+        params = EREEParams(alpha=alpha, epsilon=4.0, delta=0.05)
+        assume(params.allows_smooth_laplace())
+        mechanism = SmoothLaplace(params)
+        predicted = mechanism.expected_l1_error(np.array([xv]))[0]
+        assert predicted >= 2 * 1.0 / 4.0 - 1e-12  # floor from max(.., 1)
+        assert predicted == max(xv * alpha, 1.0) * 2 / 4.0
+
+    @given(epsilon=st.floats(0.5, 8.0), alpha=st.floats(0.01, 0.2))
+    @settings(max_examples=60, deadline=None)
+    def test_mechanism_error_ordering(self, epsilon, alpha):
+        """Finding 5 as a property: wherever both smooth mechanisms are
+        feasible, Smooth Laplace's expected error is lower."""
+        params = EREEParams(alpha=alpha, epsilon=epsilon, delta=0.05)
+        assume(params.allows_smooth_gamma() and params.allows_smooth_laplace())
+        gamma = SmoothGamma(params)
+        laplace = SmoothLaplace(params)
+        xv = np.array([1000])
+        assert laplace.expected_l1_error(xv)[0] < gamma.expected_l1_error(xv)[0]

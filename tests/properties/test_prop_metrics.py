@@ -1,0 +1,112 @@
+"""Property-based tests for the utility metrics."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    error_ratio,
+    l1_error,
+    lp_error,
+    rank_descending,
+    spearman_correlation,
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(2, 60),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_subnormal=False),
+)
+
+
+@st.composite
+def vector_pairs(draw):
+    """Two equal-length vectors."""
+    n = draw(st.integers(2, 60))
+    elements = st.floats(-1e6, 1e6, allow_nan=False, allow_subnormal=False)
+    a = draw(hnp.arrays(np.float64, n, elements=elements))
+    b = draw(hnp.arrays(np.float64, n, elements=elements))
+    return a, b
+
+
+class TestErrorProperties:
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_l1_identity_is_zero(self, values):
+        assert l1_error(values, values) == 0.0
+
+    @given(vector_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_l1_symmetry(self, pair):
+        a, b = pair
+        assert l1_error(a, b) == l1_error(b, a)
+
+    @given(vectors, st.floats(0.1, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_l1_scales_linearly(self, values, scale):
+        shifted = values + scale
+        assert np.isclose(l1_error(values, shifted), scale * len(values))
+
+    @given(vector_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_lp_monotone_in_p(self, pair):
+        """||x||_p is non-increasing in p (norm monotonicity)."""
+        a, b = pair
+        l1 = lp_error(a, b, 1)
+        l2 = lp_error(a, b, 2)
+        assert l2 <= l1 * (1 + 1e-12) + 1e-9
+
+    @given(vectors, st.floats(0.5, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_error_ratio_scales_with_private_error(self, true, factor):
+        noise = np.ones_like(true)
+        base = error_ratio(true, [true + noise], true + noise)
+        scaled = error_ratio(true, [true + factor * noise], true + noise)
+        assert np.isclose(scaled, factor * base)
+
+
+class TestSpearmanProperties:
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_self_correlation_one(self, values):
+        assume(len(np.unique(values)) > 1)
+        assert np.isclose(spearman_correlation(values, values), 1.0)
+
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_negation_flips_sign(self, values):
+        assume(len(np.unique(values)) > 1)
+        assert np.isclose(spearman_correlation(values, -values), -1.0)
+
+    @given(vectors, st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, values, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.permutation(values)
+        assume(len(np.unique(values)) > 1)
+        rho = spearman_correlation(values, other)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    @given(vectors, st.floats(0.1, 5.0), st.floats(-100.0, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_transform_invariance(self, values, scale, shift):
+        transformed = scale * values + shift
+        # Guard against float precision collapsing distinct values.
+        assume(len(np.unique(transformed)) == len(np.unique(values)) > 1)
+        assert np.isclose(spearman_correlation(values, transformed), 1.0)
+
+
+class TestRankDescendingProperties:
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_is_permutation(self, values):
+        positions = rank_descending(values)
+        assert sorted(positions.tolist()) == list(range(len(values)))
+
+    @given(vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_position_zero_holds_the_maximum(self, values):
+        positions = rank_descending(values)
+        top_cell = positions.tolist().index(0)
+        assert values[top_cell] == values.max()

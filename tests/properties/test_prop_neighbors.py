@@ -1,0 +1,96 @@
+"""Property-based tests for neighbor relations and composition."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    alpha_step_distance,
+    is_strong_alpha_neighbor,
+    is_weak_alpha_neighbor,
+)
+
+VALUES = [("M", "HS"), ("M", "BA"), ("F", "HS"), ("F", "BA")]
+
+workforces = st.lists(st.sampled_from(VALUES), max_size=8)
+alphas = st.floats(0.05, 1.5)
+
+
+class TestNeighborProperties:
+    @given(base=workforces, extra=st.sampled_from(VALUES), alpha=alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_adding_one_worker_is_always_a_strong_neighbor(
+        self, base, extra, alpha
+    ):
+        """The |E|+1 clause: one extra worker is a neighbor at any alpha."""
+        d1 = {"e0": tuple(base)}
+        d2 = {"e0": tuple(base) + (extra,)}
+        assert is_strong_alpha_neighbor(d1, d2, alpha)
+
+    @given(w1=workforces, w2=workforces, alpha=alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_strong_neighbor_symmetric(self, w1, w2, alpha):
+        d1, d2 = {"e0": tuple(w1)}, {"e0": tuple(w2)}
+        assert is_strong_alpha_neighbor(d1, d2, alpha) == is_strong_alpha_neighbor(
+            d2, d1, alpha
+        )
+
+    @given(w1=workforces, w2=workforces, alpha=alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_weak_implies_strong(self, w1, w2, alpha):
+        """Every weak α-neighbor pair is also a strong α-neighbor pair:
+        per-class growth bounds imply the total-size bound (phi = 1) and
+        multiset containment (singleton phis)."""
+        d1, d2 = {"e0": tuple(w1)}, {"e0": tuple(w2)}
+        if is_weak_alpha_neighbor(d1, d2, alpha):
+            assert is_strong_alpha_neighbor(d1, d2, alpha)
+
+    @given(base=workforces, alpha=st.floats(0.05, 0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_scaling_is_weak_neighbor(self, base, alpha):
+        """Growing every class by exactly one worker per >= 1/alpha
+        existing workers stays within the weak bound."""
+        from collections import Counter
+
+        counter = Counter(base)
+        grown = list(base)
+        for value, count in counter.items():
+            if count >= 1 / alpha:
+                grown.append(value)
+        d1, d2 = {"e0": tuple(base)}, {"e0": tuple(grown)}
+        if grown != list(base):
+            assert is_weak_alpha_neighbor(d1, d2, alpha)
+
+
+class TestDistanceProperties:
+    sizes = st.integers(0, 5_000)
+
+    @given(x=sizes, y=sizes, alpha=st.floats(0.05, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, x, y, alpha):
+        assert alpha_step_distance(x, y, alpha) == alpha_step_distance(y, x, alpha)
+
+    @given(x=sizes, y=sizes, alpha=st.floats(0.05, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_zero_iff_equal(self, x, y, alpha):
+        distance = alpha_step_distance(x, y, alpha)
+        assert (distance == 0) == (x == y)
+
+    @given(x=st.integers(1, 1000), alpha=st.floats(0.05, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_one_step_within_band(self, x, alpha):
+        y = max(math.floor((1 + alpha) * x), x + 1)
+        assert alpha_step_distance(x, y, alpha) == 1
+
+    @given(
+        x=st.integers(0, 500),
+        y=st.integers(0, 500),
+        z=st.integers(0, 500),
+        alpha=st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_triangle_inequality(self, x, y, z, alpha):
+        direct = alpha_step_distance(x, z, alpha)
+        via = alpha_step_distance(x, y, alpha) + alpha_step_distance(y, z, alpha)
+        assert direct <= via

@@ -1,0 +1,101 @@
+"""Property-based tests for the marginal-query engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Attribute, Marginal, Schema, Table, per_establishment_counts
+
+
+@st.composite
+def random_table(draw):
+    """A random 3-attribute table with 0-60 rows."""
+    sizes = (
+        draw(st.integers(2, 4)),
+        draw(st.integers(2, 5)),
+        draw(st.integers(1, 3)),
+    )
+    schema = Schema(
+        [
+            Attribute("a", tuple(f"a{i}" for i in range(sizes[0]))),
+            Attribute("b", tuple(f"b{i}" for i in range(sizes[1]))),
+            Attribute("c", tuple(f"c{i}" for i in range(sizes[2]))),
+        ]
+    )
+    n_rows = draw(st.integers(0, 60))
+    columns = {
+        name: np.array(
+            draw(
+                st.lists(
+                    st.integers(0, schema[name].size - 1),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            ),
+            dtype=np.int64,
+        )
+        for name in schema.names
+    }
+    return Table(schema, columns)
+
+
+class TestMarginalProperties:
+    @given(random_table())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_sum_to_rows(self, table):
+        marginal = Marginal(table.schema, ["a", "b"])
+        assert marginal.counts(table).sum() == table.n_rows
+
+    @given(random_table())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_consistency(self, table):
+        """Summing fine cells through project_onto equals the coarse query."""
+        fine = Marginal(table.schema, ["a", "b", "c"])
+        for sub_attrs in (["a"], ["b", "c"], []):
+            coarse = Marginal(table.schema, sub_attrs)
+            mapping = fine.project_onto(sub_attrs)
+            aggregated = np.bincount(
+                mapping, weights=fine.counts(table), minlength=coarse.n_cells
+            )
+            np.testing.assert_allclose(aggregated, coarse.counts(table))
+
+    @given(random_table())
+    @settings(max_examples=60, deadline=None)
+    def test_cell_index_consistent_with_counts(self, table):
+        marginal = Marginal(table.schema, ["b", "a"])
+        index = marginal.cell_index(table)
+        manual = np.bincount(index, minlength=marginal.n_cells)
+        np.testing.assert_array_equal(manual, marginal.counts(table))
+
+    @given(random_table(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_counts_linear(self, table, seed):
+        marginal = Marginal(table.schema, ["a", "c"])
+        rng = np.random.default_rng(seed)
+        w1 = rng.random(table.n_rows)
+        w2 = rng.random(table.n_rows)
+        combined = marginal.weighted_counts(table, w1 + w2)
+        separate = marginal.weighted_counts(table, w1) + marginal.weighted_counts(
+            table, w2
+        )
+        np.testing.assert_allclose(combined, separate, atol=1e-9)
+
+
+class TestPerEstablishmentProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 7)), max_size=80)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, pairs):
+        """totals >= max_single >= ceil(totals/n_establishments) per cell."""
+        n_cells = 6
+        cell_index = np.array([c for c, _ in pairs], dtype=np.int64)
+        establishment = np.array([e for _, e in pairs], dtype=np.int64)
+        stats = per_establishment_counts(cell_index, establishment, n_cells)
+        assert np.all(stats.max_single <= stats.totals)
+        nonzero = stats.n_establishments > 0
+        lower = np.ceil(
+            stats.totals[nonzero] / stats.n_establishments[nonzero]
+        )
+        assert np.all(stats.max_single[nonzero] >= lower)
+        assert stats.totals.sum() == len(pairs)

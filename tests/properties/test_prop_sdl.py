@@ -1,0 +1,78 @@
+"""Property-based tests for SDL invariants and the samplers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.smooth_sensitivity import gamma4_quantile, sample_gamma4
+from repro.sdl import DistortionParams, sample_distortion_factors
+from repro.sdl.small_cells import SmallCellModel
+
+
+class TestDistortionProperties:
+    @given(
+        s=st.floats(0.01, 0.4),
+        gap=st.floats(0.01, 0.5),
+        seed=st.integers(0, 2**31 - 1),
+        density=st.sampled_from(["ramp", "uniform"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gap_and_bound_invariant(self, s, gap, seed, density):
+        """Every factor satisfies s <= |f - 1| <= t — the statutory
+        no-exact-disclosure property, for any parameterization."""
+        t = min(s + gap, 0.95)
+        params = DistortionParams(s=s, t=t, density=density)
+        factors = sample_distortion_factors(params, 500, seed)
+        magnitudes = np.abs(factors - 1.0)
+        assert magnitudes.min() >= s - 1e-12
+        assert magnitudes.max() <= t + 1e-12
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_factors_deterministic_in_seed(self, seed):
+        params = DistortionParams()
+        a = sample_distortion_factors(params, 50, seed)
+        b = sample_distortion_factors(params, 50, seed)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSmallCellProperties:
+    @given(
+        counts=st.lists(st.floats(0, 10), min_size=1, max_size=50),
+        limit=st.floats(1.1, 5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_is_small_matches_open_interval(self, counts, limit):
+        support = int(np.floor(limit))
+        probabilities = tuple([1.0 / support] * support)
+        model = SmallCellModel(limit=limit, probabilities=probabilities)
+        counts = np.array(counts)
+        mask = model.is_small(counts)
+        np.testing.assert_array_equal(mask, (counts > 0) & (counts < limit))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_within_support(self, seed):
+        model = SmallCellModel(limit=3.5, probabilities=(0.5, 0.3, 0.2))
+        draws = model.sample(200, seed)
+        assert set(np.unique(draws)) <= {1, 2, 3}
+
+
+class TestGamma4SamplerProperties:
+    @given(seed=st.integers(0, 2**31 - 1), size=st.integers(1, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_size_and_finite(self, seed, size):
+        draws = sample_gamma4(size, seed)
+        assert draws.shape == (size,)
+        assert np.all(np.isfinite(draws))
+
+    @given(p=st.floats(0.01, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_monotone_and_symmetric(self, p):
+        q = gamma4_quantile(p)
+        q_mirror = gamma4_quantile(1 - p)
+        assert abs(q + q_mirror) < 1e-5
+        if p > 0.5:
+            assert q > 0
+        elif p < 0.5:
+            assert q < 0

@@ -1,0 +1,135 @@
+"""Direct unit tests for the exact posterior / Bayes-factor machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pufferfish import (
+    ProductPrior,
+    Universe,
+    informed_adversary,
+    posterior_distribution,
+)
+from repro.pufferfish.bayes_factor import log_bayes_factor, max_log_bayes_factor
+from repro.pufferfish.framework import establishment_size
+
+
+@pytest.fixture()
+def universe():
+    return Universe(establishments=("e0",), workers=("w0", "w1"))
+
+
+@pytest.fixture()
+def prior(universe):
+    return informed_adversary(universe, base_probabilities=[0.7, 0.3])
+
+
+def gaussian_density(universe, sigma):
+    """A toy mechanism: N(count, sigma) on e0's size (closed-form checks)."""
+
+    def log_density(dataset, omega):
+        count = establishment_size(universe, dataset, "e0")
+        return -((omega - count) ** 2) / (2 * sigma**2) - math.log(
+            sigma * math.sqrt(2 * math.pi)
+        )
+
+    return log_density
+
+
+class TestPosterior:
+    def test_posterior_normalizes(self, universe, prior):
+        _, posterior = posterior_distribution(
+            prior, gaussian_density(universe, 1.0), omega=1.0
+        )
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_posterior_matches_hand_computation(self, universe, prior):
+        """Two workers, each at e0 w.p. 0.7: P(count=k) is Binomial(2, .7);
+        posterior at omega follows Bayes with Gaussian likelihoods."""
+        sigma = 1.0
+        omega = 2.0
+        datasets, posterior = posterior_distribution(
+            prior, gaussian_density(universe, sigma), omega
+        )
+        count_mass = np.zeros(3)
+        for dataset, p in zip(datasets, posterior):
+            count_mass[establishment_size(universe, dataset, "e0")] += p
+
+        prior_counts = np.array([0.3**2, 2 * 0.7 * 0.3, 0.7**2])
+        likelihood = np.exp(-((omega - np.arange(3)) ** 2) / (2 * sigma**2))
+        expected = prior_counts * likelihood
+        expected /= expected.sum()
+        np.testing.assert_allclose(count_mass, expected, atol=1e-12)
+
+    def test_zero_prior_dataset_gets_zero_posterior(self, universe):
+        table = np.array([[1.0, 0.0], [0.5, 0.5]])
+        prior = ProductPrior(universe, table)
+        datasets, posterior = posterior_distribution(
+            prior, gaussian_density(universe, 1.0), omega=0.0
+        )
+        for dataset, p in zip(datasets, posterior):
+            if dataset[0] == 1:  # w0 out of e0 has prior 0
+                assert p == 0.0
+
+
+class TestLogBayesFactor:
+    def test_closed_form_for_gaussian(self, universe, prior):
+        """For the point events count=2 vs count=0, the Bayes factor is
+        the likelihood ratio: exp((omega-0)^2/2 - (omega-2)^2/2)."""
+        sigma = 1.0
+        omega = 1.7
+
+        def count_is(k):
+            return lambda dataset: establishment_size(universe, dataset, "e0") == k
+
+        value = log_bayes_factor(
+            prior,
+            gaussian_density(universe, sigma),
+            omega,
+            count_is(2),
+            count_is(0),
+        )
+        expected = (omega**2 - (omega - 2) ** 2) / 2
+        assert value == pytest.approx(expected, abs=1e-10)
+
+    def test_zero_prior_event_is_nan(self, universe):
+        table = np.array([[1.0, 0.0], [1.0, 0.0]])  # both workers at e0 surely
+        prior = ProductPrior(universe, table)
+
+        def count_is(k):
+            return lambda dataset: establishment_size(universe, dataset, "e0") == k
+
+        value = log_bayes_factor(
+            prior, gaussian_density(universe, 1.0), 0.0, count_is(2), count_is(0)
+        )
+        assert math.isnan(value)
+
+    def test_max_over_grid_ignores_nan(self, universe, prior):
+        def count_is(k):
+            return lambda dataset: establishment_size(universe, dataset, "e0") == k
+
+        worst = max_log_bayes_factor(
+            prior,
+            gaussian_density(universe, 1.0),
+            omegas=[0.0, 1.0, 2.0],
+            event_pairs=[(count_is(0), count_is(1)), (count_is(0), count_is(3))],
+        )
+        # The second pair has zero prior mass (only 2 workers) -> nan,
+        # skipped; the first contributes the max.
+        assert worst > 0
+        assert math.isfinite(worst)
+
+    def test_uninformative_output_gives_zero_factor(self, universe, prior):
+        """A constant-density mechanism reveals nothing: factor 1."""
+
+        def flat_density(dataset, omega):
+            return 0.0
+
+        def count_is(k):
+            return lambda dataset: establishment_size(universe, dataset, "e0") == k
+
+        value = log_bayes_factor(
+            prior, flat_density, 5.0, count_is(0), count_is(2)
+        )
+        assert value == pytest.approx(0.0, abs=1e-12)

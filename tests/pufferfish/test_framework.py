@@ -1,0 +1,81 @@
+"""Unit tests for the tiny-universe Pufferfish model."""
+
+import numpy as np
+import pytest
+
+from repro.pufferfish import ProductPrior, Universe, enumerate_datasets
+from repro.pufferfish.framework import (
+    establishment_class_count,
+    establishment_size,
+)
+
+
+@pytest.fixture()
+def universe():
+    return Universe(
+        establishments=("e0", "e1"),
+        workers=("w0", "w1"),
+        worker_attribute_values=(("HS",), ("BA",)),
+    )
+
+
+class TestUniverse:
+    def test_value_set_is_cross_product(self, universe):
+        # (e0, e1, ⊥) x (HS, BA) = 6 values.
+        assert universe.n_values == 6
+
+    def test_value_index_roundtrip(self, universe):
+        for index in range(universe.n_values):
+            assert universe.value_index(universe.values[index]) == index
+
+    def test_unknown_value(self, universe):
+        with pytest.raises(ValueError):
+            universe.value_index(("e9", ("HS",)))
+
+    def test_no_attribute_universe(self):
+        universe = Universe(establishments=("e0",), workers=("w0",))
+        assert universe.n_values == 2  # e0 and ⊥
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Universe(establishments=(), workers=("w0",))
+        with pytest.raises(ValueError):
+            Universe(establishments=("e0",), workers=())
+
+
+class TestEnumeration:
+    def test_counts(self, universe):
+        datasets = list(enumerate_datasets(universe))
+        assert len(datasets) == 6**2
+
+    def test_establishment_size(self, universe):
+        # w0 -> (e0, HS) = index 0; w1 -> (e1, BA) = index 3.
+        dataset = (0, 3)
+        assert establishment_size(universe, dataset, "e0") == 1
+        assert establishment_size(universe, dataset, "e1") == 1
+
+    def test_class_count(self, universe):
+        dataset = (0, 1)  # both at e0: (HS,) and (BA,)
+        has_ba = lambda attrs: attrs == ("BA",)
+        assert establishment_class_count(universe, dataset, "e0", has_ba) == 1
+
+
+class TestProductPrior:
+    def test_probability_is_product(self, universe):
+        table = np.full((2, 6), 1 / 6)
+        prior = ProductPrior(universe, table)
+        assert prior.probability((0, 3)) == pytest.approx(1 / 36)
+
+    def test_rows_must_normalize(self, universe):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ProductPrior(universe, np.full((2, 6), 0.1))
+
+    def test_shape_checked(self, universe):
+        with pytest.raises(ValueError, match="shape"):
+            ProductPrior(universe, np.full((3, 6), 1 / 6))
+
+    def test_dataset_probabilities_sum_to_one(self, universe):
+        table = np.full((2, 6), 1 / 6)
+        prior = ProductPrior(universe, table)
+        _, probabilities = prior.dataset_probabilities()
+        assert probabilities.sum() == pytest.approx(1.0)

@@ -1,0 +1,220 @@
+"""Bayes-factor verification of Definitions 4.1-4.3 (the paper's Table 1
+claims, machine-checked on tiny universes).
+
+The released query is the employment count of establishment e0 (or a
+worker-class count at e0 for the shape test); the mechanism adapter turns
+each enumerated dataset into a count (and xv) and exposes the exact
+output log-density.  Bayes factors are then exact integrals over the
+dataset enumeration — no sampling.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import EREEParams, LogLaplace, SmoothGamma
+from repro.dp import LaplaceMechanism
+from repro.pufferfish import (
+    Universe,
+    employee_requirement_bound,
+    employer_size_requirement_bound,
+    informed_adversary,
+    weak_adversary,
+)
+from repro.pufferfish.framework import establishment_size
+from repro.pufferfish.requirements import employer_shape_requirement_bound
+
+ALPHA = 0.5  # coarse alpha so one (1+alpha) band is wide at tiny sizes
+EPSILON = 1.0
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return Universe(establishments=("e0", "e1"), workers=("w0", "w1", "w2", "w3"))
+
+
+@pytest.fixture(scope="module")
+def prior(universe):
+    # A moderately informed attacker: workers lean toward e0.
+    return informed_adversary(universe, base_probabilities=[0.5, 0.3, 0.2])
+
+
+def log_laplace_density(universe, mechanism):
+    def log_density(dataset, omega):
+        count = establishment_size(universe, dataset, "e0")
+        return float(mechanism.log_density(np.array([omega]), count)[0])
+
+    return log_density
+
+
+def smooth_gamma_density(universe, mechanism):
+    def log_density(dataset, omega):
+        count = establishment_size(universe, dataset, "e0")
+        # e0's cell contains only e0, so xv is the count itself.
+        return float(mechanism.log_density(np.array([omega]), count, count)[0])
+
+    return log_density
+
+
+def edge_dp_density(universe, mechanism):
+    def log_density(dataset, omega):
+        count = establishment_size(universe, dataset, "e0")
+        return float(np.log(mechanism.density(np.array([omega - count]))[0]))
+
+    return log_density
+
+
+# Kept above -gamma = -1/alpha = -2 so Log-Laplace densities are defined.
+OMEGAS = [-1.5, -0.5, 0.4, 1.0, 1.7, 2.5, 3.3, 4.0, 5.5, 8.0]
+
+
+class TestLogLaplaceMeetsRequirements:
+    @pytest.fixture(scope="class")
+    def mechanism(self, universe):
+        return LogLaplace(EREEParams(alpha=ALPHA, epsilon=EPSILON))
+
+    def test_employee_requirement(self, universe, prior, mechanism):
+        bound = employee_requirement_bound(
+            prior, log_laplace_density(universe, mechanism), OMEGAS, "w1"
+        )
+        assert bound <= EPSILON + 1e-6
+
+    def test_employer_size_requirement(self, universe, prior, mechanism):
+        bound = employer_size_requirement_bound(
+            prior,
+            log_laplace_density(universe, mechanism),
+            OMEGAS,
+            "e0",
+            alpha=ALPHA,
+        )
+        assert bound <= EPSILON + 1e-6
+
+    def test_size_requirement_for_informed_attacker(self, universe, mechanism):
+        """An attacker knowing all but one worker exactly (the paper's
+        strongest case) still cannot exceed the bound."""
+        prior = informed_adversary(
+            universe,
+            base_probabilities=[0.5, 0.3, 0.2],
+            known_workers={"w0": ("e0", ()), "w1": ("e1", ()), "w2": ("⊥", ())},
+        )
+        bound = employer_size_requirement_bound(
+            prior, log_laplace_density(universe, mechanism), OMEGAS, "e0", ALPHA
+        )
+        assert bound <= EPSILON + 1e-6
+
+
+class TestSmoothGammaMeetsRequirements:
+    @pytest.fixture(scope="class")
+    def mechanism(self):
+        # alpha + 1 < e^{eps/5} requires eps > 5 ln(1.5) ~ 2.03 at alpha=.5.
+        return SmoothGamma(EREEParams(alpha=ALPHA, epsilon=2.5))
+
+    def test_employee_requirement(self, universe, prior, mechanism):
+        bound = employee_requirement_bound(
+            prior, smooth_gamma_density(universe, mechanism), OMEGAS, "w2"
+        )
+        assert bound <= 2.5 + 1e-6
+
+    def test_employer_size_requirement(self, universe, prior, mechanism):
+        bound = employer_size_requirement_bound(
+            prior, smooth_gamma_density(universe, mechanism), OMEGAS, "e0", ALPHA
+        )
+        assert bound <= 2.5 + 1e-6
+
+
+class TestEdgeDPViolatesSizeRequirement:
+    """Sec 6 / Table 1: edge DP (Laplace(1/eps) on the count) bounds the
+    employee requirement but NOT the establishment-size requirement."""
+
+    @pytest.fixture(scope="class")
+    def mechanism(self):
+        return LaplaceMechanism(epsilon=EPSILON, sensitivity=1.0)
+
+    def test_employee_requirement_met(self, universe, prior, mechanism):
+        bound = employee_requirement_bound(
+            prior, edge_dp_density(universe, mechanism), OMEGAS, "w0"
+        )
+        assert bound <= EPSILON + 1e-6
+
+    def test_size_requirement_violated(self, universe, mechanism):
+        """With alpha=0.5, sizes 2 and 3 are within one band but differ by
+        1 edge — fine; sizes 2 and 3 pass, but 0 vs ... use a larger gap:
+        alpha=2 puts sizes 1 and 3 in one band, two edges apart, so the
+        Bayes factor reaches ~2 eps > eps."""
+        prior = informed_adversary(universe, base_probabilities=[0.45, 0.1, 0.45])
+        wide_alpha = 2.0
+        bound = employer_size_requirement_bound(
+            prior,
+            edge_dp_density(universe, mechanism),
+            omegas=[-4.0, -2.0, 0.0, 2.0, 4.0, 6.0],
+            establishment="e0",
+            alpha=wide_alpha,
+        )
+        assert bound > EPSILON + 0.5
+
+
+class TestShapeRequirement:
+    @pytest.fixture(scope="module")
+    def attribute_universe(self):
+        return Universe(
+            establishments=("e0",),
+            workers=("w0", "w1", "w2"),
+            worker_attribute_values=(("HS",), ("BA",)),
+        )
+
+    def test_weak_mechanism_meets_shape_requirement(self, attribute_universe):
+        """A class-count query (workers at e0 with BA) released via
+        Log-Laplace bounds the shape Bayes factor by eps (Thm 7.2/8.1)."""
+        mechanism = LogLaplace(EREEParams(alpha=ALPHA, epsilon=EPSILON))
+        universe = attribute_universe
+
+        def log_density(dataset, omega):
+            count = sum(
+                1
+                for v in dataset
+                if universe.employer_of(v) == "e0"
+                and universe.attributes_of(v) == ("BA",)
+            )
+            return float(mechanism.log_density(np.array([omega]), count)[0])
+
+        prior = weak_adversary(universe, employer_probabilities=[0.7, 0.3])
+        # At size 3 with alpha=0.5 the comparable shape pair is
+        # (|eX|/|e| = 2/3) vs (|eX|/|e| = 1): q = 1 <= (1+alpha)p.
+        bound = employer_shape_requirement_bound(
+            prior,
+            log_density,
+            OMEGAS,
+            "e0",
+            attribute_predicate=lambda attrs: attrs == ("BA",),
+            alpha=ALPHA,
+            size=3,
+        )
+        assert bound <= EPSILON + 1e-6
+
+    def test_exact_release_violates_shape(self, attribute_universe):
+        """Releasing the class count nearly exactly (tiny noise) lets the
+        attacker distinguish shapes: the Bayes factor explodes."""
+        universe = attribute_universe
+        mechanism = LaplaceMechanism(epsilon=100.0, sensitivity=1.0)
+
+        def log_density(dataset, omega):
+            count = sum(
+                1
+                for v in dataset
+                if universe.employer_of(v) == "e0"
+                and universe.attributes_of(v) == ("BA",)
+            )
+            return float(np.log(mechanism.density(np.array([omega - count]))[0]))
+
+        prior = weak_adversary(universe, employer_probabilities=[0.7, 0.3])
+        bound = employer_shape_requirement_bound(
+            prior,
+            log_density,
+            omegas=[0.0, 1.0, 2.0, 3.0],
+            establishment="e0",
+            attribute_predicate=lambda attrs: attrs == ("BA",),
+            alpha=ALPHA,
+            size=3,
+        )
+        assert bound > 10.0

@@ -1,0 +1,62 @@
+"""Unit tests for the SDL fuzz-factor distributions."""
+
+import numpy as np
+import pytest
+
+from repro.sdl import DistortionParams, sample_distortion_factors
+from repro.sdl.distortion import sample_distortion_magnitudes
+from repro.util import as_generator
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        params = DistortionParams()
+        assert 0 < params.s < params.t < 1
+
+    def test_s_must_be_below_t(self):
+        with pytest.raises(ValueError, match="s < t"):
+            DistortionParams(s=0.3, t=0.2)
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError, match="density"):
+            DistortionParams(density="gaussian")
+
+    @pytest.mark.parametrize("density", ["ramp", "uniform"])
+    def test_mean_absolute_distortion_matches_samples(self, density):
+        params = DistortionParams(s=0.07, t=0.25, density=density)
+        rng = as_generator(1)
+        magnitudes = sample_distortion_magnitudes(params, 200_000, rng)
+        assert abs(magnitudes.mean() - params.mean_absolute_distortion()) < 2e-3
+
+
+class TestFactors:
+    @pytest.fixture(scope="class")
+    def factors(self):
+        params = DistortionParams(s=0.07, t=0.25)
+        return sample_distortion_factors(params, 100_000, seed=2)
+
+    def test_gap_around_one(self, factors):
+        """The defining SDL property: factors never fall in (1-s, 1+s)."""
+        magnitudes = np.abs(factors - 1.0)
+        assert magnitudes.min() >= 0.07 - 1e-12
+
+    def test_bounded_by_t(self, factors):
+        assert np.abs(factors - 1.0).max() <= 0.25 + 1e-12
+
+    def test_signs_balanced(self, factors):
+        inflate_share = (factors > 1).mean()
+        assert 0.48 < inflate_share < 0.52
+
+    def test_ramp_prefers_small_distortion(self):
+        params = DistortionParams(s=0.05, t=0.25, density="ramp")
+        rng = as_generator(3)
+        magnitudes = sample_distortion_magnitudes(params, 100_000, rng)
+        midpoint = (params.s + params.t) / 2
+        assert (magnitudes < midpoint).mean() > 0.6
+
+    def test_uniform_is_flat(self):
+        params = DistortionParams(s=0.05, t=0.25, density="uniform")
+        rng = as_generator(4)
+        magnitudes = sample_distortion_magnitudes(params, 100_000, rng)
+        midpoint = (params.s + params.t) / 2
+        assert abs((magnitudes < midpoint).mean() - 0.5) < 0.01

@@ -1,0 +1,103 @@
+"""Unit tests for the input-noise-infusion protection system (Sec 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.db import Marginal, establishment_histograms
+from repro.sdl import InputNoiseInfusion
+
+
+@pytest.fixture()
+def fitted_sdl(tiny_worker_full):
+    return InputNoiseInfusion(seed=11).fit(tiny_worker_full)
+
+
+class TestFactors:
+    def test_fit_required_before_use(self, tiny_worker_full):
+        sdl = InputNoiseInfusion()
+        with pytest.raises(RuntimeError, match="fit"):
+            _ = sdl.factors
+
+    def test_one_factor_per_establishment(self, fitted_sdl, tiny_worker_full):
+        assert fitted_sdl.factors.shape == (tiny_worker_full.n_establishments,)
+
+    def test_factors_permanent_across_queries(self, fitted_sdl, tiny_worker_full):
+        before = fitted_sdl.factors.copy()
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        fitted_sdl.answer_marginal(tiny_worker_full, marginal)
+        np.testing.assert_array_equal(before, fitted_sdl.factors)
+
+
+class TestAnswerMarginal:
+    def test_zero_cells_stay_zero(self, small_worker_full):
+        sdl = InputNoiseInfusion(seed=1).fit(small_worker_full)
+        marginal = Marginal(
+            small_worker_full.table.schema, ["place", "naics", "ownership"]
+        )
+        answer = sdl.answer_marginal(small_worker_full, marginal)
+        zero_cells = answer.true == 0
+        assert np.all(answer.noisy[zero_cells] == 0)
+
+    def test_large_counts_are_fuzzed_multiplicatively(self, small_worker_full):
+        sdl = InputNoiseInfusion(seed=1).fit(small_worker_full)
+        marginal = Marginal(small_worker_full.table.schema, ["naics"])
+        answer = sdl.answer_marginal(small_worker_full, marginal)
+        big = answer.true >= 100
+        relative = np.abs(answer.noisy[big] - answer.true[big]) / answer.true[big]
+        # Aggregates across many establishments: relative error below t.
+        assert np.all(relative <= sdl.distortion.t + 1e-9)
+
+    def test_never_exact_for_single_establishment_cells(self, tiny_worker_full):
+        """The statutory property: an isolated establishment's count is
+        never published exactly (distortion bounded away from 1)."""
+        sdl = InputNoiseInfusion(seed=5).fit(tiny_worker_full)
+        marginal = Marginal(tiny_worker_full.table.schema, ["naics", "place"])
+        answer = sdl.answer_marginal(tiny_worker_full, marginal)
+        cell = marginal.flat_index(["11", "P1"])  # establishment 0 alone, 3 jobs
+        assert answer.true[cell] == 3
+        if not answer.replaced[cell]:
+            relative = abs(answer.noisy[cell] - 3) / 3
+            assert relative >= sdl.distortion.s - 1e-12
+
+    def test_small_cells_replaced_with_support_values(self, small_worker_full):
+        sdl = InputNoiseInfusion(seed=2).fit(small_worker_full)
+        marginal = Marginal(
+            small_worker_full.table.schema, ["place", "naics", "ownership"]
+        )
+        answer = sdl.answer_marginal(small_worker_full, marginal)
+        small = (answer.true > 0) & (answer.true < sdl.small_cells.limit)
+        np.testing.assert_array_equal(small, answer.replaced)
+        assert set(np.unique(answer.noisy[small])) <= {1.0, 2.0}
+
+    def test_weighted_totals_match_factor_sum(self, tiny_worker_full):
+        """q*(v) must equal sum of f_w h(w, v) over matching establishments."""
+        sdl = InputNoiseInfusion(seed=3).fit(tiny_worker_full)
+        marginal = Marginal(tiny_worker_full.table.schema, ["sex"])
+        answer = sdl.answer_marginal(tiny_worker_full, marginal)
+        h = establishment_histograms(tiny_worker_full, ["sex"]).toarray()
+        expected = sdl.factors @ h
+        # Both sex cells have counts >= limit, so no replacement occurred.
+        np.testing.assert_allclose(answer.noisy, expected)
+
+
+class TestProtectedHistograms:
+    def test_common_factor_per_row(self, fitted_sdl, tiny_worker_full):
+        fuzzed = fitted_sdl.protected_histograms(
+            tiny_worker_full, ["sex", "education"]
+        ).toarray()
+        true = establishment_histograms(
+            tiny_worker_full, ["sex", "education"]
+        ).toarray()
+        for w in range(tiny_worker_full.n_establishments):
+            nonzero = true[w] > 0
+            ratios = fuzzed[w][nonzero] / true[w][nonzero]
+            np.testing.assert_allclose(ratios, fitted_sdl.factors[w])
+
+    def test_zeros_preserved(self, fitted_sdl, tiny_worker_full):
+        fuzzed = fitted_sdl.protected_histograms(
+            tiny_worker_full, ["sex", "education"]
+        ).toarray()
+        true = establishment_histograms(
+            tiny_worker_full, ["sex", "education"]
+        ).toarray()
+        assert np.all(fuzzed[true == 0] == 0)

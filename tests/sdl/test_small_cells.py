@@ -1,0 +1,43 @@
+"""Unit tests for the small-cell replacement model."""
+
+import numpy as np
+import pytest
+
+from repro.sdl import SmallCellModel
+
+
+class TestSmallCellModel:
+    def test_default_support(self):
+        model = SmallCellModel()
+        assert model.support == (1, 2)
+
+    def test_limit_determines_support(self):
+        model = SmallCellModel(limit=4.5, probabilities=(0.4, 0.3, 0.2, 0.1))
+        assert model.support == (1, 2, 3, 4)
+
+    def test_probability_count_validated(self):
+        with pytest.raises(ValueError, match="need 2 probabilities"):
+            SmallCellModel(limit=2.5, probabilities=(1.0,))
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            SmallCellModel(probabilities=(0.6, 0.6))
+
+    def test_is_small_open_interval(self):
+        model = SmallCellModel(limit=2.5)
+        mask = model.is_small(np.array([0, 1, 2, 2.5, 3]))
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_sample_values_in_support(self):
+        model = SmallCellModel()
+        draws = model.sample(10_000, seed=1)
+        assert set(np.unique(draws)) <= {1, 2}
+
+    def test_sample_frequencies(self):
+        model = SmallCellModel(probabilities=(0.6, 0.4))
+        draws = model.sample(100_000, seed=2)
+        assert abs((draws == 1).mean() - 0.6) < 0.01
+
+    def test_degenerate_limit_rejected(self):
+        with pytest.raises(ValueError, match="empty support"):
+            SmallCellModel(limit=0.5, probabilities=())

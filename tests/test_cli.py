@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_figures, run_tables
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.trials == 10
+        assert args.jobs == 150_000
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_tables_command(self, tmp_path):
+        code = main(["tables", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table-1.txt").exists()
+        assert "Yes*" in (tmp_path / "table-1.txt").read_text(encoding="utf-8")
+        assert (tmp_path / "table-2.txt").exists()
+
+    def test_figures_subset(self, tmp_path):
+        code = main(
+            [
+                "figures",
+                "--out", str(tmp_path),
+                "--jobs", "5000",
+                "--trials", "2",
+                "--only", "figure-1",
+            ]
+        )
+        assert code == 0
+        report = (tmp_path / "figure-1.txt").read_text(encoding="utf-8")
+        assert "smooth-laplace" in report
+        assert not (tmp_path / "figure-2.txt").exists()
+
+    def test_figures_unknown_name(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown figures"):
+            main(["figures", "--out", str(tmp_path), "--only", "figure-9"])
+
+    def test_generate_command(self, tmp_path):
+        code = main(
+            [
+                "generate",
+                "--out", str(tmp_path / "snap"),
+                "--jobs", "2000",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "snap" / "worker.csv").exists()
+
+    def test_generated_snapshot_loads(self, tmp_path):
+        from repro.data.io import load_dataset
+
+        main(["generate", "--out", str(tmp_path / "s"), "--jobs", "2000"])
+        dataset = load_dataset(tmp_path / "s")
+        assert dataset.n_jobs > 0

@@ -1,0 +1,109 @@
+"""Unit tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    as_generator,
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    derive_seed,
+    format_count,
+    format_float,
+    format_table,
+    spawn,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        a = as_generator(5)
+        b = as_generator(5)
+        assert a.random() == b.random()
+
+    def test_as_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_generator(rng) is rng
+
+    def test_as_generator_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_independent_children(self):
+        children = spawn(as_generator(7), 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(1), -1)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "sdl") == derive_seed(42, "sdl")
+
+    def test_derive_seed_distinct_names(self):
+        assert derive_seed(42, "sdl") != derive_seed(42, "workers")
+
+    def test_derive_seed_63_bits(self):
+        assert 0 <= derive_seed(0, "x") < 2**63
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive("x", bad)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 0.5) == 0.5
+        for bad in (0.0, 1.0):
+            with pytest.raises(ValueError):
+                check_fraction("f", bad)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestFormatting:
+    def test_format_float_fixed(self):
+        assert format_float(1.23456) == "1.235"
+
+    def test_format_float_scientific(self):
+        assert "e" in format_float(5e-7)
+        assert "e" in format_float(1.5e7)
+
+    def test_format_float_zero_and_nan(self):
+        assert format_float(0.0) == "0"
+        assert format_float(float("nan")) == "nan"
+
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+        assert format_count(1234.6) == "1,235"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            headers=["name", "value"],
+            rows=[["a", 1.0], ["bb", 22.5]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned to equal width
