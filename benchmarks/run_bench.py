@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and record the perf trajectory.
+
+Runs ``benchmarks/`` under pytest-benchmark and writes the machine-readable
+timings to ``BENCH_trials.json`` at the repo root, so successive PRs can
+diff throughput.  Any extra arguments pass through to pytest, e.g.::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # whole suite
+    PYTHONPATH=src python benchmarks/run_bench.py -k batched      # one family
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_trials.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    import pytest
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, os.environ.get("PYTHONPATH")])
+        )
+    args = [
+        str(REPO_ROOT / "benchmarks"),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={BENCH_JSON}",
+        *argv,
+    ]
+    code = pytest.main(args)
+    if BENCH_JSON.exists():
+        print(f"wrote {BENCH_JSON}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

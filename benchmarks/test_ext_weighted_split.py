@@ -58,28 +58,36 @@ def _sweep(context):
     mask = true > 0
     public = _public_split(context)
 
-    def mean_error(noisy_fn):
-        errors = []
-        for trial in range(TRIALS):
-            noisy = noisy_fn(trial)
-            errors.append(float(np.abs(noisy[mask] - true[mask]).mean()))
-        return float(np.mean(errors))
+    def mean_error(noisy_matrix):
+        # One batched release: (TRIALS, n_cells) from a single draw.
+        return float(np.abs(noisy_matrix[:, mask] - true[mask]).mean())
 
     uniform = mean_error(
-        lambda t: release_marginal(
-            worker_full, ATTRS, "smooth-laplace", PARAMS, seed=3000 + t
+        release_marginal(
+            worker_full, ATTRS, "smooth-laplace", PARAMS,
+            seed=3000, n_trials=TRIALS,
         ).noisy
     )
     public_split = mean_error(
-        lambda t: release_marginal_weighted(
+        release_marginal_weighted(
             worker_full, ATTRS, "smooth-laplace", PARAMS,
-            split=public, seed=3100 + t,
+            split=public, seed=3100, n_trials=TRIALS,
         ).release.noisy
     )
+    # The pilot arm must average over stage-1 allocation randomness too
+    # (trials within one call share the pilot), so run several pilots
+    # and batch the stage-2 trials inside each.
+    n_pilots = 4
     pilot = mean_error(
-        lambda t: release_marginal_weighted(
-            worker_full, ATTRS, "smooth-laplace", PARAMS, seed=3200 + t
-        ).release.noisy
+        np.concatenate(
+            [
+                release_marginal_weighted(
+                    worker_full, ATTRS, "smooth-laplace", PARAMS,
+                    seed=3200 + p, n_trials=TRIALS // n_pilots,
+                ).release.noisy
+                for p in range(n_pilots)
+            ]
+        )
     )
     return [
         ["uniform (paper)", uniform],

@@ -6,9 +6,10 @@ import numpy as np
 from benchmarks.conftest import write_report
 from repro.attacks import (
     isolated_establishments,
-    shape_attack,
-    size_attack,
+    shape_attack_sweep,
+    size_attack_sweep,
 )
+from repro.attacks.shape_attack import resolve_histograms
 from repro.util import format_table
 
 WORKPLACE_ATTRS = ["place", "naics", "ownership"]
@@ -20,12 +21,24 @@ def _attack_sweep(context):
     sdl = context.sdl
     targets = isolated_establishments(worker_full, WORKPLACE_ATTRS, min_size=10)
     shape_usable = shape_exact = size_usable = size_exact = 0
-    for target in targets:
-        shape = shape_attack(worker_full, sdl, target, WORKER_ATTRS)
+    # Both sweeps read the same two tabulations; compute them once.
+    true_histograms, published_histograms = resolve_histograms(
+        worker_full, sdl, WORKER_ATTRS
+    )
+    shapes = shape_attack_sweep(
+        worker_full, sdl, targets, WORKER_ATTRS,
+        true_histograms=true_histograms,
+        published_histograms=published_histograms,
+    )
+    sizes = size_attack_sweep(
+        worker_full, sdl, targets, WORKER_ATTRS,
+        true_histograms=true_histograms,
+        published_histograms=published_histograms,
+    )
+    for shape, size in zip(shapes, sizes):
         if shape.usable:
             shape_usable += 1
             shape_exact += int(shape.exact)
-        size = size_attack(worker_full, sdl, target, WORKER_ATTRS)
         if size.usable:
             size_usable += 1
             size_exact += int(size.exact)

@@ -21,16 +21,26 @@ from repro.attacks.reidentification import (
     ReidentificationResult,
     reidentification_attack,
 )
-from repro.attacks.shape_attack import ShapeAttackResult, shape_attack
-from repro.attacks.size_attack import SizeAttackResult, size_attack
+from repro.attacks.shape_attack import (
+    ShapeAttackResult,
+    shape_attack,
+    shape_attack_sweep,
+)
+from repro.attacks.size_attack import (
+    SizeAttackResult,
+    size_attack,
+    size_attack_sweep,
+)
 from repro.attacks.targets import isolated_establishments
 
 __all__ = [
     "isolated_establishments",
     "ShapeAttackResult",
     "shape_attack",
+    "shape_attack_sweep",
     "SizeAttackResult",
     "size_attack",
+    "size_attack_sweep",
     "ReidentificationResult",
     "reidentification_attack",
 ]

@@ -24,6 +24,28 @@ from repro.db.join import WorkerFull
 from repro.sdl.noise_infusion import InputNoiseInfusion
 
 
+def resolve_histograms(
+    worker_full: WorkerFull,
+    sdl: InputNoiseInfusion,
+    worker_attrs: Sequence[str],
+    true_histograms=None,
+    published_histograms=None,
+):
+    """Fill in the (true, fuzzed) per-establishment histogram matrices.
+
+    The single place where attack entry points default their shared
+    tabulations: pass precomputed matrices through unchanged, tabulate
+    from the snapshot otherwise.
+    """
+    if true_histograms is None:
+        true_histograms = establishment_histograms(worker_full, worker_attrs)
+    if published_histograms is None:
+        published_histograms = sdl.protected_histograms(
+            worker_full, worker_attrs
+        )
+    return true_histograms, published_histograms
+
+
 @dataclass(frozen=True)
 class ShapeAttackResult:
     """Outcome of one shape-recovery attempt.
@@ -54,20 +76,26 @@ def shape_attack(
     sdl: InputNoiseInfusion,
     target: IsolatedEstablishment,
     worker_attrs: Sequence[str],
+    true_histograms=None,
+    published_histograms=None,
 ) -> ShapeAttackResult:
     """Recover ``target``'s workforce shape from its published SDL counts.
 
     The attacker observes the fuzzed histogram row of the isolated
     establishment (what the published ``V_I ∪ V_W`` marginal reveals for
     its cell) and normalizes it.
+
+    ``true_histograms``/``published_histograms`` optionally carry the
+    precomputed per-establishment histogram matrices; pass them when
+    attacking many targets so the snapshot tabulates once per sweep
+    instead of once per target (:func:`shape_attack_sweep` does this).
     """
-    published = (
-        sdl.protected_histograms(worker_full, worker_attrs)[target.establishment]
-        .toarray()
-        .ravel()
+    true_histograms, published_histograms = resolve_histograms(
+        worker_full, sdl, worker_attrs, true_histograms, published_histograms
     )
+    published = published_histograms[target.establishment].toarray().ravel()
     true = (
-        establishment_histograms(worker_full, worker_attrs)[target.establishment]
+        true_histograms[target.establishment]
         .toarray()
         .ravel()
         .astype(np.float64)
@@ -91,3 +119,35 @@ def shape_attack(
         true_shape=true_shape,
         usable=usable,
     )
+
+
+def shape_attack_sweep(
+    worker_full: WorkerFull,
+    sdl: InputNoiseInfusion,
+    targets: Sequence[IsolatedEstablishment],
+    worker_attrs: Sequence[str],
+    true_histograms=None,
+    published_histograms=None,
+) -> list[ShapeAttackResult]:
+    """Run the shape attack against every target with shared tabulations.
+
+    The true and fuzzed histogram matrices are computed once for the
+    whole sweep; each target then only slices its own row, so attacking
+    all isolated establishments costs two tabulations instead of 2·n.
+    Pass precomputed matrices to share them with other sweeps (e.g. a
+    size sweep on the same snapshot).
+    """
+    true_histograms, published_histograms = resolve_histograms(
+        worker_full, sdl, worker_attrs, true_histograms, published_histograms
+    )
+    return [
+        shape_attack(
+            worker_full,
+            sdl,
+            target,
+            worker_attrs,
+            true_histograms=true_histograms,
+            published_histograms=published_histograms,
+        )
+        for target in targets
+    ]

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks.shape_attack import resolve_histograms
 from repro.attacks.targets import IsolatedEstablishment
-from repro.db.histogram import establishment_histograms
 from repro.db.join import WorkerFull
 from repro.sdl.noise_infusion import InputNoiseInfusion
 
@@ -53,6 +53,8 @@ def size_attack(
     target: IsolatedEstablishment,
     worker_attrs: Sequence[str],
     known_cell: int | None = None,
+    true_histograms=None,
+    published_histograms=None,
 ) -> SizeAttackResult:
     """Recover ``target``'s total employment given one known true cell.
 
@@ -62,18 +64,21 @@ def size_attack(
     published value to be an actual fuzzed count (above the small-cell
     limit), and an exact total additionally needs no small-cell
     replacement among the other cells.
+
+    ``true_histograms``/``published_histograms`` optionally carry the
+    precomputed per-establishment histogram matrices, shared across a
+    sweep (:func:`size_attack_sweep`).
     """
+    true_histograms, published_histograms = resolve_histograms(
+        worker_full, sdl, worker_attrs, true_histograms, published_histograms
+    )
     true = (
-        establishment_histograms(worker_full, worker_attrs)[target.establishment]
+        true_histograms[target.establishment]
         .toarray()
         .ravel()
         .astype(np.float64)
     )
-    published = (
-        sdl.protected_histograms(worker_full, worker_attrs)[target.establishment]
-        .toarray()
-        .ravel()
-    )
+    published = published_histograms[target.establishment].toarray().ravel()
     if known_cell is None:
         known_cell = int(true.argmax())
     if true[known_cell] <= 0:
@@ -94,3 +99,33 @@ def size_attack(
         true_size=target.size,
         usable=usable,
     )
+
+
+def size_attack_sweep(
+    worker_full: WorkerFull,
+    sdl: InputNoiseInfusion,
+    targets: Sequence[IsolatedEstablishment],
+    worker_attrs: Sequence[str],
+    true_histograms=None,
+    published_histograms=None,
+) -> list[SizeAttackResult]:
+    """Run the size attack against every target with shared tabulations.
+
+    As in :func:`repro.attacks.shape_attack.shape_attack_sweep`, the two
+    histogram matrices tabulate once for the whole sweep, and
+    precomputed matrices may be passed in to share them across sweeps.
+    """
+    true_histograms, published_histograms = resolve_histograms(
+        worker_full, sdl, worker_attrs, true_histograms, published_histograms
+    )
+    return [
+        size_attack(
+            worker_full,
+            sdl,
+            target,
+            worker_attrs,
+            true_histograms=true_histograms,
+            published_histograms=published_histograms,
+        )
+        for target in targets
+    ]

@@ -47,11 +47,13 @@ def isolated_establishments(
     lonely_cells = np.flatnonzero(stats.n_establishments == 1)
 
     sizes = worker_full.establishment_sizes()
-    # Map each lonely cell to its single establishment via any of its rows.
+    # Map each cell to one of its establishments in a single O(jobs) pass
+    # (for a lonely cell that establishment is unique by definition).
+    cell_establishment = np.full(marginal.n_cells, -1, dtype=np.int64)
+    cell_establishment[cell_index] = worker_full.establishment
     results = []
     for cell in lonely_cells:
-        rows = np.flatnonzero(cell_index == cell)
-        establishment = int(worker_full.establishment[rows[0]])
+        establishment = int(cell_establishment[cell])
         size = int(sizes[establishment])
         if size >= min_size:
             results.append(

@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", type=Path, default=Path("reports"))
     figures.add_argument("--jobs", type=int, default=150_000)
     figures.add_argument("--trials", type=int, default=10)
+    figures.add_argument(
+        "--trials-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max trials per vectorized noise draw (default: all trials "
+        "in one (trials, cells) matrix; set to bound memory)",
+    )
     figures.add_argument("--seed", type=int, default=2017)
     figures.add_argument(
         "--only",
@@ -93,6 +101,7 @@ def run_figures(args) -> list[Path]:
     config = ExperimentConfig(
         data=SyntheticConfig(target_jobs=args.jobs, seed=args.seed),
         n_trials=args.trials,
+        trials_batch=args.trials_batch,
         seed=args.seed,
     )
     context = ExperimentContext(config)

@@ -34,7 +34,12 @@ from repro.core.publication import (
     PublicationSuite,
     qwi_style_suite,
 )
-from repro.core.release import MarginalRelease, make_mechanism, release_marginal
+from repro.core.release import (
+    MarginalRelease,
+    make_mechanism,
+    release_marginal,
+    release_marginal_stack,
+)
 from repro.core.smooth_gamma import SmoothGamma
 from repro.core.smooth_laplace import SmoothLaplace
 from repro.core.smooth_sensitivity import (
@@ -63,6 +68,7 @@ __all__ = [
     "worker_domain_size",
     "MarginalRelease",
     "release_marginal",
+    "release_marginal_stack",
     "make_mechanism",
     "Product",
     "PublicationSuite",

@@ -75,6 +75,32 @@ class LogLaplace:
             noisy = self.debiased(noisy)
         return noisy
 
+    def release_counts_batch(
+        self, counts: np.ndarray, n_trials: int = 1, seed=None
+    ) -> np.ndarray:
+        """``(n_trials, n_cells)`` noisy matrix from one vectorized draw.
+
+        ``counts`` is a per-cell vector replicated across trials, or a
+        ``(k, n_cells)`` stack of distinct truths sharing one draw (the
+        stacked form carries its own leading axis, so ``n_trials`` must
+        stay 1 or equal k).  The
+        Laplace matrix is filled row-major from the same bit stream the
+        per-trial loop consumes, so for a fixed seed the batch is
+        bit-for-bit the concatenation of ``n_trials`` sequential
+        :meth:`release_counts` calls.
+        """
+        rng = as_generator(seed)
+        counts = np.asarray(counts, dtype=np.float64)
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+        shape = np.broadcast_shapes(counts.shape, (n_trials, counts.shape[-1]))
+        gamma = self.gamma
+        eta = rng.laplace(0.0, self.scale, size=shape)
+        noisy = np.exp(np.log(counts + gamma) + eta) - gamma
+        if self.debias:
+            noisy = self.debiased(noisy)
+        return noisy
+
     def debiased(self, noisy: np.ndarray) -> np.ndarray:
         """Exact multiplicative bias correction from Lemma 8.2.
 

@@ -64,6 +64,11 @@ class MarginalRelease:
     is the xv statistic actually used for the noise scale (establishment
     contribution per cell under weak mode; whole-establishment size under
     the strong-mode worker-attribute ablation).
+
+    For a batched release (``n_trials`` passed to
+    :func:`release_marginal`), ``noisy`` is ``(n_trials, n_cells)`` — one
+    row per independent trial from a single vectorized draw; everything
+    else stays per-cell.
     """
 
     marginal: Marginal
@@ -132,26 +137,19 @@ def _released_mask_and_xv(
     return released, xv
 
 
-def release_marginal(
-    worker_full: WorkerFull,
+def _prepare_release(
+    schema,
     attrs: Sequence[str],
     mechanism_name: str,
     params: EREEParams,
-    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
-    mode: str | None = None,
-    budget_style: str = MARGINAL,
-    seed=None,
-    mechanism_options: dict | None = None,
-) -> MarginalRelease:
-    """Release the marginal over ``attrs`` with a named mechanism.
-
-    ``mode=None`` picks strong privacy for establishment-only marginals
-    and weak privacy when worker attributes are present (the paper's
-    pairing).  Passing ``mode='strong'`` with worker attributes runs the
-    strong-neighbor ablation (only meaningful for the smooth mechanisms).
-    """
-    rng = as_generator(seed)
-    schema = worker_full.table.schema
+    worker_attrs: Collection[str],
+    mode: str | None,
+    budget_style: str,
+    mechanism_options: dict | None,
+):
+    """Shared prologue of the single-snapshot and stacked releases:
+    resolve the privacy mode, validate the mechanism/mode pairing, and
+    build the marginal, budget and mechanism."""
     marginal = Marginal(schema, attrs)
     mode = _resolve_mode(attrs, worker_attrs, mode)
     has_worker_attrs = any(name in worker_attrs for name in attrs)
@@ -170,20 +168,70 @@ def release_marginal(
     mechanism = make_mechanism(
         mechanism_name, budget.per_cell, **(mechanism_options or {})
     )
+    return marginal, mode, has_worker_attrs, workplace_part, budget, mechanism
+
+
+def release_marginal(
+    worker_full: WorkerFull,
+    attrs: Sequence[str],
+    mechanism_name: str,
+    params: EREEParams,
+    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
+    mode: str | None = None,
+    budget_style: str = MARGINAL,
+    seed=None,
+    mechanism_options: dict | None = None,
+    n_trials: int | None = None,
+) -> MarginalRelease:
+    """Release the marginal over ``attrs`` with a named mechanism.
+
+    ``mode=None`` picks strong privacy for establishment-only marginals
+    and weak privacy when worker attributes are present (the paper's
+    pairing).  Passing ``mode='strong'`` with worker attributes runs the
+    strong-neighbor ablation (only meaningful for the smooth mechanisms).
+
+    ``n_trials`` batches the release: the result's ``noisy`` becomes a
+    ``(n_trials, n_cells)`` matrix of independent trials drawn in one
+    vectorized RNG call (each trial is a full release of the same
+    budget — batching is a Monte Carlo convenience, not composition).
+    """
+    rng = as_generator(seed)
+    schema = worker_full.table.schema
+    marginal, mode, has_worker_attrs, workplace_part, budget, mechanism = (
+        _prepare_release(
+            schema, attrs, mechanism_name, params, worker_attrs, mode,
+            budget_style, mechanism_options,
+        )
+    )
 
     true = marginal.counts(worker_full.table).astype(np.float64)
     released, xv = _released_mask_and_xv(
         worker_full, marginal, workplace_part, mode, has_worker_attrs
     )
 
-    noisy = np.zeros(marginal.n_cells, dtype=np.float64)
+    shape = (
+        (marginal.n_cells,)
+        if n_trials is None
+        else (n_trials, marginal.n_cells)
+    )
+    noisy = np.zeros(shape, dtype=np.float64)
     if released.any():
-        if mechanism_name == "log-laplace":
-            noisy[released] = mechanism.release_counts(true[released], rng)
+        if n_trials is None:
+            if mechanism_name == "log-laplace":
+                noisy[released] = mechanism.release_counts(true[released], rng)
+            else:
+                noisy[released] = mechanism.release_counts(
+                    true[released], xv[released], rng
+                )
         else:
-            noisy[released] = mechanism.release_counts(
-                true[released], xv[released], rng
-            )
+            if mechanism_name == "log-laplace":
+                noisy[:, released] = mechanism.release_counts_batch(
+                    true[released], n_trials, rng
+                )
+            else:
+                noisy[:, released] = mechanism.release_counts_batch(
+                    true[released], xv[released], n_trials, rng
+                )
     return MarginalRelease(
         marginal=marginal,
         true=true,
@@ -193,3 +241,72 @@ def release_marginal(
         budget=budget,
         mechanism_name=mechanism_name,
     )
+
+
+def release_marginal_stack(
+    worker_fulls: Sequence[WorkerFull],
+    attrs: Sequence[str],
+    mechanism_name: str,
+    params: EREEParams,
+    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
+    mode: str | None = None,
+    budget_style: str = MARGINAL,
+    seed=None,
+    mechanism_options: dict | None = None,
+) -> list[MarginalRelease]:
+    """Release the same marginal over a stack of snapshots in one draw.
+
+    The snapshots (e.g. the years of a :class:`repro.data.panel.LODESPanel`)
+    share one schema and marginal; their true counts and xv statistics
+    stack into ``(n_snapshots, n_cells)`` matrices and the whole stack's
+    noise is a single vectorized mechanism call instead of one RNG draw
+    per snapshot.  Each snapshot is still an independent full-budget
+    release — stacking batches the randomness, it does not compose
+    budgets.  Returns one :class:`MarginalRelease` per snapshot.
+    """
+    if not worker_fulls:
+        return []
+    rng = as_generator(seed)
+    schema = worker_fulls[0].table.schema
+    marginal, mode, has_worker_attrs, workplace_part, budget, mechanism = (
+        _prepare_release(
+            schema, attrs, mechanism_name, params, worker_attrs, mode,
+            budget_style, mechanism_options,
+        )
+    )
+
+    trues, releaseds, xvs = [], [], []
+    for worker_full in worker_fulls:
+        if worker_full.table.schema != schema:
+            raise ValueError("all snapshots must share one schema")
+        trues.append(marginal.counts(worker_full.table).astype(np.float64))
+        released, xv = _released_mask_and_xv(
+            worker_full, marginal, workplace_part, mode, has_worker_attrs
+        )
+        releaseds.append(released)
+        xvs.append(xv)
+    true_stack = np.stack(trues)
+    released_stack = np.stack(releaseds)
+    xv_stack = np.stack(xvs)
+
+    # One draw covers every (snapshot, cell); suppressed cells discard
+    # their (independent) noise afterwards, which leaves the released
+    # cells' distribution untouched.
+    if mechanism_name == "log-laplace":
+        noisy_stack = mechanism.release_counts_batch(true_stack, 1, rng)
+    else:
+        noisy_stack = mechanism.release_counts_batch(true_stack, xv_stack, 1, rng)
+    noisy_stack = np.where(released_stack, noisy_stack, 0.0)
+
+    return [
+        MarginalRelease(
+            marginal=marginal,
+            true=true_stack[i],
+            noisy=noisy_stack[i],
+            released=released_stack[i],
+            max_single=xv_stack[i],
+            budget=budget,
+            mechanism_name=mechanism_name,
+        )
+        for i in range(len(worker_fulls))
+    ]

@@ -22,6 +22,7 @@ from repro.core.params import EREEParams
 from repro.core.smooth_sensitivity import (
     GammaAdmissible,
     add_smooth_noise,
+    add_smooth_noise_batch,
     gamma4_density,
     smooth_sensitivity_of_counts,
 )
@@ -76,6 +77,25 @@ class SmoothGamma:
         """Release noisy counts; ``max_single`` supplies xv per cell."""
         sensitivity = self.smooth_sensitivity(max_single)
         return add_smooth_noise(counts, sensitivity, self.distribution, seed)
+
+    def release_counts_batch(
+        self,
+        counts: np.ndarray,
+        max_single: np.ndarray,
+        n_trials: int = 1,
+        seed=None,
+    ) -> np.ndarray:
+        """``(n_trials, n_cells)`` noisy matrix from one rejection stream.
+
+        ``counts``/``max_single`` are per-cell vectors replicated across
+        trials or ``(k, n_cells)`` stacks of distinct truths (the
+        stacked form carries its own leading axis, so ``n_trials`` must
+        stay 1 or equal k).
+        """
+        sensitivity = self.smooth_sensitivity(max_single)
+        return add_smooth_noise_batch(
+            counts, sensitivity, self.distribution, n_trials, seed
+        )
 
     def expected_l1_error(self, max_single: np.ndarray) -> np.ndarray:
         """Per-cell expected |error| = (S*/a)·E|Z| (Lemma 8.8 is O(xvα/ε))."""

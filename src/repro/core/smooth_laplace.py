@@ -23,6 +23,7 @@ from repro.core.params import EREEParams
 from repro.core.smooth_sensitivity import (
     LaplaceAdmissible,
     add_smooth_noise,
+    add_smooth_noise_batch,
     smooth_sensitivity_of_counts,
 )
 
@@ -67,6 +68,27 @@ class SmoothLaplace:
     ) -> np.ndarray:
         sensitivity = self.smooth_sensitivity(max_single)
         return add_smooth_noise(counts, sensitivity, self.distribution, seed)
+
+    def release_counts_batch(
+        self,
+        counts: np.ndarray,
+        max_single: np.ndarray,
+        n_trials: int = 1,
+        seed=None,
+    ) -> np.ndarray:
+        """``(n_trials, n_cells)`` noisy matrix from one vectorized draw.
+
+        ``counts``/``max_single`` are per-cell vectors replicated across
+        trials or ``(k, n_cells)`` stacks of distinct truths (the
+        stacked form carries its own leading axis, so ``n_trials`` must
+        stay 1 or equal k).  Bit-for-bit
+        the concatenation of sequential :meth:`release_counts` calls for a
+        fixed seed (the Laplace matrix fills row-major from one stream).
+        """
+        sensitivity = self.smooth_sensitivity(max_single)
+        return add_smooth_noise_batch(
+            counts, sensitivity, self.distribution, n_trials, seed
+        )
 
     def expected_l1_error(self, max_single: np.ndarray) -> np.ndarray:
         """Per-cell expected |error|, E|Lap(S/a)| = S/a (Lemma 9.3)."""

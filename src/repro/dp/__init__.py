@@ -17,7 +17,11 @@ from repro.dp.primitives import (
     laplace_tail_bound,
 )
 from repro.dp.sensitivity import marginal_sensitivity_edges, marginal_sensitivity_nodes
-from repro.dp.truncation import TruncatedLaplace, TruncationResult
+from repro.dp.truncation import (
+    TruncatedLaplace,
+    TruncationProjection,
+    TruncationResult,
+)
 
 __all__ = [
     "LaplaceMechanism",
@@ -32,4 +36,5 @@ __all__ = [
     "edge_dp_marginal",
     "TruncatedLaplace",
     "TruncationResult",
+    "TruncationProjection",
 ]

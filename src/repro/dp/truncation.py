@@ -40,6 +40,18 @@ class TruncationResult:
 
 
 @dataclass(frozen=True)
+class TruncationProjection:
+    """The deterministic, trial-invariant half of a Truncated-Laplace
+    release: the degree-θ projection and its marginal tabulations.
+    Compute once, reuse across noise draws."""
+
+    true: np.ndarray
+    truncated_true: np.ndarray
+    n_establishments_removed: int
+    n_jobs_removed: int
+
+
+@dataclass(frozen=True)
 class TruncatedLaplace:
     """Node-DP marginal release via degree-θ truncation plus Laplace noise.
 
@@ -55,10 +67,11 @@ class TruncatedLaplace:
         check_positive("theta", self.theta)
         check_positive("epsilon", self.epsilon)
 
-    def release(
-        self, worker_full: WorkerFull, marginal: Marginal, seed=None
-    ) -> TruncationResult:
-        rng = as_generator(seed)
+    def project(
+        self, worker_full: WorkerFull, marginal: Marginal
+    ) -> TruncationProjection:
+        """Run the (deterministic) degree-θ projection and tabulate the
+        true and truncated marginals."""
         sizes = worker_full.establishment_sizes()
         keep_establishment = sizes < self.theta
         keep_job = keep_establishment[worker_full.establishment]
@@ -66,13 +79,54 @@ class TruncatedLaplace:
         true = marginal.counts(worker_full.table).astype(np.float64)
         kept = worker_full.filter(keep_job)
         truncated_true = marginal.counts(kept.table).astype(np.float64)
+        return TruncationProjection(
+            true=true,
+            truncated_true=truncated_true,
+            n_establishments_removed=int((~keep_establishment).sum()),
+            n_jobs_removed=int(worker_full.n_jobs - kept.n_jobs),
+        )
+
+    def release(
+        self, worker_full: WorkerFull, marginal: Marginal, seed=None
+    ) -> TruncationResult:
+        return self.release_batch(worker_full, marginal, n_trials=None, seed=seed)
+
+    def release_batch(
+        self,
+        worker_full: WorkerFull,
+        marginal: Marginal,
+        n_trials: int | None = 1,
+        seed=None,
+        projection: TruncationProjection | None = None,
+    ) -> TruncationResult:
+        """Release ``n_trials`` independent noisy vectors in one draw.
+
+        The truncation projection is deterministic, so it (and the
+        marginal tabulations) run once — pass a precomputed
+        ``projection`` to amortize it across several draws (e.g. chunked
+        trials; the noise stream does not depend on how the projection
+        was obtained).  ``noisy`` is ``(n_trials, n_cells)``, or the
+        single ``(n_cells,)`` vector when ``n_trials`` is None (the
+        :meth:`release` behavior, same bit stream).
+        """
+        rng = as_generator(seed)
+        if projection is None:
+            projection = self.project(worker_full, marginal)
+        truncated_true = projection.truncated_true
 
         mechanism = LaplaceMechanism(epsilon=self.epsilon, sensitivity=self.theta)
-        noisy = mechanism.release(truncated_true, rng)
+        if n_trials is None:
+            noisy = mechanism.release(truncated_true, rng)
+        else:
+            if n_trials < 1:
+                raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+            noisy = truncated_true + rng.laplace(
+                0.0, mechanism.scale, size=(n_trials, truncated_true.size)
+            )
         return TruncationResult(
             noisy=noisy,
             truncated_true=truncated_true,
-            true=true,
-            n_establishments_removed=int((~keep_establishment).sum()),
-            n_jobs_removed=int(worker_full.n_jobs - kept.n_jobs),
+            true=projection.true,
+            n_establishments_removed=projection.n_establishments_removed,
+            n_jobs_removed=projection.n_jobs_removed,
         )

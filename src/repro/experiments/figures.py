@@ -36,6 +36,7 @@ def _grid_points(
     delta: float,
     n_trials: int,
     tag: str,
+    trials_batch: int | None = None,
 ):
     stats = context.statistics(workload)
     points = []
@@ -48,7 +49,14 @@ def _grid_points(
                     f"{tag}:{mechanism}:{alpha}:{epsilon}",
                 )
                 points.append(
-                    point_fn(stats, mechanism, params, n_trials, seed)
+                    point_fn(
+                        stats,
+                        mechanism,
+                        params,
+                        n_trials,
+                        seed,
+                        batch_size=trials_batch,
+                    )
                 )
     return points
 
@@ -65,6 +73,7 @@ def figure1(context: ExperimentContext, config: ExperimentConfig | None = None) 
         config.delta,
         config.n_trials,
         "fig1",
+        config.trials_batch,
     )
     return FigureSeries(
         name="figure-1",
@@ -87,6 +96,7 @@ def figure2(context: ExperimentContext, config: ExperimentConfig | None = None) 
         config.delta,
         config.n_trials,
         "fig2",
+        config.trials_batch,
     )
     return FigureSeries(
         name="figure-2",
@@ -109,6 +119,7 @@ def figure3(context: ExperimentContext, config: ExperimentConfig | None = None) 
         config.delta,
         config.n_trials,
         "fig3",
+        config.trials_batch,
     )
     return FigureSeries(
         name="figure-3",
@@ -131,6 +142,7 @@ def figure4(context: ExperimentContext, config: ExperimentConfig | None = None) 
         config.delta,
         config.n_trials,
         "fig4",
+        config.trials_batch,
     )
     return FigureSeries(
         name="figure-4",
@@ -153,6 +165,7 @@ def figure5(context: ExperimentContext, config: ExperimentConfig | None = None) 
         config.delta,
         config.n_trials,
         "fig5",
+        config.trials_batch,
     )
     return FigureSeries(
         name="figure-5",
@@ -177,7 +190,14 @@ def finding6(
             seed = derive_seed(context.config.seed, f"finding6:{theta}:{epsilon}")
             points.append(
                 truncated_laplace_point(
-                    context, stats, theta, epsilon, config.n_trials, seed, metric
+                    context,
+                    stats,
+                    theta,
+                    epsilon,
+                    config.n_trials,
+                    seed,
+                    metric,
+                    batch_size=config.trials_batch,
                 )
             )
     return FigureSeries(

@@ -4,7 +4,9 @@
 system once.  ``WorkloadStatistics`` caches everything that does not
 change across noise trials (true counts, release mask, the per-cell xv
 statistic, place strata, and the SDL answer), so a figure's grid of
-(mechanism × α × ε × trials) only redraws noise.
+(mechanism × α × ε × trials) only redraws noise — and that noise is one
+vectorized ``(n_trials, n_cells)`` draw per grid point via the batched
+mechanism engine, not a per-trial Python loop.
 
 Error ratios and Spearman correlations follow Sec 10's definitions: the
 ratio is mean private L1 over trials divided by SDL L1; Spearman compares
@@ -27,8 +29,8 @@ from repro.db.query import Marginal, per_establishment_counts
 from repro.dp.truncation import TruncatedLaplace
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import Workload
-from repro.metrics.error import l1_error
-from repro.metrics.ranking import spearman_correlation
+from repro.metrics.error import l1_error, l1_error_batch
+from repro.metrics.ranking import spearman_correlation_batch
 from repro.metrics.strata import STRATUM_LABELS, cell_strata
 from repro.sdl.noise_infusion import InputNoiseInfusion
 from repro.util import as_generator, derive_seed
@@ -200,17 +202,81 @@ def mechanism_is_feasible(
     return True
 
 
+def _trial_chunks(n_trials: int, batch_size: int | None) -> list[int]:
+    """Chunk sizes whose sum is ``n_trials`` (one chunk when unbounded)."""
+    if batch_size is None or batch_size >= n_trials:
+        return [n_trials]
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    full, rest = divmod(n_trials, batch_size)
+    return [batch_size] * full + ([rest] if rest else [])
+
+
+def _release_chunks(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    per_cell: EREEParams,
+    n_trials: int,
+    seed,
+    batch_size: int | None,
+):
+    """Yield ``(chunk, n_cells)`` noise matrices from one shared stream.
+
+    The chunk boundaries do not change the stream for the Laplace-based
+    mechanisms (the matrix fills row-major from one generator), so any
+    ``batch_size`` reproduces the single-draw statistics bit-for-bit.
+    """
+    mechanism = make_mechanism(mechanism_name, per_cell)
+    rng = as_generator(seed)
+    true = stats.masked(stats.true)
+    xv = stats.masked(stats.xv)
+    for chunk in _trial_chunks(n_trials, batch_size):
+        if mechanism_name == "log-laplace":
+            yield mechanism.release_counts_batch(true, chunk, rng)
+        else:
+            yield mechanism.release_counts_batch(true, xv, chunk, rng)
+
+
 def release_trials(
     stats: WorkloadStatistics,
     mechanism_name: str,
     params: EREEParams,
     n_trials: int,
     seed,
-) -> list[np.ndarray] | None:
-    """Noisy vectors over the evaluation cells, one per trial.
+    batch_size: int | None = None,
+) -> np.ndarray | None:
+    """``(n_trials, n_cells)`` noisy matrix over the evaluation cells.
 
-    Returns None when the per-cell parameters are infeasible for the
-    mechanism (the figure shows a gap there, as in the paper).
+    All trials come from a single vectorized RNG draw (the batched
+    mechanism path).  ``batch_size`` caps how many trials share one draw
+    — it bounds the per-draw transients (and lets the figure points
+    stream-reduce chunk by chunk without materializing the matrix), but
+    this function's *result* is always the full matrix.  Returns None
+    when the per-cell parameters are infeasible for the mechanism (the
+    figure shows a gap there, as in the paper).  Iterating the result
+    yields one noisy vector per trial, like the historical list.
+    """
+    per_cell = stats.per_cell_params_of(params)
+    if not mechanism_is_feasible(mechanism_name, per_cell):
+        return None
+    chunks = list(
+        _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size)
+    )
+    return chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
+
+
+def release_trials_looped(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    params: EREEParams,
+    n_trials: int,
+    seed,
+) -> list[np.ndarray] | None:
+    """The historical per-trial Python loop (one RNG draw per trial).
+
+    Kept as the reference implementation for the batched-engine
+    equivalence tests and throughput benchmarks; production paths use
+    :func:`release_trials`.
     """
     per_cell = stats.per_cell_params_of(params)
     if not mechanism_is_feasible(mechanism_name, per_cell):
@@ -229,16 +295,78 @@ def release_trials(
 
 
 def _ratio(true, private_trials, sdl, cells) -> float:
-    """Mean private L1 over trials / SDL L1, over the given cells."""
+    """Mean private L1 over trials / SDL L1, over the given cells.
+
+    ``private_trials`` is a ``(n_trials, n_cells)`` matrix (or anything
+    array-like with that shape); the trial axis reduces vectorized.
+    """
     if not cells.any():
         return float("nan")
+    trials = np.asarray(private_trials, dtype=np.float64)
     sdl_l1 = l1_error(true[cells], sdl[cells])
-    private_l1 = float(
-        np.mean([l1_error(true[cells], trial[cells]) for trial in private_trials])
-    )
+    private_l1 = float(l1_error_batch(true[cells], trials[:, cells]).mean())
     if sdl_l1 == 0.0:
         return math.inf if private_l1 > 0 else float("nan")
     return private_l1 / sdl_l1
+
+
+def _streamed_point_values(
+    chunk_iter, true, sdl, strata, metric: str, n_trials: int
+) -> tuple[float, tuple[float, ...]]:
+    """Reduce trial-chunk matrices to (overall, by-stratum) point values.
+
+    Both metrics are means over trials, so each chunk folds into running
+    sums and is discarded — the full ``(n_trials, n_cells)`` matrix never
+    exists when the chunks are small.  The chunk rows arrive in trial
+    order, so the statistics match the whole-matrix reduction exactly up
+    to floating-point summation order (last-ULP reassociation).
+    """
+    cell_sets = [np.ones(len(sdl), dtype=bool)] + [
+        strata == stratum for stratum in range(N_STRATA)
+    ]
+    sums = np.zeros(len(cell_sets))
+    counts = np.zeros(len(cell_sets))
+    for chunk in chunk_iter:
+        for j, cells in enumerate(cell_sets):
+            if metric == "l1-ratio":
+                if cells.any():
+                    sums[j] += l1_error_batch(true[cells], chunk[:, cells]).sum()
+            else:
+                if int(cells.sum()) >= 2:
+                    values = spearman_correlation_batch(
+                        chunk[:, cells], sdl[cells]
+                    )
+                    sums[j] += np.nansum(values)
+                    counts[j] += np.count_nonzero(~np.isnan(values))
+    results = []
+    for j, cells in enumerate(cell_sets):
+        if metric == "l1-ratio":
+            if not cells.any():
+                results.append(float("nan"))
+                continue
+            sdl_l1 = l1_error(true[cells], sdl[cells])
+            private_l1 = float(sums[j]) / n_trials
+            if sdl_l1 == 0.0:
+                results.append(math.inf if private_l1 > 0 else float("nan"))
+            else:
+                results.append(private_l1 / sdl_l1)
+        else:
+            results.append(
+                float(sums[j] / counts[j]) if counts[j] else float("nan")
+            )
+    return results[0], tuple(results[1:])
+
+
+def _infeasible_point(mechanism_name: str, params: EREEParams) -> SeriesPoint:
+    nan = float("nan")
+    return SeriesPoint(
+        mechanism=mechanism_name,
+        alpha=params.alpha,
+        epsilon=params.epsilon,
+        overall=nan,
+        by_stratum=(nan,) * N_STRATA,
+        feasible=False,
+    )
 
 
 def error_ratio_point(
@@ -247,26 +375,23 @@ def error_ratio_point(
     params: EREEParams,
     n_trials: int,
     seed,
+    batch_size: int | None = None,
 ) -> SeriesPoint:
     """One L1-error-ratio point (overall + per-stratum)."""
-    trials = release_trials(stats, mechanism_name, params, n_trials, seed)
-    if trials is None:
-        nan = float("nan")
-        return SeriesPoint(
-            mechanism=mechanism_name,
-            alpha=params.alpha,
-            epsilon=params.epsilon,
-            overall=nan,
-            by_stratum=(nan,) * N_STRATA,
-            feasible=False,
-        )
+    per_cell = stats.per_cell_params_of(params)
+    if not mechanism_is_feasible(mechanism_name, per_cell):
+        return _infeasible_point(mechanism_name, params)
     mask = stats.mask
     true = stats.masked(stats.true)
     sdl = stats.masked(stats.sdl_noisy)
     strata = stats.strata[mask]
-    overall = _ratio(true, trials, sdl, np.ones(len(true), dtype=bool))
-    by_stratum = tuple(
-        _ratio(true, trials, sdl, strata == stratum) for stratum in range(N_STRATA)
+    overall, by_stratum = _streamed_point_values(
+        _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size),
+        true,
+        sdl,
+        strata,
+        "l1-ratio",
+        n_trials,
     )
     return SeriesPoint(
         mechanism=mechanism_name,
@@ -278,11 +403,13 @@ def error_ratio_point(
 
 
 def _mean_spearman(private_trials, sdl, cells) -> float:
+    """Mean over trials of row-wise Spearman ρ against the SDL ordering."""
     if not cells.any() or int(cells.sum()) < 2:
         return float("nan")
-    values = [
-        spearman_correlation(trial[cells], sdl[cells]) for trial in private_trials
-    ]
+    trials = np.asarray(private_trials, dtype=np.float64)
+    values = spearman_correlation_batch(trials[:, cells], sdl[cells])
+    if np.all(np.isnan(values)):
+        return float("nan")
     return float(np.nanmean(values))
 
 
@@ -292,26 +419,23 @@ def spearman_point(
     params: EREEParams,
     n_trials: int,
     seed,
+    batch_size: int | None = None,
 ) -> SeriesPoint:
     """One Spearman-correlation point (overall + per-stratum)."""
-    trials = release_trials(stats, mechanism_name, params, n_trials, seed)
-    if trials is None:
-        nan = float("nan")
-        return SeriesPoint(
-            mechanism=mechanism_name,
-            alpha=params.alpha,
-            epsilon=params.epsilon,
-            overall=nan,
-            by_stratum=(nan,) * N_STRATA,
-            feasible=False,
-        )
+    per_cell = stats.per_cell_params_of(params)
+    if not mechanism_is_feasible(mechanism_name, per_cell):
+        return _infeasible_point(mechanism_name, params)
     mask = stats.mask
+    true = stats.masked(stats.true)
     sdl = stats.masked(stats.sdl_noisy)
     strata = stats.strata[mask]
-    overall = _mean_spearman(trials, sdl, np.ones(len(sdl), dtype=bool))
-    by_stratum = tuple(
-        _mean_spearman(trials, sdl, strata == stratum)
-        for stratum in range(N_STRATA)
+    overall, by_stratum = _streamed_point_values(
+        _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size),
+        true,
+        sdl,
+        strata,
+        "spearman",
+        n_trials,
     )
     return SeriesPoint(
         mechanism=mechanism_name,
@@ -330,29 +454,35 @@ def truncated_laplace_point(
     n_trials: int,
     seed,
     metric: str = "l1-ratio",
+    batch_size: int | None = None,
 ) -> SeriesPoint:
-    """One node-DP Truncated-Laplace point on a workload (Finding 6)."""
+    """One node-DP Truncated-Laplace point on a workload (Finding 6).
+
+    The truncation projection is trial-invariant, so it runs exactly
+    once; the whole ``(n_trials, n_cells)`` noise matrix is a single
+    vectorized draw, or — when ``batch_size`` caps memory — a few chunked
+    draws from the same stream, each masked and folded into the running
+    statistics before the next chunk exists.
+    """
     rng = as_generator(seed)
     mechanism = TruncatedLaplace(theta=theta, epsilon=epsilon)
     mask = stats.mask
-    trials = []
-    for _ in range(n_trials):
-        result = mechanism.release(context.worker_full, stats.marginal, rng)
-        trials.append(result.noisy[mask])
+    projection = mechanism.project(context.worker_full, stats.marginal)
+
+    def chunk_iter():
+        for chunk in _trial_chunks(n_trials, batch_size):
+            result = mechanism.release_batch(
+                context.worker_full, stats.marginal, chunk, rng,
+                projection=projection,
+            )
+            yield result.noisy[:, mask]
+
     true = stats.masked(stats.true)
     sdl = stats.masked(stats.sdl_noisy)
     strata = stats.strata[mask]
-    everything = np.ones(len(true), dtype=bool)
-    if metric == "l1-ratio":
-        overall = _ratio(true, trials, sdl, everything)
-        by_stratum = tuple(
-            _ratio(true, trials, sdl, strata == s) for s in range(N_STRATA)
-        )
-    else:
-        overall = _mean_spearman(trials, sdl, everything)
-        by_stratum = tuple(
-            _mean_spearman(trials, sdl, strata == s) for s in range(N_STRATA)
-        )
+    overall, by_stratum = _streamed_point_values(
+        chunk_iter(), true, sdl, strata, metric, n_trials
+    )
     return SeriesPoint(
         mechanism="truncated-laplace",
         alpha=None,

@@ -161,6 +161,7 @@ def release_marginal_weighted(
     split: WeightedSplit | None = None,
     pilot_fraction: float = 0.2,
     seed=None,
+    n_trials: int | None = None,
 ) -> WeightedRelease:
     """Weak release with a non-uniform worker-cell allocation.
 
@@ -177,6 +178,14 @@ def release_marginal_weighted(
     δ is interpreted per released count as elsewhere in the library.
     Only the smooth mechanisms are supported (the √ rule needs their
     linear error-in-1/ε form; Log-Laplace's error is not budget-linear).
+
+    The class loop only *builds* the per-cell noise scales (validating
+    each class budget's feasibility); the stage-2 noise itself is one
+    vectorized draw of the mechanism's unit distribution — which is the
+    same for every class, the budgets only move the scale.  ``n_trials``
+    batches that draw into a ``(n_trials, n_cells)`` matrix of
+    independent stage-2 trials sharing the stage-1 pilot allocation (run
+    separate calls for independent pilots).
     """
     if mechanism_name == "log-laplace":
         raise ValueError(
@@ -255,7 +264,11 @@ def release_marginal_weighted(
     released = wp_stats.n_establishments[marginal.project_onto(workplace_part)] > 0
 
     cell_class = _worker_cell_of_marginal(marginal, worker_attrs_in_marginal)
-    noisy = np.zeros(marginal.n_cells, dtype=np.float64)
+    # Per-cell noise scale: class-specific budget, cell-specific smooth
+    # sensitivity.  Constructing each class's mechanism keeps the
+    # per-class feasibility validation; no randomness is drawn here.
+    scale = np.zeros(marginal.n_cells, dtype=np.float64)
+    unit_distribution = None
     for class_index in range(d):
         members = released & (cell_class == class_index)
         if not members.any():
@@ -266,9 +279,22 @@ def release_marginal_weighted(
                 params.alpha, float(split.epsilons[class_index]), params.delta
             ),
         )
-        noisy[members] = mechanism.release_counts(
-            true[members], stats.max_single[members], rng
+        scale[members] = mechanism.noise_scale(stats.max_single[members])
+        unit_distribution = mechanism.distribution
+
+    shape = (
+        (marginal.n_cells,)
+        if n_trials is None
+        else (n_trials, marginal.n_cells)
+    )
+    noisy = np.zeros(shape, dtype=np.float64)
+    if unit_distribution is not None:
+        n_released = int(released.sum())
+        draw_shape = (
+            n_released if n_trials is None else (n_trials, n_released)
         )
+        unit = unit_distribution.sample(draw_shape, rng)
+        noisy[..., released] = true[released] + scale[released] * unit
 
     from repro.core.composition import MarginalBudget, WEAK
 

@@ -11,22 +11,31 @@
 from repro.metrics.error import (
     error_ratio,
     l1_error,
+    l1_error_batch,
     lp_error,
     mean_l1_error,
     relative_errors,
     share_within_relative_error,
 )
-from repro.metrics.ranking import rank_descending, spearman_correlation
+from repro.metrics.ranking import (
+    average_ranks_batch,
+    rank_descending,
+    spearman_correlation,
+    spearman_correlation_batch,
+)
 from repro.metrics.strata import STRATUM_LABELS, cell_strata, stratified_mask
 
 __all__ = [
     "l1_error",
+    "l1_error_batch",
     "lp_error",
     "mean_l1_error",
     "relative_errors",
     "share_within_relative_error",
     "error_ratio",
     "spearman_correlation",
+    "spearman_correlation_batch",
+    "average_ranks_batch",
     "rank_descending",
     "cell_strata",
     "stratified_mask",

@@ -31,6 +31,44 @@ def average_ranks(values: np.ndarray) -> np.ndarray:
     return ranks
 
 
+def average_ranks_batch(values: np.ndarray) -> np.ndarray:
+    """Row-wise tied average ranks of a ``(n_rows, n)`` matrix.
+
+    Fully vectorized: tie groups are located by comparing sorted
+    neighbors, the group start/end positions propagate along the sorted
+    axis with cumulative max/min, and the averaged ranks scatter back —
+    no per-row Python loop.  Each row equals :func:`average_ranks` on it.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        return average_ranks(values)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 1-D or 2-D array, got shape {values.shape}")
+    n_rows, n = values.shape
+    if n == 0:
+        return np.empty((n_rows, 0), dtype=np.float64)
+    order = np.argsort(values, axis=1, kind="mergesort")
+    sorted_values = np.take_along_axis(values, order, axis=1)
+    positions = np.arange(n, dtype=np.float64)
+
+    is_group_start = np.ones((n_rows, n), dtype=bool)
+    is_group_start[:, 1:] = sorted_values[:, 1:] != sorted_values[:, :-1]
+    start = np.maximum.accumulate(
+        np.where(is_group_start, positions, 0.0), axis=1
+    )
+    is_group_end = np.ones((n_rows, n), dtype=bool)
+    is_group_end[:, :-1] = is_group_start[:, 1:]
+    end = np.where(is_group_end, positions, float(n - 1))
+    end = np.minimum.accumulate(end[:, ::-1], axis=1)[:, ::-1]
+
+    # A group spanning sorted positions [s, e] holds ranks s+1 .. e+1,
+    # averaging to (s + e)/2 + 1.
+    averaged = (start + end) / 2.0 + 1.0
+    ranks = np.empty((n_rows, n), dtype=np.float64)
+    np.put_along_axis(ranks, order, averaged, axis=1)
+    return ranks
+
+
 def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
     """Spearman's ρ between two value vectors; nan for degenerate input."""
     x = np.asarray(x, dtype=np.float64)
@@ -47,6 +85,42 @@ def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
         return float("nan")
     covariance = ((rank_x - rank_x.mean()) * (rank_y - rank_y.mean())).mean()
     return float(covariance / (sd_x * sd_y))
+
+
+def spearman_correlation_batch(
+    x_trials: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Spearman's ρ of every row of ``x_trials`` against the vector ``y``.
+
+    ``x_trials`` is ``(n_trials, n)``; ``y`` ranks once and its centered
+    ranks pair with the row-wise rank matrix of ``x_trials``, so the whole
+    trial axis reduces without a per-trial loop.  Rows with a degenerate
+    ranking (constant values, or n < 2) come back nan, matching
+    :func:`spearman_correlation`.
+    """
+    x_trials = np.asarray(x_trials, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x_trials.ndim != 2:
+        raise ValueError(f"expected a 2-D trial matrix, got {x_trials.shape}")
+    if x_trials.shape[1] != y.shape[-1]:
+        raise ValueError(f"shape mismatch: {x_trials.shape} vs {y.shape}")
+    n_trials, n = x_trials.shape
+    if n < 2:
+        return np.full(n_trials, np.nan)
+    rank_x = average_ranks_batch(x_trials)
+    rank_y = average_ranks(y)
+
+    centered_x = rank_x - rank_x.mean(axis=1, keepdims=True)
+    centered_y = rank_y - rank_y.mean()
+    sd_x = rank_x.std(axis=1)
+    sd_y = rank_y.std()
+    covariance = (centered_x * centered_y).mean(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho = covariance / (sd_x * sd_y)
+    rho[sd_x == 0.0] = np.nan
+    if sd_y == 0.0:
+        rho[:] = np.nan
+    return rho
 
 
 def rank_descending(values: np.ndarray) -> np.ndarray:

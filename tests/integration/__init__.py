@@ -1,0 +1,4 @@
+"""Test package marker: gives each test module a unique import path
+(tests.dp.test_composition vs tests.core.test_composition share a
+basename and would otherwise collide under pytest's prepend import
+mode with stale __pycache__ state)."""

@@ -1,0 +1,102 @@
+"""Batched metric variants agree with the scalar versions row by row."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    average_ranks_batch,
+    error_ratio,
+    l1_error,
+    l1_error_batch,
+    spearman_correlation,
+    spearman_correlation_batch,
+)
+from repro.metrics.ranking import average_ranks
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestL1Batch:
+    def test_matches_scalar_rows(self, rng):
+        true = rng.uniform(0, 100, size=25)
+        trials = rng.uniform(0, 100, size=(12, 25))
+        batched = l1_error_batch(true, trials)
+        assert batched.shape == (12,)
+        for i in range(12):
+            assert batched[i] == pytest.approx(l1_error(true, trials[i]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            l1_error_batch(np.zeros(5), np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="matrix"):
+            l1_error_batch(np.zeros(5), np.zeros(5))
+
+    def test_error_ratio_accepts_matrix(self, rng):
+        true = rng.uniform(1, 50, size=10)
+        sdl = true + rng.normal(0, 1, size=10)
+        trials = true + rng.normal(0, 2, size=(8, 10))
+        as_matrix = error_ratio(true, trials, sdl)
+        as_list = error_ratio(true, list(trials), sdl)
+        assert as_matrix == pytest.approx(as_list)
+
+
+class TestRankBatch:
+    def test_matches_scalar_rows_with_ties(self, rng):
+        # Integer-ish values force plenty of ties.
+        values = np.round(rng.uniform(0, 8, size=(15, 30)))
+        batched = average_ranks_batch(values)
+        for i in range(15):
+            np.testing.assert_allclose(batched[i], average_ranks(values[i]))
+
+    def test_all_tied_row(self):
+        row = np.full((1, 6), 3.0)
+        np.testing.assert_allclose(average_ranks_batch(row)[0], 3.5)
+
+    def test_one_dimensional_passthrough(self, rng):
+        values = rng.uniform(size=9)
+        np.testing.assert_allclose(
+            average_ranks_batch(values), average_ranks(values)
+        )
+
+    def test_empty_columns(self):
+        assert average_ranks_batch(np.empty((4, 0))).shape == (4, 0)
+
+
+class TestSpearmanBatch:
+    def test_matches_scalar_rows(self, rng):
+        y = rng.uniform(size=40)
+        trials = rng.uniform(size=(10, 40))
+        batched = spearman_correlation_batch(trials, y)
+        assert batched.shape == (10,)
+        for i in range(10):
+            assert batched[i] == pytest.approx(
+                spearman_correlation(trials[i], y)
+            )
+
+    def test_constant_row_is_nan(self, rng):
+        y = rng.uniform(size=12)
+        trials = np.vstack([np.full(12, 2.0), rng.uniform(size=12)])
+        batched = spearman_correlation_batch(trials, y)
+        assert np.isnan(batched[0])
+        assert not np.isnan(batched[1])
+
+    def test_constant_reference_is_nan(self, rng):
+        batched = spearman_correlation_batch(
+            rng.uniform(size=(3, 8)), np.ones(8)
+        )
+        assert np.all(np.isnan(batched))
+
+    def test_short_vectors_are_nan(self):
+        batched = spearman_correlation_batch(np.zeros((4, 1)), np.zeros(1))
+        assert batched.shape == (4,)
+        assert np.all(np.isnan(batched))
+
+    def test_perfect_monotone(self):
+        y = np.arange(20.0)
+        trials = np.vstack([y * 3.0 + 1.0, -y])
+        batched = spearman_correlation_batch(trials, y)
+        assert batched[0] == pytest.approx(1.0)
+        assert batched[1] == pytest.approx(-1.0)
