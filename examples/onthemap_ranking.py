@@ -1,56 +1,54 @@
 """Area Comparison ranking: the OnTheMap scenario (Sec 3.2, Figure 2).
 
 The OnTheMap web tool ranks areas (places, within a state) by job count.
-This example publishes place-by-sector-by-ownership employment under each
-scheme, ranks the cells, and reports how well each private ranking agrees
-with the SDL ranking (Spearman's rank correlation) — overall and for the
-large-population places a site-selection analyst would actually compare.
+This example publishes place-by-sector-by-ownership employment through
+the release facade, ranks the cells, and reports how well each private
+ranking agrees with the SDL ranking (Spearman's rank correlation) —
+overall and for the large-population places a site-selection analyst
+would actually compare.  The 10 trials per point are one batched request
+each; infeasible (mechanism, eps) pairs are reported as gaps, as in the
+paper.
 
 Run:  python examples/onthemap_ranking.py
 """
 
 import numpy as np
 
-from repro.core import EREEParams, release_marginal
+from repro.api import ReleaseRequest, ReleaseSession
 from repro.experiments.runner import mechanism_is_feasible
-from repro.data import SyntheticConfig, generate
-from repro.db import Marginal
-from repro.metrics import STRATUM_LABELS, cell_strata, spearman_correlation
-from repro.sdl import InputNoiseInfusion
-from repro.util import format_table
+from repro.metrics import STRATUM_LABELS, spearman_correlation
 
-ATTRS = ["place", "naics", "ownership"]
+ATTRS = ("place", "naics", "ownership")
+TRIALS = 10
 
 
 def main():
-    dataset = generate(SyntheticConfig(target_jobs=120_000, seed=5))
-    worker_full = dataset.worker_full()
-    marginal = Marginal(worker_full.table.schema, ATTRS)
-
-    sdl = InputNoiseInfusion(seed=6).fit(worker_full)
-    answer = sdl.answer_marginal(worker_full, marginal)
-    published = answer.true > 0
-    strata = cell_strata(marginal, dataset.geography.place_populations)[published]
-    sdl_counts = answer.noisy[published]
+    session = ReleaseSession.from_synthetic(target_jobs=120_000, seed=5)
 
     rows = []
     for epsilon in (0.5, 1.0, 2.0, 4.0):
-        params = EREEParams(alpha=0.1, epsilon=epsilon, delta=0.05)
         for mechanism in ("log-laplace", "smooth-laplace"):
-            if not mechanism_is_feasible(mechanism, params):
+            request = ReleaseRequest(
+                attrs=ATTRS,
+                mechanism=mechanism,
+                alpha=0.1,
+                epsilon=epsilon,
+                delta=0.05,
+                n_trials=TRIALS,
+                seed=1000,
+            )
+            if not mechanism_is_feasible(mechanism, request.params):
                 rows.append([mechanism, epsilon, "-", "-"])
                 continue
+            result = session.run(request)
+            mask = result.mask
+            sdl_counts = result.sdl_noisy[mask]
+            big = result.strata[mask] == 3
             overall, big_places = [], []
-            for trial in range(10):
-                release = release_marginal(
-                    worker_full, ATTRS, mechanism, params,
-                    seed=1000 + trial,
-                )
-                noisy = release.noisy[published]
-                overall.append(spearman_correlation(noisy, sdl_counts))
-                big = strata == 3
+            for noisy in result.trials():
+                overall.append(spearman_correlation(noisy[mask], sdl_counts))
                 big_places.append(
-                    spearman_correlation(noisy[big], sdl_counts[big])
+                    spearman_correlation(noisy[mask][big], sdl_counts[big])
                 )
             rows.append(
                 [
@@ -60,6 +58,8 @@ def main():
                     float(np.mean(big_places)),
                 ]
             )
+
+    from repro.util import format_table
 
     print(
         format_table(
@@ -73,6 +73,8 @@ def main():
             title="OnTheMap-style Area Comparison ranking vs the SDL ranking",
         )
     )
+    print()
+    print(session.ledger.summary())
     print()
     print(
         "Rankings are already near-perfect for eps >= 1-2 (and essentially\n"

@@ -1,76 +1,86 @@
-"""A full agency publication under one privacy budget.
+"""A full agency publication under one privacy budget, via the facade.
 
 Real LODES/QWI releases are *sets* of tables published together.  This
 example declares a QWI-style suite — the headline place-level industry
-table, a county rollup, a demographic cut, and per-place totals — splits
-one (alpha, eps, delta) budget across them, releases everything, and
-shows the accountant's ledger alongside per-product accuracy.
+table, a county rollup, a demographic cut, and per-place totals — as
+declarative ``ReleaseRequest`` objects splitting one (alpha, eps, delta)
+budget, executes them in a ``ReleaseSession`` whose ledger is armed with
+the total budget, and shows the ledger's draw-down alongside per-product
+accuracy.  The weak-privacy d*eps composition cost of worker-attribute
+products is accounted automatically.
 
 Run:  python examples/publication_suite.py
 """
 
 import numpy as np
 
-from repro.core import EREEParams, qwi_style_suite
-from repro.data import SyntheticConfig, generate
+from repro.api import ReleaseRequest, ReleaseSession
 from repro.util import format_table
+
+ALPHA, TOTAL_EPSILON, DELTA = 0.05, 8.0, 0.05
+
+# (name, attrs, share of the total epsilon budget)
+PRODUCTS = (
+    ("place-industry-ownership", ("place", "naics", "ownership"), 0.4),
+    ("county-industry-ownership", ("county", "naics", "ownership"), 0.2),
+    ("place-sex-education", ("place", "naics", "ownership", "sex", "education"), 0.3),
+    ("place-totals", ("place",), 0.1),
+)
 
 
 def main():
-    dataset = generate(SyntheticConfig(target_jobs=120_000, seed=21))
-    worker_full = dataset.worker_full()
+    session = ReleaseSession.from_synthetic(
+        target_jobs=120_000, seed=21, budget=TOTAL_EPSILON
+    )
 
-    params = EREEParams(alpha=0.05, epsilon=8.0, delta=0.05)
-    suite = qwi_style_suite(params, mechanism_name="smooth-laplace")
-    result = suite.release(worker_full, seed=22)
+    # Worker-attribute products compose at d*eps under weak privacy, so
+    # the ledger budget is the sum of each product's composed total.
+    requests = [
+        ReleaseRequest(
+            attrs=attrs,
+            mechanism="smooth-laplace",
+            alpha=ALPHA,
+            epsilon=TOTAL_EPSILON * share,
+            delta=DELTA,
+            seed=22 + index,
+            label=name,
+        )
+        for index, (name, attrs, share) in enumerate(PRODUCTS)
+    ]
 
-    per_product = suite.product_params()
     rows = []
-    for product in suite.products:
-        release = result[product.name]
-        mask = release.released & (release.true > 0)
-        mean_l1 = float(
-            np.abs(release.noisy[mask] - release.true[mask]).mean()
-        )
-        relative = float(
-            (
-                np.abs(release.noisy[mask] - release.true[mask])
-                / release.true[mask]
-            ).mean()
-        )
+    for request in requests:
+        result = session.run(request)
+        mask = result.mask
+        errors = np.abs(result.trials()[0][mask] - result.true[mask])
         rows.append(
             [
-                product.name,
-                f"{per_product[product.name].epsilon:.2f}",
-                release.budget.mode,
+                request.label,
+                f"{request.epsilon:.2f}",
+                result.budget.mode,
                 int(mask.sum()),
-                mean_l1,
-                f"{relative:.1%}",
+                float(errors.mean()),
+                f"{float((errors / result.true[mask]).mean()):.1%}",
             ]
         )
 
     print(
         format_table(
-            headers=[
-                "product",
-                "eps",
-                "mode",
-                "cells",
-                "mean L1",
-                "mean rel. err",
-            ],
+            headers=["product", "eps", "mode", "cells", "mean L1", "mean rel. err"],
             rows=rows,
             title=(
-                "QWI-style publication at alpha=0.05, total eps=8, delta=0.05"
+                f"QWI-style publication at alpha={ALPHA}, "
+                f"total eps={TOTAL_EPSILON:g}, delta={DELTA}"
             ),
         )
     )
     print()
+    print(session.ledger.summary())
+    print()
     print(
-        f"Accountant: spent eps = {result.spent_epsilon:.3f} "
-        f"of {params.epsilon} (sequential composition across products;\n"
-        "each product's worker-attribute cells were budgeted by the "
-        "weak-privacy d*eps rule automatically)."
+        "Sequential composition across products; each product's "
+        "worker-attribute cells\nwere budgeted by the weak-privacy d*eps "
+        "rule automatically (see the d= column\nof the ledger entries)."
     )
 
 

@@ -1,61 +1,62 @@
-"""Quickstart: generate a synthetic LODES snapshot and publish an
-employment marginal three ways — with the current SDL system and with two
-of the paper's provably private mechanisms — then compare errors.
+"""Quickstart: publish an employment marginal through the release facade.
+
+One ``ReleaseSession`` owns the synthetic snapshot, the fitted SDL
+baseline and a privacy ledger.  Declarative ``ReleaseRequest`` objects
+describe what to publish; the session executes them with the batched
+Monte Carlo engine, computes the paper's metrics against the SDL
+baseline, and records every release's composed (eps, delta) cost.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.core import EREEParams, release_marginal
-from repro.data import SyntheticConfig, generate
-from repro.db import Marginal
-from repro.metrics import mean_l1_error
-from repro.sdl import InputNoiseInfusion
+from repro.api import ReleaseRequest, ReleaseSession
 from repro.util import format_table
 
-ATTRS = ["place", "naics", "ownership"]
+ATTRS = ("place", "naics", "ownership")
+TRIALS = 10
 
 
 def main():
-    # 1. A synthetic 3-state snapshot (the real LODES data are confidential).
-    dataset = generate(SyntheticConfig(target_jobs=120_000, seed=1))
-    worker_full = dataset.worker_full()
-    print("Snapshot:", {k: int(v) for k, v in dataset.summary().items()})
+    # 1. One session = one synthetic 3-state snapshot (the real LODES
+    #    data are confidential) + the current SDL protection baseline.
+    session = ReleaseSession.from_synthetic(target_jobs=120_000, seed=1)
+    print("Snapshot:", {k: int(v) for k, v in session.dataset.summary().items()})
 
-    # 2. The current protection system: input noise infusion.
-    sdl = InputNoiseInfusion(seed=2).fit(worker_full)
-    marginal = Marginal(worker_full.table.schema, ATTRS)
-    sdl_answer = sdl.answer_marginal(worker_full, marginal)
-    published = sdl_answer.true > 0
-
-    # 3. Provably private releases at (alpha=0.1, eps=2, delta=.05).
-    params = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
-    rows = []
-    sdl_error = mean_l1_error(sdl_answer.true[published], sdl_answer.noisy[published])
-    rows.append(["input-noise-infusion (SDL)", "-", sdl_error, 1.0])
-    for mechanism in ("log-laplace", "smooth-gamma", "smooth-laplace"):
-        errors = []
-        for trial in range(10):
-            release = release_marginal(
-                worker_full, ATTRS, mechanism, params, seed=100 + trial
-            )
-            errors.append(
-                mean_l1_error(release.true[published], release.noisy[published])
-            )
-        mean_error = float(np.mean(errors))
+    # 2. Provably private releases at (alpha=0.1, eps=2, delta=.05):
+    #    one declarative request per mechanism, 10 Monte Carlo trials
+    #    each, all reusing the session's cached marginal statistics.
+    requests = ReleaseRequest.grid(
+        ATTRS,
+        mechanisms=("log-laplace", "smooth-gamma", "smooth-laplace"),
+        alphas=(0.1,),
+        epsilons=(2.0,),
+        delta=0.05,
+        n_trials=TRIALS,
+        seed=100,
+    )
+    results = session.run_grid(requests)
+    rows = [["input-noise-infusion (SDL)", "-", 1.0]]
+    for result in results:
         rows.append(
-            [mechanism, "(0.1, 2.0)", mean_error, mean_error / sdl_error]
+            [
+                result.request.mechanism,
+                f"({result.request.alpha}, {result.request.epsilon})",
+                result.l1_ratio(),
+            ]
         )
 
+    n_cells = int(results[0].mask.sum())
     print()
     print(
         format_table(
-            headers=["release", "(alpha, eps)", "mean L1 / cell", "ratio vs SDL"],
+            headers=["release", "(alpha, eps)", "L1 ratio vs SDL"],
             rows=rows,
-            title=f"Workload 1 marginal ({int(published.sum())} published cells)",
+            title=f"Workload 1 marginal ({n_cells} evaluation cells, "
+            f"mean over {TRIALS} trials)",
         )
     )
+    print()
+    print(session.ledger.summary())
     print()
     print(
         "The provably private Smooth Laplace release matches or beats the\n"

@@ -13,20 +13,22 @@ snapshot (the production LEHD data are confidential):
 - :mod:`repro.pufferfish` — the Bayes-factor requirements, executable;
 - :mod:`repro.attacks` — the Sec 5.2 attacks on input noise infusion;
 - :mod:`repro.metrics` — L1-ratio, Spearman and stratification metrics;
-- :mod:`repro.experiments` — the harness regenerating every table/figure.
+- :mod:`repro.experiments` — the harness regenerating every table/figure;
+- :mod:`repro.api` — the release-session facade: mechanism registry,
+  declarative requests, composition-aware privacy ledger.
 
-Quickstart::
+Quickstart (the facade)::
 
-    from repro.data import generate, SyntheticConfig
-    from repro.core import EREEParams, release_marginal
+    from repro.api import ReleaseSession, ReleaseRequest
 
-    dataset = generate(SyntheticConfig(target_jobs=100_000))
-    release = release_marginal(
-        dataset.worker_full(),
-        ["place", "naics", "ownership"],
-        "smooth-laplace",
-        EREEParams(alpha=0.1, epsilon=2.0, delta=0.05),
-        seed=0,
+    session = ReleaseSession.from_synthetic(target_jobs=100_000, seed=1)
+    result = session.run(
+        ReleaseRequest(
+            attrs=("place", "naics", "ownership"),
+            mechanism="smooth-laplace",
+            alpha=0.1, epsilon=2.0, delta=0.05,
+            seed=0,
+        )
     )
 """
 
@@ -41,6 +43,8 @@ from repro.data import LODESDataset, SyntheticConfig, generate
 
 __version__ = "1.0.0"
 
+_API_EXPORTS = ("ReleaseSession", "ReleaseRequest", "ReleaseResult", "PrivacyLedger")
+
 __all__ = [
     "EREEParams",
     "LogLaplace",
@@ -51,4 +55,15 @@ __all__ = [
     "SyntheticConfig",
     "LODESDataset",
     "__version__",
+    *_API_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    # The facade pulls in the experiment layer; load it on first use so
+    # `import repro` stays light and cycle-free.
+    if name in _API_EXPORTS:
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,75 @@
+"""repro.api — the library's release-session facade.
+
+One coherent front door over the reproduction's machinery:
+
+- :class:`ReleaseSession` — owns a snapshot, the fitted SDL baseline, a
+  privacy ledger, and caches of all trial-invariant statistics;
+- :class:`ReleaseRequest` / :class:`ReleaseResult` — declarative release
+  descriptions with upfront validation, and uniform results carrying
+  provenance and the Sec 10 metrics;
+- the mechanism registry (:func:`register_mechanism`,
+  :func:`available_mechanisms`, :func:`create_mechanism`) — the single
+  name → mechanism mapping used by every consumer;
+- :class:`PrivacyLedger` — composition-aware ε/δ accounting with
+  raise/warn overdraft policies.
+
+Quickstart::
+
+    from repro.api import ReleaseSession, ReleaseRequest
+
+    session = ReleaseSession.from_synthetic(target_jobs=100_000, seed=1)
+    result = session.run(
+        ReleaseRequest(
+            attrs=("place", "naics", "ownership"),
+            mechanism="smooth-laplace",
+            alpha=0.1, epsilon=2.0, delta=0.05,
+            seed=7,
+        )
+    )
+    print(result.l1_ratio(), session.ledger.summary())
+
+Attribute access is lazy (PEP 562): mechanism modules import
+``repro.api.registry`` at class-definition time, so eagerly importing
+the session machinery here would create an import cycle through
+``repro.core``.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # registry
+    "MechanismSpec": "repro.api.registry",
+    "register_mechanism": "repro.api.registry",
+    "unregister_mechanism": "repro.api.registry",
+    "available_mechanisms": "repro.api.registry",
+    "mechanism_spec": "repro.api.registry",
+    "create_mechanism": "repro.api.registry",
+    "CALIBRATED": "repro.api.registry",
+    "BASELINE": "repro.api.registry",
+    "COMPOSITE": "repro.api.registry",
+    # ledger
+    "PrivacyLedger": "repro.api.ledger",
+    "LedgerEntry": "repro.api.ledger",
+    "PrivacyOverdraftWarning": "repro.api.ledger",
+    # request / result
+    "ReleaseRequest": "repro.api.request",
+    "ReleaseResult": "repro.api.result",
+    # session
+    "ReleaseSession": "repro.api.session",
+    "WorkloadStatistics": "repro.api.session",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

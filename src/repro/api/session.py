@@ -1,0 +1,496 @@
+"""The release session: the library's single front door.
+
+A :class:`ReleaseSession` owns one dataset snapshot, the fitted SDL
+baseline system, and caches of every trial-invariant statistic, so any
+number of release requests and figure evaluations against the same
+snapshot reuse the expensive work — the true marginals, release masks,
+smooth-sensitivity statistics, place strata and SDL answers are computed
+once per (marginal, mode) and only the noise is redrawn.
+
+Three execution surfaces:
+
+- :meth:`ReleaseSession.run` executes one declarative
+  :class:`~repro.api.request.ReleaseRequest` and returns a
+  :class:`~repro.api.result.ReleaseResult`; the noise stream is
+  bit-for-bit identical to the historical
+  :func:`repro.core.release.release_marginal` for the same seed (pinned
+  by the equivalence tests).
+- :meth:`ReleaseSession.run_grid` fans a list of requests — typically a
+  (mechanism × α × ε) product from :meth:`ReleaseRequest.grid` — through
+  the batched trial engine.
+- :meth:`ReleaseSession.evaluate_point` computes one figure point
+  (L1-error ratio or Spearman correlation, overall + per stratum)
+  through the streaming reducers of :mod:`repro.experiments.runner`.
+
+Every execution debits the session's :class:`~repro.api.ledger.PrivacyLedger`
+with the Sec-4 composition total of its release (infeasible grid points
+release nothing and debit nothing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.ledger import PrivacyLedger
+from repro.api.registry import BASELINE, COMPOSITE
+from repro.api.request import ReleaseRequest
+from repro.api.result import ReleaseResult
+from repro.core.composition import marginal_budget
+from repro.core.params import EREEParams
+from repro.core.release import (
+    DEFAULT_WORKER_ATTRS,
+    ReleaseStatistics,
+    compute_release_statistics,
+    release_from_statistics,
+    resolve_mode,
+)
+from repro.data.generator import generate
+from repro.db.query import Marginal, per_establishment_counts
+from repro.metrics.strata import STRATUM_LABELS, cell_strata
+from repro.sdl.noise_infusion import InputNoiseInfusion
+from repro.util import derive_seed
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.experiments
+    # imports this module (runner's ExperimentContext shim), so a
+    # module-level import here would be a cycle.
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.workloads import Workload
+
+N_STRATA = len(STRATUM_LABELS)
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Trial-invariant statistics of one workload on one snapshot.
+
+    Arrays are over the marginal's cells.  ``mask`` selects the cells
+    used for evaluation (positive true count, hence published by both
+    systems); ``xv`` is the smooth-sensitivity statistic; ``strata`` the
+    place-population stratum per cell.
+    """
+
+    workload: Workload
+    marginal: Marginal
+    true: np.ndarray
+    released: np.ndarray
+    xv: np.ndarray
+    strata: np.ndarray
+    sdl_noisy: np.ndarray
+    mode: str
+    per_cell_params_of: object  # Callable[[EREEParams], EREEParams]
+    budget_of: object = None  # Callable[[EREEParams], MarginalBudget]
+
+    @property
+    def mask(self) -> np.ndarray:
+        return (self.true > 0) & self.released
+
+    def masked(self, values: np.ndarray) -> np.ndarray:
+        return values[self.mask]
+
+    def stratum_masks(self) -> list[np.ndarray]:
+        """Evaluation mask restricted to each place-population stratum."""
+        return [
+            self.mask & (self.strata == stratum) for stratum in range(N_STRATA)
+        ]
+
+
+class ReleaseSession:
+    """One snapshot, one SDL baseline, one ledger — many releases.
+
+    ``config`` seeds the synthetic snapshot and the SDL fit exactly like
+    the historical ``ExperimentContext`` (same derived seeds, so figures
+    regenerated through the session are bit-identical).  Pass ``dataset``
+    to wrap an existing snapshot instead of generating one.
+
+    ``budget``/``delta_budget`` arm the privacy ledger: every executed
+    request debits its composed (ε, δ) total, and ``on_overdraft``
+    selects whether exceeding the budget raises or warns.  Without a
+    budget the ledger just tracks spending.
+    """
+
+    def __init__(
+        self,
+        config: "ExperimentConfig | None" = None,
+        *,
+        dataset=None,
+        budget: float | None = None,
+        delta_budget: float | None = None,
+        on_overdraft: str = "raise",
+        worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
+    ):
+        if config is None:
+            from repro.experiments.config import ExperimentConfig
+
+            config = ExperimentConfig()
+        self.config = config
+        self.worker_attrs = tuple(worker_attrs)
+        self.dataset = dataset if dataset is not None else generate(self.config.data)
+        self.worker_full = self.dataset.worker_full()
+        self.sdl = InputNoiseInfusion(
+            distortion=self.config.sdl,
+            seed=derive_seed(self.config.seed, "sdl"),
+        ).fit(self.worker_full)
+        self.ledger = PrivacyLedger(
+            epsilon_budget=budget,
+            delta_budget=delta_budget,
+            on_overdraft=on_overdraft,
+        )
+        self._stats_cache: dict = {}
+        self._release_cache: dict = {}
+        self._baseline_cache: dict = {}
+
+    @classmethod
+    def from_synthetic(
+        cls, target_jobs: int = 150_000, seed: int = 2017, **kwargs
+    ) -> "ReleaseSession":
+        """A session over a freshly generated synthetic LODES snapshot."""
+        from repro.data.generator import SyntheticConfig
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(
+            data=SyntheticConfig(target_jobs=target_jobs, seed=seed), seed=seed
+        )
+        return cls(config, **kwargs)
+
+    @property
+    def schema(self):
+        return self.worker_full.table.schema
+
+    # -- trial-invariant caches ----------------------------------------
+
+    def statistics(self, workload: Workload) -> WorkloadStatistics:
+        """Compute (or fetch cached) trial-invariant workload statistics."""
+        if workload in self._stats_cache:
+            return self._stats_cache[workload]
+
+        schema = self.schema
+        marginal = Marginal(schema, workload.attrs)
+
+        population = self.worker_full
+        for attribute, value in workload.filters:
+            population = population.filter(
+                population.table.equals_value(attribute, value)
+            )
+
+        true = marginal.counts(population.table).astype(np.float64)
+        cell_index = marginal.cell_index(population.table)
+        stats = per_establishment_counts(
+            cell_index, population.establishment, marginal.n_cells
+        )
+        xv = stats.max_single
+
+        # Release mask: the workplace part matches >= 1 establishment,
+        # judged on the *unfiltered* population (existence is public).
+        workplace_part = [
+            a for a in workload.attrs if a not in self.worker_attrs
+        ]
+        wp_marginal = Marginal(schema, workplace_part)
+        wp_stats = per_establishment_counts(
+            wp_marginal.cell_index(self.worker_full.table),
+            self.worker_full.establishment,
+            wp_marginal.n_cells,
+        )
+        released = (
+            wp_stats.n_establishments[marginal.project_onto(workplace_part)] > 0
+        )
+
+        strata = cell_strata(marginal, self.dataset.geography.place_populations)
+        sdl_noisy = self.sdl.answer_marginal(population, marginal).noisy
+
+        mode = "weak" if workload.has_worker_attrs else "strong"
+        worker_attrs = self.worker_attrs
+
+        def budget_of(params: EREEParams):
+            return marginal_budget(
+                params,
+                schema,
+                workload.attrs,
+                worker_attrs,
+                mode,
+                workload.budget_style,
+            )
+
+        def per_cell_params(params: EREEParams) -> EREEParams:
+            return budget_of(params).per_cell
+
+        result = WorkloadStatistics(
+            workload=workload,
+            marginal=marginal,
+            true=true,
+            released=released,
+            xv=xv,
+            strata=strata,
+            sdl_noisy=sdl_noisy,
+            mode=mode,
+            per_cell_params_of=per_cell_params,
+            budget_of=budget_of,
+        )
+        self._stats_cache[workload] = result
+        return result
+
+    def release_statistics(
+        self, attrs: Sequence[str], mode: str | None = None
+    ) -> ReleaseStatistics:
+        """Cached deterministic release prologue for (attrs, mode).
+
+        The cache key is the *resolved* mode, so ``mode=None`` and an
+        explicit matching mode share one entry; a hit skips the
+        true-counts/xv tabulation entirely.
+        """
+        attrs = tuple(attrs)
+        key = (attrs, resolve_mode(attrs, self.worker_attrs, mode))
+        cached = self._release_cache.get(key)
+        if cached is None:
+            cached = compute_release_statistics(
+                self.worker_full, attrs, self.worker_attrs, mode
+            )
+            self._release_cache[key] = cached
+        return cached
+
+    def _baseline(self, attrs: tuple[str, ...]):
+        """Cached (sdl_noisy, strata) arrays for one marginal.
+
+        ``strata`` is None for marginals without a ``place`` attribute
+        (per-stratum metrics are undefined there); the overall metrics
+        still work off the SDL answer.
+        """
+        if attrs not in self._baseline_cache:
+            marginal = Marginal(self.schema, attrs)
+            sdl_noisy = self.sdl.answer_marginal(self.worker_full, marginal).noisy
+            strata = (
+                cell_strata(marginal, self.dataset.geography.place_populations)
+                if "place" in attrs
+                else None
+            )
+            self._baseline_cache[attrs] = (sdl_noisy, strata)
+        return self._baseline_cache[attrs]
+
+    # -- declarative execution -----------------------------------------
+
+    def run(self, request: ReleaseRequest) -> ReleaseResult:
+        """Validate and execute one release request, debiting the ledger.
+
+        The noise stream for a given ``request.seed`` matches the
+        historical :func:`repro.core.release.release_marginal` exactly —
+        the session only adds caching, the SDL baseline for metrics, and
+        ledger accounting.
+        """
+        request.validate(schema=self.schema, worker_attrs=self.worker_attrs)
+        spec = request.spec
+        if spec.kind == COMPOSITE:
+            return self._run_composite(request)
+        if spec.kind == BASELINE:
+            return self._run_baseline(request)
+        return self._run_calibrated(request)
+
+    def _result(self, request, release, entry) -> ReleaseResult:
+        sdl_noisy, strata = self._baseline(tuple(request.attrs))
+        return ReleaseResult(
+            request=request,
+            release=release,
+            seed=request.seed,
+            ledger_entry=entry,
+            sdl_noisy=sdl_noisy,
+            strata=strata,
+        )
+
+    def _run_calibrated(self, request: ReleaseRequest) -> ReleaseResult:
+        stats = self.release_statistics(request.attrs, request.mode)
+        budget = marginal_budget(
+            request.params,
+            self.schema,
+            request.attrs,
+            self.worker_attrs,
+            stats.mode,
+            request.budget_style,
+        )
+        # Affordability gates the release; the debit lands only after the
+        # noise draw succeeds, so a failed release never records spend.
+        self.ledger.preflight(
+            budget.total.epsilon, budget.total.delta, label=request.ledger_label
+        )
+        release = release_from_statistics(
+            stats,
+            request.mechanism,
+            budget,
+            seed=request.seed,
+            mechanism_options=dict(request.mechanism_options or {}),
+            n_trials=request.n_trials,
+            trials_batch=request.trials_batch,
+        )
+        entry = self.ledger.debit(
+            budget,
+            label=request.ledger_label,
+            mechanism=request.mechanism,
+            attrs=request.attrs,
+        )
+        return self._result(request, release, entry)
+
+    def _run_baseline(self, request: ReleaseRequest) -> ReleaseResult:
+        """Node-DP Truncated Laplace: θ from the options, ε from the request.
+
+        α has no meaning under node DP; the release's budget records the
+        request parameters for provenance and the ledger debits ε alone
+        (pure DP, δ = 0).
+        """
+        from repro.core.composition import MarginalBudget
+        from repro.core.release import MarginalRelease
+
+        options = dict(request.mechanism_options or {})
+        theta = options.pop("theta")
+        mechanism = request.spec.factory(
+            theta=theta, epsilon=request.epsilon, **options
+        )
+        marginal = Marginal(self.schema, request.attrs)
+        self.ledger.preflight(request.epsilon, 0.0, label=request.ledger_label)
+        result = mechanism.release_batch(
+            self.worker_full,
+            marginal,
+            n_trials=request.n_trials,
+            seed=request.seed,
+        )
+        entry = self.ledger.debit_amount(
+            request.epsilon,
+            0.0,
+            label=request.ledger_label,
+            mechanism=request.mechanism,
+            attrs=request.attrs,
+            mode="node-dp",
+        )
+        pseudo_params = EREEParams(
+            request.alpha, request.epsilon, request.delta
+        )
+        release = MarginalRelease(
+            marginal=marginal,
+            true=result.true,
+            noisy=result.noisy,
+            released=np.ones(marginal.n_cells, dtype=bool),
+            max_single=np.full(marginal.n_cells, theta, dtype=np.int64),
+            budget=MarginalBudget(
+                per_cell=pseudo_params,
+                total=pseudo_params,
+                mode="node-dp",
+                worker_domain=1,
+            ),
+            mechanism_name=request.mechanism,
+        )
+        return self._result(request, release, entry)
+
+    def _run_composite(self, request: ReleaseRequest) -> ReleaseResult:
+        """The weighted-split procedure (or any registered composite)."""
+        options = dict(request.mechanism_options or {})
+        base_mechanism = options.pop("base_mechanism", "smooth-laplace")
+        self.ledger.preflight(
+            request.epsilon, request.delta, label=request.ledger_label
+        )
+        weighted = request.spec.factory(
+            self.worker_full,
+            request.attrs,
+            base_mechanism,
+            request.params,
+            worker_attrs=self.worker_attrs,
+            seed=request.seed,
+            n_trials=request.n_trials,
+            **options,
+        )
+        entry = self.ledger.debit(
+            weighted.release.budget,
+            label=request.ledger_label,
+            mechanism=request.mechanism,
+            attrs=request.attrs,
+        )
+        return self._result(request, weighted.release, entry)
+
+    def run_grid(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResult]:
+        """Execute a request list (e.g. a ``ReleaseRequest.grid`` product).
+
+        Trial-invariant statistics are shared across points through the
+        session caches, so an m-point grid over one marginal computes the
+        marginal's true counts, mask and xv exactly once and each point
+        only draws its ``(n_trials, n_cells)`` noise matrix.
+        """
+        return [self.run(request) for request in requests]
+
+    # -- figure-point evaluation ---------------------------------------
+
+    def evaluate_point(
+        self,
+        workload: Workload,
+        mechanism: str,
+        params: EREEParams | None = None,
+        *,
+        metric: str = "l1-ratio",
+        n_trials: int | None = None,
+        seed=None,
+        batch_size: int | None = None,
+        theta: int | None = None,
+        epsilon: float | None = None,
+    ):
+        """One figure point (overall + per-stratum) with ledger accounting.
+
+        Delegates to the streaming reducers of
+        :mod:`repro.experiments.runner`; a feasible point debits the
+        workload's composed budget, an infeasible point (shown as a gap
+        in the figures) debits nothing.  ``mechanism="truncated-laplace"``
+        takes ``theta`` and ``epsilon`` instead of ``params``.
+        """
+        # Imported lazily: runner imports this module for the
+        # ExperimentContext shim, so a top-level import would be a cycle.
+        from repro.experiments import runner
+
+        if n_trials is None:
+            n_trials = self.config.n_trials
+        if batch_size is None:
+            batch_size = self.config.trials_batch
+        stats = self.statistics(workload)
+
+        if mechanism == "truncated-laplace":
+            if theta is None or epsilon is None:
+                raise ValueError(
+                    "truncated-laplace points need theta and epsilon"
+                )
+            point = runner.truncated_laplace_point(
+                self, stats, theta, epsilon, n_trials, seed, metric,
+                batch_size=batch_size,
+            )
+            self.ledger.debit_amount(
+                epsilon,
+                0.0,
+                label=f"{workload.name}:truncated-laplace:theta={theta}:eps={epsilon}",
+                mechanism=mechanism,
+                attrs=tuple(workload.attrs),
+                mode="node-dp",
+            )
+            return point
+
+        if params is None:
+            raise ValueError("calibrated mechanism points need params")
+        if metric == "l1-ratio":
+            point = runner.error_ratio_point(
+                stats, mechanism, params, n_trials, seed, batch_size
+            )
+        elif metric == "spearman":
+            point = runner.spearman_point(
+                stats, mechanism, params, n_trials, seed, batch_size
+            )
+        else:
+            raise ValueError(
+                f"metric must be 'l1-ratio' or 'spearman', got {metric!r}"
+            )
+        if point.feasible:
+            self.ledger.debit(
+                stats.budget_of(params),
+                label=(
+                    f"{workload.name}:{mechanism}:"
+                    f"alpha={params.alpha}:eps={params.epsilon}"
+                ),
+                mechanism=mechanism,
+                attrs=tuple(workload.attrs),
+            )
+        return point

@@ -4,13 +4,22 @@ Subcommands:
 
 - ``figures`` — run the figure experiments and write one text report per
   figure (the data series the published plots encode);
-- ``tables``  — write Tables 1 and 2;
+- ``tables``  — write Tables 1 and 2 plus the empirical session summary
+  (Table 3), sharing one snapshot across the whole invocation;
+- ``release`` — execute a single declarative release request and print
+  the noisy marginal plus the privacy-ledger state;
 - ``generate`` — generate a synthetic LODES snapshot and save it as CSV.
+
+Every data-touching command builds one :class:`repro.api.ReleaseSession`
+per invocation: the snapshot is generated once, the SDL baseline fitted
+once, and all requests reuse the cached trial-invariant statistics.
 
 Examples::
 
     python -m repro figures --out reports --jobs 150000 --trials 10
-    python -m repro tables --out reports
+    python -m repro tables --out reports --jobs 20000 --trials 5
+    python -m repro release --attrs place,naics --mechanism smooth-laplace \
+        --alpha 0.1 --epsilon 2 --delta 0.05 --budget 4
     python -m repro generate --jobs 60000 --out snapshot/
 """
 
@@ -19,8 +28,12 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from repro.api.registry import available_mechanisms
+from repro.api.request import ReleaseRequest
+from repro.api.session import ReleaseSession
 from repro.data.generator import SyntheticConfig, generate
 from repro.data.io import save_dataset
+from repro.dp.composition import PrivacyBudgetExceeded
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import (
     figure1,
@@ -31,8 +44,8 @@ from repro.experiments.figures import (
     finding6,
 )
 from repro.experiments.report import render_figure
-from repro.experiments.runner import ExperimentContext
-from repro.experiments.tables import table1_text, table2_text
+from repro.experiments.tables import table1_text, table2_text, table3_text
+from repro.util import format_table
 
 FIGURES = {
     "figure-1": figure1,
@@ -44,11 +57,32 @@ FIGURES = {
 }
 
 
+def _version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-eree")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def _add_session_arguments(parser, jobs_default: int, trials_default: int):
+    parser.add_argument("--jobs", type=int, default=jobs_default)
+    parser.add_argument("--trials", type=int, default=trials_default)
+    parser.add_argument("--seed", type=int, default=2017)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Haney et al., SIGMOD 2017 "
         "(formal privacy for employer-employee statistics)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -56,8 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="regenerate the evaluation figures as data series"
     )
     figures.add_argument("--out", type=Path, default=Path("reports"))
-    figures.add_argument("--jobs", type=int, default=150_000)
-    figures.add_argument("--trials", type=int, default=10)
+    _add_session_arguments(figures, jobs_default=150_000, trials_default=10)
     figures.add_argument(
         "--trials-batch",
         type=int,
@@ -66,15 +99,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="max trials per vectorized noise draw (default: all trials "
         "in one (trials, cells) matrix; set to bound memory)",
     )
-    figures.add_argument("--seed", type=int, default=2017)
     figures.add_argument(
         "--only",
         default=None,
         help="comma-separated subset, e.g. figure-1,finding-6",
     )
 
-    tables = subparsers.add_parser("tables", help="regenerate Tables 1 and 2")
+    tables = subparsers.add_parser(
+        "tables",
+        help="regenerate Tables 1 and 2 plus the session summary (Table 3)",
+    )
     tables.add_argument("--out", type=Path, default=Path("reports"))
+    _add_session_arguments(tables, jobs_default=20_000, trials_default=3)
+
+    release = subparsers.add_parser(
+        "release",
+        help="execute one declarative release request and print the "
+        "noisy marginal plus the ledger state",
+    )
+    release.add_argument(
+        "--attrs",
+        default="place,naics,ownership",
+        help="comma-separated marginal attributes",
+    )
+    release.add_argument(
+        "--mechanism",
+        default="smooth-laplace",
+        help=f"one of: {', '.join(available_mechanisms())}",
+    )
+    release.add_argument("--alpha", type=float, default=0.1)
+    release.add_argument("--epsilon", type=float, default=2.0)
+    release.add_argument("--delta", type=float, default=0.05)
+    release.add_argument(
+        "--mode",
+        choices=("strong", "weak"),
+        default=None,
+        help="privacy mode (default: the paper's pairing by attributes)",
+    )
+    release.add_argument(
+        "--theta",
+        type=int,
+        default=None,
+        help="truncation degree (truncated-laplace only)",
+    )
+    release.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="arm the privacy ledger with a total epsilon budget",
+    )
+    release.add_argument("--top", type=int, default=10, metavar="K")
+    _add_session_arguments(release, jobs_default=20_000, trials_default=1)
 
     gen = subparsers.add_parser(
         "generate", help="generate and save a synthetic LODES snapshot"
@@ -97,18 +173,23 @@ def _selected_figures(only: str | None) -> dict:
     return {name: FIGURES[name] for name in names}
 
 
-def run_figures(args) -> list[Path]:
+def _session_from_args(args, trials_batch: int | None = None) -> ReleaseSession:
     config = ExperimentConfig(
         data=SyntheticConfig(target_jobs=args.jobs, seed=args.seed),
         n_trials=args.trials,
-        trials_batch=args.trials_batch,
+        trials_batch=trials_batch,
         seed=args.seed,
     )
-    context = ExperimentContext(config)
+    return ReleaseSession(config)
+
+
+def run_figures(args, session: ReleaseSession | None = None) -> list[Path]:
+    if session is None:
+        session = _session_from_args(args, trials_batch=args.trials_batch)
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
     for name, generator in _selected_figures(args.only).items():
-        series = generator(context)
+        series = generator(session)
         path = args.out / f"{name}.txt"
         path.write_text(render_figure(series) + "\n", encoding="utf-8")
         print(f"wrote {path}")
@@ -116,15 +197,82 @@ def run_figures(args) -> list[Path]:
     return written
 
 
-def run_tables(args) -> list[Path]:
+def run_tables(args, session: ReleaseSession | None = None) -> list[Path]:
+    """Write Tables 1-3; the data-backed table shares one session snapshot."""
+    if session is None:
+        session = _session_from_args(args)
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
-    for name, text in (("table-1", table1_text()), ("table-2", table2_text())):
+    artifacts = (
+        ("table-1", table1_text()),
+        ("table-2", table2_text()),
+        ("table-3", table3_text(session, n_trials=args.trials)),
+    )
+    for name, text in artifacts:
         path = args.out / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"wrote {path}")
         written.append(path)
     return written
+
+
+def run_release(args, session: ReleaseSession | None = None) -> int:
+    attrs = tuple(name.strip() for name in args.attrs.split(",") if name.strip())
+    mechanism_options = (
+        {"theta": args.theta} if args.theta is not None else None
+    )
+    request = ReleaseRequest(
+        attrs=attrs,
+        mechanism=args.mechanism,
+        alpha=args.alpha,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        mode=args.mode,
+        n_trials=None if args.trials <= 1 else args.trials,
+        seed=args.seed,
+        mechanism_options=mechanism_options,
+    )
+    if session is None:
+        session = ReleaseSession(
+            ExperimentConfig(
+                data=SyntheticConfig(target_jobs=args.jobs, seed=args.seed),
+                n_trials=max(args.trials, 1),
+                seed=args.seed,
+            ),
+            budget=args.budget,
+        )
+    try:
+        request.validate(schema=session.schema, worker_attrs=session.worker_attrs)
+    except ValueError as error:
+        raise SystemExit(f"invalid release request: {error}")
+    try:
+        result = session.run(request)
+    except PrivacyBudgetExceeded as error:
+        raise SystemExit(f"release refused: {error}")
+
+    release = result.release
+    print(
+        f"released {release.n_released} of {release.marginal.n_cells} cells "
+        f"({result.mechanism}, mode={release.budget.mode}, "
+        f"per-cell eps={release.budget.per_cell.epsilon:g})"
+    )
+    rows = [
+        [" x ".join(str(v) for v in values), true, noisy]
+        for values, true, noisy in result.top_cells(args.top)
+    ]
+    print(
+        format_table(
+            headers=[" x ".join(attrs), "true", "noisy"],
+            rows=rows,
+            title=f"top {len(rows)} released cells (trial 1 of {result.n_trials})",
+        )
+    )
+    ratio = result.l1_ratio()
+    if ratio == ratio:  # not nan
+        print(f"L1 error ratio vs SDL baseline: {ratio:.3f}")
+    print()
+    print(session.ledger.summary())
+    return 0
 
 
 def run_generate(args) -> Path:
@@ -146,6 +294,8 @@ def main(argv=None) -> int:
         run_figures(args)
     elif args.command == "tables":
         run_tables(args)
+    elif args.command == "release":
+        run_release(args)
     elif args.command == "generate":
         run_generate(args)
     return 0

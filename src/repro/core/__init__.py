@@ -36,7 +36,10 @@ from repro.core.publication import (
 )
 from repro.core.release import (
     MarginalRelease,
+    ReleaseStatistics,
+    compute_release_statistics,
     make_mechanism,
+    release_from_statistics,
     release_marginal,
     release_marginal_stack,
 )
@@ -67,6 +70,9 @@ __all__ = [
     "marginal_budget",
     "worker_domain_size",
     "MarginalRelease",
+    "ReleaseStatistics",
+    "compute_release_statistics",
+    "release_from_statistics",
     "release_marginal",
     "release_marginal_stack",
     "make_mechanism",

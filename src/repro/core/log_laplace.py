@@ -26,10 +26,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_mechanism
 from repro.core.params import EREEParams
 from repro.util import as_generator
 
 
+@register_mechanism(
+    "log-laplace",
+    needs_xv=False,
+    strong_worker_ok=False,
+    feasible=EREEParams.log_laplace_has_bounded_mean,
+    description="Algorithm 1: multiplicative Laplace noise on the shifted "
+    "log count; needs no per-cell statistics",
+)
 @dataclass(frozen=True)
 class LogLaplace:
     """The Log-Laplace mechanism for (α, ε)-ER-EE private counts.

@@ -1,9 +1,21 @@
 """End-to-end marginal release under (α, ε[, δ])-ER-EE privacy.
 
-``release_marginal`` ties the pieces together: evaluate the true marginal,
-derive the per-cell budget from the composition rules, compute the
-per-cell smooth-sensitivity statistic ``xv``, pick which cells are
-published, and add the mechanism's noise.
+The release pipeline is split into a cacheable, deterministic half and a
+randomized half:
+
+- :func:`compute_release_statistics` evaluates the true marginal,
+  resolves the privacy mode, computes the per-cell smooth-sensitivity
+  statistic ``xv`` and picks which cells are published — everything that
+  does not depend on the noise draw (:class:`ReleaseStatistics`);
+- :func:`release_from_statistics` derives the per-cell budget, looks the
+  mechanism up in the :mod:`repro.api.registry`, and adds noise.
+
+:class:`repro.api.ReleaseSession` caches the first half per (attrs,
+mode) so repeated requests against one snapshot only redraw noise.
+:func:`release_marginal` chains the two halves for one-shot use and is
+kept as the historical entry point (prefer the session facade for
+anything beyond a single release — it adds caching and ledger
+accounting on top of the identical noise stream).
 
 Which cells are published?  Establishment existence, sector, ownership
 and location are public (Sec 4.1), so a cell is released iff its
@@ -21,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import MechanismSpec, create_mechanism, mechanism_spec
 from repro.core.composition import (
     MARGINAL,
     STRONG,
@@ -28,10 +41,7 @@ from repro.core.composition import (
     MarginalBudget,
     marginal_budget,
 )
-from repro.core.log_laplace import LogLaplace
 from repro.core.params import EREEParams
-from repro.core.smooth_gamma import SmoothGamma
-from repro.core.smooth_laplace import SmoothLaplace
 from repro.db.join import WorkerFull
 from repro.db.query import Marginal, per_establishment_counts
 from repro.util import as_generator
@@ -40,18 +50,21 @@ from repro.util import as_generator
 # for other schemas.
 DEFAULT_WORKER_ATTRS: tuple[str, ...] = ("age", "sex", "race", "ethnicity", "education")
 
+# The paper's three calibrated mechanisms (kept for compatibility; the
+# authoritative list is repro.api.available_mechanisms()).
 MECHANISMS = ("log-laplace", "smooth-gamma", "smooth-laplace")
 
 
 def make_mechanism(name: str, params: EREEParams, **options):
-    """Instantiate a mechanism by name with per-cell parameters."""
-    if name == "log-laplace":
-        return LogLaplace(params, **options)
-    if name == "smooth-gamma":
-        return SmoothGamma(params, **options)
-    if name == "smooth-laplace":
-        return SmoothLaplace(params, **options)
-    raise ValueError(f"unknown mechanism {name!r}; choose from {MECHANISMS}")
+    """Instantiate a mechanism by name with per-cell parameters.
+
+    .. deprecated::
+        Thin shim over :func:`repro.api.registry.create_mechanism`; new
+        code should use the registry (or :class:`repro.api.ReleaseSession`)
+        directly.  Kept so downstream callers and the fixed-seed
+        equivalence tests continue to work unchanged.
+    """
+    return create_mechanism(name, params, **options)
 
 
 @dataclass(frozen=True)
@@ -84,13 +97,68 @@ class MarginalRelease:
         return int(self.released.sum())
 
 
-def _resolve_mode(attrs, worker_attrs, mode: str | None) -> str:
+@dataclass(frozen=True)
+class ReleaseStatistics:
+    """The deterministic, trial-invariant half of a marginal release.
+
+    Everything here is a pure function of the snapshot and the marginal
+    definition — no randomness — so a session can compute it once per
+    (attrs, mode) and reuse it across any number of noise draws.
+    """
+
+    marginal: Marginal
+    mode: str
+    has_worker_attrs: bool
+    workplace_part: tuple[str, ...]
+    true: np.ndarray
+    released: np.ndarray
+    xv: np.ndarray
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return tuple(self.marginal.attrs)
+
+
+def resolve_mode(attrs, worker_attrs, mode: str | None) -> str:
+    """The effective privacy mode: the paper's pairing when ``mode=None``."""
     has_worker = any(name in worker_attrs for name in attrs)
     if mode is None:
         return WEAK if has_worker else STRONG
     if mode not in (STRONG, WEAK):
         raise ValueError(f"mode must be 'strong', 'weak' or None, got {mode!r}")
     return mode
+
+
+def _calibrated_spec(mechanism_name: str) -> MechanismSpec:
+    """Registry lookup restricted to per-cell calibrated mechanisms.
+
+    The marginal-release pipeline adds per-cell noise through
+    ``release_counts``; baselines and composite procedures registered
+    under other kinds have different execution paths
+    (:meth:`repro.api.ReleaseSession.run` dispatches them), so asking for
+    one here is a caller error worth a clear message rather than an
+    attribute crash deep in the noise loop.
+    """
+    spec = mechanism_spec(mechanism_name)
+    if spec.kind != "calibrated":
+        raise ValueError(
+            f"mechanism {mechanism_name!r} is a {spec.kind} entry, not a "
+            "per-cell calibrated mechanism; execute it through "
+            "repro.api.ReleaseSession.run"
+        )
+    return spec
+
+
+def check_mechanism_mode(
+    spec: MechanismSpec, mode: str, has_worker_attrs: bool
+) -> None:
+    """Reject mechanism/mode pairings without a privacy guarantee."""
+    if mode == STRONG and has_worker_attrs and not spec.strong_worker_ok:
+        raise ValueError(
+            f"{spec.name} has no strong-mode guarantee for worker-attribute "
+            "queries (Theorem 8.1 proves only the weak variant); use a "
+            "smooth mechanism for the strong ablation"
+        )
 
 
 def _released_mask_and_xv(
@@ -137,6 +205,115 @@ def _released_mask_and_xv(
     return released, xv
 
 
+def compute_release_statistics(
+    worker_full: WorkerFull,
+    attrs: Sequence[str],
+    worker_attrs: Collection[str] = DEFAULT_WORKER_ATTRS,
+    mode: str | None = None,
+) -> ReleaseStatistics:
+    """The cacheable prologue of a release: marginal, mask and xv.
+
+    ``mode=None`` picks strong privacy for establishment-only marginals
+    and weak privacy when worker attributes are present (the paper's
+    pairing).
+    """
+    schema = worker_full.table.schema
+    marginal = Marginal(schema, attrs)
+    mode = resolve_mode(attrs, worker_attrs, mode)
+    has_worker_attrs = any(name in worker_attrs for name in attrs)
+    workplace_part = tuple(name for name in attrs if name not in worker_attrs)
+
+    true = marginal.counts(worker_full.table).astype(np.float64)
+    released, xv = _released_mask_and_xv(
+        worker_full, marginal, workplace_part, mode, has_worker_attrs
+    )
+    return ReleaseStatistics(
+        marginal=marginal,
+        mode=mode,
+        has_worker_attrs=has_worker_attrs,
+        workplace_part=workplace_part,
+        true=true,
+        released=released,
+        xv=xv,
+    )
+
+
+def _trial_chunks(n_trials: int, batch_size: int | None) -> list[int]:
+    """Chunk sizes whose sum is ``n_trials`` (one chunk when unbounded)."""
+    if batch_size is None or batch_size >= n_trials:
+        return [n_trials]
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    full, rest = divmod(n_trials, batch_size)
+    return [batch_size] * full + ([rest] if rest else [])
+
+
+def release_from_statistics(
+    stats: ReleaseStatistics,
+    mechanism_name: str,
+    budget: MarginalBudget,
+    seed=None,
+    mechanism_options: dict | None = None,
+    n_trials: int | None = None,
+    trials_batch: int | None = None,
+) -> MarginalRelease:
+    """The randomized half of a release: draw noise for the released cells.
+
+    For a fixed seed the noise stream is identical to the historical
+    one-shot :func:`release_marginal` path (the generator is consumed by
+    the same mechanism calls in the same order), so caching the
+    statistics cannot change any published number.  ``trials_batch``
+    caps how many of the ``n_trials`` rows share one vectorized draw —
+    for the Laplace-based mechanisms the chunk boundaries do not change
+    the stream (the matrix fills row-major from one generator).
+    """
+    spec = _calibrated_spec(mechanism_name)
+    check_mechanism_mode(spec, stats.mode, stats.has_worker_attrs)
+    mechanism = spec.create(budget.per_cell, **(mechanism_options or {}))
+    rng = as_generator(seed)
+    true, released, xv = stats.true, stats.released, stats.xv
+
+    shape = (
+        (stats.marginal.n_cells,)
+        if n_trials is None
+        else (n_trials, stats.marginal.n_cells)
+    )
+    noisy = np.zeros(shape, dtype=np.float64)
+    if released.any():
+        if n_trials is None:
+            if spec.needs_xv:
+                noisy[released] = mechanism.release_counts(
+                    true[released], xv[released], rng
+                )
+            else:
+                noisy[released] = mechanism.release_counts(true[released], rng)
+        else:
+            chunks = []
+            for chunk in _trial_chunks(n_trials, trials_batch):
+                if spec.needs_xv:
+                    chunks.append(
+                        mechanism.release_counts_batch(
+                            true[released], xv[released], chunk, rng
+                        )
+                    )
+                else:
+                    chunks.append(
+                        mechanism.release_counts_batch(true[released], chunk, rng)
+                    )
+            noisy[:, released] = (
+                chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
+            )
+    return MarginalRelease(
+        marginal=stats.marginal,
+        true=true,
+        noisy=noisy,
+        released=released,
+        max_single=xv,
+        budget=budget,
+        mechanism_name=mechanism_name,
+    )
+
+
 def _prepare_release(
     schema,
     attrs: Sequence[str],
@@ -147,28 +324,30 @@ def _prepare_release(
     budget_style: str,
     mechanism_options: dict | None,
 ):
-    """Shared prologue of the single-snapshot and stacked releases:
-    resolve the privacy mode, validate the mechanism/mode pairing, and
-    build the marginal, budget and mechanism."""
+    """Shared prologue of the stacked release: resolve the privacy mode,
+    validate the mechanism/mode pairing, and build the marginal, budget
+    and mechanism."""
     marginal = Marginal(schema, attrs)
-    mode = _resolve_mode(attrs, worker_attrs, mode)
+    mode = resolve_mode(attrs, worker_attrs, mode)
     has_worker_attrs = any(name in worker_attrs for name in attrs)
     workplace_part = [name for name in attrs if name not in worker_attrs]
 
-    if mode == STRONG and has_worker_attrs and mechanism_name == "log-laplace":
-        raise ValueError(
-            "Log-Laplace has no strong-mode guarantee for worker-attribute "
-            "queries (Theorem 8.1 proves only the weak variant); use a "
-            "smooth mechanism for the strong ablation"
-        )
+    spec = _calibrated_spec(mechanism_name)
+    check_mechanism_mode(spec, mode, has_worker_attrs)
 
     budget = marginal_budget(
         params, schema, attrs, worker_attrs, mode, budget_style
     )
-    mechanism = make_mechanism(
-        mechanism_name, budget.per_cell, **(mechanism_options or {})
+    mechanism = spec.create(budget.per_cell, **(mechanism_options or {}))
+    return (
+        marginal,
+        mode,
+        has_worker_attrs,
+        workplace_part,
+        budget,
+        mechanism,
+        spec,
     )
-    return marginal, mode, has_worker_attrs, workplace_part, budget, mechanism
 
 
 def release_marginal(
@@ -185,6 +364,14 @@ def release_marginal(
 ) -> MarginalRelease:
     """Release the marginal over ``attrs`` with a named mechanism.
 
+    .. deprecated::
+        One-shot shim over :func:`compute_release_statistics` +
+        :func:`release_from_statistics`; prefer
+        :meth:`repro.api.ReleaseSession.run`, which executes the *same*
+        noise stream (the equivalence tests pin this bit-for-bit) while
+        caching the trial-invariant statistics and debiting the
+        session's privacy ledger.
+
     ``mode=None`` picks strong privacy for establishment-only marginals
     and weak privacy when worker attributes are present (the paper's
     pairing).  Passing ``mode='strong'`` with worker attributes runs the
@@ -195,51 +382,20 @@ def release_marginal(
     vectorized RNG call (each trial is a full release of the same
     budget — batching is a Monte Carlo convenience, not composition).
     """
-    rng = as_generator(seed)
-    schema = worker_full.table.schema
-    marginal, mode, has_worker_attrs, workplace_part, budget, mechanism = (
-        _prepare_release(
-            schema, attrs, mechanism_name, params, worker_attrs, mode,
-            budget_style, mechanism_options,
-        )
+    stats = compute_release_statistics(worker_full, attrs, worker_attrs, mode)
+    spec = _calibrated_spec(mechanism_name)
+    check_mechanism_mode(spec, stats.mode, stats.has_worker_attrs)
+    budget = marginal_budget(
+        params, worker_full.table.schema, attrs, worker_attrs, stats.mode,
+        budget_style,
     )
-
-    true = marginal.counts(worker_full.table).astype(np.float64)
-    released, xv = _released_mask_and_xv(
-        worker_full, marginal, workplace_part, mode, has_worker_attrs
-    )
-
-    shape = (
-        (marginal.n_cells,)
-        if n_trials is None
-        else (n_trials, marginal.n_cells)
-    )
-    noisy = np.zeros(shape, dtype=np.float64)
-    if released.any():
-        if n_trials is None:
-            if mechanism_name == "log-laplace":
-                noisy[released] = mechanism.release_counts(true[released], rng)
-            else:
-                noisy[released] = mechanism.release_counts(
-                    true[released], xv[released], rng
-                )
-        else:
-            if mechanism_name == "log-laplace":
-                noisy[:, released] = mechanism.release_counts_batch(
-                    true[released], n_trials, rng
-                )
-            else:
-                noisy[:, released] = mechanism.release_counts_batch(
-                    true[released], xv[released], n_trials, rng
-                )
-    return MarginalRelease(
-        marginal=marginal,
-        true=true,
-        noisy=noisy,
-        released=released,
-        max_single=xv,
-        budget=budget,
-        mechanism_name=mechanism_name,
+    return release_from_statistics(
+        stats,
+        mechanism_name,
+        budget,
+        seed=seed,
+        mechanism_options=mechanism_options,
+        n_trials=n_trials,
     )
 
 
@@ -268,7 +424,7 @@ def release_marginal_stack(
         return []
     rng = as_generator(seed)
     schema = worker_fulls[0].table.schema
-    marginal, mode, has_worker_attrs, workplace_part, budget, mechanism = (
+    marginal, mode, has_worker_attrs, workplace_part, budget, mechanism, spec = (
         _prepare_release(
             schema, attrs, mechanism_name, params, worker_attrs, mode,
             budget_style, mechanism_options,
@@ -292,10 +448,10 @@ def release_marginal_stack(
     # One draw covers every (snapshot, cell); suppressed cells discard
     # their (independent) noise afterwards, which leaves the released
     # cells' distribution untouched.
-    if mechanism_name == "log-laplace":
-        noisy_stack = mechanism.release_counts_batch(true_stack, 1, rng)
-    else:
+    if spec.needs_xv:
         noisy_stack = mechanism.release_counts_batch(true_stack, xv_stack, 1, rng)
+    else:
+        noisy_stack = mechanism.release_counts_batch(true_stack, 1, rng)
     noisy_stack = np.where(released_stack, noisy_stack, 0.0)
 
     return [

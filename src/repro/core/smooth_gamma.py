@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_mechanism
 from repro.core.params import EREEParams
 from repro.core.smooth_sensitivity import (
     GammaAdmissible,
@@ -28,6 +29,13 @@ from repro.core.smooth_sensitivity import (
 )
 
 
+@register_mechanism(
+    "smooth-gamma",
+    feasible=EREEParams.allows_smooth_gamma,
+    strict_feasibility=True,
+    description="Algorithm 2: smooth-sensitivity Gamma(4) noise, pure "
+    "(α, ε) guarantee",
+)
 @dataclass(frozen=True)
 class SmoothGamma:
     """The Smooth Gamma mechanism (Algorithm 2)."""

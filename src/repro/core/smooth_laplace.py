@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_mechanism
 from repro.core.params import EREEParams
 from repro.core.smooth_sensitivity import (
     LaplaceAdmissible,
@@ -28,6 +29,13 @@ from repro.core.smooth_sensitivity import (
 )
 
 
+@register_mechanism(
+    "smooth-laplace",
+    feasible=EREEParams.allows_smooth_laplace,
+    strict_feasibility=True,
+    description="Algorithm 3: smooth-sensitivity Laplace noise, "
+    "(α, ε, δ) guarantee",
+)
 @dataclass(frozen=True)
 class SmoothLaplace:
     """The Smooth Laplace mechanism (Algorithm 3)."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import BASELINE, register_mechanism
 from repro.db.join import WorkerFull
 from repro.db.query import Marginal
 from repro.dp.primitives import LaplaceMechanism
@@ -51,6 +52,13 @@ class TruncationProjection:
     n_jobs_removed: int
 
 
+@register_mechanism(
+    "truncated-laplace",
+    kind=BASELINE,
+    needs_xv=False,
+    description="Node-DP baseline: degree-θ truncation projection plus "
+    "Laplace(θ/ε) noise (Finding 6)",
+)
 @dataclass(frozen=True)
 class TruncatedLaplace:
     """Node-DP marginal release via degree-θ truncation plus Laplace noise.

@@ -6,8 +6,13 @@
   trial loop producing error-ratio and Spearman series;
 - :mod:`repro.experiments.figures` — one function per figure (1–5), the
   Finding-6 Truncated-Laplace comparison, and the design ablations;
-- :mod:`repro.experiments.tables` — Tables 1 and 2;
+- :mod:`repro.experiments.tables` — Tables 1 and 2, plus the empirical
+  session summary (Table 3);
 - :mod:`repro.experiments.report` — ASCII rendering of the series.
+
+The snapshot/caching machinery lives behind the
+:class:`repro.api.ReleaseSession` facade; ``ExperimentContext`` is a
+deprecated alias of it.
 """
 
 from repro.experiments.config import ExperimentConfig
@@ -20,7 +25,7 @@ from repro.experiments.figures import (
     finding6,
 )
 from repro.experiments.runner import ExperimentContext, WorkloadStatistics
-from repro.experiments.tables import table1_text, table2_rows
+from repro.experiments.tables import table1_text, table2_rows, table3_rows
 from repro.experiments.workloads import (
     RANKING_1,
     RANKING_2,
@@ -50,4 +55,5 @@ __all__ = [
     "finding6",
     "table1_text",
     "table2_rows",
+    "table3_rows",
 ]

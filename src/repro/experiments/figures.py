@@ -1,22 +1,21 @@
 """One generator per published figure (the data series behind each plot).
 
 Each function sweeps the paper's (mechanism × α × ε) grid on the
-appropriate workload and returns a :class:`FigureSeries` whose points
-carry the overall value and the four place-population-stratum values —
-exactly the panels of the published figures.
+appropriate workload through :meth:`repro.api.ReleaseSession.evaluate_point`
+and returns a :class:`FigureSeries` whose points carry the overall value
+and the four place-population-stratum values — exactly the panels of the
+published figures.  Routing the grid through the session means every
+point reuses the cached trial-invariant statistics and every feasible
+point is debited on the session's privacy ledger (the figure's total
+draw-down equals the Sec-4 composition cost of its grid).
 """
 
 from __future__ import annotations
 
+from repro.api.session import ReleaseSession
 from repro.core.params import EREEParams
 from repro.experiments.config import MECHANISM_NAMES, ExperimentConfig
-from repro.experiments.runner import (
-    ExperimentContext,
-    FigureSeries,
-    error_ratio_point,
-    spearman_point,
-    truncated_laplace_point,
-)
+from repro.experiments.runner import FigureSeries
 from repro.experiments.workloads import (
     RANKING_1,
     RANKING_2,
@@ -28,9 +27,9 @@ from repro.util import derive_seed
 
 
 def _grid_points(
-    context: ExperimentContext,
+    session: ReleaseSession,
     workload,
-    point_fn,
+    metric: str,
     epsilons,
     alphas,
     delta: float,
@@ -38,36 +37,36 @@ def _grid_points(
     tag: str,
     trials_batch: int | None = None,
 ):
-    stats = context.statistics(workload)
     points = []
     for mechanism in MECHANISM_NAMES:
         for alpha in alphas:
             for epsilon in epsilons:
                 params = EREEParams(alpha=alpha, epsilon=epsilon, delta=delta)
                 seed = derive_seed(
-                    context.config.seed,
+                    session.config.seed,
                     f"{tag}:{mechanism}:{alpha}:{epsilon}",
                 )
                 points.append(
-                    point_fn(
-                        stats,
+                    session.evaluate_point(
+                        workload,
                         mechanism,
                         params,
-                        n_trials,
-                        seed,
+                        metric=metric,
+                        n_trials=n_trials,
+                        seed=seed,
                         batch_size=trials_batch,
                     )
                 )
     return points
 
 
-def figure1(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure1(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
     """Figure 1: L1 error ratio, Workload 1 (establishment attrs only)."""
-    config = config or context.config
+    config = config or session.config
     points = _grid_points(
-        context,
+        session,
         WORKLOAD_1,
-        error_ratio_point,
+        "l1-ratio",
         config.epsilons_standard,
         config.alphas,
         config.delta,
@@ -84,13 +83,13 @@ def figure1(context: ExperimentContext, config: ExperimentConfig | None = None) 
     )
 
 
-def figure2(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure2(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
     """Figure 2: Spearman correlation, Ranking 1 (employment counts)."""
-    config = config or context.config
+    config = config or session.config
     points = _grid_points(
-        context,
+        session,
         RANKING_1.workload,
-        spearman_point,
+        "spearman",
         config.epsilons_standard,
         config.alphas,
         config.delta,
@@ -107,13 +106,13 @@ def figure2(context: ExperimentContext, config: ExperimentConfig | None = None) 
     )
 
 
-def figure3(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure3(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
     """Figure 3: L1 ratio for single (sex x education) queries (Workload 2)."""
-    config = config or context.config
+    config = config or session.config
     points = _grid_points(
-        context,
+        session,
         WORKLOAD_2,
-        error_ratio_point,
+        "l1-ratio",
         config.epsilons_standard,
         config.alphas,
         config.delta,
@@ -130,13 +129,13 @@ def figure3(context: ExperimentContext, config: ExperimentConfig | None = None) 
     )
 
 
-def figure4(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure4(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
     """Figure 4: L1 ratio for the full worker-attribute marginal (Workload 3)."""
-    config = config or context.config
+    config = config or session.config
     points = _grid_points(
-        context,
+        session,
         WORKLOAD_3,
-        error_ratio_point,
+        "l1-ratio",
         config.epsilons_extended,
         config.alphas,
         config.delta,
@@ -153,13 +152,13 @@ def figure4(context: ExperimentContext, config: ExperimentConfig | None = None) 
     )
 
 
-def figure5(context: ExperimentContext, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure5(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
     """Figure 5: Spearman correlation, Ranking 2 (females with college)."""
-    config = config or context.config
+    config = config or session.config
     points = _grid_points(
-        context,
+        session,
         RANKING_2.workload,
-        spearman_point,
+        "spearman",
         config.epsilons_standard,
         config.alphas,
         config.delta,
@@ -177,27 +176,26 @@ def figure5(context: ExperimentContext, config: ExperimentConfig | None = None) 
 
 
 def finding6(
-    context: ExperimentContext,
+    session: ReleaseSession,
     config: ExperimentConfig | None = None,
     metric: str = "l1-ratio",
 ) -> FigureSeries:
     """Finding 6: node-DP Truncated Laplace across θ and ε on Workload 1."""
-    config = config or context.config
-    stats = context.statistics(WORKLOAD_1)
+    config = config or session.config
     points = []
     for theta in config.thetas:
         for epsilon in config.epsilons_standard:
-            seed = derive_seed(context.config.seed, f"finding6:{theta}:{epsilon}")
+            seed = derive_seed(session.config.seed, f"finding6:{theta}:{epsilon}")
             points.append(
-                truncated_laplace_point(
-                    context,
-                    stats,
-                    theta,
-                    epsilon,
-                    config.n_trials,
-                    seed,
-                    metric,
+                session.evaluate_point(
+                    WORKLOAD_1,
+                    "truncated-laplace",
+                    metric=metric,
+                    n_trials=config.n_trials,
+                    seed=seed,
                     batch_size=config.trials_batch,
+                    theta=theta,
+                    epsilon=epsilon,
                 )
             )
     return FigureSeries(

@@ -1,12 +1,13 @@
-"""Experiment execution: cached workload statistics plus the trial loop.
+"""Experiment execution: figure points over cached workload statistics.
 
-``ExperimentContext`` generates the synthetic snapshot and fits the SDL
-system once.  ``WorkloadStatistics`` caches everything that does not
-change across noise trials (true counts, release mask, the per-cell xv
-statistic, place strata, and the SDL answer), so a figure's grid of
-(mechanism × α × ε × trials) only redraws noise — and that noise is one
-vectorized ``(n_trials, n_cells)`` draw per grid point via the batched
-mechanism engine, not a per-trial Python loop.
+The snapshot/caching machinery lives in :class:`repro.api.ReleaseSession`
+(:class:`~repro.api.session.WorkloadStatistics` caches everything that
+does not change across noise trials — true counts, release mask, the
+per-cell xv statistic, place strata, and the SDL answer), so a figure's
+grid of (mechanism × α × ε × trials) only redraws noise — and that noise
+is one vectorized ``(n_trials, n_cells)`` draw per grid point via the
+batched mechanism engine, not a per-trial Python loop.
+:class:`ExperimentContext` remains as a deprecated alias of the session.
 
 Error ratios and Spearman correlations follow Sec 10's definitions: the
 ratio is mean private L1 over trials divided by SDL L1; Spearman compares
@@ -17,59 +18,32 @@ per place-population stratum, over the cells with positive true count.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.composition import marginal_budget
+from repro.api.registry import create_mechanism, mechanism_spec
+from repro.api.session import N_STRATA, ReleaseSession, WorkloadStatistics
 from repro.core.params import EREEParams
-from repro.core.release import DEFAULT_WORKER_ATTRS, make_mechanism
-from repro.data.generator import generate
-from repro.db.query import Marginal, per_establishment_counts
+from repro.core.release import _trial_chunks
 from repro.dp.truncation import TruncatedLaplace
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.workloads import Workload
 from repro.metrics.error import l1_error, l1_error_batch
 from repro.metrics.ranking import spearman_correlation_batch
-from repro.metrics.strata import STRATUM_LABELS, cell_strata
-from repro.sdl.noise_infusion import InputNoiseInfusion
-from repro.util import as_generator, derive_seed
+from repro.util import as_generator
 
-N_STRATA = len(STRATUM_LABELS)
-
-
-@dataclass(frozen=True)
-class WorkloadStatistics:
-    """Trial-invariant statistics of one workload on one snapshot.
-
-    Arrays are over the marginal's cells.  ``mask`` selects the cells
-    used for evaluation (positive true count, hence published by both
-    systems); ``xv`` is the smooth-sensitivity statistic; ``strata`` the
-    place-population stratum per cell.
-    """
-
-    workload: Workload
-    marginal: Marginal
-    true: np.ndarray
-    released: np.ndarray
-    xv: np.ndarray
-    strata: np.ndarray
-    sdl_noisy: np.ndarray
-    mode: str
-    per_cell_params_of: object  # Callable[[EREEParams], EREEParams]
-
-    @property
-    def mask(self) -> np.ndarray:
-        return (self.true > 0) & self.released
-
-    def masked(self, values: np.ndarray) -> np.ndarray:
-        return values[self.mask]
-
-    def stratum_masks(self) -> list[np.ndarray]:
-        """Evaluation mask restricted to each place-population stratum."""
-        return [
-            self.mask & (self.strata == stratum) for stratum in range(N_STRATA)
-        ]
+__all__ = [
+    "N_STRATA",
+    "ExperimentContext",
+    "WorkloadStatistics",
+    "SeriesPoint",
+    "FigureSeries",
+    "mechanism_is_feasible",
+    "release_trials",
+    "release_trials_looped",
+    "error_ratio_point",
+    "spearman_point",
+    "truncated_laplace_point",
+]
 
 
 @dataclass(frozen=True)
@@ -103,85 +77,15 @@ class FigureSeries:
         ]
 
 
-@dataclass
-class ExperimentContext:
-    """One synthetic snapshot with a fitted SDL system and cached stats."""
+class ExperimentContext(ReleaseSession):
+    """One synthetic snapshot with a fitted SDL system and cached stats.
 
-    config: ExperimentConfig
-    _stats_cache: dict = field(default_factory=dict, repr=False)
-
-    def __post_init__(self):
-        self.dataset = generate(self.config.data)
-        self.worker_full = self.dataset.worker_full()
-        self.sdl = InputNoiseInfusion(
-            distortion=self.config.sdl,
-            seed=derive_seed(self.config.seed, "sdl"),
-        ).fit(self.worker_full)
-
-    def statistics(self, workload: Workload) -> WorkloadStatistics:
-        """Compute (or fetch cached) trial-invariant workload statistics."""
-        if workload.name in self._stats_cache:
-            return self._stats_cache[workload.name]
-
-        schema = self.worker_full.table.schema
-        marginal = Marginal(schema, workload.attrs)
-
-        population = self.worker_full
-        for attribute, value in workload.filters:
-            population = population.filter(
-                population.table.equals_value(attribute, value)
-            )
-
-        true = marginal.counts(population.table).astype(np.float64)
-        cell_index = marginal.cell_index(population.table)
-        stats = per_establishment_counts(
-            cell_index, population.establishment, marginal.n_cells
-        )
-        xv = stats.max_single
-
-        # Release mask: the workplace part matches >= 1 establishment,
-        # judged on the *unfiltered* population (existence is public).
-        workplace_part = [
-            a for a in workload.attrs if a not in DEFAULT_WORKER_ATTRS
-        ]
-        wp_marginal = Marginal(schema, workplace_part)
-        wp_stats = per_establishment_counts(
-            wp_marginal.cell_index(self.worker_full.table),
-            self.worker_full.establishment,
-            wp_marginal.n_cells,
-        )
-        released = (
-            wp_stats.n_establishments[marginal.project_onto(workplace_part)] > 0
-        )
-
-        strata = cell_strata(marginal, self.dataset.geography.place_populations)
-        sdl_noisy = self.sdl.answer_marginal(population, marginal).noisy
-
-        mode = "weak" if workload.has_worker_attrs else "strong"
-
-        def per_cell_params(params: EREEParams) -> EREEParams:
-            return marginal_budget(
-                params,
-                schema,
-                workload.attrs,
-                DEFAULT_WORKER_ATTRS,
-                mode,
-                workload.budget_style,
-            ).per_cell
-
-        result = WorkloadStatistics(
-            workload=workload,
-            marginal=marginal,
-            true=true,
-            released=released,
-            xv=xv,
-            strata=strata,
-            sdl_noisy=sdl_noisy,
-            mode=mode,
-            per_cell_params_of=per_cell_params,
-        )
-        self._stats_cache[workload.name] = result
-        return result
+    .. deprecated::
+        Thin alias of :class:`repro.api.ReleaseSession` kept for
+        compatibility with pre-facade callers; the session adds request
+        execution and ledger accounting on top of the identical snapshot
+        and statistics caches (same derived seeds, same arrays).
+    """
 
 
 def mechanism_is_feasible(
@@ -189,27 +93,14 @@ def mechanism_is_feasible(
 ) -> bool:
     """Whether the paper would plot this (mechanism, α, ε) combination.
 
-    Smooth Gamma and Smooth Laplace have hard feasibility constraints;
-    Log-Laplace is skipped where its expectation is unbounded (the paper
-    does not plot those points, Lemma 8.2).
+    Feasibility predicates live on the registry specs: Smooth Gamma and
+    Smooth Laplace have hard constraints; Log-Laplace is skipped where
+    its expectation is unbounded (the paper does not plot those points,
+    Lemma 8.2) unless ``require_bounded_mean=False``.
     """
-    if name == "smooth-gamma":
-        return params.allows_smooth_gamma()
-    if name == "smooth-laplace":
-        return params.allows_smooth_laplace()
-    if name == "log-laplace" and require_bounded_mean:
-        return params.log_laplace_scale() < 1.0
-    return True
-
-
-def _trial_chunks(n_trials: int, batch_size: int | None) -> list[int]:
-    """Chunk sizes whose sum is ``n_trials`` (one chunk when unbounded)."""
-    if batch_size is None or batch_size >= n_trials:
-        return [n_trials]
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    full, rest = divmod(n_trials, batch_size)
-    return [batch_size] * full + ([rest] if rest else [])
+    if name == "log-laplace" and not require_bounded_mean:
+        return True
+    return mechanism_spec(name).is_feasible(params)
 
 
 def _release_chunks(
@@ -226,15 +117,16 @@ def _release_chunks(
     mechanisms (the matrix fills row-major from one generator), so any
     ``batch_size`` reproduces the single-draw statistics bit-for-bit.
     """
-    mechanism = make_mechanism(mechanism_name, per_cell)
+    needs_xv = mechanism_spec(mechanism_name).needs_xv
+    mechanism = create_mechanism(mechanism_name, per_cell)
     rng = as_generator(seed)
     true = stats.masked(stats.true)
     xv = stats.masked(stats.xv)
     for chunk in _trial_chunks(n_trials, batch_size):
-        if mechanism_name == "log-laplace":
-            yield mechanism.release_counts_batch(true, chunk, rng)
-        else:
+        if needs_xv:
             yield mechanism.release_counts_batch(true, xv, chunk, rng)
+        else:
+            yield mechanism.release_counts_batch(true, chunk, rng)
 
 
 def release_trials(
@@ -281,16 +173,17 @@ def release_trials_looped(
     per_cell = stats.per_cell_params_of(params)
     if not mechanism_is_feasible(mechanism_name, per_cell):
         return None
-    mechanism = make_mechanism(mechanism_name, per_cell)
+    needs_xv = mechanism_spec(mechanism_name).needs_xv
+    mechanism = create_mechanism(mechanism_name, per_cell)
     rng = as_generator(seed)
     true = stats.masked(stats.true)
     xv = stats.masked(stats.xv)
     trials = []
     for _ in range(n_trials):
-        if mechanism_name == "log-laplace":
-            trials.append(mechanism.release_counts(true, rng))
-        else:
+        if needs_xv:
             trials.append(mechanism.release_counts(true, xv, rng))
+        else:
+            trials.append(mechanism.release_counts(true, rng))
     return trials
 
 
@@ -447,7 +340,7 @@ def spearman_point(
 
 
 def truncated_laplace_point(
-    context: ExperimentContext,
+    context: ReleaseSession,
     stats: WorkloadStatistics,
     theta: int,
     epsilon: float,

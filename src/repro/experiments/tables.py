@@ -1,4 +1,4 @@
-"""Tables 1 and 2 of the paper.
+"""Tables 1 and 2 of the paper, plus the session accuracy summary.
 
 Table 1 is the qualitative definitions × requirements matrix (encoded in
 :mod:`repro.core.definitions`).  Table 2 gives, per (α, δ), the minimum ε
@@ -6,12 +6,21 @@ that makes the Smooth Laplace algorithm feasible; we compute it from the
 Algorithm 3 constraint and also report the paper's published values for
 comparison (the published δ = .05 column is internally consistent with
 δ ≈ .005; see EXPERIMENTS.md).
+
+Table 3 is not in the paper: it is an empirical per-mechanism accuracy
+summary of the Workload-1 marginal on one snapshot, produced through the
+:class:`repro.api.ReleaseSession` facade (one shared snapshot, the
+batched trial engine, and ledger accounting) so the ``tables`` CLI
+exercises the same path as ``figures``.
 """
 
 from __future__ import annotations
 
+from repro.api.request import ReleaseRequest
+from repro.api.session import ReleaseSession
 from repro.core.definitions import table1_rows
 from repro.core.params import min_epsilon
+from repro.experiments.workloads import WORKLOAD_1
 from repro.util import format_table
 
 # The paper's published Table 2 entries: (delta, alpha) -> epsilon.
@@ -72,4 +81,99 @@ def table2_text() -> str:
         rows=rows,
         title="Table 2: minimum epsilon given alpha and delta "
         "(Smooth Laplace feasibility)",
+    )
+
+
+TABLE3_ALPHA: float = 0.1
+TABLE3_EPSILONS: tuple[float, ...] = (1.0, 2.0, 4.0)
+TABLE3_DELTA: float = 0.05
+
+
+def table3_rows(
+    session: ReleaseSession,
+    alphas=(TABLE3_ALPHA,),
+    epsilons=TABLE3_EPSILONS,
+    delta: float = TABLE3_DELTA,
+    n_trials: int | None = None,
+) -> list[dict]:
+    """Empirical accuracy rows from one shared release session.
+
+    Every (mechanism, α, ε) point of the grid runs as a declarative
+    :class:`~repro.api.request.ReleaseRequest` against the *same* cached
+    snapshot (the marginal's true counts, mask and xv are computed once
+    for the whole table); infeasible points are reported, not skipped.
+    """
+    if n_trials is None:
+        n_trials = session.config.n_trials
+    from repro.experiments.config import MECHANISM_NAMES
+    from repro.experiments.runner import mechanism_is_feasible
+
+    rows = []
+    for request in ReleaseRequest.grid(
+        WORKLOAD_1.attrs,
+        MECHANISM_NAMES,
+        alphas,
+        epsilons,
+        delta=delta,
+        n_trials=n_trials,
+        seed=session.config.seed,
+        tag="table3",
+    ):
+        stats = session.statistics(WORKLOAD_1)
+        per_cell = stats.per_cell_params_of(request.params)
+        if not mechanism_is_feasible(request.mechanism, per_cell):
+            rows.append(
+                {
+                    "mechanism": request.mechanism,
+                    "alpha": request.alpha,
+                    "epsilon": request.epsilon,
+                    "feasible": False,
+                    "l1_ratio": float("nan"),
+                    "spearman": float("nan"),
+                }
+            )
+            continue
+        result = session.run(request)
+        rows.append(
+            {
+                "mechanism": request.mechanism,
+                "alpha": request.alpha,
+                "epsilon": request.epsilon,
+                "feasible": True,
+                "l1_ratio": result.l1_ratio(),
+                "spearman": result.spearman(),
+            }
+        )
+    return rows
+
+
+def table3_text(session: ReleaseSession, n_trials: int | None = None) -> str:
+    """The session accuracy summary rendered as text."""
+    rows = [
+        [
+            row["mechanism"],
+            row["alpha"],
+            row["epsilon"],
+            "yes" if row["feasible"] else "no",
+            row["l1_ratio"],
+            row["spearman"],
+        ]
+        for row in table3_rows(session, n_trials=n_trials)
+    ]
+    summary = session.dataset.summary()
+    return format_table(
+        headers=[
+            "mechanism",
+            "alpha",
+            "eps",
+            "feasible",
+            "L1 ratio vs SDL",
+            "Spearman vs SDL",
+        ],
+        rows=rows,
+        title=(
+            "Table 3 (companion): Workload-1 accuracy by mechanism on a "
+            f"{int(summary['n_jobs'])}-job synthetic snapshot "
+            f"({session.config.n_trials if n_trials is None else n_trials} trials)"
+        ),
     )

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.params import EREEParams
-from repro.core.release import MarginalRelease, make_mechanism, release_marginal
+from repro.api.registry import create_mechanism
+from repro.core.release import MarginalRelease, release_marginal
 from repro.db.join import WorkerFull
 from repro.util import as_generator, check_fraction
 
@@ -192,8 +193,8 @@ def release_hierarchy(
 
     parent_of_child = _parent_attr_map(child, parent, child_attrs, parent_attrs)
 
-    child_mechanism = make_mechanism(mechanism_name, child.budget.per_cell)
-    parent_mechanism = make_mechanism(mechanism_name, parent.budget.per_cell)
+    child_mechanism = create_mechanism(mechanism_name, child.budget.per_cell)
+    parent_mechanism = create_mechanism(mechanism_name, parent.budget.per_cell)
     child_variance = np.maximum(
         child_mechanism.noise_variance(child.max_single), 1e-12
     )

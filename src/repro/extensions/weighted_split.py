@@ -31,11 +31,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import COMPOSITE, create_mechanism, register_mechanism
 from repro.core.params import EREEParams
 from repro.core.release import (
     DEFAULT_WORKER_ATTRS,
     MarginalRelease,
-    make_mechanism,
 )
 from repro.db.join import WorkerFull
 from repro.db.query import Marginal, per_establishment_counts
@@ -233,7 +233,7 @@ def release_marginal_weighted(
             worker_full.establishment,
             d,
         )
-        pilot_mechanism = make_mechanism(
+        pilot_mechanism = create_mechanism(
             mechanism_name,
             EREEParams(params.alpha, pilot_epsilon / d, params.delta),
         )
@@ -273,7 +273,7 @@ def release_marginal_weighted(
         members = released & (cell_class == class_index)
         if not members.any():
             continue
-        mechanism = make_mechanism(
+        mechanism = create_mechanism(
             mechanism_name,
             EREEParams(
                 params.alpha, float(split.epsilons[class_index]), params.delta
@@ -322,3 +322,14 @@ def release_marginal_weighted(
         pilot_epsilon=pilot_epsilon,
         worker_attrs_in_marginal=worker_attrs_in_marginal,
     )
+
+
+# Registered as a composite procedure: selectable by name everywhere, but
+# executed through ReleaseSession.run (or this function) rather than
+# instantiated per cell.
+register_mechanism(
+    "weighted-split",
+    kind=COMPOSITE,
+    description="Two-stage √-rule ε allocation over worker cells (weak "
+    "mode): pilot class totals, then the marginal at ε_c ∝ √pilot_c",
+)(release_marginal_weighted)

@@ -1,0 +1,20 @@
+"""Fixtures for the facade tests: one small shared session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ReleaseSession
+from repro.data import SyntheticConfig
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def session():
+    """A module-scoped session over a small synthetic snapshot."""
+    config = ExperimentConfig(
+        data=SyntheticConfig(target_jobs=8_000, seed=123),
+        n_trials=3,
+        seed=7,
+    )
+    return ReleaseSession(config)

@@ -1,0 +1,134 @@
+"""Tests for the privacy ledger: composition debits and overdraft policy."""
+
+import math
+
+import pytest
+
+from repro.api import LedgerEntry, PrivacyLedger, PrivacyOverdraftWarning
+from repro.core import EREEParams, marginal_budget
+from repro.core.composition import SINGLE_QUERY, WEAK
+from repro.dp.composition import PrivacyBudgetExceeded
+
+
+@pytest.fixture()
+def params():
+    return EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+
+
+class TestDebits:
+    def test_strong_marginal_debits_request_epsilon(
+        self, tiny_worker_full, params
+    ):
+        schema = tiny_worker_full.table.schema
+        budget = marginal_budget(
+            params, schema, ("naics", "place"), ("sex", "education"), "strong"
+        )
+        ledger = PrivacyLedger()
+        entry = ledger.debit(budget, label="strong")
+        assert entry.epsilon == params.epsilon
+        assert entry.delta == params.delta
+        assert entry.worker_domain == 1
+        assert ledger.spent_epsilon == params.epsilon
+
+    def test_weak_marginal_debits_composed_total(
+        self, tiny_worker_full, params
+    ):
+        """The debit is the Sec-4 composed d·ε_cell total, not per-cell."""
+        schema = tiny_worker_full.table.schema
+        budget = marginal_budget(
+            params,
+            schema,
+            ("place", "sex", "education"),
+            ("sex", "education"),
+            WEAK,
+        )
+        d = budget.worker_domain
+        assert d == 4  # sex × education = 2 × 2
+        assert budget.per_cell.epsilon == pytest.approx(params.epsilon / d)
+        ledger = PrivacyLedger()
+        entry = ledger.debit(budget, label="weak")
+        # total ε is the full request budget; total δ composes to d·δ.
+        assert entry.epsilon == pytest.approx(params.epsilon)
+        assert entry.delta == pytest.approx(min(params.delta * d, 1.0 - 1e-12))
+        assert entry.worker_domain == d
+
+    def test_single_query_debits_d_times_epsilon(
+        self, tiny_worker_full, params
+    ):
+        """Workload-2 style: each cell at full ε, so the total is d·ε."""
+        schema = tiny_worker_full.table.schema
+        budget = marginal_budget(
+            params,
+            schema,
+            ("place", "sex", "education"),
+            ("sex", "education"),
+            WEAK,
+            SINGLE_QUERY,
+        )
+        ledger = PrivacyLedger()
+        entry = ledger.debit(budget, label="single-query")
+        assert entry.epsilon == pytest.approx(params.epsilon * 4)
+
+    def test_sequential_charges_add(self, params):
+        ledger = PrivacyLedger()
+        ledger.debit_amount(1.0, 0.01, label="a")
+        ledger.debit_amount(0.5, 0.02, label="b")
+        assert ledger.spent_epsilon == pytest.approx(1.5)
+        assert ledger.spent_delta == pytest.approx(0.03)
+        assert [entry.label for entry in ledger.entries] == ["a", "b"]
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError, match="cannot be negative"):
+            LedgerEntry(label="x", epsilon=-1.0, delta=0.0)
+
+
+class TestBudgets:
+    def test_unlimited_ledger_tracks_only(self):
+        ledger = PrivacyLedger()
+        ledger.debit_amount(1e9, label="huge")
+        assert ledger.remaining_epsilon == math.inf
+        assert ledger.utilization == 0.0
+
+    def test_remaining_and_utilization(self):
+        ledger = PrivacyLedger(epsilon_budget=4.0)
+        ledger.debit_amount(1.0, label="a")
+        assert ledger.remaining_epsilon == pytest.approx(3.0)
+        assert ledger.utilization == pytest.approx(0.25)
+
+    def test_overdraft_raises_and_records_nothing(self):
+        ledger = PrivacyLedger(epsilon_budget=1.0)
+        ledger.debit_amount(0.75, label="ok")
+        with pytest.raises(PrivacyBudgetExceeded, match="overdraws"):
+            ledger.debit_amount(0.5, label="too-much")
+        assert ledger.spent_epsilon == pytest.approx(0.75)
+        assert len(ledger.entries) == 1
+
+    def test_delta_overdraft_raises(self):
+        ledger = PrivacyLedger(epsilon_budget=10.0, delta_budget=0.05)
+        with pytest.raises(PrivacyBudgetExceeded):
+            ledger.debit_amount(1.0, 0.06, label="delta-heavy")
+
+    def test_warn_mode_warns_and_records(self):
+        ledger = PrivacyLedger(epsilon_budget=1.0, on_overdraft="warn")
+        ledger.debit_amount(0.75, label="ok")
+        with pytest.warns(PrivacyOverdraftWarning, match="overdraws"):
+            ledger.debit_amount(0.5, label="over")
+        assert ledger.spent_epsilon == pytest.approx(1.25)
+        assert len(ledger.entries) == 2
+
+    def test_exact_budget_is_not_overdraft(self):
+        ledger = PrivacyLedger(epsilon_budget=1.0)
+        ledger.debit_amount(0.5, label="a")
+        ledger.debit_amount(0.5, label="b")
+        assert ledger.remaining_epsilon == pytest.approx(0.0)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_overdraft"):
+            PrivacyLedger(on_overdraft="ignore")
+
+    def test_summary_mentions_entries(self):
+        ledger = PrivacyLedger(epsilon_budget=4.0)
+        ledger.debit_amount(1.0, label="figure-1-point")
+        text = ledger.summary()
+        assert "figure-1-point" in text
+        assert "utilization" in text

@@ -1,0 +1,127 @@
+"""Tests for the mechanism registry."""
+
+import pytest
+
+from repro.api import (
+    BASELINE,
+    COMPOSITE,
+    available_mechanisms,
+    create_mechanism,
+    mechanism_spec,
+    register_mechanism,
+    unregister_mechanism,
+)
+from repro.core import EREEParams, LogLaplace, SmoothGamma, SmoothLaplace
+from repro.dp.truncation import TruncatedLaplace
+
+
+@pytest.fixture()
+def params():
+    return EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
+
+
+class TestBuiltins:
+    def test_all_five_registered(self):
+        names = available_mechanisms()
+        assert set(names) >= {
+            "log-laplace",
+            "smooth-gamma",
+            "smooth-laplace",
+            "truncated-laplace",
+            "weighted-split",
+        }
+
+    def test_kind_filter(self):
+        assert set(available_mechanisms(kind=BASELINE)) == {"truncated-laplace"}
+        assert set(available_mechanisms(kind=COMPOSITE)) == {"weighted-split"}
+
+    def test_specs_point_at_the_classes(self):
+        assert mechanism_spec("log-laplace").factory is LogLaplace
+        assert mechanism_spec("smooth-gamma").factory is SmoothGamma
+        assert mechanism_spec("smooth-laplace").factory is SmoothLaplace
+        assert mechanism_spec("truncated-laplace").factory is TruncatedLaplace
+
+    def test_needs_xv_metadata(self):
+        assert not mechanism_spec("log-laplace").needs_xv
+        assert mechanism_spec("smooth-gamma").needs_xv
+        assert mechanism_spec("smooth-laplace").needs_xv
+
+    def test_strong_worker_metadata(self):
+        assert not mechanism_spec("log-laplace").strong_worker_ok
+        assert mechanism_spec("smooth-laplace").strong_worker_ok
+
+    def test_feasibility_predicates(self, params):
+        assert mechanism_spec("smooth-laplace").is_feasible(params)
+        # Smooth Gamma needs eps > 5 ln(1+alpha); eps=0.25 at alpha=0.1 fails.
+        assert not mechanism_spec("smooth-gamma").is_feasible(
+            EREEParams(0.1, 0.25)
+        )
+
+
+class TestCreate:
+    def test_calibrated(self, params):
+        assert create_mechanism("log-laplace", params).name == "Log-Laplace"
+        assert create_mechanism("smooth-gamma", params).name == "Smooth Gamma"
+        assert (
+            create_mechanism("smooth-laplace", params).name == "Smooth Laplace"
+        )
+
+    def test_options_forwarded(self, params):
+        assert create_mechanism("log-laplace", params, debias=True).debias
+
+    def test_baseline_maps_epsilon_and_theta(self, params):
+        mechanism = create_mechanism("truncated-laplace", params, theta=50)
+        assert mechanism.theta == 50
+        assert mechanism.epsilon == params.epsilon
+
+    def test_composite_refuses_per_cell_instantiation(self, params):
+        with pytest.raises(ValueError, match="multi-stage release procedure"):
+            create_mechanism("weighted-split", params)
+
+    def test_unknown_name_lists_choices(self, params):
+        with pytest.raises(ValueError, match="unknown mechanism 'gaussian'"):
+            create_mechanism("gaussian", params)
+        with pytest.raises(ValueError, match="'smooth-laplace'"):
+            create_mechanism("gaussian", params)
+
+
+class TestRegistration:
+    def test_duplicate_name_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_mechanism("log-laplace")
+            class Impostor:
+                pass
+
+    def test_duplicate_does_not_shadow(self, params):
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_mechanism("smooth-laplace")(object)
+        finally:
+            pass
+        assert mechanism_spec("smooth-laplace").factory is SmoothLaplace
+
+    def test_register_replace_and_unregister(self, params):
+        @register_mechanism("test-identity", needs_xv=False)
+        class Identity:
+            def __init__(self, params):
+                self.params = params
+
+        try:
+            assert "test-identity" in available_mechanisms()
+            mechanism = create_mechanism("test-identity", params)
+            assert mechanism.params is params
+
+            @register_mechanism("test-identity", needs_xv=False, replace=True)
+            class Identity2(Identity):
+                pass
+
+            assert mechanism_spec("test-identity").factory is Identity2
+        finally:
+            unregister_mechanism("test-identity")
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            mechanism_spec("test-identity")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            register_mechanism("test-bad-kind", kind="quantum")

@@ -15,18 +15,50 @@ class TestParser:
         assert args.trials == 10
         assert args.jobs == 150_000
 
+    def test_tables_gains_session_knobs(self):
+        args = build_parser().parse_args(
+            ["tables", "--jobs", "4000", "--seed", "9", "--trials", "2"]
+        )
+        assert args.jobs == 4000
+        assert args.seed == 9
+        assert args.trials == 2
+
     def test_generate_requires_out(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate"])
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_release_defaults(self):
+        args = build_parser().parse_args(["release"])
+        assert args.mechanism == "smooth-laplace"
+        assert args.attrs == "place,naics,ownership"
+        assert args.alpha == 0.1
+
 
 class TestCommands:
     def test_tables_command(self, tmp_path):
-        code = main(["tables", "--out", str(tmp_path)])
+        code = main(
+            [
+                "tables",
+                "--out", str(tmp_path),
+                "--jobs", "4000",
+                "--trials", "2",
+            ]
+        )
         assert code == 0
         assert (tmp_path / "table-1.txt").exists()
         assert "Yes*" in (tmp_path / "table-1.txt").read_text(encoding="utf-8")
         assert (tmp_path / "table-2.txt").exists()
+        table3 = (tmp_path / "table-3.txt").read_text(encoding="utf-8")
+        assert "smooth-laplace" in table3
+        assert "L1 ratio" in table3
 
     def test_figures_subset(self, tmp_path):
         code = main(
@@ -47,6 +79,51 @@ class TestCommands:
         with pytest.raises(SystemExit, match="unknown figures"):
             main(["figures", "--out", str(tmp_path), "--only", "figure-9"])
 
+    def test_release_command_prints_marginal_and_ledger(self, capsys):
+        code = main(
+            [
+                "release",
+                "--jobs", "4000",
+                "--attrs", "place,naics",
+                "--mechanism", "smooth-laplace",
+                "--alpha", "0.1",
+                "--epsilon", "2",
+                "--delta", "0.05",
+                "--budget", "4",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "released" in out
+        assert "privacy ledger" in out
+        assert "utilization 50.0%" in out
+
+    def test_release_command_truncated_laplace(self, capsys):
+        code = main(
+            [
+                "release",
+                "--jobs", "4000",
+                "--attrs", "place",
+                "--mechanism", "truncated-laplace",
+                "--epsilon", "2",
+                "--theta", "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node-dp" in out or "truncated-laplace" in out
+
+    def test_release_command_rejects_bad_request(self):
+        with pytest.raises(SystemExit, match="invalid release request"):
+            main(
+                [
+                    "release",
+                    "--jobs", "4000",
+                    "--mechanism", "gaussian",
+                ]
+            )
+
     def test_generate_command(self, tmp_path):
         code = main(
             [
@@ -65,3 +142,31 @@ class TestCommands:
         main(["generate", "--out", str(tmp_path / "s"), "--jobs", "2000"])
         dataset = load_dataset(tmp_path / "s")
         assert dataset.n_jobs > 0
+
+
+class TestSharedSession:
+    def test_run_figures_and_tables_share_a_session(self, tmp_path):
+        """One snapshot can serve both artifact families in one invocation."""
+        from repro.api import ReleaseSession
+        from repro.data import SyntheticConfig
+        from repro.experiments import ExperimentConfig
+
+        session = ReleaseSession(
+            ExperimentConfig(
+                data=SyntheticConfig(target_jobs=4000, seed=5),
+                n_trials=2,
+                seed=5,
+            )
+        )
+        figures_args = build_parser().parse_args(
+            ["figures", "--out", str(tmp_path), "--only", "figure-1"]
+        )
+        tables_args = build_parser().parse_args(
+            ["tables", "--out", str(tmp_path), "--trials", "2"]
+        )
+        run_figures(figures_args, session=session)
+        run_tables(tables_args, session=session)
+        assert (tmp_path / "figure-1.txt").exists()
+        assert (tmp_path / "table-3.txt").exists()
+        # The figure grid and the table rows all debited one ledger.
+        assert len(session.ledger.entries) > 12
