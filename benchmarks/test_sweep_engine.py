@@ -1,0 +1,169 @@
+"""EXP-B2 — Sweep-engine wall clock: executors and cache replay.
+
+The figures are (mechanism × α × ε) grids of Monte Carlo points; PR 1
+batched the *inner* trial loop, and the sweep engine parallelizes the
+*outer* grid and caches computed points in the content-addressed result
+store.  This suite records, on a paper-scale snapshot:
+
+- serial vs thread-pool vs process-pool wall clock for one grid
+  (bit-identical results, pinned here);
+- cache-replay time for the same grid (a resumed sweep reads JSON
+  payloads instead of drawing noise), with a ≥``MIN_REPLAY_SPEEDUP``×
+  gate — the acceptance criterion that a second ``--resume`` run
+  recomputes zero points is asserted via the store's hit counter.
+
+Timings land in ``BENCH_grid.json`` at the repo root (the sweep-engine
+companion of ``BENCH_trials.json``) so successive PRs can diff them.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_report
+from repro.engine.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.engine.plan import grid_plan, snapshot_fingerprint
+from repro.engine.points import points_identical
+from repro.engine.store import ResultStore
+from repro.engine.sweep import run_plan
+from repro.util import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_grid.json"
+
+MECHANISMS = ("log-laplace", "smooth-laplace", "smooth-gamma")
+ALPHAS = (0.05, 0.2)
+EPSILONS = (0.5, 1.0, 2.0)
+N_TRIALS = 400
+WORKERS = 2
+MIN_REPLAY_SPEEDUP = 10.0
+
+
+def _bench_plan(context):
+    return grid_plan(
+        "workload-1",
+        "l1-ratio",
+        MECHANISMS,
+        ALPHAS,
+        EPSILONS,
+        fingerprint=snapshot_fingerprint(context.config),
+        delta=0.05,
+        n_trials=N_TRIALS,
+        seed=context.config.seed,
+        tag="bench-grid",
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_sweep_engine_wall_clock(context, out_dir, tmp_path):
+    plan = _bench_plan(context)
+    # Warm the session's workload-statistics cache so the timings compare
+    # grid execution, not one-off prologue work.
+    serial_warm = run_plan(
+        plan, context, executor=SerialExecutor(), merge_spend=False
+    )
+
+    serial, serial_s = _timed(
+        lambda: run_plan(
+            plan, context, executor=SerialExecutor(), merge_spend=False
+        )
+    )
+    thread, thread_s = _timed(
+        lambda: run_plan(
+            plan,
+            context,
+            executor=ThreadExecutor(workers=WORKERS),
+            merge_spend=False,
+        )
+    )
+    process, process_s = _timed(
+        lambda: run_plan(
+            plan,
+            context,
+            executor=ProcessExecutor(workers=WORKERS),
+            merge_spend=False,
+        )
+    )
+
+    # Populate the store once, then time a pure cache replay.
+    store_root = tmp_path / "cache"
+    run_plan(
+        plan,
+        context,
+        store=ResultStore(store_root),
+        resume=True,
+        merge_spend=False,
+    )
+    replay_store = ResultStore(store_root)
+    replay, replay_s = _timed(
+        lambda: run_plan(
+            plan,
+            context,
+            store=replay_store,
+            resume=True,
+            merge_spend=False,
+        )
+    )
+
+    for label, outcome in (
+        ("warm", serial_warm),
+        ("thread", thread),
+        ("process", process),
+        ("replay", replay),
+    ):
+        for a, b in zip(serial.points, outcome.points):
+            assert points_identical(a, b), f"{label} diverged: {a} != {b}"
+
+    # The acceptance criterion: a resumed sweep recomputes zero points.
+    assert replay.computed == 0
+    assert replay.cache_hits == len(plan)
+    assert replay_store.hits == len(plan)
+
+    replay_speedup = serial_s / replay_s
+    rows = [
+        ["serial", f"{serial_s * 1e3:.1f}", "1.0x"],
+        [f"thread x{WORKERS}", f"{thread_s * 1e3:.1f}", f"{serial_s / thread_s:.1f}x"],
+        [f"process x{WORKERS}", f"{process_s * 1e3:.1f}", f"{serial_s / process_s:.1f}x"],
+        ["cache replay", f"{replay_s * 1e3:.1f}", f"{replay_speedup:.1f}x"],
+    ]
+    report = format_table(
+        headers=["executor", "wall ms", "vs serial"],
+        rows=rows,
+        title=f"Sweep engine on a {len(plan)}-point Workload-1 grid "
+        f"(n_trials={N_TRIALS}, {context.dataset.n_jobs} jobs)",
+    )
+    write_report(out_dir, "sweep-engine", report)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "grid": {
+                    "points": len(plan),
+                    "n_trials": N_TRIALS,
+                    "workload": "workload-1",
+                    "workers": WORKERS,
+                },
+                "serial_s": serial_s,
+                "thread_s": thread_s,
+                "process_s": process_s,
+                "replay_s": replay_s,
+                "replay_speedup": replay_speedup,
+                "cache_hits": replay.cache_hits,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {BENCH_JSON}")
+
+    assert replay_speedup >= MIN_REPLAY_SPEEDUP, (
+        f"cache replay only {replay_speedup:.1f}x faster than serial "
+        f"recompute (need >= {MIN_REPLAY_SPEEDUP}x)"
+    )

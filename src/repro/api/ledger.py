@@ -24,6 +24,7 @@ track spending.
 from __future__ import annotations
 
 import math
+import threading
 import warnings
 from dataclasses import dataclass, field
 
@@ -59,6 +60,31 @@ class LedgerEntry:
                 f"δ={self.delta}"
             )
 
+    @classmethod
+    def from_budget(
+        cls,
+        budget: MarginalBudget,
+        *,
+        label: str,
+        mechanism: str = "",
+        attrs: tuple[str, ...] = (),
+    ) -> "LedgerEntry":
+        """The spend record of one marginal release's composed total.
+
+        Building an entry records nothing — executors return these from
+        workers and the parent ledger merges them, so accounting stays
+        exact (and deterministic) under parallel sweep execution.
+        """
+        return cls(
+            label=label,
+            epsilon=float(budget.total.epsilon),
+            delta=float(budget.total.delta),
+            mechanism=mechanism,
+            attrs=tuple(attrs),
+            mode=budget.mode,
+            worker_domain=budget.worker_domain,
+        )
+
 
 @dataclass
 class PrivacyLedger:
@@ -74,6 +100,14 @@ class PrivacyLedger:
     Charges compose sequentially (Theorems 2.1 / 7.3: ε and δ add);
     distinct marginals over one snapshot touch the same establishments,
     so parallel composition across requests does not apply.
+
+    The ledger is concurrency-safe: the overdraft check and the append
+    are one atomic step under an internal lock, so threaded sweeps (the
+    engine's :class:`~repro.engine.executors.ThreadExecutor`, or any
+    user threads sharing a session) can debit concurrently without
+    losing entries or slipping past a budget.  Process-parallel sweeps
+    instead return :class:`LedgerEntry` spend records from workers and
+    :meth:`merge` them here, in deterministic plan order.
     """
 
     epsilon_budget: float | None = None
@@ -81,6 +115,9 @@ class PrivacyLedger:
     on_overdraft: str = RAISE
     entries: list[LedgerEntry] = field(default_factory=list)
     _tolerance: float = 1e-9
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.on_overdraft not in _POLICIES:
@@ -140,14 +177,10 @@ class PrivacyLedger:
         the whole marginal (d·ε_cell under the weak worker-attribute
         split), not the per-cell parameters.
         """
-        return self.debit_amount(
-            budget.total.epsilon,
-            budget.total.delta,
-            label=label,
-            mechanism=mechanism,
-            attrs=attrs,
-            mode=budget.mode,
-            worker_domain=budget.worker_domain,
+        return self.record(
+            LedgerEntry.from_budget(
+                budget, label=label, mechanism=mechanism, attrs=attrs
+            )
         )
 
     def preflight(self, epsilon: float, delta: float = 0.0, *, label: str = "") -> None:
@@ -160,7 +193,8 @@ class PrivacyLedger:
         warning to the actual debit.
         """
         entry = LedgerEntry(label=label, epsilon=float(epsilon), delta=float(delta))
-        over = self._overdraft_message(entry)
+        with self._lock:
+            over = self._overdraft_message(entry)
         if over is not None and self.on_overdraft == RAISE:
             raise PrivacyBudgetExceeded(over)
 
@@ -176,22 +210,47 @@ class PrivacyLedger:
         worker_domain: int = 1,
     ) -> LedgerEntry:
         """Debit a raw (ε, δ) amount (e.g. a node-DP baseline release)."""
-        entry = LedgerEntry(
-            label=label,
-            epsilon=float(epsilon),
-            delta=float(delta),
-            mechanism=mechanism,
-            attrs=tuple(attrs),
-            mode=mode,
-            worker_domain=worker_domain,
+        return self.record(
+            LedgerEntry(
+                label=label,
+                epsilon=float(epsilon),
+                delta=float(delta),
+                mechanism=mechanism,
+                attrs=tuple(attrs),
+                mode=mode,
+                worker_domain=worker_domain,
+            )
         )
-        over = self._overdraft_message(entry)
-        if over is not None:
-            if self.on_overdraft == RAISE:
-                raise PrivacyBudgetExceeded(over)
-            warnings.warn(over, PrivacyOverdraftWarning, stacklevel=3)
-        self.entries.append(entry)
+
+    def record(self, entry: LedgerEntry) -> LedgerEntry:
+        """Record a pre-built spend entry (the atomic debit primitive).
+
+        The overdraft check and the append happen under the ledger lock,
+        so concurrent debits from threaded sweeps compose exactly: no
+        entry is lost and no pair of debits can both slip under the last
+        sliver of budget.
+        """
+        with self._lock:
+            over = self._overdraft_message(entry)
+            if over is not None:
+                if self.on_overdraft == RAISE:
+                    raise PrivacyBudgetExceeded(over)
+                warnings.warn(over, PrivacyOverdraftWarning, stacklevel=3)
+            self.entries.append(entry)
         return entry
+
+    def merge(self, records) -> list[LedgerEntry]:
+        """Record a sequence of spend records, in order.
+
+        This is how parallel executors settle up: workers evaluate
+        points against their own (budget-less) rebuilt sessions, return
+        :class:`LedgerEntry` records, and the parent merges them in plan
+        order — so the ledger trail is identical to a serial run no
+        matter how the work was scheduled.  In ``raise`` mode the merge
+        stops at the first record that would overdraw (earlier records
+        stay on the books, exactly as with sequential debits).
+        """
+        return [self.record(entry) for entry in records]
 
     def _overdraft_message(self, entry: LedgerEntry) -> str | None:
         epsilon_after = self.spent_epsilon + entry.epsilon

@@ -17,25 +17,35 @@ Three execution surfaces:
   by the equivalence tests).
 - :meth:`ReleaseSession.run_grid` fans a list of requests — typically a
   (mechanism × α × ε) product from :meth:`ReleaseRequest.grid` — through
-  the batched trial engine.
+  the batched trial engine, optionally in parallel through a
+  :mod:`repro.engine.executors` executor.
 - :meth:`ReleaseSession.evaluate_point` computes one figure point
   (L1-error ratio or Spearman correlation, overall + per stratum)
-  through the streaming reducers of :mod:`repro.experiments.runner`.
+  through the streaming reducers of :mod:`repro.engine.evaluate`.
 
 Every execution debits the session's :class:`~repro.api.ledger.PrivacyLedger`
 with the Sec-4 composition total of its release (infeasible grid points
-release nothing and debit nothing).
+release nothing and debit nothing).  The non-debiting variants
+(:meth:`ReleaseSession.execute` / :meth:`ReleaseSession.evaluate_point_outcome`)
+return the spend as a detached :class:`~repro.api.ledger.LedgerEntry` —
+that is what the parallel sweep engine runs in worker processes, merging
+the records into the parent ledger afterwards so accounting stays exact
+under parallelism.
+
+The session's statistic caches are lock-guarded, so threads sharing one
+session (e.g. :class:`~repro.engine.executors.ThreadExecutor`) compute
+each trial-invariant statistic exactly once.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Collection, Sequence
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.api.ledger import PrivacyLedger
+from repro.api.ledger import LedgerEntry, PrivacyLedger
 from repro.api.registry import BASELINE, COMPOSITE
 from repro.api.request import ReleaseRequest
 from repro.api.result import ReleaseResult
@@ -50,52 +60,23 @@ from repro.core.release import (
 )
 from repro.data.generator import generate
 from repro.db.query import Marginal, per_establishment_counts
-from repro.metrics.strata import STRATUM_LABELS, cell_strata
+from repro.engine import evaluate as point_kernels
+from repro.engine.points import N_STRATA, SeriesPoint, WorkloadStatistics
+from repro.metrics.strata import cell_strata
 from repro.sdl.noise_infusion import InputNoiseInfusion
 from repro.util import derive_seed
 
-if TYPE_CHECKING:  # imported lazily at runtime: repro.experiments
-    # imports this module (runner's ExperimentContext shim), so a
-    # module-level import here would be a cycle.
+if TYPE_CHECKING:  # annotation-only: repro.experiments sits above this
+    # module (its package __init__ imports the session for the
+    # ExperimentContext shim), so importing it at runtime would cycle.
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.workloads import Workload
 
-N_STRATA = len(STRATUM_LABELS)
-
-
-@dataclass(frozen=True)
-class WorkloadStatistics:
-    """Trial-invariant statistics of one workload on one snapshot.
-
-    Arrays are over the marginal's cells.  ``mask`` selects the cells
-    used for evaluation (positive true count, hence published by both
-    systems); ``xv`` is the smooth-sensitivity statistic; ``strata`` the
-    place-population stratum per cell.
-    """
-
-    workload: Workload
-    marginal: Marginal
-    true: np.ndarray
-    released: np.ndarray
-    xv: np.ndarray
-    strata: np.ndarray
-    sdl_noisy: np.ndarray
-    mode: str
-    per_cell_params_of: object  # Callable[[EREEParams], EREEParams]
-    budget_of: object = None  # Callable[[EREEParams], MarginalBudget]
-
-    @property
-    def mask(self) -> np.ndarray:
-        return (self.true > 0) & self.released
-
-    def masked(self, values: np.ndarray) -> np.ndarray:
-        return values[self.mask]
-
-    def stratum_masks(self) -> list[np.ndarray]:
-        """Evaluation mask restricted to each place-population stratum."""
-        return [
-            self.mask & (self.strata == stratum) for stratum in range(N_STRATA)
-        ]
+__all__ = [
+    "N_STRATA",
+    "ReleaseSession",
+    "WorkloadStatistics",
+]
 
 
 class ReleaseSession:
@@ -128,6 +109,11 @@ class ReleaseSession:
             config = ExperimentConfig()
         self.config = config
         self.worker_attrs = tuple(worker_attrs)
+        # Whether the snapshot can be rebuilt from config alone: a
+        # provided dataset cannot (ProcessExecutor refuses such
+        # sessions, and the snapshot fingerprint must not pretend the
+        # data came from config.data).
+        self.dataset_provided = dataset is not None
         self.dataset = dataset if dataset is not None else generate(self.config.data)
         self.worker_full = self.dataset.worker_full()
         self.sdl = InputNoiseInfusion(
@@ -142,6 +128,11 @@ class ReleaseSession:
         self._stats_cache: dict = {}
         self._release_cache: dict = {}
         self._baseline_cache: dict = {}
+        # Guards the caches above: threads sharing this session (e.g. a
+        # ThreadExecutor sweep) must compute each trial-invariant
+        # statistic exactly once.  Reentrant because statistics() can
+        # recurse into _baseline() on some paths.
+        self._cache_lock = threading.RLock()
 
     @classmethod
     def from_synthetic(
@@ -160,10 +151,47 @@ class ReleaseSession:
     def schema(self):
         return self.worker_full.table.schema
 
+    @property
+    def snapshot_fingerprint(self) -> str:
+        """Content fingerprint of this session's snapshot (cache scope).
+
+        Generated snapshots hash their config + seed; an explicitly
+        provided dataset is hashed by content instead, so two sessions
+        over different data never share result-store keys even when
+        their configs coincide.
+        """
+        from repro.engine.plan import snapshot_fingerprint
+
+        return snapshot_fingerprint(
+            self.config,
+            worker_attrs=self.worker_attrs,
+            dataset_token=self._dataset_token() if self.dataset_provided else None,
+        )
+
+    def _dataset_token(self) -> str:
+        """A content hash of the provided dataset's joined relation."""
+        if getattr(self, "_dataset_token_cache", None) is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            table = self.worker_full.table
+            for name in table.schema.names:
+                digest.update(name.encode("utf-8"))
+                digest.update(np.ascontiguousarray(table.column(name)).tobytes())
+            digest.update(
+                np.ascontiguousarray(self.worker_full.establishment).tobytes()
+            )
+            self._dataset_token_cache = digest.hexdigest()[:16]
+        return self._dataset_token_cache
+
     # -- trial-invariant caches ----------------------------------------
 
     def statistics(self, workload: Workload) -> WorkloadStatistics:
         """Compute (or fetch cached) trial-invariant workload statistics."""
+        with self._cache_lock:
+            return self._statistics_locked(workload)
+
+    def _statistics_locked(self, workload: Workload) -> WorkloadStatistics:
         if workload in self._stats_cache:
             return self._stats_cache[workload]
 
@@ -243,13 +271,14 @@ class ReleaseSession:
         """
         attrs = tuple(attrs)
         key = (attrs, resolve_mode(attrs, self.worker_attrs, mode))
-        cached = self._release_cache.get(key)
-        if cached is None:
-            cached = compute_release_statistics(
-                self.worker_full, attrs, self.worker_attrs, mode
-            )
-            self._release_cache[key] = cached
-        return cached
+        with self._cache_lock:
+            cached = self._release_cache.get(key)
+            if cached is None:
+                cached = compute_release_statistics(
+                    self.worker_full, attrs, self.worker_attrs, mode
+                )
+                self._release_cache[key] = cached
+            return cached
 
     def _baseline(self, attrs: tuple[str, ...]):
         """Cached (sdl_noisy, strata) arrays for one marginal.
@@ -258,16 +287,17 @@ class ReleaseSession:
         (per-stratum metrics are undefined there); the overall metrics
         still work off the SDL answer.
         """
-        if attrs not in self._baseline_cache:
-            marginal = Marginal(self.schema, attrs)
-            sdl_noisy = self.sdl.answer_marginal(self.worker_full, marginal).noisy
-            strata = (
-                cell_strata(marginal, self.dataset.geography.place_populations)
-                if "place" in attrs
-                else None
-            )
-            self._baseline_cache[attrs] = (sdl_noisy, strata)
-        return self._baseline_cache[attrs]
+        with self._cache_lock:
+            if attrs not in self._baseline_cache:
+                marginal = Marginal(self.schema, attrs)
+                sdl_noisy = self.sdl.answer_marginal(self.worker_full, marginal).noisy
+                strata = (
+                    cell_strata(marginal, self.dataset.geography.place_populations)
+                    if "place" in attrs
+                    else None
+                )
+                self._baseline_cache[attrs] = (sdl_noisy, strata)
+            return self._baseline_cache[attrs]
 
     # -- declarative execution -----------------------------------------
 
@@ -278,6 +308,22 @@ class ReleaseSession:
         historical :func:`repro.core.release.release_marginal` exactly —
         the session only adds caching, the SDL baseline for metrics, and
         ledger accounting.
+        """
+        result, spend = self.execute(request)
+        self.ledger.record(spend)
+        return result
+
+    def execute(
+        self, request: ReleaseRequest
+    ) -> tuple[ReleaseResult, LedgerEntry]:
+        """Execute one request *without* recording its privacy spend.
+
+        Returns the result plus the detached spend record.  This is the
+        engine's worker entry point: parallel executors evaluate against
+        rebuilt (budget-less) sessions and hand the records back for the
+        parent ledger to :meth:`~repro.api.ledger.PrivacyLedger.merge`
+        in deterministic order.  Callers wanting the historical one-step
+        behavior use :meth:`run`.
         """
         request.validate(schema=self.schema, worker_attrs=self.worker_attrs)
         spec = request.spec
@@ -298,7 +344,9 @@ class ReleaseSession:
             strata=strata,
         )
 
-    def _run_calibrated(self, request: ReleaseRequest) -> ReleaseResult:
+    def _run_calibrated(
+        self, request: ReleaseRequest
+    ) -> tuple[ReleaseResult, LedgerEntry]:
         stats = self.release_statistics(request.attrs, request.mode)
         budget = marginal_budget(
             request.params,
@@ -308,8 +356,9 @@ class ReleaseSession:
             stats.mode,
             request.budget_style,
         )
-        # Affordability gates the release; the debit lands only after the
-        # noise draw succeeds, so a failed release never records spend.
+        # Affordability gates the release; the spend is recorded only
+        # after the noise draw succeeds, so a failed release never
+        # leaves privacy spend on the books.
         self.ledger.preflight(
             budget.total.epsilon, budget.total.delta, label=request.ledger_label
         )
@@ -322,19 +371,21 @@ class ReleaseSession:
             n_trials=request.n_trials,
             trials_batch=request.trials_batch,
         )
-        entry = self.ledger.debit(
+        entry = LedgerEntry.from_budget(
             budget,
             label=request.ledger_label,
             mechanism=request.mechanism,
             attrs=request.attrs,
         )
-        return self._result(request, release, entry)
+        return self._result(request, release, entry), entry
 
-    def _run_baseline(self, request: ReleaseRequest) -> ReleaseResult:
+    def _run_baseline(
+        self, request: ReleaseRequest
+    ) -> tuple[ReleaseResult, LedgerEntry]:
         """Node-DP Truncated Laplace: θ from the options, ε from the request.
 
         α has no meaning under node DP; the release's budget records the
-        request parameters for provenance and the ledger debits ε alone
+        request parameters for provenance and the spend is ε alone
         (pure DP, δ = 0).
         """
         from repro.core.composition import MarginalBudget
@@ -353,12 +404,12 @@ class ReleaseSession:
             n_trials=request.n_trials,
             seed=request.seed,
         )
-        entry = self.ledger.debit_amount(
-            request.epsilon,
-            0.0,
+        entry = LedgerEntry(
             label=request.ledger_label,
+            epsilon=float(request.epsilon),
+            delta=0.0,
             mechanism=request.mechanism,
-            attrs=request.attrs,
+            attrs=tuple(request.attrs),
             mode="node-dp",
         )
         pseudo_params = EREEParams(
@@ -378,9 +429,11 @@ class ReleaseSession:
             ),
             mechanism_name=request.mechanism,
         )
-        return self._result(request, release, entry)
+        return self._result(request, release, entry), entry
 
-    def _run_composite(self, request: ReleaseRequest) -> ReleaseResult:
+    def _run_composite(
+        self, request: ReleaseRequest
+    ) -> tuple[ReleaseResult, LedgerEntry]:
         """The weighted-split procedure (or any registered composite)."""
         options = dict(request.mechanism_options or {})
         base_mechanism = options.pop("base_mechanism", "smooth-laplace")
@@ -397,16 +450,20 @@ class ReleaseSession:
             n_trials=request.n_trials,
             **options,
         )
-        entry = self.ledger.debit(
+        entry = LedgerEntry.from_budget(
             weighted.release.budget,
             label=request.ledger_label,
             mechanism=request.mechanism,
             attrs=request.attrs,
         )
-        return self._result(request, weighted.release, entry)
+        return self._result(request, weighted.release, entry), entry
 
     def run_grid(
-        self, requests: Sequence[ReleaseRequest]
+        self,
+        requests: Sequence[ReleaseRequest],
+        *,
+        executor=None,
+        workers: int | None = None,
     ) -> list[ReleaseResult]:
         """Execute a request list (e.g. a ``ReleaseRequest.grid`` product).
 
@@ -414,8 +471,23 @@ class ReleaseSession:
         session caches, so an m-point grid over one marginal computes the
         marginal's true counts, mask and xv exactly once and each point
         only draws its ``(n_trials, n_cells)`` noise matrix.
+
+        ``executor``/``workers`` submit the grid to the sweep engine's
+        executors (:mod:`repro.engine.executors`): requests evaluate in
+        parallel — each carries its own seed, so results are bit-identical
+        to the serial path — and their spend records merge into this
+        session's ledger in request order, keeping accounting exact and
+        deterministic.  Without either knob the historical sequential
+        path runs (each request debits as it executes).
         """
-        return [self.run(request) for request in requests]
+        from repro.engine.executors import resolve_executor
+
+        resolved = resolve_executor(executor, workers)
+        if resolved is None:
+            return [self.run(request) for request in requests]
+        outcomes = resolved.map(_execute_request, self, list(requests))
+        self.ledger.merge([spend for _, spend in outcomes])
+        return [result for result, _ in outcomes]
 
     # -- figure-point evaluation ---------------------------------------
 
@@ -431,19 +503,52 @@ class ReleaseSession:
         batch_size: int | None = None,
         theta: int | None = None,
         epsilon: float | None = None,
-    ):
+    ) -> SeriesPoint:
         """One figure point (overall + per-stratum) with ledger accounting.
 
         Delegates to the streaming reducers of
-        :mod:`repro.experiments.runner`; a feasible point debits the
+        :mod:`repro.engine.evaluate`; a feasible point debits the
         workload's composed budget, an infeasible point (shown as a gap
         in the figures) debits nothing.  ``mechanism="truncated-laplace"``
         takes ``theta`` and ``epsilon`` instead of ``params``.
         """
-        # Imported lazily: runner imports this module for the
-        # ExperimentContext shim, so a top-level import would be a cycle.
-        from repro.experiments import runner
+        point, spend = self.evaluate_point_outcome(
+            workload,
+            mechanism,
+            params,
+            metric=metric,
+            n_trials=n_trials,
+            seed=seed,
+            batch_size=batch_size,
+            theta=theta,
+            epsilon=epsilon,
+        )
+        if spend is not None:
+            self.ledger.record(spend)
+        return point
 
+    def evaluate_point_outcome(
+        self,
+        workload: Workload,
+        mechanism: str,
+        params: EREEParams | None = None,
+        *,
+        metric: str = "l1-ratio",
+        n_trials: int | None = None,
+        seed=None,
+        batch_size: int | None = None,
+        theta: int | None = None,
+        epsilon: float | None = None,
+    ) -> tuple[SeriesPoint, LedgerEntry | None]:
+        """One figure point plus its detached spend record (no debit).
+
+        The sweep engine's worker entry point
+        (:func:`repro.engine.sweep.evaluate_point_spec` calls this):
+        nothing is recorded on this session's ledger — the spend record
+        travels back with the point, and the parent merges the records
+        of all computed points in plan order.  An infeasible point's
+        spend is ``None``.
+        """
         if n_trials is None:
             n_trials = self.config.n_trials
         if batch_size is None:
@@ -455,36 +560,37 @@ class ReleaseSession:
                 raise ValueError(
                     "truncated-laplace points need theta and epsilon"
                 )
-            point = runner.truncated_laplace_point(
+            point = point_kernels.truncated_laplace_point(
                 self, stats, theta, epsilon, n_trials, seed, metric,
                 batch_size=batch_size,
             )
-            self.ledger.debit_amount(
-                epsilon,
-                0.0,
+            spend = LedgerEntry(
                 label=f"{workload.name}:truncated-laplace:theta={theta}:eps={epsilon}",
+                epsilon=float(epsilon),
+                delta=0.0,
                 mechanism=mechanism,
                 attrs=tuple(workload.attrs),
                 mode="node-dp",
             )
-            return point
+            return point, spend
 
         if params is None:
             raise ValueError("calibrated mechanism points need params")
         if metric == "l1-ratio":
-            point = runner.error_ratio_point(
+            point = point_kernels.error_ratio_point(
                 stats, mechanism, params, n_trials, seed, batch_size
             )
         elif metric == "spearman":
-            point = runner.spearman_point(
+            point = point_kernels.spearman_point(
                 stats, mechanism, params, n_trials, seed, batch_size
             )
         else:
             raise ValueError(
                 f"metric must be 'l1-ratio' or 'spearman', got {metric!r}"
             )
+        spend = None
         if point.feasible:
-            self.ledger.debit(
+            spend = LedgerEntry.from_budget(
                 stats.budget_of(params),
                 label=(
                     f"{workload.name}:{mechanism}:"
@@ -493,4 +599,12 @@ class ReleaseSession:
                 mechanism=mechanism,
                 attrs=tuple(workload.attrs),
             )
-        return point
+        return point, spend
+
+
+def _execute_request(session: ReleaseSession, request: ReleaseRequest):
+    """Executor task: one request → (result, spend record), no debit.
+
+    Module-level so process pools can pickle it by reference.
+    """
+    return session.execute(request)

@@ -6,6 +6,8 @@ Subcommands:
   figure (the data series the published plots encode);
 - ``tables``  — write Tables 1 and 2 plus the empirical session summary
   (Table 3), sharing one snapshot across the whole invocation;
+- ``sweep``   — run an ad-hoc (mechanism × α × ε) grid on any workload
+  through the sweep engine and write the series as text + JSON;
 - ``release`` — execute a single declarative release request and print
   the noisy marginal plus the privacy-ledger state;
 - ``generate`` — generate a synthetic LODES snapshot and save it as CSV.
@@ -14,18 +16,20 @@ Every data-touching command builds one :class:`repro.api.ReleaseSession`
 per invocation: the snapshot is generated once, the SDL baseline fitted
 once, and all requests reuse the cached trial-invariant statistics.
 
-Examples::
-
-    python -m repro figures --out reports --jobs 150000 --trials 10
-    python -m repro tables --out reports --jobs 20000 --trials 5
-    python -m repro release --attrs place,naics --mechanism smooth-laplace \
-        --alpha 0.1 --epsilon 2 --delta 0.05 --budget 4
-    python -m repro generate --jobs 60000 --out snapshot/
+``figures``, ``tables`` and ``sweep`` submit their grids to the sweep
+engine (:mod:`repro.engine`): ``--workers N`` fans the grid over a
+worker pool (``--executor thread|process|serial`` picks the pool kind;
+results are bit-identical to serial), every computed point is written to
+the content-addressed result store under ``--cache-dir`` (default
+``reports/cache``), ``--resume`` replays completed points from the store
+instead of recomputing them, and ``--no-cache`` disables the store
+entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 
 from repro.api.registry import available_mechanisms
@@ -34,7 +38,11 @@ from repro.api.session import ReleaseSession
 from repro.data.generator import SyntheticConfig, generate
 from repro.data.io import save_dataset
 from repro.dp.composition import PrivacyBudgetExceeded
-from repro.experiments.config import ExperimentConfig
+from repro.engine.executors import EXECUTOR_NAMES, resolve_executor
+from repro.engine.plan import METRICS, grid_plan
+from repro.engine.store import DEFAULT_CACHE_DIR, ResultStore
+from repro.engine.sweep import encode_point, run_plan
+from repro.experiments.config import MECHANISM_NAMES, ExperimentConfig
 from repro.experiments.figures import (
     figure1,
     figure2,
@@ -56,6 +64,26 @@ FIGURES = {
     "finding-6": finding6,
 }
 
+EPILOG = """\
+examples:
+  repro figures --out reports --jobs 150000 --trials 10
+  repro figures --only figure-1,finding-6 --workers 4 --executor process
+  repro figures --resume                  # recompute only missing points
+  repro tables  --out reports --jobs 20000 --trials 5 --workers 2
+  repro sweep   --workload workload-1 --metric l1-ratio \\
+                --alphas 0.05,0.1 --epsilons 0.5,1,2 --workers 4 --resume
+  repro release --attrs place,naics --mechanism smooth-laplace \\
+                --alpha 0.1 --epsilon 2 --delta 0.05 --budget 4
+  repro generate --jobs 60000 --out snapshot/
+
+sweep engine (figures / tables / sweep):
+  --workers N      parallel grid evaluation (bit-identical to serial)
+  --executor KIND  serial | thread | process (default: process when N>1)
+  --resume         replay completed points from the result store
+  --no-cache       do not read or write the result store
+  --cache-dir DIR  content-addressed store location (default reports/cache)
+"""
+
 
 def _version() -> str:
     """The installed package version, falling back to the source tree's."""
@@ -75,11 +103,55 @@ def _add_session_arguments(parser, jobs_default: int, trials_default: int):
     parser.add_argument("--seed", type=int, default=2017)
 
 
+def _add_engine_arguments(parser):
+    """The sweep-engine knobs shared by figures/tables/sweep."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate grid points on N parallel workers "
+        "(bit-identical results to serial execution; default: serial, "
+        "or an auto-sized pool when --executor names one)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help="worker pool kind (default: process when --workers > 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay already-computed points from the result store; "
+        "only missing points are recomputed",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the result store",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="content-addressed result store location "
+        f"(default {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _parse_values(text: str, cast) -> tuple:
+    return tuple(cast(part.strip()) for part in text.split(",") if part.strip())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Haney et al., SIGMOD 2017 "
         "(formal privacy for employer-employee statistics)",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {_version()}"
@@ -104,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated subset, e.g. figure-1,finding-6",
     )
+    _add_engine_arguments(figures)
 
     tables = subparsers.add_parser(
         "tables",
@@ -111,6 +184,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tables.add_argument("--out", type=Path, default=Path("reports"))
     _add_session_arguments(tables, jobs_default=20_000, trials_default=3)
+    _add_engine_arguments(tables)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run an ad-hoc (mechanism x alpha x epsilon) grid through "
+        "the sweep engine",
+    )
+    sweep.add_argument("--out", type=Path, default=Path("reports"))
+    sweep.add_argument(
+        "--workload",
+        default="workload-1",
+        help="workload name (workload-1/2/3 or females-college)",
+    )
+    sweep.add_argument("--metric", choices=METRICS, default="l1-ratio")
+    sweep.add_argument(
+        "--mechanisms",
+        default=",".join(MECHANISM_NAMES),
+        help="comma-separated mechanism names",
+    )
+    sweep.add_argument("--alphas", default="0.05,0.1,0.2")
+    sweep.add_argument("--epsilons", default="0.5,1,2,4")
+    sweep.add_argument("--delta", type=float, default=0.05)
+    sweep.add_argument(
+        "--tag",
+        default="sweep",
+        help="names the output files and seeds the per-point streams",
+    )
+    _add_session_arguments(sweep, jobs_default=20_000, trials_default=5)
+    _add_engine_arguments(sweep)
 
     release = subparsers.add_parser(
         "release",
@@ -183,17 +285,36 @@ def _session_from_args(args, trials_batch: int | None = None) -> ReleaseSession:
     return ReleaseSession(config)
 
 
+def _engine_from_args(args):
+    """Resolve the (executor, store) pair shared by figures/tables/sweep."""
+    executor = resolve_executor(args.executor, args.workers)
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    return executor, store
+
+
+def _print_cache_summary(store: ResultStore | None) -> None:
+    if store is not None:
+        print(
+            f"cache {store.root}: {store.hits} point(s) replayed, "
+            f"{store.writes} computed and stored"
+        )
+
+
 def run_figures(args, session: ReleaseSession | None = None) -> list[Path]:
     if session is None:
         session = _session_from_args(args, trials_batch=args.trials_batch)
+    executor, store = _engine_from_args(args)
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
     for name, generator in _selected_figures(args.only).items():
-        series = generator(session)
+        series = generator(
+            session, executor=executor, store=store, resume=args.resume
+        )
         path = args.out / f"{name}.txt"
         path.write_text(render_figure(series) + "\n", encoding="utf-8")
         print(f"wrote {path}")
         written.append(path)
+    _print_cache_summary(store)
     return written
 
 
@@ -201,19 +322,91 @@ def run_tables(args, session: ReleaseSession | None = None) -> list[Path]:
     """Write Tables 1-3; the data-backed table shares one session snapshot."""
     if session is None:
         session = _session_from_args(args)
+    executor, store = _engine_from_args(args)
     args.out.mkdir(parents=True, exist_ok=True)
     written = []
     artifacts = (
         ("table-1", table1_text()),
         ("table-2", table2_text()),
-        ("table-3", table3_text(session, n_trials=args.trials)),
+        (
+            "table-3",
+            table3_text(
+                session,
+                n_trials=args.trials,
+                executor=executor,
+                store=store,
+                resume=args.resume,
+            ),
+        ),
     )
     for name, text in artifacts:
         path = args.out / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"wrote {path}")
         written.append(path)
+    _print_cache_summary(store)
     return written
+
+
+def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
+    """Run an ad-hoc grid through the sweep engine; write text + JSON."""
+    if session is None:
+        session = _session_from_args(args)
+    executor, store = _engine_from_args(args)
+    plan = grid_plan(
+        args.workload,
+        args.metric,
+        _parse_values(args.mechanisms, str),
+        _parse_values(args.alphas, float),
+        _parse_values(args.epsilons, float),
+        fingerprint=session.snapshot_fingerprint,
+        delta=args.delta,
+        n_trials=args.trials,
+        seed=args.seed,
+        tag=args.tag,
+    )
+    outcome = run_plan(
+        plan,
+        session,
+        executor=executor,
+        store=store,
+        resume=args.resume,
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    text_path = args.out / f"sweep-{args.tag}.txt"
+    text_path.write_text(
+        render_figure(outcome.series) + "\n", encoding="utf-8"
+    )
+    json_path = args.out / f"sweep-{args.tag}.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "plan": {
+                    "name": plan.name,
+                    "workload": args.workload,
+                    "metric": plan.metric,
+                    "fingerprint": plan.fingerprint,
+                    "n_points": len(plan),
+                },
+                "computed": outcome.computed,
+                "cache_hits": outcome.cache_hits,
+                "points": [encode_point(point) for point in outcome.points],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    for path in (text_path, json_path):
+        print(f"wrote {path}")
+    print(
+        f"swept {len(plan)} point(s): {outcome.computed} computed, "
+        f"{outcome.cache_hits} replayed from cache"
+    )
+    _print_cache_summary(store)
+    print(session.ledger.summary().splitlines()[0])
+    return [text_path, json_path]
 
 
 def run_release(args, session: ReleaseSession | None = None) -> int:
@@ -294,6 +487,8 @@ def main(argv=None) -> int:
         run_figures(args)
     elif args.command == "tables":
         run_tables(args)
+    elif args.command == "sweep":
+        run_sweep(args)
     elif args.command == "release":
         run_release(args)
     elif args.command == "generate":

@@ -1,0 +1,220 @@
+"""Pluggable sweep executors: serial, thread pool, and process pool.
+
+An executor maps a *task function* over a list of items and returns the
+results **in item order**, whatever order the work actually ran in.
+Task functions are module-level callables of ``(session, item)`` — they
+must be picklable by reference so the process executor can ship them to
+workers.  Three implementations share the protocol:
+
+- :class:`SerialExecutor` — the reference implementation: a plain loop
+  over the parent session.  Every other executor must be bit-identical
+  to it (each item's randomness is self-seeded, so execution order and
+  placement cannot change results).
+- :class:`ThreadExecutor` — a thread pool sharing the parent session.
+  The session's statistic caches are lock-guarded and the NumPy kernels
+  release the GIL for large draws, so threads help on wide grids with
+  zero per-worker setup cost.
+- :class:`ProcessExecutor` — true parallelism: items are sharded
+  round-robin across worker processes, each of which rebuilds the
+  session from its config **once** (generation and the SDL fit are
+  fully seeded, so the rebuilt snapshot is bit-identical), streams its
+  shard through the task function, and ships the results back.  Ledger
+  debits never happen in workers — task functions return spend records
+  and the parent merges them, so privacy accounting stays exact under
+  parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_NAMES",
+    "resolve_executor",
+    "default_workers",
+]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The executor protocol: ordered map of a task over items."""
+
+    name: str
+    workers: int
+
+    def map(self, fn: Callable, session, items: Sequence) -> list:
+        """Apply ``fn(session, item)`` to every item; results in order."""
+        ...
+
+
+class SerialExecutor:
+    """Run every item in the calling thread against the parent session."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable, session, items: Sequence) -> list:
+        return [fn(session, item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ThreadExecutor:
+    """A thread pool over the parent session (shared caches, no pickling)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable, session, items: Sequence) -> list:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(session, item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(partial(fn, session), items))
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(workers={self.workers})"
+
+
+def _shard_session(config, worker_attrs):
+    """Build (or reuse) this worker process's session for ``config``.
+
+    One session per (config, worker_attrs) per process: a worker that
+    receives several shards of the same sweep regenerates nothing.  The
+    rebuilt session is bit-identical to the parent's (same derived
+    seeds), and its ledger stays untouched — spend records flow back to
+    the parent for merging.
+    """
+    global _WORKER_SESSION
+    key = (repr(config), tuple(worker_attrs))
+    cached = _WORKER_SESSION
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    from repro.api.session import ReleaseSession
+
+    session = ReleaseSession(config, worker_attrs=worker_attrs)
+    _WORKER_SESSION = (key, session)
+    return session
+
+
+_WORKER_SESSION: tuple | None = None
+
+
+def _run_shard(fn, config, worker_attrs, indexed_items):
+    """Worker entry point: evaluate one shard against a rebuilt session."""
+    session = _shard_session(config, worker_attrs)
+    return [(index, fn(session, item)) for index, item in indexed_items]
+
+
+class ProcessExecutor:
+    """A process pool; workers rebuild the session from its config once.
+
+    ``start_method`` picks the :mod:`multiprocessing` context (``None``
+    uses the platform default — ``fork`` on Linux, which inherits the
+    imported modules and makes worker start cheap).  Items are sharded
+    round-robin so every worker gets an even slice of the grid in one
+    submission, amortizing the snapshot rebuild across its whole shard.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, start_method: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method
+
+    def map(self, fn: Callable, session, items: Sequence) -> list:
+        if getattr(session, "dataset_provided", False):
+            raise ValueError(
+                "ProcessExecutor cannot run a session built over an "
+                "explicitly provided dataset: workers rebuild the "
+                "session from its config, which would regenerate a "
+                "different (synthetic) snapshot and silently change "
+                "results; use ThreadExecutor or SerialExecutor instead"
+            )
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return SerialExecutor().map(fn, session, items)
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.start_method)
+        n_workers = min(self.workers, len(items))
+        shards = [
+            list(enumerate(items))[offset::n_workers]
+            for offset in range(n_workers)
+        ]
+        results: list = [None] * len(items)
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard, fn, session.config, session.worker_attrs, shard
+                )
+                for shard in shards
+            ]
+            for future in futures:
+                for index, result in future.result():
+                    results[index] = result
+        return results
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+_POOL_FACTORIES = {
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (bounded for CI)."""
+    return max(2, min(4, (os.cpu_count() or 2)))
+
+
+def resolve_executor(executor=None, workers: int | None = None):
+    """Normalize (executor, workers) knobs into an executor — or None.
+
+    ``None`` means "no parallelism requested": callers with a historical
+    serial path (e.g. :meth:`~repro.api.ReleaseSession.run_grid`) keep
+    it, and the sweep engine substitutes :class:`SerialExecutor`.
+    Accepts an executor instance (returned as-is), one of
+    ``EXECUTOR_NAMES`` (a pool name without a worker count gets
+    :func:`default_workers`), or just a worker count (> 1 selects
+    processes — the only executor with true CPU parallelism).
+    """
+    if executor is None:
+        if workers is None or workers <= 1:
+            return None
+        return ProcessExecutor(workers=workers)
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialExecutor()
+        factory = _POOL_FACTORIES.get(executor)
+        if factory is None:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_NAMES}"
+            )
+        return factory(workers if workers and workers > 0 else default_workers())
+    if not hasattr(executor, "map"):
+        raise TypeError(
+            f"executor must be an Executor, name or None, got {executor!r}"
+        )
+    return executor

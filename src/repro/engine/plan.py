@@ -1,0 +1,367 @@
+"""Sweep planning: flatten figure/table/grid requests into point specs.
+
+A :class:`SweepPlan` is the declarative form of one Monte Carlo sweep —
+a list of :class:`PointSpec`\\ s, each naming one (workload, mechanism,
+α, ε[, θ], metric, trials) grid point plus the seed that drives its
+noise stream.  Two properties make plans the unit of parallel and
+resumable execution:
+
+- **Order independence** — every point carries its own seed, derived via
+  :func:`repro.util.derive_seed` from the base seed and the point's grid
+  coordinates (the exact convention the figure generators have always
+  used), so results are bit-identical no matter which executor runs the
+  points or in what order.
+- **Content addressing** — :meth:`PointSpec.key` hashes the snapshot
+  fingerprint together with everything that determines the point's
+  value, so a :class:`~repro.engine.store.ResultStore` can recognize an
+  already-computed point across processes and invocations.  Execution
+  knobs that cannot change the value (``batch_size``, worker count) are
+  deliberately excluded from the hash.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import asdict, dataclass
+
+from repro.core.release import DEFAULT_WORKER_ATTRS
+from repro.engine.store import content_key
+from repro.util import derive_seed
+
+TRUNCATED_LAPLACE = "truncated-laplace"
+
+METRICS = ("l1-ratio", "spearman")
+
+# One row per published figure: (workload name, metric, epsilon grid,
+# seed-derivation tag, title).  The tags and titles must stay identical
+# to the historical repro.experiments.figures values — the tag feeds the
+# per-point seed derivation, so changing it would silently change every
+# regenerated figure.
+FIGURE_DEFS: dict[str, tuple[str, str, str, str, str]] = {
+    "figure-1": (
+        "workload-1",
+        "l1-ratio",
+        "standard",
+        "fig1",
+        "L1 Error Ratio - Place x Industry x Ownership "
+        "(No Worker Attributes)",
+    ),
+    "figure-2": (
+        "workload-1",
+        "spearman",
+        "standard",
+        "fig2",
+        "Ranking Correlation of Employment Counts - "
+        "Place x Industry x Ownership",
+    ),
+    "figure-3": (
+        "workload-2",
+        "l1-ratio",
+        "standard",
+        "fig3",
+        "L1 Error Ratio - Average L1 for a Single (Sex x Education) "
+        "Query on the Workplace Marginal",
+    ),
+    "figure-4": (
+        "workload-3",
+        "l1-ratio",
+        "extended",
+        "fig4",
+        "L1 Error Ratio - Average L1 for All (Sex x Education) "
+        "Queries on the Workplace Marginal",
+    ),
+    "figure-5": (
+        "females-college",
+        "spearman",
+        "standard",
+        "fig5",
+        "Ranking Correlation of Employment Counts - Females with "
+        "College Degrees",
+    ),
+}
+
+FINDING6_TITLE = "Truncated Laplace (node DP) on Workload 1, by theta"
+
+FIGURE_NAMES: tuple[str, ...] = tuple(FIGURE_DEFS) + ("finding-6",)
+
+
+def snapshot_fingerprint(
+    config,
+    worker_attrs: Sequence[str] = DEFAULT_WORKER_ATTRS,
+    *,
+    dataset_token: str | None = None,
+) -> str:
+    """A stable hex digest of everything that shapes the session snapshot.
+
+    Two sessions with equal fingerprints hold bit-identical datasets,
+    SDL baselines and workload statistics (generation and the SDL fit
+    are fully seeded), so their sweep results are interchangeable — this
+    is the cache-key prefix that scopes every stored point to its
+    snapshot.  ``config`` is an :class:`~repro.experiments.config.ExperimentConfig`
+    (duck-typed: only ``data``, ``sdl`` and ``seed`` are read).
+
+    Sessions wrapping an explicitly *provided* dataset (not generated
+    from ``config.data``) must pass a ``dataset_token`` content hash —
+    :attr:`repro.api.ReleaseSession.snapshot_fingerprint` does — so
+    their cached points never collide with config-generated ones.
+    """
+    payload = {
+        "data": asdict(config.data),
+        "sdl": asdict(config.sdl),
+        "seed": config.seed,
+        "worker_attrs": list(worker_attrs),
+    }
+    if dataset_token is not None:
+        payload["dataset_token"] = dataset_token
+    return content_key(payload, length=16)
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One grid point of a sweep, fully determined and content-hashable.
+
+    ``mechanism == "truncated-laplace"`` points carry ``theta`` and no
+    ``alpha`` (node DP has no α); calibrated points carry (α, ε, δ).
+    ``batch_size`` bounds the per-draw noise transient but cannot change
+    the point's value, so it is excluded from the content hash.
+    """
+
+    workload: str
+    mechanism: str
+    metric: str
+    epsilon: float
+    alpha: float | None = None
+    delta: float = 0.0
+    theta: int | None = None
+    n_trials: int = 1
+    seed: int | None = None
+    batch_size: int | None = None
+
+    def __post_init__(self):
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"metric must be one of {METRICS}, got {self.metric!r}"
+            )
+        if self.mechanism == TRUNCATED_LAPLACE:
+            if self.theta is None:
+                raise ValueError("truncated-laplace points need theta")
+        elif self.alpha is None:
+            raise ValueError(
+                f"calibrated point ({self.mechanism}) needs alpha"
+            )
+        if self.n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {self.n_trials}")
+
+    def content(self, fingerprint: str) -> dict:
+        """The canonical value-determining payload (feeds :meth:`key`)."""
+        return {
+            "fingerprint": fingerprint,
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "metric": self.metric,
+            "alpha": self.alpha,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "theta": self.theta,
+            "n_trials": self.n_trials,
+            "seed": self.seed,
+        }
+
+    def key(self, fingerprint: str) -> str:
+        """Content-address of this point under the given snapshot."""
+        return content_key(self.content(fingerprint))
+
+    @property
+    def label(self) -> str:
+        """A short human-readable coordinate string (logs and reports)."""
+        knob = (
+            f"theta={self.theta}"
+            if self.mechanism == TRUNCATED_LAPLACE
+            else f"alpha={self.alpha}"
+        )
+        return f"{self.workload}:{self.mechanism}:{knob}:eps={self.epsilon}"
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A named, fingerprinted list of point specs ready for execution."""
+
+    name: str
+    metric: str
+    fingerprint: str
+    points: tuple[PointSpec, ...]
+    title: str = ""
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[PointSpec]:
+        return iter(self.points)
+
+    def keys(self) -> list[str]:
+        """Content-addresses of all points, in plan order."""
+        return [spec.key(self.fingerprint) for spec in self.points]
+
+
+def grid_specs(
+    workload: str,
+    metric: str,
+    mechanisms: Sequence[str],
+    alphas: Sequence[float],
+    epsilons: Sequence[float],
+    *,
+    delta: float = 0.0,
+    n_trials: int = 1,
+    seed: int | None = None,
+    tag: str = "grid",
+    batch_size: int | None = None,
+) -> list[PointSpec]:
+    """Flatten a (mechanism × α × ε) product into point specs.
+
+    Per-point seeds follow the figure-generator convention
+    (``derive_seed(seed, f"{tag}:{mechanism}:{alpha}:{epsilon}")``), so a
+    grid plan over the same tag reproduces the historical figures
+    bit-for-bit.
+    """
+    specs = []
+    for mechanism in mechanisms:
+        for alpha in alphas:
+            for epsilon in epsilons:
+                point_seed = (
+                    None
+                    if seed is None
+                    else derive_seed(seed, f"{tag}:{mechanism}:{alpha}:{epsilon}")
+                )
+                specs.append(
+                    PointSpec(
+                        workload=workload,
+                        mechanism=mechanism,
+                        metric=metric,
+                        alpha=alpha,
+                        epsilon=epsilon,
+                        delta=delta,
+                        n_trials=n_trials,
+                        seed=point_seed,
+                        batch_size=batch_size,
+                    )
+                )
+    return specs
+
+
+def grid_plan(
+    workload: str,
+    metric: str,
+    mechanisms: Sequence[str],
+    alphas: Sequence[float],
+    epsilons: Sequence[float],
+    *,
+    fingerprint: str,
+    delta: float = 0.0,
+    n_trials: int = 1,
+    seed: int | None = None,
+    tag: str = "grid",
+    batch_size: int | None = None,
+    name: str | None = None,
+    title: str = "",
+) -> SweepPlan:
+    """A :class:`SweepPlan` for an ad-hoc (mechanism × α × ε) grid."""
+    specs = grid_specs(
+        workload,
+        metric,
+        mechanisms,
+        alphas,
+        epsilons,
+        delta=delta,
+        n_trials=n_trials,
+        seed=seed,
+        tag=tag,
+        batch_size=batch_size,
+    )
+    return SweepPlan(
+        name=name or tag,
+        metric=metric,
+        fingerprint=fingerprint,
+        points=tuple(specs),
+        title=title or f"Sweep {tag}: {workload} ({metric})",
+    )
+
+
+def figure_plan(
+    name: str,
+    config,
+    *,
+    fingerprint: str | None = None,
+    seed: int | None = None,
+    metric: str | None = None,
+) -> SweepPlan:
+    """The sweep plan behind one published figure (or Finding 6).
+
+    ``config`` supplies the grids and trial count (an
+    :class:`~repro.experiments.config.ExperimentConfig`); ``seed``
+    overrides the seed base (the figure generators pass the *session's*
+    seed, which can differ from a grid-override config); ``metric``
+    applies to ``finding-6`` only, which the paper reports under either
+    metric.
+    """
+    seed_base = config.seed if seed is None else seed
+    if fingerprint is None:
+        fingerprint = snapshot_fingerprint(config)
+
+    if name == "finding-6":
+        chosen = metric or "l1-ratio"
+        specs = [
+            PointSpec(
+                workload="workload-1",
+                mechanism=TRUNCATED_LAPLACE,
+                metric=chosen,
+                epsilon=epsilon,
+                theta=theta,
+                n_trials=config.n_trials,
+                seed=derive_seed(seed_base, f"finding6:{theta}:{epsilon}"),
+                batch_size=config.trials_batch,
+            )
+            for theta in config.thetas
+            for epsilon in config.epsilons_standard
+        ]
+        return SweepPlan(
+            name=name,
+            metric=chosen,
+            fingerprint=fingerprint,
+            points=tuple(specs),
+            title=FINDING6_TITLE,
+        )
+
+    try:
+        workload, fig_metric, eps_grid, tag, title = FIGURE_DEFS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {name!r}; choose from {sorted(FIGURE_NAMES)}"
+        ) from None
+    # Imported here, not at module scope: repro.experiments imports the
+    # session layer, which imports this engine package.
+    from repro.experiments.config import MECHANISM_NAMES
+
+    epsilons = (
+        config.epsilons_extended
+        if eps_grid == "extended"
+        else config.epsilons_standard
+    )
+    specs = grid_specs(
+        workload,
+        fig_metric,
+        MECHANISM_NAMES,
+        config.alphas,
+        epsilons,
+        delta=config.delta,
+        n_trials=config.n_trials,
+        seed=seed_base,
+        tag=tag,
+        batch_size=config.trials_batch,
+    )
+    return SweepPlan(
+        name=name,
+        metric=fig_metric,
+        fingerprint=fingerprint,
+        points=tuple(specs),
+        title=title,
+    )

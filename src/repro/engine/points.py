@@ -1,0 +1,114 @@
+"""Neutral point/result dataclasses shared across the layer boundaries.
+
+These types used to be split between :mod:`repro.api.session`
+(``WorkloadStatistics``) and :mod:`repro.experiments.runner`
+(``SeriesPoint``/``FigureSeries``), which forced the session to import
+the runner lazily inside :meth:`~repro.api.ReleaseSession.evaluate_point`
+— an import cycle in disguise.  They now live here, below both layers:
+the session, the evaluation kernels (:mod:`repro.engine.evaluate`), the
+sweep engine and the experiment harness all import *down* into this
+module and never at each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.metrics.strata import STRATUM_LABELS
+
+if TYPE_CHECKING:  # annotation-only: neither layer is imported at runtime
+    from repro.db.query import Marginal
+    from repro.experiments.workloads import Workload
+
+N_STRATA = len(STRATUM_LABELS)
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Trial-invariant statistics of one workload on one snapshot.
+
+    Arrays are over the marginal's cells.  ``mask`` selects the cells
+    used for evaluation (positive true count, hence published by both
+    systems); ``xv`` is the smooth-sensitivity statistic; ``strata`` the
+    place-population stratum per cell.
+    """
+
+    workload: "Workload"
+    marginal: "Marginal"
+    true: np.ndarray
+    released: np.ndarray
+    xv: np.ndarray
+    strata: np.ndarray
+    sdl_noisy: np.ndarray
+    mode: str
+    per_cell_params_of: object  # Callable[[EREEParams], EREEParams]
+    budget_of: object = None  # Callable[[EREEParams], MarginalBudget]
+
+    @property
+    def mask(self) -> np.ndarray:
+        return (self.true > 0) & self.released
+
+    def masked(self, values: np.ndarray) -> np.ndarray:
+        return values[self.mask]
+
+    def stratum_masks(self) -> list[np.ndarray]:
+        """Evaluation mask restricted to each place-population stratum."""
+        return [
+            self.mask & (self.strata == stratum) for stratum in range(N_STRATA)
+        ]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One plotted point: a (mechanism, α, ε) cell of a figure."""
+
+    mechanism: str
+    alpha: float | None
+    epsilon: float
+    overall: float
+    by_stratum: tuple[float, ...]
+    feasible: bool = True
+    theta: int | None = None
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """All points of one figure, plus labeling metadata."""
+
+    name: str
+    title: str
+    metric: str  # "l1-ratio" or "spearman"
+    points: tuple[SeriesPoint, ...]
+
+    def grid(self, mechanism: str, alpha: float | None = None) -> list[SeriesPoint]:
+        return [
+            p
+            for p in self.points
+            if p.mechanism == mechanism
+            and (alpha is None or p.alpha == alpha)
+        ]
+
+
+def points_identical(a: SeriesPoint, b: SeriesPoint) -> bool:
+    """Bit-level equality of two points, treating NaN as equal to NaN.
+
+    Dataclass ``==`` fails on infeasible points (their values are NaN and
+    ``nan != nan``); the executor-equivalence tests and the result store
+    use this instead.
+    """
+    if (a.mechanism, a.theta, a.feasible) != (b.mechanism, b.theta, b.feasible):
+        return False
+    values_a = [a.alpha, a.epsilon, a.overall, *a.by_stratum]
+    values_b = [b.alpha, b.epsilon, b.overall, *b.by_stratum]
+    if len(values_a) != len(values_b):
+        return False
+    for x, y in zip(values_a, values_b):
+        if x is None or y is None:
+            if x is not y:
+                return False
+        elif not (x == y or (np.isnan(x) and np.isnan(y))):
+            return False
+    return True

@@ -1,0 +1,179 @@
+"""Content-addressed on-disk result store — sweeps become resumable.
+
+The store maps a content hash (from :meth:`repro.engine.plan.PointSpec.key`,
+which covers the snapshot fingerprint and every value-determining
+parameter) to a small JSON payload, with an optional ``.npz`` sidecar
+for array-valued results.  Because the key *is* the content, the store
+needs no invalidation logic: a changed seed, grid, trial count or
+snapshot config simply hashes to a different key, and a re-run of a
+figure recomputes only the points it has never seen.
+
+Layout (two-level fan-out keeps directories small)::
+
+    reports/cache/
+        ab/abc123....json        # point payload (JSON, NaN-tolerant)
+        ab/abc123....npz         # optional array sidecar
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+sweep never leaves a half-written payload that a resume would trust;
+unreadable or corrupt payloads are treated as misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_CACHE_DIR = Path("reports") / "cache"
+
+SCHEMA_VERSION = 1
+
+
+def content_key(payload: dict, length: int | None = None) -> str:
+    """The canonical content hash used for every store key.
+
+    One shared idiom — sorted-key JSON through SHA-256 — so point specs
+    (:meth:`repro.engine.plan.PointSpec.key`), snapshot fingerprints and
+    ad-hoc row caches (Table 3) cannot drift onto incompatible hashing
+    conventions.  ``length`` truncates the hex digest (fingerprints use
+    16 chars; full keys use all 64).
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return digest if length is None else digest[:length]
+
+
+class ResultStore:
+    """A content-addressed JSON/NPZ store under one root directory.
+
+    ``hits``/``misses``/``writes`` count this instance's traffic — the
+    resume tests (and the CLI's cache summary) read them to prove that a
+    second run recomputed nothing.
+    """
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def path_for(self, key: str, suffix: str = ".json") -> Path:
+        """Where a key's payload lives (two-level hex fan-out)."""
+        if len(key) < 3:
+            raise ValueError(f"store keys must be content hashes, got {key!r}")
+        return self.root / key[:2] / f"{key}{suffix}"
+
+    def contains(self, key: str) -> bool:
+        """Whether a payload exists for ``key`` (does not touch counters)."""
+        return self.path_for(key).is_file()
+
+    # -- payloads -------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """Load the JSON payload for ``key``; ``None`` (a miss) otherwise.
+
+        A corrupt or unreadable payload counts as a miss: resumability
+        must never be worse than recomputing.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self,
+        key: str,
+        payload: dict,
+        arrays: dict[str, np.ndarray] | None = None,
+    ) -> Path:
+        """Atomically persist ``payload`` (and optional array sidecar)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(payload)
+        payload.setdefault("schema", SCHEMA_VERSION)
+        payload["key"] = key
+        if arrays is not None:
+            self._write_atomic(
+                self.path_for(key, ".npz"),
+                lambda handle: np.savez_compressed(handle, **arrays),
+                binary=True,
+            )
+            payload["arrays"] = sorted(arrays)
+        self._write_atomic(
+            path,
+            lambda handle: json.dump(payload, handle, sort_keys=True),
+        )
+        self.writes += 1
+        return path
+
+    def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load the ``.npz`` sidecar for ``key``, if present."""
+        path = self.path_for(key, ".npz")
+        try:
+            with np.load(path) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError):
+            return None
+
+    # -- maintenance ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of stored payloads (walks the tree; for tests/tools)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored payload and sidecar; returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*"):
+            if path.suffix in (".json", ".npz"):
+                path.unlink(missing_ok=True)
+                removed += path.suffix == ".json"
+        return removed
+
+    @staticmethod
+    def _write_atomic(path: Path, write, binary: bool = False) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            if binary:
+                handle = os.fdopen(descriptor, "wb")
+            else:
+                handle = os.fdopen(descriptor, "w", encoding="utf-8")
+            with handle:
+                write(handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

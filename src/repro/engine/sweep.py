@@ -1,0 +1,234 @@
+"""Sweep orchestration: plans in, points out — parallel and resumable.
+
+:func:`run_plan` is the engine's front door.  Given a
+:class:`~repro.engine.plan.SweepPlan` and a session it:
+
+1. consults the :class:`~repro.engine.store.ResultStore` (when resuming)
+   and keeps every already-computed point — a resumed figure recomputes
+   only what is missing;
+2. fans the missing points through an
+   :class:`~repro.engine.executors.Executor` (serial by default; thread
+   or process pools for parallel sweeps) via the non-debiting
+   :meth:`~repro.api.ReleaseSession.evaluate_point_outcome`, so workers
+   never touch a ledger;
+3. records each **computed** point's spend on the parent session's
+   ledger and then persists the point to the store, walking plan order
+   — accounting is exact and deterministic no matter which executor ran
+   the points, and a raise-mode overdraft aborts before the offending
+   point is ever cached.  Cache hits debit nothing: re-serving a stored
+   release consumes no new privacy budget (the noise was drawn, and
+   paid for, when the point was first computed and stored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.api.ledger import LedgerEntry
+from repro.core.params import EREEParams
+from repro.engine.executors import SerialExecutor, resolve_executor
+from repro.engine.plan import TRUNCATED_LAPLACE, PointSpec, SweepPlan
+from repro.engine.points import FigureSeries, SeriesPoint
+from repro.engine.store import ResultStore
+
+__all__ = [
+    "SweepOutcome",
+    "run_plan",
+    "evaluate_point_spec",
+    "resolve_workload",
+    "figure_series",
+]
+
+
+def resolve_workload(name: str):
+    """Look a workload up by registry name (see ``WORKLOADS``)."""
+    # Imported lazily: repro.experiments sits above the engine (its
+    # package __init__ pulls in the session layer, which imports us).
+    from repro.experiments.workloads import WORKLOADS
+
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def evaluate_point_spec(session, spec: PointSpec):
+    """Task function: one spec → ``(SeriesPoint, LedgerEntry | None)``.
+
+    Module-level (hence picklable by reference) so every executor — in
+    particular process pools — can run it.  The spend record is built
+    but **not** debited; the parent merges it.
+    """
+    workload = resolve_workload(spec.workload)
+    if spec.mechanism == TRUNCATED_LAPLACE:
+        return session.evaluate_point_outcome(
+            workload,
+            spec.mechanism,
+            metric=spec.metric,
+            n_trials=spec.n_trials,
+            seed=spec.seed,
+            batch_size=spec.batch_size,
+            theta=spec.theta,
+            epsilon=spec.epsilon,
+        )
+    params = EREEParams(spec.alpha, spec.epsilon, spec.delta)
+    return session.evaluate_point_outcome(
+        workload,
+        spec.mechanism,
+        params,
+        metric=spec.metric,
+        n_trials=spec.n_trials,
+        seed=spec.seed,
+        batch_size=spec.batch_size,
+    )
+
+
+# -- store (de)serialization ----------------------------------------------
+
+
+def encode_point(point: SeriesPoint) -> dict:
+    payload = asdict(point)
+    payload["by_stratum"] = list(point.by_stratum)
+    return payload
+
+
+def decode_point(payload: dict) -> SeriesPoint:
+    return SeriesPoint(
+        mechanism=payload["mechanism"],
+        alpha=payload["alpha"],
+        epsilon=payload["epsilon"],
+        overall=payload["overall"],
+        by_stratum=tuple(payload["by_stratum"]),
+        feasible=payload.get("feasible", True),
+        theta=payload.get("theta"),
+    )
+
+
+def encode_spend(spend: LedgerEntry | None) -> dict | None:
+    if spend is None:
+        return None
+    payload = asdict(spend)
+    payload["attrs"] = list(spend.attrs)
+    return payload
+
+
+def decode_spend(payload: dict | None) -> LedgerEntry | None:
+    if payload is None:
+        return None
+    return LedgerEntry(
+        label=payload["label"],
+        epsilon=payload["epsilon"],
+        delta=payload["delta"],
+        mechanism=payload.get("mechanism", ""),
+        attrs=tuple(payload.get("attrs", ())),
+        mode=payload.get("mode", ""),
+        worker_domain=payload.get("worker_domain", 1),
+    )
+
+
+# -- orchestration --------------------------------------------------------
+
+
+@dataclass
+class SweepOutcome:
+    """One executed (or resumed) sweep plan.
+
+    ``points`` is in plan order regardless of execution order or cache
+    mixture; ``spends`` holds the ledger entries of the points computed
+    *this run* (cache hits spend nothing), also in plan order.
+    """
+
+    plan: SweepPlan
+    points: list[SeriesPoint]
+    computed: int = 0
+    cache_hits: int = 0
+    spends: list[LedgerEntry] = field(default_factory=list)
+
+    @property
+    def series(self) -> FigureSeries:
+        """The outcome as a renderable figure series."""
+        return figure_series(self.plan, self.points)
+
+
+def figure_series(plan: SweepPlan, points) -> FigureSeries:
+    return FigureSeries(
+        name=plan.name,
+        title=plan.title or plan.name,
+        metric=plan.metric,
+        points=tuple(points),
+    )
+
+
+def run_plan(
+    plan: SweepPlan,
+    session,
+    *,
+    executor=None,
+    workers: int | None = None,
+    store: ResultStore | None = None,
+    resume: bool = False,
+    merge_spend: bool = True,
+) -> SweepOutcome:
+    """Execute a sweep plan: resume from the store, fan out the rest.
+
+    ``executor``/``workers`` resolve through
+    :func:`~repro.engine.executors.resolve_executor` (serial when
+    neither is given).  With a ``store``, newly computed points are
+    always persisted; they are *read back* only when ``resume=True``, so
+    a default run stays a full recomputation while writing the cache a
+    later ``--resume`` run will hit.  ``merge_spend=False`` skips the
+    ledger merge for callers doing their own accounting.
+    """
+    executor = resolve_executor(executor, workers) or SerialExecutor()
+    n_points = len(plan.points)
+    points: list[SeriesPoint | None] = [None] * n_points
+    spends: dict[int, LedgerEntry] = {}
+    missing = list(range(n_points))
+
+    if store is not None and resume:
+        missing = []
+        for index, spec in enumerate(plan.points):
+            payload = store.get(spec.key(plan.fingerprint))
+            if payload is not None and "point" in payload:
+                points[index] = decode_point(payload["point"])
+            else:
+                missing.append(index)
+    cache_hits = n_points - len(missing)
+
+    if missing:
+        outcomes = executor.map(
+            evaluate_point_spec, session, [plan.points[i] for i in missing]
+        )
+        # `missing` ascends and executor results come back in item
+        # order, so this loop walks the plan order — each point's spend
+        # records on the ledger *before* the point persists to the
+        # store.  A raise-mode overdraft therefore aborts with every
+        # stored point paid for: nothing a later resume would replay
+        # free of charge was ever cached.
+        for index, (point, spend) in zip(missing, outcomes):
+            points[index] = point
+            if spend is not None:
+                spends[index] = spend
+                if merge_spend:
+                    session.ledger.record(spend)
+            if store is not None:
+                spec = plan.points[index]
+                store.put(
+                    spec.key(plan.fingerprint),
+                    {
+                        "spec": spec.content(plan.fingerprint),
+                        "point": encode_point(point),
+                        "spend": encode_spend(spend),
+                    },
+                )
+
+    ordered_spends = [spends[i] for i in sorted(spends)]
+    return SweepOutcome(
+        plan=plan,
+        points=list(points),
+        computed=len(missing),
+        cache_hits=cache_hits,
+        spends=ordered_spends,
+    )

@@ -1,206 +1,130 @@
 """One generator per published figure (the data series behind each plot).
 
-Each function sweeps the paper's (mechanism × α × ε) grid on the
-appropriate workload through :meth:`repro.api.ReleaseSession.evaluate_point`
-and returns a :class:`FigureSeries` whose points carry the overall value
-and the four place-population-stratum values — exactly the panels of the
-published figures.  Routing the grid through the session means every
-point reuses the cached trial-invariant statistics and every feasible
-point is debited on the session's privacy ledger (the figure's total
-draw-down equals the Sec-4 composition cost of its grid).
+Each function builds the paper's (mechanism × α × ε) grid as a
+:class:`~repro.engine.plan.SweepPlan` and submits it to the sweep engine
+(:func:`repro.engine.sweep.run_plan`), which evaluates the points
+through :meth:`repro.api.ReleaseSession.evaluate_point_outcome` over the
+session's cached trial-invariant statistics.  The engine adds three
+things the old per-point loop could not do:
+
+- **parallelism** — pass ``executor=``/``workers=`` to fan the grid over
+  a thread or process pool; every point carries its own derived seed, so
+  the series is bit-identical to the serial run;
+- **resumability** — pass ``store=`` (a
+  :class:`~repro.engine.store.ResultStore`) to persist each point under
+  its content hash; with ``resume=True`` a re-run recomputes only
+  missing points;
+- **exact accounting** — the spend records of all computed feasible
+  points merge into the session's privacy ledger in plan order (the
+  figure's total draw-down equals the Sec-4 composition cost of its
+  grid, as before); cached points debit nothing.
 """
 
 from __future__ import annotations
 
 from repro.api.session import ReleaseSession
-from repro.core.params import EREEParams
-from repro.experiments.config import MECHANISM_NAMES, ExperimentConfig
-from repro.experiments.runner import FigureSeries
-from repro.experiments.workloads import (
-    RANKING_1,
-    RANKING_2,
-    WORKLOAD_1,
-    WORKLOAD_2,
-    WORKLOAD_3,
-)
-from repro.util import derive_seed
+from repro.engine.plan import figure_plan
+from repro.engine.points import FigureSeries
+from repro.engine.sweep import run_plan
+from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "finding6",
+    "run_figure",
+]
 
 
-def _grid_points(
+def run_figure(
     session: ReleaseSession,
-    workload,
-    metric: str,
-    epsilons,
-    alphas,
-    delta: float,
-    n_trials: int,
-    tag: str,
-    trials_batch: int | None = None,
-):
-    points = []
-    for mechanism in MECHANISM_NAMES:
-        for alpha in alphas:
-            for epsilon in epsilons:
-                params = EREEParams(alpha=alpha, epsilon=epsilon, delta=delta)
-                seed = derive_seed(
-                    session.config.seed,
-                    f"{tag}:{mechanism}:{alpha}:{epsilon}",
-                )
-                points.append(
-                    session.evaluate_point(
-                        workload,
-                        mechanism,
-                        params,
-                        metric=metric,
-                        n_trials=n_trials,
-                        seed=seed,
-                        batch_size=trials_batch,
-                    )
-                )
-    return points
+    name: str,
+    config: ExperimentConfig | None = None,
+    *,
+    metric: str | None = None,
+    executor=None,
+    workers: int | None = None,
+    store=None,
+    resume: bool = False,
+) -> FigureSeries:
+    """Plan and execute one figure's sweep through the engine.
+
+    ``config`` overrides the grids/trial count (defaults to the
+    session's); the snapshot fingerprint and seed base always come from
+    the *session*, whose data the points are actually computed on.
+    """
+    config = config or session.config
+    plan = figure_plan(
+        name,
+        config,
+        fingerprint=session.snapshot_fingerprint,
+        seed=session.config.seed,
+        metric=metric,
+    )
+    outcome = run_plan(
+        plan,
+        session,
+        executor=executor,
+        workers=workers,
+        store=store,
+        resume=resume,
+    )
+    return outcome.series
 
 
-def figure1(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure1(
+    session: ReleaseSession,
+    config: ExperimentConfig | None = None,
+    **engine_options,
+) -> FigureSeries:
     """Figure 1: L1 error ratio, Workload 1 (establishment attrs only)."""
-    config = config or session.config
-    points = _grid_points(
-        session,
-        WORKLOAD_1,
-        "l1-ratio",
-        config.epsilons_standard,
-        config.alphas,
-        config.delta,
-        config.n_trials,
-        "fig1",
-        config.trials_batch,
-    )
-    return FigureSeries(
-        name="figure-1",
-        title="L1 Error Ratio - Place x Industry x Ownership "
-        "(No Worker Attributes)",
-        metric="l1-ratio",
-        points=tuple(points),
-    )
+    return run_figure(session, "figure-1", config, **engine_options)
 
 
-def figure2(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure2(
+    session: ReleaseSession,
+    config: ExperimentConfig | None = None,
+    **engine_options,
+) -> FigureSeries:
     """Figure 2: Spearman correlation, Ranking 1 (employment counts)."""
-    config = config or session.config
-    points = _grid_points(
-        session,
-        RANKING_1.workload,
-        "spearman",
-        config.epsilons_standard,
-        config.alphas,
-        config.delta,
-        config.n_trials,
-        "fig2",
-        config.trials_batch,
-    )
-    return FigureSeries(
-        name="figure-2",
-        title="Ranking Correlation of Employment Counts - "
-        "Place x Industry x Ownership",
-        metric="spearman",
-        points=tuple(points),
-    )
+    return run_figure(session, "figure-2", config, **engine_options)
 
 
-def figure3(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure3(
+    session: ReleaseSession,
+    config: ExperimentConfig | None = None,
+    **engine_options,
+) -> FigureSeries:
     """Figure 3: L1 ratio for single (sex x education) queries (Workload 2)."""
-    config = config or session.config
-    points = _grid_points(
-        session,
-        WORKLOAD_2,
-        "l1-ratio",
-        config.epsilons_standard,
-        config.alphas,
-        config.delta,
-        config.n_trials,
-        "fig3",
-        config.trials_batch,
-    )
-    return FigureSeries(
-        name="figure-3",
-        title="L1 Error Ratio - Average L1 for a Single (Sex x Education) "
-        "Query on the Workplace Marginal",
-        metric="l1-ratio",
-        points=tuple(points),
-    )
+    return run_figure(session, "figure-3", config, **engine_options)
 
 
-def figure4(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure4(
+    session: ReleaseSession,
+    config: ExperimentConfig | None = None,
+    **engine_options,
+) -> FigureSeries:
     """Figure 4: L1 ratio for the full worker-attribute marginal (Workload 3)."""
-    config = config or session.config
-    points = _grid_points(
-        session,
-        WORKLOAD_3,
-        "l1-ratio",
-        config.epsilons_extended,
-        config.alphas,
-        config.delta,
-        config.n_trials,
-        "fig4",
-        config.trials_batch,
-    )
-    return FigureSeries(
-        name="figure-4",
-        title="L1 Error Ratio - Average L1 for All (Sex x Education) "
-        "Queries on the Workplace Marginal",
-        metric="l1-ratio",
-        points=tuple(points),
-    )
+    return run_figure(session, "figure-4", config, **engine_options)
 
 
-def figure5(session: ReleaseSession, config: ExperimentConfig | None = None) -> FigureSeries:
+def figure5(
+    session: ReleaseSession,
+    config: ExperimentConfig | None = None,
+    **engine_options,
+) -> FigureSeries:
     """Figure 5: Spearman correlation, Ranking 2 (females with college)."""
-    config = config or session.config
-    points = _grid_points(
-        session,
-        RANKING_2.workload,
-        "spearman",
-        config.epsilons_standard,
-        config.alphas,
-        config.delta,
-        config.n_trials,
-        "fig5",
-        config.trials_batch,
-    )
-    return FigureSeries(
-        name="figure-5",
-        title="Ranking Correlation of Employment Counts - Females with "
-        "College Degrees",
-        metric="spearman",
-        points=tuple(points),
-    )
+    return run_figure(session, "figure-5", config, **engine_options)
 
 
 def finding6(
     session: ReleaseSession,
     config: ExperimentConfig | None = None,
     metric: str = "l1-ratio",
+    **engine_options,
 ) -> FigureSeries:
     """Finding 6: node-DP Truncated Laplace across θ and ε on Workload 1."""
-    config = config or session.config
-    points = []
-    for theta in config.thetas:
-        for epsilon in config.epsilons_standard:
-            seed = derive_seed(session.config.seed, f"finding6:{theta}:{epsilon}")
-            points.append(
-                session.evaluate_point(
-                    WORKLOAD_1,
-                    "truncated-laplace",
-                    metric=metric,
-                    n_trials=config.n_trials,
-                    seed=seed,
-                    batch_size=config.trials_batch,
-                    theta=theta,
-                    epsilon=epsilon,
-                )
-            )
-    return FigureSeries(
-        name="finding-6",
-        title="Truncated Laplace (node DP) on Workload 1, by theta",
-        metric=metric,
-        points=tuple(points),
-    )
+    return run_figure(session, "finding-6", config, metric=metric, **engine_options)

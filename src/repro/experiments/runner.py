@@ -1,35 +1,45 @@
-"""Experiment execution: figure points over cached workload statistics.
+"""Experiment execution shim over the sweep engine's kernels.
 
-The snapshot/caching machinery lives in :class:`repro.api.ReleaseSession`
-(:class:`~repro.api.session.WorkloadStatistics` caches everything that
-does not change across noise trials — true counts, release mask, the
-per-cell xv statistic, place strata, and the SDL answer), so a figure's
-grid of (mechanism × α × ε × trials) only redraws noise — and that noise
-is one vectorized ``(n_trials, n_cells)`` draw per grid point via the
-batched mechanism engine, not a per-trial Python loop.
-:class:`ExperimentContext` remains as a deprecated alias of the session.
+The machinery that used to live here moved down into the engine layer:
 
-Error ratios and Spearman correlations follow Sec 10's definitions: the
-ratio is mean private L1 over trials divided by SDL L1; Spearman compares
-the private ordering to the SDL ordering; both are reported overall and
-per place-population stratum, over the cells with positive true count.
+- the point/result dataclasses (:class:`SeriesPoint`,
+  :class:`FigureSeries`, :class:`WorkloadStatistics`) are in
+  :mod:`repro.engine.points`;
+- the evaluation kernels (:func:`release_trials`,
+  :func:`error_ratio_point`, :func:`spearman_point`,
+  :func:`truncated_laplace_point`, feasibility) are in
+  :mod:`repro.engine.evaluate`.
+
+That move broke the historical ``experiments.runner ↔ api.session``
+import cycle: the session now imports the engine at module level
+instead of importing this module lazily from inside
+``evaluate_point``.  Everything is re-exported here unchanged, so
+existing imports (tests, benchmarks, downstream code) keep working;
+:class:`ExperimentContext` remains as the deprecated alias of the
+session.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.api.registry import create_mechanism, mechanism_spec
-from repro.api.session import N_STRATA, ReleaseSession, WorkloadStatistics
-from repro.core.params import EREEParams
-from repro.core.release import _trial_chunks
-from repro.dp.truncation import TruncatedLaplace
-from repro.metrics.error import l1_error, l1_error_batch
-from repro.metrics.ranking import spearman_correlation_batch
-from repro.util import as_generator
+from repro.api.session import ReleaseSession
+from repro.engine.evaluate import (
+    _mean_spearman,
+    _ratio,
+    _release_chunks,
+    _streamed_point_values,
+    error_ratio_point,
+    mechanism_is_feasible,
+    release_trials,
+    release_trials_looped,
+    spearman_point,
+    truncated_laplace_point,
+)
+from repro.engine.points import (
+    N_STRATA,
+    FigureSeries,
+    SeriesPoint,
+    WorkloadStatistics,
+)
 
 __all__ = [
     "N_STRATA",
@@ -46,37 +56,6 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SeriesPoint:
-    """One plotted point: a (mechanism, α, ε) cell of a figure."""
-
-    mechanism: str
-    alpha: float | None
-    epsilon: float
-    overall: float
-    by_stratum: tuple[float, ...]
-    feasible: bool = True
-    theta: int | None = None
-
-
-@dataclass(frozen=True)
-class FigureSeries:
-    """All points of one figure, plus labeling metadata."""
-
-    name: str
-    title: str
-    metric: str  # "l1-ratio" or "spearman"
-    points: tuple[SeriesPoint, ...]
-
-    def grid(self, mechanism: str, alpha: float | None = None) -> list[SeriesPoint]:
-        return [
-            p
-            for p in self.points
-            if p.mechanism == mechanism
-            and (alpha is None or p.alpha == alpha)
-        ]
-
-
 class ExperimentContext(ReleaseSession):
     """One synthetic snapshot with a fitted SDL system and cached stats.
 
@@ -86,301 +65,3 @@ class ExperimentContext(ReleaseSession):
         execution and ledger accounting on top of the identical snapshot
         and statistics caches (same derived seeds, same arrays).
     """
-
-
-def mechanism_is_feasible(
-    name: str, params: EREEParams, require_bounded_mean: bool = True
-) -> bool:
-    """Whether the paper would plot this (mechanism, α, ε) combination.
-
-    Feasibility predicates live on the registry specs: Smooth Gamma and
-    Smooth Laplace have hard constraints; Log-Laplace is skipped where
-    its expectation is unbounded (the paper does not plot those points,
-    Lemma 8.2) unless ``require_bounded_mean=False``.
-    """
-    if name == "log-laplace" and not require_bounded_mean:
-        return True
-    return mechanism_spec(name).is_feasible(params)
-
-
-def _release_chunks(
-    stats: WorkloadStatistics,
-    mechanism_name: str,
-    per_cell: EREEParams,
-    n_trials: int,
-    seed,
-    batch_size: int | None,
-):
-    """Yield ``(chunk, n_cells)`` noise matrices from one shared stream.
-
-    The chunk boundaries do not change the stream for the Laplace-based
-    mechanisms (the matrix fills row-major from one generator), so any
-    ``batch_size`` reproduces the single-draw statistics bit-for-bit.
-    """
-    needs_xv = mechanism_spec(mechanism_name).needs_xv
-    mechanism = create_mechanism(mechanism_name, per_cell)
-    rng = as_generator(seed)
-    true = stats.masked(stats.true)
-    xv = stats.masked(stats.xv)
-    for chunk in _trial_chunks(n_trials, batch_size):
-        if needs_xv:
-            yield mechanism.release_counts_batch(true, xv, chunk, rng)
-        else:
-            yield mechanism.release_counts_batch(true, chunk, rng)
-
-
-def release_trials(
-    stats: WorkloadStatistics,
-    mechanism_name: str,
-    params: EREEParams,
-    n_trials: int,
-    seed,
-    batch_size: int | None = None,
-) -> np.ndarray | None:
-    """``(n_trials, n_cells)`` noisy matrix over the evaluation cells.
-
-    All trials come from a single vectorized RNG draw (the batched
-    mechanism path).  ``batch_size`` caps how many trials share one draw
-    — it bounds the per-draw transients (and lets the figure points
-    stream-reduce chunk by chunk without materializing the matrix), but
-    this function's *result* is always the full matrix.  Returns None
-    when the per-cell parameters are infeasible for the mechanism (the
-    figure shows a gap there, as in the paper).  Iterating the result
-    yields one noisy vector per trial, like the historical list.
-    """
-    per_cell = stats.per_cell_params_of(params)
-    if not mechanism_is_feasible(mechanism_name, per_cell):
-        return None
-    chunks = list(
-        _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size)
-    )
-    return chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
-
-
-def release_trials_looped(
-    stats: WorkloadStatistics,
-    mechanism_name: str,
-    params: EREEParams,
-    n_trials: int,
-    seed,
-) -> list[np.ndarray] | None:
-    """The historical per-trial Python loop (one RNG draw per trial).
-
-    Kept as the reference implementation for the batched-engine
-    equivalence tests and throughput benchmarks; production paths use
-    :func:`release_trials`.
-    """
-    per_cell = stats.per_cell_params_of(params)
-    if not mechanism_is_feasible(mechanism_name, per_cell):
-        return None
-    needs_xv = mechanism_spec(mechanism_name).needs_xv
-    mechanism = create_mechanism(mechanism_name, per_cell)
-    rng = as_generator(seed)
-    true = stats.masked(stats.true)
-    xv = stats.masked(stats.xv)
-    trials = []
-    for _ in range(n_trials):
-        if needs_xv:
-            trials.append(mechanism.release_counts(true, xv, rng))
-        else:
-            trials.append(mechanism.release_counts(true, rng))
-    return trials
-
-
-def _ratio(true, private_trials, sdl, cells) -> float:
-    """Mean private L1 over trials / SDL L1, over the given cells.
-
-    ``private_trials`` is a ``(n_trials, n_cells)`` matrix (or anything
-    array-like with that shape); the trial axis reduces vectorized.
-    """
-    if not cells.any():
-        return float("nan")
-    trials = np.asarray(private_trials, dtype=np.float64)
-    sdl_l1 = l1_error(true[cells], sdl[cells])
-    private_l1 = float(l1_error_batch(true[cells], trials[:, cells]).mean())
-    if sdl_l1 == 0.0:
-        return math.inf if private_l1 > 0 else float("nan")
-    return private_l1 / sdl_l1
-
-
-def _streamed_point_values(
-    chunk_iter, true, sdl, strata, metric: str, n_trials: int
-) -> tuple[float, tuple[float, ...]]:
-    """Reduce trial-chunk matrices to (overall, by-stratum) point values.
-
-    Both metrics are means over trials, so each chunk folds into running
-    sums and is discarded — the full ``(n_trials, n_cells)`` matrix never
-    exists when the chunks are small.  The chunk rows arrive in trial
-    order, so the statistics match the whole-matrix reduction exactly up
-    to floating-point summation order (last-ULP reassociation).
-    """
-    cell_sets = [np.ones(len(sdl), dtype=bool)] + [
-        strata == stratum for stratum in range(N_STRATA)
-    ]
-    sums = np.zeros(len(cell_sets))
-    counts = np.zeros(len(cell_sets))
-    for chunk in chunk_iter:
-        for j, cells in enumerate(cell_sets):
-            if metric == "l1-ratio":
-                if cells.any():
-                    sums[j] += l1_error_batch(true[cells], chunk[:, cells]).sum()
-            else:
-                if int(cells.sum()) >= 2:
-                    values = spearman_correlation_batch(
-                        chunk[:, cells], sdl[cells]
-                    )
-                    sums[j] += np.nansum(values)
-                    counts[j] += np.count_nonzero(~np.isnan(values))
-    results = []
-    for j, cells in enumerate(cell_sets):
-        if metric == "l1-ratio":
-            if not cells.any():
-                results.append(float("nan"))
-                continue
-            sdl_l1 = l1_error(true[cells], sdl[cells])
-            private_l1 = float(sums[j]) / n_trials
-            if sdl_l1 == 0.0:
-                results.append(math.inf if private_l1 > 0 else float("nan"))
-            else:
-                results.append(private_l1 / sdl_l1)
-        else:
-            results.append(
-                float(sums[j] / counts[j]) if counts[j] else float("nan")
-            )
-    return results[0], tuple(results[1:])
-
-
-def _infeasible_point(mechanism_name: str, params: EREEParams) -> SeriesPoint:
-    nan = float("nan")
-    return SeriesPoint(
-        mechanism=mechanism_name,
-        alpha=params.alpha,
-        epsilon=params.epsilon,
-        overall=nan,
-        by_stratum=(nan,) * N_STRATA,
-        feasible=False,
-    )
-
-
-def error_ratio_point(
-    stats: WorkloadStatistics,
-    mechanism_name: str,
-    params: EREEParams,
-    n_trials: int,
-    seed,
-    batch_size: int | None = None,
-) -> SeriesPoint:
-    """One L1-error-ratio point (overall + per-stratum)."""
-    per_cell = stats.per_cell_params_of(params)
-    if not mechanism_is_feasible(mechanism_name, per_cell):
-        return _infeasible_point(mechanism_name, params)
-    mask = stats.mask
-    true = stats.masked(stats.true)
-    sdl = stats.masked(stats.sdl_noisy)
-    strata = stats.strata[mask]
-    overall, by_stratum = _streamed_point_values(
-        _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size),
-        true,
-        sdl,
-        strata,
-        "l1-ratio",
-        n_trials,
-    )
-    return SeriesPoint(
-        mechanism=mechanism_name,
-        alpha=params.alpha,
-        epsilon=params.epsilon,
-        overall=overall,
-        by_stratum=by_stratum,
-    )
-
-
-def _mean_spearman(private_trials, sdl, cells) -> float:
-    """Mean over trials of row-wise Spearman ρ against the SDL ordering."""
-    if not cells.any() or int(cells.sum()) < 2:
-        return float("nan")
-    trials = np.asarray(private_trials, dtype=np.float64)
-    values = spearman_correlation_batch(trials[:, cells], sdl[cells])
-    if np.all(np.isnan(values)):
-        return float("nan")
-    return float(np.nanmean(values))
-
-
-def spearman_point(
-    stats: WorkloadStatistics,
-    mechanism_name: str,
-    params: EREEParams,
-    n_trials: int,
-    seed,
-    batch_size: int | None = None,
-) -> SeriesPoint:
-    """One Spearman-correlation point (overall + per-stratum)."""
-    per_cell = stats.per_cell_params_of(params)
-    if not mechanism_is_feasible(mechanism_name, per_cell):
-        return _infeasible_point(mechanism_name, params)
-    mask = stats.mask
-    true = stats.masked(stats.true)
-    sdl = stats.masked(stats.sdl_noisy)
-    strata = stats.strata[mask]
-    overall, by_stratum = _streamed_point_values(
-        _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size),
-        true,
-        sdl,
-        strata,
-        "spearman",
-        n_trials,
-    )
-    return SeriesPoint(
-        mechanism=mechanism_name,
-        alpha=params.alpha,
-        epsilon=params.epsilon,
-        overall=overall,
-        by_stratum=by_stratum,
-    )
-
-
-def truncated_laplace_point(
-    context: ReleaseSession,
-    stats: WorkloadStatistics,
-    theta: int,
-    epsilon: float,
-    n_trials: int,
-    seed,
-    metric: str = "l1-ratio",
-    batch_size: int | None = None,
-) -> SeriesPoint:
-    """One node-DP Truncated-Laplace point on a workload (Finding 6).
-
-    The truncation projection is trial-invariant, so it runs exactly
-    once; the whole ``(n_trials, n_cells)`` noise matrix is a single
-    vectorized draw, or — when ``batch_size`` caps memory — a few chunked
-    draws from the same stream, each masked and folded into the running
-    statistics before the next chunk exists.
-    """
-    rng = as_generator(seed)
-    mechanism = TruncatedLaplace(theta=theta, epsilon=epsilon)
-    mask = stats.mask
-    projection = mechanism.project(context.worker_full, stats.marginal)
-
-    def chunk_iter():
-        for chunk in _trial_chunks(n_trials, batch_size):
-            result = mechanism.release_batch(
-                context.worker_full, stats.marginal, chunk, rng,
-                projection=projection,
-            )
-            yield result.noisy[:, mask]
-
-    true = stats.masked(stats.true)
-    sdl = stats.masked(stats.sdl_noisy)
-    strata = stats.strata[mask]
-    overall, by_stratum = _streamed_point_values(
-        chunk_iter(), true, sdl, strata, metric, n_trials
-    )
-    return SeriesPoint(
-        mechanism="truncated-laplace",
-        alpha=None,
-        epsilon=epsilon,
-        overall=overall,
-        by_stratum=by_stratum,
-        theta=theta,
-    )

@@ -89,12 +89,37 @@ TABLE3_EPSILONS: tuple[float, ...] = (1.0, 2.0, 4.0)
 TABLE3_DELTA: float = 0.05
 
 
+def _table3_row_key(fingerprint: str, request: ReleaseRequest) -> str:
+    """Content-address of one Table-3 row for the result store."""
+    from repro.engine.store import content_key
+
+    return content_key(
+        {
+            "kind": "table3-row",
+            "fingerprint": fingerprint,
+            "attrs": list(request.attrs),
+            "mechanism": request.mechanism,
+            "alpha": request.alpha,
+            "epsilon": request.epsilon,
+            "delta": request.delta,
+            "budget_style": request.budget_style,
+            "n_trials": request.n_trials,
+            "seed": request.seed,
+        }
+    )
+
+
 def table3_rows(
     session: ReleaseSession,
     alphas=(TABLE3_ALPHA,),
     epsilons=TABLE3_EPSILONS,
     delta: float = TABLE3_DELTA,
     n_trials: int | None = None,
+    *,
+    executor=None,
+    workers: int | None = None,
+    store=None,
+    resume: bool = False,
 ) -> list[dict]:
     """Empirical accuracy rows from one shared release session.
 
@@ -102,14 +127,19 @@ def table3_rows(
     :class:`~repro.api.request.ReleaseRequest` against the *same* cached
     snapshot (the marginal's true counts, mask and xv are computed once
     for the whole table); infeasible points are reported, not skipped.
+
+    The feasible requests submit to :meth:`ReleaseSession.run_grid`, so
+    ``executor``/``workers`` parallelize the grid with exact ledger
+    accounting; with a ``store`` each computed row is cached under a
+    content hash and ``resume=True`` replays completed rows without
+    touching the data (cache hits debit nothing).
     """
     if n_trials is None:
         n_trials = session.config.n_trials
+    from repro.engine.evaluate import mechanism_is_feasible
     from repro.experiments.config import MECHANISM_NAMES
-    from repro.experiments.runner import mechanism_is_feasible
 
-    rows = []
-    for request in ReleaseRequest.grid(
+    requests = ReleaseRequest.grid(
         WORKLOAD_1.attrs,
         MECHANISM_NAMES,
         alphas,
@@ -118,36 +148,60 @@ def table3_rows(
         n_trials=n_trials,
         seed=session.config.seed,
         tag="table3",
-    ):
-        stats = session.statistics(WORKLOAD_1)
+    )
+    fingerprint = session.snapshot_fingerprint
+    stats = session.statistics(WORKLOAD_1)
+    rows: list[dict | None] = [None] * len(requests)
+    pending: list[int] = []
+    for index, request in enumerate(requests):
         per_cell = stats.per_cell_params_of(request.params)
         if not mechanism_is_feasible(request.mechanism, per_cell):
-            rows.append(
-                {
-                    "mechanism": request.mechanism,
-                    "alpha": request.alpha,
-                    "epsilon": request.epsilon,
-                    "feasible": False,
-                    "l1_ratio": float("nan"),
-                    "spearman": float("nan"),
-                }
-            )
-            continue
-        result = session.run(request)
-        rows.append(
-            {
+            rows[index] = {
                 "mechanism": request.mechanism,
                 "alpha": request.alpha,
                 "epsilon": request.epsilon,
-                "feasible": True,
-                "l1_ratio": result.l1_ratio(),
-                "spearman": result.spearman(),
+                "feasible": False,
+                "l1_ratio": float("nan"),
+                "spearman": float("nan"),
             }
-        )
+            continue
+        if store is not None and resume:
+            payload = store.get(_table3_row_key(fingerprint, request))
+            if payload is not None and "row" in payload:
+                rows[index] = payload["row"]
+                continue
+        pending.append(index)
+
+    results = session.run_grid(
+        [requests[index] for index in pending],
+        executor=executor,
+        workers=workers,
+    )
+    for index, result in zip(pending, results):
+        request = requests[index]
+        row = {
+            "mechanism": request.mechanism,
+            "alpha": request.alpha,
+            "epsilon": request.epsilon,
+            "feasible": True,
+            "l1_ratio": result.l1_ratio(),
+            "spearman": result.spearman(),
+        }
+        rows[index] = row
+        if store is not None:
+            store.put(_table3_row_key(fingerprint, request), {"row": row})
     return rows
 
 
-def table3_text(session: ReleaseSession, n_trials: int | None = None) -> str:
+def table3_text(
+    session: ReleaseSession,
+    n_trials: int | None = None,
+    *,
+    executor=None,
+    workers: int | None = None,
+    store=None,
+    resume: bool = False,
+) -> str:
     """The session accuracy summary rendered as text."""
     rows = [
         [
@@ -158,7 +212,14 @@ def table3_text(session: ReleaseSession, n_trials: int | None = None) -> str:
             row["l1_ratio"],
             row["spearman"],
         ]
-        for row in table3_rows(session, n_trials=n_trials)
+        for row in table3_rows(
+            session,
+            n_trials=n_trials,
+            executor=executor,
+            workers=workers,
+            store=store,
+            resume=resume,
+        )
     ]
     summary = session.dataset.summary()
     return format_table(

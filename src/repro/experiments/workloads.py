@@ -103,3 +103,11 @@ RANKING_2 = Ranking(
     description="Rank place x industry x ownership cells by female "
     "college-degree employment; Figure 5.",
 )
+
+# Workload registry: the sweep engine's PointSpecs carry workloads by
+# name (names are hashable, picklable and content-addressable; the
+# dataclasses need not cross process boundaries).
+WORKLOADS: dict[str, Workload] = {
+    workload.name: workload
+    for workload in (WORKLOAD_1, WORKLOAD_2, WORKLOAD_3, _FEMALE_COLLEGE)
+}

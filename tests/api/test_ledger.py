@@ -132,3 +132,104 @@ class TestBudgets:
         text = ledger.summary()
         assert "figure-1-point" in text
         assert "utilization" in text
+
+
+class TestMerge:
+    """The spend-record merge API used by the parallel sweep executors."""
+
+    def test_merge_records_in_order(self):
+        ledger = PrivacyLedger()
+        records = [
+            LedgerEntry(label="a", epsilon=1.0, delta=0.0),
+            LedgerEntry(label="b", epsilon=0.5, delta=0.01),
+        ]
+        merged = ledger.merge(records)
+        assert merged == records
+        assert [entry.label for entry in ledger.entries] == ["a", "b"]
+        assert ledger.spent_epsilon == pytest.approx(1.5)
+        assert ledger.spent_delta == pytest.approx(0.01)
+
+    def test_merge_empty_is_noop(self):
+        ledger = PrivacyLedger()
+        assert ledger.merge([]) == []
+        assert ledger.entries == []
+
+    def test_merge_stops_at_first_overdraft(self):
+        ledger = PrivacyLedger(epsilon_budget=1.0)
+        records = [
+            LedgerEntry(label="fits", epsilon=0.75, delta=0.0),
+            LedgerEntry(label="overdraws", epsilon=0.5, delta=0.0),
+            LedgerEntry(label="never-reached", epsilon=0.1, delta=0.0),
+        ]
+        with pytest.raises(PrivacyBudgetExceeded):
+            ledger.merge(records)
+        assert [entry.label for entry in ledger.entries] == ["fits"]
+
+    def test_entry_from_budget_records_nothing(self, tiny_worker_full, params):
+        from repro.core import marginal_budget
+
+        schema = tiny_worker_full.table.schema
+        budget = marginal_budget(
+            params, schema, ("naics", "place"), ("sex", "education"), "strong"
+        )
+        entry = LedgerEntry.from_budget(
+            budget, label="detached", mechanism="smooth-laplace"
+        )
+        assert entry.epsilon == params.epsilon
+        assert entry.mode == budget.mode
+        ledger = PrivacyLedger()
+        assert ledger.entries == []
+        ledger.record(entry)
+        assert ledger.entries == [entry]
+
+
+class TestConcurrency:
+    """The ledger composes exactly under concurrent debits (threaded sweeps)."""
+
+    def test_concurrent_debits_lose_nothing(self):
+        import threading
+
+        ledger = PrivacyLedger()
+        n_threads, debits_each = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(worker):
+            barrier.wait()
+            for index in range(debits_each):
+                ledger.debit_amount(0.01, label=f"w{worker}:{index}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(ledger.entries) == n_threads * debits_each
+        assert ledger.spent_epsilon == pytest.approx(0.01 * n_threads * debits_each)
+
+    def test_concurrent_debits_never_exceed_a_raise_budget(self):
+        import threading
+
+        # 8 threads race 25 debits of 0.1 each (total 20) against a
+        # budget of 1.0: without the atomic check-and-append two debits
+        # could both see the last sliver of budget and overshoot.
+        ledger = PrivacyLedger(epsilon_budget=1.0)
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(25):
+                try:
+                    ledger.debit_amount(0.1, label="race")
+                except PrivacyBudgetExceeded:
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ledger.spent_epsilon <= 1.0 + 1e-9
+        assert len(ledger.entries) == 10

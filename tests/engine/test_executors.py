@@ -1,0 +1,225 @@
+"""Executor equivalence: serial, thread and process runs are bit-identical.
+
+The acceptance gate of the sweep engine: every executor must produce the
+same point values as :class:`SerialExecutor` on a Figure-1 grid (each
+point's noise stream is self-seeded, so scheduling cannot change it),
+and parallel ``run_grid`` releases must match the serial noisy matrices
+with identical ledger accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.request import ReleaseRequest
+from repro.api.session import ReleaseSession
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.engine.plan import figure_plan
+from repro.engine.points import points_identical
+from repro.engine.sweep import run_plan
+from repro.experiments.config import MECHANISM_NAMES
+from repro.experiments.workloads import WORKLOAD_1
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def assert_series_identical(xs, ys):
+    assert len(xs) == len(ys)
+    for a, b in zip(xs, ys):
+        assert points_identical(a, b), f"{a} != {b}"
+
+
+@pytest.fixture(scope="module")
+def figure1_plan(engine_config):
+    return figure_plan("figure-1", engine_config)
+
+
+@pytest.fixture(scope="module")
+def serial_outcome(figure1_plan, session):
+    return run_plan(
+        figure1_plan, session, executor=SerialExecutor(), merge_spend=False
+    )
+
+
+class TestFigureGridEquivalence:
+    def test_serial_covers_the_grid(self, serial_outcome, figure1_plan):
+        assert serial_outcome.computed == len(figure1_plan)
+        assert serial_outcome.cache_hits == 0
+        feasible = [p for p in serial_outcome.points if p.feasible]
+        assert feasible, "grid must contain feasible points"
+        assert len(serial_outcome.spends) == len(feasible)
+
+    def test_thread_workers2_bit_identical(
+        self, figure1_plan, session, serial_outcome
+    ):
+        outcome = run_plan(
+            figure1_plan,
+            session,
+            executor=ThreadExecutor(workers=2),
+            merge_spend=False,
+        )
+        assert_series_identical(serial_outcome.points, outcome.points)
+
+    def test_process_workers2_bit_identical(
+        self, figure1_plan, session, serial_outcome
+    ):
+        outcome = run_plan(
+            figure1_plan,
+            session,
+            executor=ProcessExecutor(workers=2),
+            merge_spend=False,
+        )
+        assert_series_identical(serial_outcome.points, outcome.points)
+
+    def test_spend_records_identical_across_executors(
+        self, figure1_plan, session, serial_outcome
+    ):
+        """Accounting is exact under parallelism: same records, same order."""
+        parallel = run_plan(
+            figure1_plan,
+            session,
+            executor=ProcessExecutor(workers=2),
+            merge_spend=False,
+        )
+        assert parallel.spends == serial_outcome.spends
+
+
+class TestRunGridEquivalence:
+    @pytest.fixture(scope="class")
+    def requests(self, engine_config):
+        return ReleaseRequest.grid(
+            WORKLOAD_1.attrs,
+            MECHANISM_NAMES,
+            alphas=(0.1,),
+            epsilons=(2.0, 4.0),
+            delta=0.05,
+            n_trials=2,
+            seed=engine_config.seed,
+            tag="grid-equiv",
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_results(self, session, requests):
+        return session.run_grid(requests)
+
+    @pytest.mark.parametrize("executor_kind", ["thread", "process"])
+    def test_parallel_matches_serial(
+        self, session, requests, serial_results, executor_kind
+    ):
+        executor = (
+            ThreadExecutor(workers=2)
+            if executor_kind == "thread"
+            else ProcessExecutor(workers=2)
+        )
+        before = len(session.ledger.entries)
+        results = session.run_grid(requests, executor=executor)
+        assert len(results) == len(serial_results)
+        for serial, parallel in zip(serial_results, results):
+            np.testing.assert_array_equal(serial.noisy, parallel.noisy)
+            assert serial.ledger_entry == parallel.ledger_entry
+        # The grid's spends merged onto the parent ledger, in order.
+        merged = session.ledger.entries[before:]
+        assert merged == [r.ledger_entry for r in results]
+
+    def test_workers_knob_selects_processes(self, session, requests):
+        results = session.run_grid(requests[:2], workers=2)
+        serial = session.run_grid(requests[:2])
+        for a, b in zip(results, serial):
+            np.testing.assert_array_equal(a.noisy, b.noisy)
+
+
+class TestProvidedDatasetGuard:
+    def test_process_executor_refuses_provided_dataset_sessions(
+        self, engine_config
+    ):
+        """Workers rebuild from config — a wrapped dataset can't ship."""
+        from repro.data.generator import generate
+
+        wrapped = ReleaseSession(
+            engine_config, dataset=generate(engine_config.data)
+        )
+        assert wrapped.dataset_provided
+        with pytest.raises(ValueError, match="provided dataset"):
+            ProcessExecutor(workers=2).map(
+                lambda session, item: item, wrapped, [1, 2]
+            )
+
+    def test_thread_executor_accepts_provided_dataset_sessions(
+        self, engine_config
+    ):
+        from repro.data.generator import generate
+        from repro.engine.plan import figure_plan
+        from repro.engine.sweep import run_plan
+
+        wrapped = ReleaseSession(
+            engine_config, dataset=generate(engine_config.data)
+        )
+        plan = figure_plan("finding-6", engine_config)
+        serial = run_plan(plan, wrapped, merge_spend=False)
+        threaded = run_plan(
+            plan, wrapped, executor=ThreadExecutor(workers=2), merge_spend=False
+        )
+        assert_series_identical(serial.points, threaded.points)
+
+    def test_provided_dataset_changes_the_fingerprint(self, engine_config):
+        """Same config, different data source → different cache scope."""
+        from repro.data.generator import generate
+
+        generated = ReleaseSession(engine_config)
+        wrapped = ReleaseSession(
+            engine_config, dataset=generate(engine_config.data)
+        )
+        assert not generated.dataset_provided
+        assert (
+            generated.snapshot_fingerprint != wrapped.snapshot_fingerprint
+        )
+        # The wrapped fingerprint is content-stable across sessions.
+        again = ReleaseSession(
+            engine_config, dataset=generate(engine_config.data)
+        )
+        assert wrapped.snapshot_fingerprint == again.snapshot_fingerprint
+
+
+class TestResolveExecutor:
+    def test_none_means_no_parallelism(self):
+        assert resolve_executor(None, None) is None
+        assert resolve_executor(None, 1) is None
+
+    def test_pool_name_without_workers_gets_a_default_pool(self):
+        """`--executor process` alone must not silently run serial."""
+        executor = resolve_executor("process", None)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.workers >= 2
+        assert resolve_executor("thread", None).workers >= 2
+
+    def test_worker_count_selects_processes(self):
+        executor = resolve_executor(None, 3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.workers == 3
+
+    def test_names(self):
+        assert isinstance(resolve_executor("serial", 4), SerialExecutor)
+        assert resolve_executor("thread", 4).workers == 4
+        assert resolve_executor("process", 2).workers == 2
+
+    def test_instances_pass_through(self):
+        executor = ThreadExecutor(workers=5)
+        assert resolve_executor(executor, 2) is executor
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_executor(42)
+
+    def test_worker_counts_validated(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(workers=0)

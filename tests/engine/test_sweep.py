@@ -1,0 +1,249 @@
+"""Tests for sweep orchestration: resume, accounting, legacy equivalence."""
+
+import pytest
+
+from repro.core.params import EREEParams
+from repro.engine.executors import ProcessExecutor, ThreadExecutor
+from repro.engine.plan import figure_plan
+from repro.engine.points import points_identical
+from repro.engine.store import ResultStore
+from repro.engine.sweep import evaluate_point_spec, resolve_workload, run_plan
+from repro.experiments.config import MECHANISM_NAMES
+from repro.experiments.figures import figure1, finding6
+from repro.experiments.tables import table3_rows
+from repro.experiments.workloads import WORKLOAD_1, WORKLOAD_3
+from repro.util import derive_seed
+
+
+def assert_series_identical(xs, ys):
+    assert len(xs) == len(ys)
+    for a, b in zip(xs, ys):
+        assert points_identical(a, b), f"{a} != {b}"
+
+
+class TestResolveWorkload:
+    def test_known_names(self):
+        assert resolve_workload("workload-1") is WORKLOAD_1
+        assert resolve_workload("workload-3") is WORKLOAD_3
+        assert resolve_workload("females-college").filters
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolve_workload("workload-9")
+
+
+class TestLegacyEquivalence:
+    """The engine reproduces the historical per-point loop bit-for-bit."""
+
+    def test_figure1_matches_direct_evaluate_point_loop(
+        self, session, engine_config
+    ):
+        series = figure1(session)
+        expected = []
+        for mechanism in MECHANISM_NAMES:
+            for alpha in engine_config.alphas:
+                for epsilon in engine_config.epsilons_standard:
+                    expected.append(
+                        session.evaluate_point(
+                            WORKLOAD_1,
+                            mechanism,
+                            EREEParams(alpha, epsilon, engine_config.delta),
+                            metric="l1-ratio",
+                            n_trials=engine_config.n_trials,
+                            seed=derive_seed(
+                                engine_config.seed,
+                                f"fig1:{mechanism}:{alpha}:{epsilon}",
+                            ),
+                        )
+                    )
+        assert_series_identical(expected, list(series.points))
+
+    def test_figure_ledger_labels_match_legacy_convention(self, session):
+        before = len(session.ledger.entries)
+        figure1(session)
+        labels = [e.label for e in session.ledger.entries[before:]]
+        assert labels
+        assert all(label.startswith("workload-1:") for label in labels)
+
+
+class TestResume:
+    def test_second_run_recomputes_zero_points(self, session, tmp_path):
+        plan = figure_plan("figure-1", session.config)
+        first = run_plan(
+            plan, session, store=ResultStore(tmp_path), resume=True
+        )
+        assert first.computed == len(plan)
+        assert first.cache_hits == 0
+
+        replay_store = ResultStore(tmp_path)
+        second = run_plan(plan, session, store=replay_store, resume=True)
+        assert second.computed == 0
+        assert second.cache_hits == len(plan)
+        assert replay_store.hits == len(plan)
+        assert replay_store.writes == 0
+        assert_series_identical(first.points, second.points)
+
+    def test_cache_hits_spend_nothing(self, session, tmp_path):
+        plan = figure_plan("finding-6", session.config)
+        before = len(session.ledger.entries)
+        first = run_plan(
+            plan, session, store=ResultStore(tmp_path), resume=True
+        )
+        assert len(session.ledger.entries) == before + len(first.spends)
+        second = run_plan(
+            plan, session, store=ResultStore(tmp_path), resume=True
+        )
+        assert second.spends == []
+        assert len(session.ledger.entries) == before + len(first.spends)
+
+    def test_without_resume_store_is_write_only(self, session, tmp_path):
+        plan = figure_plan("finding-6", session.config)
+        store = ResultStore(tmp_path)
+        run_plan(plan, session, store=store, resume=False)
+        assert store.hits == 0 and store.writes == len(plan)
+        # Still a full recomputation the second time — but the cache warms.
+        store2 = ResultStore(tmp_path)
+        outcome = run_plan(plan, session, store=store2, resume=False)
+        assert outcome.computed == len(plan)
+
+    def test_partial_resume_recomputes_only_missing(self, session, tmp_path):
+        plan = figure_plan("figure-1", session.config)
+        store = ResultStore(tmp_path)
+        run_plan(plan, session, store=store, resume=True)
+        # Drop two stored points; a resumed run recomputes exactly those.
+        dropped = plan.keys()[:2]
+        for key in dropped:
+            store.path_for(key).unlink()
+        outcome = run_plan(
+            plan, session, store=ResultStore(tmp_path), resume=True
+        )
+        assert outcome.computed == len(dropped)
+        assert outcome.cache_hits == len(plan) - len(dropped)
+
+    def test_overdraft_abort_never_caches_an_unpaid_point(
+        self, engine_config, tmp_path
+    ):
+        """Every stored point is on the ledger, even when a raise-mode
+        budget aborts the sweep mid-plan — a later resume must not
+        replay noise whose privacy cost was never recorded."""
+        from repro.api.session import ReleaseSession
+        from repro.dp.composition import PrivacyBudgetExceeded
+
+        plan = figure_plan("finding-6", engine_config)
+        full_spend = sum(spec.epsilon for spec in plan)
+        budgeted = ReleaseSession(
+            engine_config, budget=full_spend / 2, on_overdraft="raise"
+        )
+        store = ResultStore(tmp_path)
+        with pytest.raises(PrivacyBudgetExceeded):
+            run_plan(plan, budgeted, store=store, resume=True)
+        assert 0 < len(store) < len(plan)
+        assert len(store) == len(budgeted.ledger.entries)
+        # Resuming with the leftover budget finishes only what's unpaid.
+        with pytest.raises(PrivacyBudgetExceeded):
+            run_plan(
+                plan, budgeted, store=ResultStore(tmp_path), resume=True
+            )
+
+    def test_grid_change_invalidates_by_content(self, session, tmp_path):
+        """A different trial count hashes to different keys — no stale hits."""
+        import dataclasses
+
+        plan = figure_plan("finding-6", session.config)
+        run_plan(plan, session, store=ResultStore(tmp_path), resume=True)
+        changed = figure_plan(
+            "finding-6", dataclasses.replace(session.config, n_trials=3)
+        )
+        outcome = run_plan(
+            changed, session, store=ResultStore(tmp_path), resume=True
+        )
+        assert outcome.computed == len(changed)
+        assert outcome.cache_hits == 0
+
+
+class TestParallelFigures:
+    """The full figure path under workers=2, threads and processes."""
+
+    @pytest.mark.parametrize("executor_factory", [ThreadExecutor, ProcessExecutor])
+    def test_figure1_parallel_matches_serial(self, session, executor_factory):
+        serial = figure1(session)
+        parallel = figure1(session, executor=executor_factory(workers=2))
+        assert_series_identical(serial.points, parallel.points)
+
+    def test_finding6_parallel_matches_serial(self, session):
+        serial = finding6(session)
+        parallel = finding6(session, executor=ThreadExecutor(workers=2))
+        assert_series_identical(serial.points, parallel.points)
+
+
+class TestSpecEvaluation:
+    def test_spec_evaluation_equals_session_call(self, session):
+        plan = figure_plan("figure-1", session.config)
+        spec = next(s for s in plan if s.mechanism == "smooth-laplace")
+        point, spend = evaluate_point_spec(session, spec)
+        direct = session.evaluate_point(
+            WORKLOAD_1,
+            spec.mechanism,
+            EREEParams(spec.alpha, spec.epsilon, spec.delta),
+            metric=spec.metric,
+            n_trials=spec.n_trials,
+            seed=spec.seed,
+        )
+        assert points_identical(point, direct)
+        assert spend is not None
+        assert spend.epsilon > 0
+
+    def test_infeasible_spec_has_no_spend(self, session):
+        from repro.engine.plan import PointSpec
+
+        spec = PointSpec(
+            workload="workload-1",
+            mechanism="smooth-gamma",
+            metric="l1-ratio",
+            alpha=0.2,
+            epsilon=0.5,
+            delta=0.05,
+            n_trials=2,
+            seed=1,
+        )
+        point, spend = evaluate_point_spec(session, spec)
+        assert not point.feasible
+        assert spend is None
+
+
+def assert_rows_equal(xs, ys):
+    """Row-dict equality treating NaN as equal to NaN (infeasible rows)."""
+    assert len(xs) == len(ys)
+    for a, b in zip(xs, ys):
+        assert a.keys() == b.keys()
+        for key in a:
+            va, vb = a[key], b[key]
+            if isinstance(va, float) and va != va:
+                assert isinstance(vb, float) and vb != vb
+            else:
+                assert va == vb, f"{key}: {va} != {vb}"
+
+
+class TestTable3Engine:
+    def test_rows_match_serial_and_cache_replays(self, session, tmp_path):
+        serial = table3_rows(session, epsilons=(1.0, 2.0), n_trials=2)
+        store = ResultStore(tmp_path)
+        computed = table3_rows(
+            session,
+            epsilons=(1.0, 2.0),
+            n_trials=2,
+            workers=2,
+            store=store,
+            resume=True,
+        )
+        assert_rows_equal(computed, serial)
+        replayed = table3_rows(
+            session,
+            epsilons=(1.0, 2.0),
+            n_trials=2,
+            store=ResultStore(tmp_path),
+            resume=True,
+        )
+        assert_rows_equal(replayed, serial)
+        feasible = sum(1 for row in serial if row["feasible"])
+        assert store.writes == feasible
