@@ -1,0 +1,102 @@
+"""EXP-B3 — Snapshot store wall clock: generate vs persist vs mmap-open.
+
+The PR 4 data layer makes snapshots persistent, memory-mapped artifacts
+(:mod:`repro.scenarios.store`).  This suite measures, at the largest
+registered scenario (``national-1m``, a million-plus-job economy built
+through the chunked generator):
+
+- one-shot generation wall clock (what every run used to pay, and what
+  every *process worker* used to pay again);
+- persistence wall clock (paid once per economy, ever);
+- store-open wall clock (what runs and workers pay now), with a
+  ≥``MIN_LOAD_SPEEDUP``× gate over regeneration — the acceptance
+  criterion that opening a snapshot beats rebuilding it by a wide
+  margin even for the fastest generator configs.
+
+Timings land in ``BENCH_snapshot.json`` at the repo root (companion of
+``BENCH_trials.json`` and ``BENCH_grid.json``) so successive PRs can
+diff them.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_report
+from repro.data.generator import generate
+from repro.scenarios import SnapshotStore, dataset_fingerprint, scenario_config
+from repro.util import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_snapshot.json"
+
+SCENARIO = "national-1m"
+MIN_LOAD_SPEEDUP = 5.0
+LOAD_TRIALS = 3
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_snapshot_store_wall_clock(out_dir, tmp_path):
+    config = scenario_config(SCENARIO)
+    fingerprint = dataset_fingerprint(config)
+    store = SnapshotStore(tmp_path / "snapshots")
+
+    dataset, generate_s = _timed(lambda: generate(config))
+    _, save_s = _timed(lambda: store.save(dataset, config))
+
+    load_timings = []
+    for _ in range(LOAD_TRIALS):
+        loaded, load_s = _timed(lambda: store.load(fingerprint))
+        assert loaded is not None
+        load_timings.append(load_s)
+    load_s = min(load_timings)
+    assert loaded.n_jobs == dataset.n_jobs
+
+    speedup = generate_s / load_s
+    rows = [
+        ["generate", f"{generate_s:.3f}", "per run / per worker, historically"],
+        ["persist", f"{save_s:.3f}", "once per economy"],
+        ["mmap open", f"{load_s:.4f}", f"{speedup:.1f}x faster than generate"],
+    ]
+    report = format_table(
+        headers=["step", "seconds", "note"],
+        rows=rows,
+        title=(
+            f"snapshot store @ {SCENARIO} "
+            f"({dataset.n_jobs:,} jobs, "
+            f"{store.size_bytes(fingerprint):,} bytes)"
+        ),
+    )
+    write_report(out_dir, "bench-snapshot-store", report)
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "scenario": SCENARIO,
+                "fingerprint": fingerprint,
+                "n_jobs": int(dataset.n_jobs),
+                "n_establishments": int(dataset.n_establishments),
+                "size_bytes": store.size_bytes(fingerprint),
+                "generate_s": generate_s,
+                "save_s": save_s,
+                "load_s": load_s,
+                "load_speedup": speedup,
+                "min_load_speedup_gate": MIN_LOAD_SPEEDUP,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert speedup >= MIN_LOAD_SPEEDUP, (
+        f"store-load speedup {speedup:.1f}x below the "
+        f"{MIN_LOAD_SPEEDUP}x gate (generate {generate_s:.3f}s, "
+        f"load {load_s:.3f}s)"
+    )

@@ -98,6 +98,8 @@ class ReleaseSession:
         config: "ExperimentConfig | None" = None,
         *,
         dataset=None,
+        snapshot_store=None,
+        snapshot_mmap: bool = True,
         budget: float | None = None,
         delta_budget: float | None = None,
         on_overdraft: str = "raise",
@@ -112,9 +114,19 @@ class ReleaseSession:
         # Whether the snapshot can be rebuilt from config alone: a
         # provided dataset cannot (ProcessExecutor refuses such
         # sessions, and the snapshot fingerprint must not pretend the
-        # data came from config.data).
+        # data came from config.data).  A store-loaded snapshot *is* the
+        # config dataset (same fingerprint, same bytes), just opened as
+        # a read-only memory map instead of regenerated.
         self.dataset_provided = dataset is not None
-        self.dataset = dataset if dataset is not None else generate(self.config.data)
+        self.snapshot_store = None if dataset is not None else snapshot_store
+        if dataset is not None:
+            self.dataset = dataset
+        elif self.snapshot_store is not None:
+            self.dataset, _ = self.snapshot_store.load_or_generate(
+                self.config.data, mmap=snapshot_mmap
+            )
+        else:
+            self.dataset = generate(self.config.data)
         self.worker_full = self.dataset.worker_full()
         self.sdl = InputNoiseInfusion(
             distortion=self.config.sdl,
@@ -146,6 +158,30 @@ class ReleaseSession:
             data=SyntheticConfig(target_jobs=target_jobs, seed=seed), seed=seed
         )
         return cls(config, **kwargs)
+
+    @classmethod
+    def from_scenario(
+        cls, name: str, *, snapshot_store=None, **kwargs
+    ) -> "ReleaseSession":
+        """A session over a named scenario from :mod:`repro.scenarios`.
+
+        ``snapshot_store`` (a :class:`~repro.scenarios.SnapshotStore`)
+        makes the scenario's economy a persistent artifact: the first
+        session generates and saves it, every later one — in this or any
+        other process — opens the stored snapshot as a memory map.
+        Extra ``kwargs`` split between the experiment config
+        (``n_trials``, ``seed``, grid overrides ...) and the session
+        (``budget``, ``worker_attrs`` ...).
+        """
+        from repro.experiments.config import ExperimentConfig
+        import dataclasses
+
+        config_fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+        config_kwargs = {
+            key: kwargs.pop(key) for key in list(kwargs) if key in config_fields
+        }
+        config = ExperimentConfig.for_scenario(name, **config_kwargs)
+        return cls(config, snapshot_store=snapshot_store, **kwargs)
 
     @property
     def schema(self):

@@ -10,11 +10,22 @@ Subcommands:
   through the sweep engine and write the series as text + JSON;
 - ``release`` — execute a single declarative release request and print
   the noisy marginal plus the privacy-ledger state;
-- ``generate`` — generate a synthetic LODES snapshot and save it as CSV.
+- ``generate`` — generate a synthetic LODES snapshot and save it as CSV;
+- ``scenarios`` — list the registered scenario library, build a named
+  scenario's snapshot into the persistent store, or inspect one.
 
 Every data-touching command builds one :class:`repro.api.ReleaseSession`
 per invocation: the snapshot is generated once, the SDL baseline fitted
 once, and all requests reuse the cached trial-invariant statistics.
+
+``figures``/``tables``/``sweep`` take ``--scenario NAME`` to run against
+a registered economy from :mod:`repro.scenarios` instead of the ad-hoc
+``--jobs`` config (outputs then land in ``OUT/NAME/``), and they open
+their snapshot through the persistent :class:`~repro.scenarios.SnapshotStore`
+under ``--snapshot-dir`` (default ``reports/snapshots``): the first run
+generates and persists the economy, every later run — and every process
+worker of this run — memory-maps the stored artifact instead of
+regenerating it.  ``--no-snapshots`` restores in-process generation.
 
 ``figures``, ``tables`` and ``sweep`` submit their grids to the sweep
 engine (:mod:`repro.engine`): ``--workers N`` fans the grid over a
@@ -53,6 +64,13 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import render_figure
 from repro.experiments.tables import table1_text, table2_text, table3_text
+from repro.scenarios import (
+    DEFAULT_SNAPSHOT_DIR,
+    SnapshotStore,
+    available_scenarios,
+    dataset_fingerprint,
+    scenario_spec,
+)
 from repro.util import format_table
 
 FIGURES = {
@@ -69,12 +87,17 @@ examples:
   repro figures --out reports --jobs 150000 --trials 10
   repro figures --only figure-1,finding-6 --workers 4 --executor process
   repro figures --resume                  # recompute only missing points
+  repro figures --scenario metro-heavy --workers 4 --executor process --resume
   repro tables  --out reports --jobs 20000 --trials 5 --workers 2
   repro sweep   --workload workload-1 --metric l1-ratio \\
                 --alphas 0.05,0.1 --epsilons 0.5,1,2 --workers 4 --resume
+  repro sweep   --scenario sparse-rural --alphas 0.1 --epsilons 1,2
   repro release --attrs place,naics --mechanism smooth-laplace \\
                 --alpha 0.1 --epsilon 2 --delta 0.05 --budget 4
   repro generate --jobs 60000 --out snapshot/
+  repro scenarios list                    # the registered economy library
+  repro scenarios build national-1m       # persist a snapshot to the store
+  repro scenarios info metro-heavy
 
 sweep engine (figures / tables / sweep):
   --workers N      parallel grid evaluation (bit-identical to serial)
@@ -82,6 +105,12 @@ sweep engine (figures / tables / sweep):
   --resume         replay completed points from the result store
   --no-cache       do not read or write the result store
   --cache-dir DIR  content-addressed store location (default reports/cache)
+
+snapshot store (figures / tables / sweep / scenarios):
+  --scenario NAME    run against a registered economy (repro scenarios list)
+  --snapshot-dir DIR persistent snapshot store (default reports/snapshots);
+                     runs and process workers mmap the stored economy
+  --no-snapshots     regenerate in-process, do not touch the store
 """
 
 
@@ -97,14 +126,37 @@ def _version() -> str:
         return getattr(repro, "__version__", "unknown")
 
 
-def _add_session_arguments(parser, jobs_default: int, trials_default: int):
+def _add_session_arguments(
+    parser, jobs_default: int, trials_default: int, scenario: bool = False
+):
     parser.add_argument("--jobs", type=int, default=jobs_default)
     parser.add_argument("--trials", type=int, default=trials_default)
     parser.add_argument("--seed", type=int, default=2017)
+    if scenario:
+        parser.add_argument(
+            "--scenario",
+            default=None,
+            metavar="NAME",
+            help="run against a registered scenario economy instead of "
+            "--jobs (see `repro scenarios list`); outputs go to OUT/NAME/",
+        )
 
 
 def _add_engine_arguments(parser):
     """The sweep-engine knobs shared by figures/tables/sweep."""
+    parser.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=DEFAULT_SNAPSHOT_DIR,
+        metavar="DIR",
+        help="persistent snapshot store location; runs and process "
+        f"workers mmap the stored economy (default {DEFAULT_SNAPSHOT_DIR})",
+    )
+    parser.add_argument(
+        "--no-snapshots",
+        action="store_true",
+        help="generate the snapshot in-process, bypassing the store",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -162,7 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="regenerate the evaluation figures as data series"
     )
     figures.add_argument("--out", type=Path, default=Path("reports"))
-    _add_session_arguments(figures, jobs_default=150_000, trials_default=10)
+    _add_session_arguments(
+        figures, jobs_default=150_000, trials_default=10, scenario=True
+    )
     figures.add_argument(
         "--trials-batch",
         type=int,
@@ -183,7 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate Tables 1 and 2 plus the session summary (Table 3)",
     )
     tables.add_argument("--out", type=Path, default=Path("reports"))
-    _add_session_arguments(tables, jobs_default=20_000, trials_default=3)
+    _add_session_arguments(
+        tables, jobs_default=20_000, trials_default=3, scenario=True
+    )
     _add_engine_arguments(tables)
 
     sweep = subparsers.add_parser(
@@ -211,7 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="sweep",
         help="names the output files and seeds the per-point streams",
     )
-    _add_session_arguments(sweep, jobs_default=20_000, trials_default=5)
+    _add_session_arguments(
+        sweep, jobs_default=20_000, trials_default=5, scenario=True
+    )
     _add_engine_arguments(sweep)
 
     release = subparsers.add_parser(
@@ -260,6 +318,28 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", type=Path, required=True)
     gen.add_argument("--jobs", type=int, default=60_000)
     gen.add_argument("--seed", type=int, default=20170514)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="list the scenario library, build snapshots into the "
+        "persistent store, or inspect one",
+    )
+    scenarios.add_argument("action", choices=("list", "build", "info"))
+    scenarios.add_argument(
+        "name", nargs="?", default=None, help="scenario name (build/info)"
+    )
+    scenarios.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=DEFAULT_SNAPSHOT_DIR,
+        metavar="DIR",
+        help=f"snapshot store location (default {DEFAULT_SNAPSHOT_DIR})",
+    )
+    scenarios.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild the snapshot even if the store already has it",
+    )
     return parser
 
 
@@ -275,14 +355,46 @@ def _selected_figures(only: str | None) -> dict:
     return {name: FIGURES[name] for name in names}
 
 
-def _session_from_args(args, trials_batch: int | None = None) -> ReleaseSession:
-    config = ExperimentConfig(
+def _snapshot_store_from_args(args) -> SnapshotStore | None:
+    if getattr(args, "no_snapshots", False):
+        return None
+    return SnapshotStore(getattr(args, "snapshot_dir", DEFAULT_SNAPSHOT_DIR))
+
+
+def _config_from_args(args, trials_batch: int | None = None) -> ExperimentConfig:
+    """The experiment config an invocation describes (scenario-aware)."""
+    if getattr(args, "scenario", None):
+        try:
+            return ExperimentConfig.for_scenario(
+                args.scenario,
+                n_trials=args.trials,
+                trials_batch=trials_batch,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    return ExperimentConfig(
         data=SyntheticConfig(target_jobs=args.jobs, seed=args.seed),
         n_trials=args.trials,
         trials_batch=trials_batch,
         seed=args.seed,
     )
-    return ReleaseSession(config)
+
+
+def _session_from_args(args, trials_batch: int | None = None) -> ReleaseSession:
+    return ReleaseSession(
+        _config_from_args(args, trials_batch),
+        snapshot_store=_snapshot_store_from_args(args),
+    )
+
+
+def _out_dir_from_args(args) -> Path:
+    """Where artifacts land: ``OUT/`` or ``OUT/<scenario>/`` per scenario."""
+    out = args.out
+    if getattr(args, "scenario", None):
+        out = out / args.scenario
+    out.mkdir(parents=True, exist_ok=True)
+    return out
 
 
 def _engine_from_args(args):
@@ -304,13 +416,13 @@ def run_figures(args, session: ReleaseSession | None = None) -> list[Path]:
     if session is None:
         session = _session_from_args(args, trials_batch=args.trials_batch)
     executor, store = _engine_from_args(args)
-    args.out.mkdir(parents=True, exist_ok=True)
+    out = _out_dir_from_args(args)
     written = []
     for name, generator in _selected_figures(args.only).items():
         series = generator(
             session, executor=executor, store=store, resume=args.resume
         )
-        path = args.out / f"{name}.txt"
+        path = out / f"{name}.txt"
         path.write_text(render_figure(series) + "\n", encoding="utf-8")
         print(f"wrote {path}")
         written.append(path)
@@ -323,7 +435,7 @@ def run_tables(args, session: ReleaseSession | None = None) -> list[Path]:
     if session is None:
         session = _session_from_args(args)
     executor, store = _engine_from_args(args)
-    args.out.mkdir(parents=True, exist_ok=True)
+    out = _out_dir_from_args(args)
     written = []
     artifacts = (
         ("table-1", table1_text()),
@@ -340,7 +452,7 @@ def run_tables(args, session: ReleaseSession | None = None) -> list[Path]:
         ),
     )
     for name, text in artifacts:
-        path = args.out / f"{name}.txt"
+        path = out / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"wrote {path}")
         written.append(path)
@@ -372,12 +484,12 @@ def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
         store=store,
         resume=args.resume,
     )
-    args.out.mkdir(parents=True, exist_ok=True)
-    text_path = args.out / f"sweep-{args.tag}.txt"
+    out = _out_dir_from_args(args)
+    text_path = out / f"sweep-{args.tag}.txt"
     text_path.write_text(
         render_figure(outcome.series) + "\n", encoding="utf-8"
     )
-    json_path = args.out / f"sweep-{args.tag}.json"
+    json_path = out / f"sweep-{args.tag}.json"
     json_path.write_text(
         json.dumps(
             {
@@ -468,6 +580,101 @@ def run_release(args, session: ReleaseSession | None = None) -> int:
     return 0
 
 
+def _require_scenario_name(args) -> str:
+    if not args.name:
+        raise SystemExit(
+            f"`repro scenarios {args.action}` needs a scenario name; "
+            f"choose from {', '.join(available_scenarios())}"
+        )
+    return args.name
+
+
+def run_scenarios(args) -> int:
+    """``repro scenarios list|build|info`` against the snapshot store."""
+    import time as _time
+
+    store = SnapshotStore(args.snapshot_dir)
+    if args.action == "list":
+        rows = []
+        for name in available_scenarios():
+            spec = scenario_spec(name)
+            config = spec.config()
+            fingerprint = dataset_fingerprint(config)
+            rows.append(
+                [
+                    name,
+                    f"{config.target_jobs:,}",
+                    fingerprint,
+                    "yes" if store.contains(fingerprint) else "no",
+                    spec.description,
+                ]
+            )
+        print(
+            format_table(
+                headers=["scenario", "target jobs", "fingerprint", "built", "what it stresses"],
+                rows=rows,
+                title=f"scenario library (store: {store.root})",
+            )
+        )
+        return 0
+
+    name = _require_scenario_name(args)
+    try:
+        spec = scenario_spec(name)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    config = spec.config()
+    fingerprint = dataset_fingerprint(config)
+
+    if args.action == "build":
+        if store.contains(fingerprint) and not args.force:
+            print(
+                f"{name} already built at {store.path_for(fingerprint)} "
+                "(use --force to rebuild)"
+            )
+            return 0
+        start = _time.perf_counter()
+        from repro.data.generator import generate as _generate
+
+        dataset = _generate(config)
+        generate_s = _time.perf_counter() - start
+        start = _time.perf_counter()
+        path = store.save(
+            dataset, config, fingerprint=fingerprint, overwrite=args.force
+        )
+        save_s = _time.perf_counter() - start
+        summary = dataset.summary()
+        print(
+            f"built {name}: {int(summary['n_jobs'])} jobs, "
+            f"{int(summary['n_establishments'])} establishments, "
+            f"{int(summary['n_places'])} places "
+            f"(generated in {generate_s:.2f}s, persisted in {save_s:.2f}s)"
+        )
+        print(f"stored at {path} ({store.size_bytes(fingerprint):,} bytes)")
+        return 0
+
+    # info
+    print(f"{name}: {spec.description}")
+    if spec.tags:
+        print(f"tags: {', '.join(spec.tags)}")
+    print(f"fingerprint: {fingerprint}")
+    print(f"config: {config}")
+    meta = store.info(fingerprint)
+    if meta is None:
+        print(
+            f"not built under {store.root} "
+            f"(run `repro scenarios build {name}`)"
+        )
+    else:
+        print(
+            f"built at {store.path_for(fingerprint)}: "
+            f"{meta['n_jobs']:,} jobs, {meta['n_establishments']:,} "
+            f"establishments, {meta['n_places']:,} places, "
+            f"{store.size_bytes(fingerprint):,} bytes on disk"
+        )
+    return 0
+
+
 def run_generate(args) -> Path:
     dataset = generate(SyntheticConfig(target_jobs=args.jobs, seed=args.seed))
     directory = save_dataset(dataset, args.out)
@@ -493,4 +700,6 @@ def main(argv=None) -> int:
         run_release(args)
     elif args.command == "generate":
         run_generate(args)
+    elif args.command == "scenarios":
+        run_scenarios(args)
     return 0

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.geography import Geography, stratum_of_population
+from repro.data.geography import Geography, stratum_codes_of_populations
 from repro.db.join import WorkerFull, join_worker_full
 from repro.db.table import Table
 
@@ -69,13 +69,7 @@ class LODESDataset:
 
     def place_stratum_codes(self) -> np.ndarray:
         """Stratum index per place code (see ``PLACE_STRATA``)."""
-        return np.array(
-            [
-                stratum_of_population(int(pop))
-                for pop in self.geography.place_populations
-            ],
-            dtype=np.int64,
-        )
+        return stratum_codes_of_populations(self.geography.place_populations)
 
     def summary(self) -> dict[str, float]:
         """Headline statistics (for logging and sanity tests)."""

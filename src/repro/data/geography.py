@@ -87,6 +87,51 @@ def stratum_of_population(population: int) -> int:
     return len(PLACE_STRATA) - 1
 
 
+# Lower edges of strata 1..n: a population's stratum is the number of
+# edges at or below it, which is what np.digitize counts.
+_STRATUM_EDGES = np.array([low for _, low, _ in PLACE_STRATA[1:]], dtype=np.int64)
+
+
+def stratum_codes_of_populations(populations) -> np.ndarray:
+    """Vectorized :func:`stratum_of_population` over a population array.
+
+    Populations at or beyond the last stratum's upper bound land in the
+    last stratum, matching the scalar function's fall-through.
+    """
+    populations = np.asarray(populations)
+    return np.digitize(populations, _STRATUM_EDGES).astype(np.int64)
+
+
+def geography_payload(geography: Geography) -> dict:
+    """``geography`` as a JSON-serializable dict (snapshot persistence)."""
+    return {
+        "state_names": list(geography.state_names),
+        "county_names": list(geography.county_names),
+        "place_names": list(geography.place_names),
+        "block_names": list(geography.block_names),
+        "place_state": geography.place_state.tolist(),
+        "place_county": geography.place_county.tolist(),
+        "place_populations": geography.place_populations.tolist(),
+        "blocks_of_place": [list(blocks) for blocks in geography.blocks_of_place],
+    }
+
+
+def geography_from_payload(payload: dict) -> Geography:
+    """Rebuild a :class:`Geography` from :func:`geography_payload` output."""
+    return Geography(
+        state_names=tuple(payload["state_names"]),
+        county_names=tuple(payload["county_names"]),
+        place_names=tuple(payload["place_names"]),
+        block_names=tuple(payload["block_names"]),
+        place_state=np.array(payload["place_state"], dtype=np.int64),
+        place_county=np.array(payload["place_county"], dtype=np.int64),
+        place_populations=np.array(payload["place_populations"], dtype=np.int64),
+        blocks_of_place=tuple(
+            tuple(blocks) for blocks in payload["blocks_of_place"]
+        ),
+    )
+
+
 def generate_geography(config: GeographyConfig, seed=None) -> Geography:
     """Draw a synthetic geography according to ``config``.
 

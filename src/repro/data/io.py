@@ -20,7 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.dataset import LODESDataset
-from repro.data.geography import Geography
+from repro.data.geography import geography_from_payload, geography_payload
 from repro.data.schema import worker_schema, workplace_schema
 from repro.db.table import Table
 
@@ -68,19 +68,9 @@ def save_dataset(dataset: LODESDataset, directory) -> Path:
         ):
             writer.writerow([int(worker_row), int(establishment_row)])
 
-    geography = dataset.geography
-    payload = {
-        "state_names": list(geography.state_names),
-        "county_names": list(geography.county_names),
-        "place_names": list(geography.place_names),
-        "block_names": list(geography.block_names),
-        "place_state": geography.place_state.tolist(),
-        "place_county": geography.place_county.tolist(),
-        "place_populations": geography.place_populations.tolist(),
-        "blocks_of_place": [list(blocks) for blocks in geography.blocks_of_place],
-    }
     (directory / GEOGRAPHY_FILE).write_text(
-        json.dumps(payload, indent=2), encoding="utf-8"
+        json.dumps(geography_payload(dataset.geography), indent=2),
+        encoding="utf-8",
     )
     return directory
 
@@ -89,18 +79,7 @@ def load_dataset(directory) -> LODESDataset:
     """Reload a snapshot written by :func:`save_dataset`."""
     directory = Path(directory)
     payload = json.loads((directory / GEOGRAPHY_FILE).read_text(encoding="utf-8"))
-    geography = Geography(
-        state_names=tuple(payload["state_names"]),
-        county_names=tuple(payload["county_names"]),
-        place_names=tuple(payload["place_names"]),
-        block_names=tuple(payload["block_names"]),
-        place_state=np.array(payload["place_state"], dtype=np.int64),
-        place_county=np.array(payload["place_county"], dtype=np.int64),
-        place_populations=np.array(payload["place_populations"], dtype=np.int64),
-        blocks_of_place=tuple(
-            tuple(blocks) for blocks in payload["blocks_of_place"]
-        ),
-    )
+    geography = geography_from_payload(payload)
 
     worker = _read_table(worker_schema(), directory / WORKER_FILE)
     workplace = _read_table(workplace_schema(geography), directory / WORKPLACE_FILE)

@@ -21,7 +21,11 @@ from repro.data.schema import (
     ETHNICITY_VALUES,
     RACE_VALUES,
 )
-from repro.util import as_generator
+from repro.util import as_generator, derive_seed
+
+# Column order of the dicts returned by the workforce samplers (matches
+# the worker schema attribute order).
+WORKER_COLUMNS: tuple[str, ...] = ("age", "sex", "race", "ethnicity", "education")
 
 # National age profile over AGE_VALUES (roughly the LODES age mix).
 AGE_PROFILE = np.array([0.04, 0.06, 0.07, 0.24, 0.22, 0.20, 0.13, 0.04])
@@ -149,3 +153,82 @@ def sample_workforce_batch(
         "ethnicity": ethnicity,
         "education": education,
     }
+
+
+def chunk_ranges(sizes: np.ndarray, chunk_jobs: int) -> list[tuple[int, int]]:
+    """Partition establishments into contiguous blocks of ~``chunk_jobs`` jobs.
+
+    An establishment whose jobs start before a chunk boundary belongs
+    entirely to that chunk, so a block can overshoot ``chunk_jobs`` by at
+    most one establishment's size.  The partition depends only on
+    ``sizes`` and ``chunk_jobs`` — it is what makes chunked generation a
+    pure function of the config.
+    """
+    if chunk_jobs < 1:
+        raise ValueError(f"chunk_jobs must be >= 1, got {chunk_jobs}")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.size == 0:
+        return []
+    starts = np.cumsum(sizes) - sizes  # job offset where each establishment begins
+    chunk_of = starts // chunk_jobs
+    # Establishments larger than chunk_jobs can leave gaps in the chunk
+    # numbering; renumber consecutively while keeping the grouping.
+    boundaries = np.flatnonzero(np.diff(chunk_of)) + 1
+    edges = [0, *boundaries.tolist(), len(sizes)]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+def sample_workforce_chunked(
+    sizes: np.ndarray,
+    sector_indices: np.ndarray,
+    place_indices: np.ndarray,
+    place_mixes: PlaceMixes,
+    rng: np.random.Generator,
+    *,
+    base_seed: int,
+    chunk_jobs: int,
+) -> dict[str, np.ndarray]:
+    """Streaming variant of :func:`sample_workforce_batch` in bounded memory.
+
+    Establishments are processed in contiguous blocks of roughly
+    ``chunk_jobs`` jobs (:func:`chunk_ranges`); each block's columns are
+    written into preallocated output arrays, so the per-draw transient
+    (the ``(jobs, values)`` inverse-CDF buffers) is bounded by the chunk
+    size no matter how large the economy is.
+
+    Seeding: chunk 0 continues ``rng`` — the stream the single-shot path
+    has always used — so any config whose realized jobs fit one chunk
+    produces *bit-identical* columns to the historical
+    :func:`sample_workforce_batch` call.  Later chunks draw from
+    independent streams derived as
+    ``derive_seed(base_seed, "workers:chunk:{c}")``, so a million-job
+    build never has to materialize one giant draw to stay deterministic.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    ranges = chunk_ranges(sizes, chunk_jobs)
+    if len(ranges) <= 1:
+        return sample_workforce_batch(
+            sizes, sector_indices, place_indices, place_mixes, rng
+        )
+
+    total = int(sizes.sum())
+    columns = {name: np.empty(total, dtype=np.int64) for name in WORKER_COLUMNS}
+    offset = 0
+    for index, (lo, hi) in enumerate(ranges):
+        chunk_rng = (
+            rng
+            if index == 0
+            else as_generator(derive_seed(base_seed, f"workers:chunk:{index}"))
+        )
+        chunk = sample_workforce_batch(
+            sizes[lo:hi],
+            sector_indices[lo:hi],
+            place_indices[lo:hi],
+            place_mixes,
+            chunk_rng,
+        )
+        n_chunk_jobs = chunk["age"].shape[0]
+        for name in WORKER_COLUMNS:
+            columns[name][offset : offset + n_chunk_jobs] = chunk[name]
+        offset += n_chunk_jobs
+    return columns

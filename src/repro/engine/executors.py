@@ -15,10 +15,12 @@ workers.  Three implementations share the protocol:
   release the GIL for large draws, so threads help on wide grids with
   zero per-worker setup cost.
 - :class:`ProcessExecutor` — true parallelism: items are sharded
-  round-robin across worker processes, each of which rebuilds the
-  session from its config **once** (generation and the SDL fit are
-  fully seeded, so the rebuilt snapshot is bit-identical), streams its
-  shard through the task function, and ships the results back.  Ledger
+  round-robin across worker processes, each of which builds its session
+  **once** — opening the parent's memory-mapped snapshot from the
+  :class:`~repro.scenarios.SnapshotStore` when the parent session has
+  one, regenerating from config otherwise (both fully seeded, so the
+  worker snapshot is bit-identical either way) — streams its shard
+  through the task function, and ships the results back.  Ledger
   debits never happen in workers — task functions return spend records
   and the parent merges them, so privacy accounting stays exact under
   parallelism.
@@ -89,23 +91,35 @@ class ThreadExecutor:
         return f"ThreadExecutor(workers={self.workers})"
 
 
-def _shard_session(config, worker_attrs):
+def _shard_session(config, worker_attrs, snapshot_root):
     """Build (or reuse) this worker process's session for ``config``.
 
-    One session per (config, worker_attrs) per process: a worker that
-    receives several shards of the same sweep regenerates nothing.  The
-    rebuilt session is bit-identical to the parent's (same derived
-    seeds), and its ledger stays untouched — spend records flow back to
-    the parent for merging.
+    One session per (config, worker_attrs, snapshot source) per process:
+    a worker that receives several shards of the same sweep regenerates
+    nothing.  With ``snapshot_root`` (the parent session's
+    :class:`~repro.scenarios.SnapshotStore` location) the worker *opens*
+    the parent's persisted snapshot as a read-only memory map instead of
+    regenerating it — the parent saved it before the pool spun up, so
+    workers share physical pages and pay only the SDL fit.  Either way
+    the session is bit-identical to the parent's (same fingerprint ⇒
+    same bytes), and its ledger stays untouched — spend records flow
+    back to the parent for merging.
     """
     global _WORKER_SESSION
-    key = (repr(config), tuple(worker_attrs))
+    key = (repr(config), tuple(worker_attrs), snapshot_root)
     cached = _WORKER_SESSION
     if cached is not None and cached[0] == key:
         return cached[1]
     from repro.api.session import ReleaseSession
 
-    session = ReleaseSession(config, worker_attrs=worker_attrs)
+    store = None
+    if snapshot_root is not None:
+        from repro.scenarios.store import SnapshotStore
+
+        store = SnapshotStore(snapshot_root)
+    session = ReleaseSession(
+        config, worker_attrs=worker_attrs, snapshot_store=store
+    )
     _WORKER_SESSION = (key, session)
     return session
 
@@ -113,9 +127,9 @@ def _shard_session(config, worker_attrs):
 _WORKER_SESSION: tuple | None = None
 
 
-def _run_shard(fn, config, worker_attrs, indexed_items):
+def _run_shard(fn, config, worker_attrs, snapshot_root, indexed_items):
     """Worker entry point: evaluate one shard against a rebuilt session."""
-    session = _shard_session(config, worker_attrs)
+    session = _shard_session(config, worker_attrs, snapshot_root)
     return [(index, fn(session, item)) for index, item in indexed_items]
 
 
@@ -157,13 +171,24 @@ class ProcessExecutor:
             list(enumerate(items))[offset::n_workers]
             for offset in range(n_workers)
         ]
+        # Where workers should open the snapshot from.  A session built
+        # over a SnapshotStore has already persisted its snapshot (the
+        # store saves on first generation), so workers map the stored
+        # bytes instead of regenerating the economy per process.
+        store = getattr(session, "snapshot_store", None)
+        snapshot_root = None if store is None else str(store.root)
         results: list = [None] * len(items)
         with ProcessPoolExecutor(
             max_workers=n_workers, mp_context=context
         ) as pool:
             futures = [
                 pool.submit(
-                    _run_shard, fn, session.config, session.worker_attrs, shard
+                    _run_shard,
+                    fn,
+                    session.config,
+                    session.worker_attrs,
+                    snapshot_root,
+                    shard,
                 )
                 for shard in shards
             ]

@@ -40,6 +40,10 @@ class ExperimentConfig:
     alphas: tuple[float, ...] = ALPHA_GRID
     thetas: tuple[int, ...] = THETA_GRID
     seed: int = 7
+    # Name of the registered scenario ``data`` came from, if any — pure
+    # provenance: the snapshot fingerprint hashes ``data`` itself, so a
+    # renamed scenario never invalidates caches.
+    scenario: str | None = None
 
     def __post_init__(self):
         check_positive("n_trials", self.n_trials)
@@ -47,6 +51,21 @@ class ExperimentConfig:
             check_positive("trials_batch", self.trials_batch)
         if not (0.0 < self.delta < 1.0):
             raise ValueError(f"delta must lie in (0, 1), got {self.delta}")
+
+    @classmethod
+    def for_scenario(cls, name: str, **overrides) -> "ExperimentConfig":
+        """An experiment config whose data comes from a registered scenario.
+
+        ``overrides`` are any other :class:`ExperimentConfig` fields
+        (``n_trials``, ``seed``, grids ...).  The experiment ``seed``
+        defaults to the scenario's data seed so a bare
+        ``for_scenario(name)`` is fully pinned by the registry entry.
+        """
+        from repro.scenarios import scenario_config
+
+        data = scenario_config(name)
+        overrides.setdefault("seed", data.seed)
+        return cls(data=data, scenario=name, **overrides)
 
     def small(self) -> "ExperimentConfig":
         """A reduced configuration for tests: fewer trials, smaller data."""

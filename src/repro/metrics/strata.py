@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.data.geography import PLACE_STRATA, stratum_of_population
+from repro.data.geography import PLACE_STRATA, stratum_codes_of_populations
 from repro.db.query import Marginal
 
 STRATUM_LABELS: tuple[str, ...] = tuple(label for label, _, _ in PLACE_STRATA)
@@ -26,10 +26,7 @@ def cell_strata(marginal: Marginal, place_populations: np.ndarray) -> np.ndarray
         raise ValueError(
             f"marginal over {marginal.attrs} has no 'place' attribute to stratify by"
         )
-    place_strata = np.array(
-        [stratum_of_population(int(pop)) for pop in place_populations],
-        dtype=np.int64,
-    )
+    place_strata = stratum_codes_of_populations(place_populations)
     cell_place = marginal.project_onto(["place"])
     return place_strata[cell_place]
 

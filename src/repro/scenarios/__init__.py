@@ -1,0 +1,52 @@
+"""repro.scenarios — named economies and the persistent snapshot store.
+
+The data layer's front door for everything above it:
+
+- the **scenario registry** (:func:`register_scenario`,
+  :func:`available_scenarios`, :func:`scenario_config`) maps names like
+  ``"national-1m"`` or ``"sparse-rural"`` to
+  :class:`~repro.data.generator.SyntheticConfig` factories, each
+  documenting the paper finding its economy stresses (see
+  :mod:`repro.scenarios.library`);
+- the **snapshot store** (:class:`SnapshotStore`) persists generated
+  :class:`~repro.data.dataset.LODESDataset` snapshots column-by-column
+  under a config fingerprint and reopens them as read-only memory maps,
+  so CLI runs, tests and process-pool workers *open* an economy instead
+  of regenerating it.
+
+Quickstart::
+
+    from repro.api import ReleaseSession
+    from repro.scenarios import SnapshotStore
+
+    store = SnapshotStore("reports/snapshots")
+    session = ReleaseSession.from_scenario("metro-heavy", snapshot_store=store)
+    # second construction (any process) maps the stored snapshot:
+    again = ReleaseSession.from_scenario("metro-heavy", snapshot_store=store)
+"""
+
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    available_scenarios,
+    register_scenario,
+    scenario_config,
+    scenario_spec,
+    unregister_scenario,
+)
+from repro.scenarios.store import (
+    DEFAULT_SNAPSHOT_DIR,
+    SnapshotStore,
+    dataset_fingerprint,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "unregister_scenario",
+    "available_scenarios",
+    "scenario_spec",
+    "scenario_config",
+    "SnapshotStore",
+    "DEFAULT_SNAPSHOT_DIR",
+    "dataset_fingerprint",
+]

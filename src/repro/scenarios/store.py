@@ -1,0 +1,364 @@
+"""Persistent, fingerprint-addressed snapshot store — memory-mapped data.
+
+Every run of this repro used to regenerate its synthetic economy
+in-process, and the parallel sweep engine's process workers regenerated
+it once *per worker*.  The :class:`SnapshotStore` makes snapshots named,
+persistent artifacts instead: a generated :class:`LODESDataset` is
+persisted column-by-column as ``.npy`` files under a content
+fingerprint, and loaded back with ``np.load(mmap_mode="r")`` so that
+
+- repeated CLI runs, tests and benchmarks *open* the snapshot in
+  milliseconds instead of regenerating it;
+- process-pool workers map the same physical pages instead of each
+  materializing a private copy of the economy.
+
+Layout (one directory per snapshot)::
+
+    reports/snapshots/
+        <fingerprint>/
+            meta.json              # config, counts, column manifest
+            geography.json         # places/counties/blocks + populations
+            worker__age.npy        # one mmap-able array per column
+            ...
+            workplace__naics.npy
+            ...
+            job_worker.npy
+            job_establishment.npy
+
+The fingerprint hashes the full :class:`SyntheticConfig` (generation is
+fully seeded, so config ⇒ bytes), giving the store the same
+no-invalidation property as the engine's result store: a changed knob
+hashes to a new directory, and the engine's content-addressed point
+keys — which embed the snapshot fingerprint — compose with it for free.
+
+Writes are atomic (temp directory + ``os.replace``), and any unreadable,
+partial or version-skewed snapshot is treated as a miss and rebuilt:
+persistence must never be worse than regenerating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import LODESDataset
+from repro.data.generator import SyntheticConfig, generate
+from repro.data.geography import geography_from_payload, geography_payload
+from repro.data.schema import worker_schema, workplace_schema
+from repro.db.table import Table
+from repro.engine.store import content_key
+
+__all__ = [
+    "SnapshotStore",
+    "DEFAULT_SNAPSHOT_DIR",
+    "dataset_fingerprint",
+]
+
+DEFAULT_SNAPSHOT_DIR = Path("reports") / "snapshots"
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+META_FILE = "meta.json"
+GEOGRAPHY_FILE = "geography.json"
+
+_JOB_ARRAYS = ("job_worker", "job_establishment")
+
+
+def dataset_fingerprint(config: SyntheticConfig) -> str:
+    """Content fingerprint of the snapshot ``config`` generates.
+
+    Hashes every generation knob (including ``chunk_jobs``, which shapes
+    the worker noise streams) through the engine's canonical
+    :func:`~repro.engine.store.content_key` idiom.  This is the same
+    value :func:`repro.engine.plan.snapshot_fingerprint` folds into
+    result-store keys via ``asdict(config)``, so snapshot and point
+    caches scope consistently.
+    """
+    return content_key({"data": asdict(config)}, length=16)
+
+
+class SnapshotStore:
+    """A fingerprint-addressed on-disk store of LODES snapshots.
+
+    ``hits``/``misses``/``writes`` count this instance's traffic, so
+    tests (and ``repro scenarios info``) can prove a load was served
+    from disk rather than regenerated.
+    """
+
+    def __init__(self, root: Path | str = DEFAULT_SNAPSHOT_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def fingerprint(self, config: SyntheticConfig) -> str:
+        return dataset_fingerprint(config)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The directory a snapshot with ``fingerprint`` lives in."""
+        if not fingerprint or any(c in fingerprint for c in "/\\."):
+            raise ValueError(
+                f"snapshot fingerprints are hex digests, got {fingerprint!r}"
+            )
+        return self.root / fingerprint
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a snapshot directory exists (does not touch counters)."""
+        return (self.path_for(fingerprint) / META_FILE).is_file()
+
+    # -- persistence ----------------------------------------------------
+
+    def save(
+        self,
+        dataset: LODESDataset,
+        config: SyntheticConfig,
+        *,
+        fingerprint: str | None = None,
+        overwrite: bool = False,
+    ) -> Path:
+        """Atomically persist ``dataset`` under ``config``'s fingerprint.
+
+        The snapshot is staged in a temp directory and renamed into
+        place, so a crashed build never leaves a partial directory a
+        later load would trust.  An existing *loadable* snapshot is kept
+        (same fingerprint ⇒ same bytes) unless ``overwrite=True``; an
+        existing unloadable one — corrupt or partial — is always
+        replaced by the fresh build.
+        """
+        fingerprint = fingerprint or dataset_fingerprint(config)
+        final = self.path_for(fingerprint)
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(dir=self.root, prefix=f".{fingerprint}.tmp-")
+        )
+        try:
+            self._write_snapshot(staging, dataset, config, fingerprint)
+            self._install(staging, final, fingerprint, overwrite)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self.writes += 1
+        return final
+
+    def _install(
+        self, staging: Path, final: Path, fingerprint: str, overwrite: bool
+    ) -> None:
+        """Move a staged snapshot into place, displacing stale targets."""
+        if overwrite:
+            shutil.rmtree(final, ignore_errors=True)
+        try:
+            os.replace(staging, final)
+            return
+        except OSError:
+            pass
+        # ``final`` already exists (a concurrent writer, or a leftover
+        # directory).  Keep it only if it actually loads; a corrupt or
+        # partial snapshot must never shadow the fresh build.
+        if self._load(fingerprint, mmap=True, count=False) is not None:
+            shutil.rmtree(staging, ignore_errors=True)
+            return
+        shutil.rmtree(final, ignore_errors=True)
+        os.replace(staging, final)
+
+    def _write_snapshot(
+        self,
+        directory: Path,
+        dataset: LODESDataset,
+        config: SyntheticConfig,
+        fingerprint: str,
+    ) -> None:
+        worker_columns = list(dataset.worker.schema.names)
+        workplace_columns = list(dataset.workplace.schema.names)
+        for name in worker_columns:
+            np.save(
+                directory / f"worker__{name}.npy",
+                np.ascontiguousarray(dataset.worker.column(name)),
+            )
+        for name in workplace_columns:
+            np.save(
+                directory / f"workplace__{name}.npy",
+                np.ascontiguousarray(dataset.workplace.column(name)),
+            )
+        np.save(
+            directory / "job_worker.npy",
+            np.ascontiguousarray(dataset.job_worker),
+        )
+        np.save(
+            directory / "job_establishment.npy",
+            np.ascontiguousarray(dataset.job_establishment),
+        )
+        (directory / GEOGRAPHY_FILE).write_text(
+            json.dumps(geography_payload(dataset.geography)),
+            encoding="utf-8",
+        )
+        meta = {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "config": asdict(config),
+            "n_jobs": int(dataset.n_jobs),
+            "n_establishments": int(dataset.n_establishments),
+            "n_places": int(dataset.geography.n_places),
+            "worker_columns": worker_columns,
+            "workplace_columns": workplace_columns,
+            "created_at": time.time(),
+        }
+        # meta.json is written last inside the staging dir: its presence
+        # is what contains() and load() treat as "snapshot exists".
+        (directory / META_FILE).write_text(
+            json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    # -- loading --------------------------------------------------------
+
+    def info(self, fingerprint: str) -> dict | None:
+        """The snapshot's ``meta.json`` payload, or ``None`` if unusable."""
+        path = self.path_for(fingerprint) / META_FILE
+        try:
+            meta = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(meta, dict) or meta.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+            return None
+        return meta
+
+    def size_bytes(self, fingerprint: str) -> int:
+        """Total on-disk footprint of one snapshot directory."""
+        directory = self.path_for(fingerprint)
+        if not directory.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in directory.iterdir() if p.is_file())
+
+    def entries(self) -> list[dict]:
+        """Metadata of every loadable snapshot under the root."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for directory in sorted(self.root.iterdir()):
+            if directory.name.startswith(".") or not directory.is_dir():
+                continue
+            meta = self.info(directory.name)
+            if meta is not None:
+                found.append(meta)
+        return found
+
+    def load(
+        self, fingerprint: str, *, mmap: bool = True
+    ) -> LODESDataset | None:
+        """Open the snapshot with ``fingerprint``; ``None`` (a miss) otherwise.
+
+        With ``mmap=True`` (the default) every column is a read-only
+        ``np.memmap`` view: loading costs no array copies, and processes
+        sharing one store share physical pages.  Any corrupt, partial or
+        version-skewed snapshot counts as a miss — the caller falls back
+        to regeneration, which can never be wrong, only slower.
+        """
+        return self._load(fingerprint, mmap=mmap, count=True)
+
+    def _load(
+        self, fingerprint: str, *, mmap: bool, count: bool
+    ) -> LODESDataset | None:
+        directory = self.path_for(fingerprint)
+        meta = self.info(fingerprint)
+        if meta is None:
+            self.misses += count
+            return None
+        mmap_mode = "r" if mmap else None
+        try:
+            geography = geography_from_payload(
+                json.loads(
+                    (directory / GEOGRAPHY_FILE).read_text(encoding="utf-8")
+                )
+            )
+            worker = Table(
+                worker_schema(),
+                {
+                    name: np.load(
+                        directory / f"worker__{name}.npy", mmap_mode=mmap_mode
+                    )
+                    for name in meta["worker_columns"]
+                },
+            )
+            workplace = Table(
+                workplace_schema(geography),
+                {
+                    name: np.load(
+                        directory / f"workplace__{name}.npy",
+                        mmap_mode=mmap_mode,
+                    )
+                    for name in meta["workplace_columns"]
+                },
+            )
+            job_worker = np.load(
+                directory / "job_worker.npy", mmap_mode=mmap_mode
+            )
+            job_establishment = np.load(
+                directory / "job_establishment.npy", mmap_mode=mmap_mode
+            )
+        except (OSError, ValueError, KeyError, EOFError):
+            self.misses += count
+            return None
+        self.hits += count
+        return LODESDataset(
+            worker=worker,
+            workplace=workplace,
+            job_worker=job_worker,
+            job_establishment=job_establishment,
+            geography=geography,
+        )
+
+    def load_config(
+        self, config: SyntheticConfig, *, mmap: bool = True
+    ) -> LODESDataset | None:
+        """Open the snapshot ``config`` fingerprints to, if built."""
+        return self.load(dataset_fingerprint(config), mmap=mmap)
+
+    def load_or_generate(
+        self, config: SyntheticConfig, *, mmap: bool = True
+    ) -> tuple[LODESDataset, bool]:
+        """Open ``config``'s snapshot, building and persisting it on a miss.
+
+        Returns ``(dataset, was_hit)``.  On a miss the freshly generated
+        snapshot is saved and *re-opened through the store*, so the
+        caller always holds the memory-mapped artifact every other
+        session and worker will share — never a private in-process copy
+        with different physical pages.
+        """
+        fingerprint = dataset_fingerprint(config)
+        dataset = self.load(fingerprint, mmap=mmap)
+        if dataset is not None:
+            return dataset, True
+        generated = generate(config)
+        self.save(generated, config, fingerprint=fingerprint)
+        reopened = self._load(fingerprint, mmap=mmap, count=False)
+        return (reopened if reopened is not None else generated), False
+
+    # -- maintenance ----------------------------------------------------
+
+    def delete(self, fingerprint: str) -> bool:
+        """Remove one snapshot directory; True if something was deleted."""
+        directory = self.path_for(fingerprint)
+        if not directory.is_dir():
+            return False
+        shutil.rmtree(directory)
+        return True
+
+    def __len__(self) -> int:
+        """Number of loadable snapshots under the root."""
+        return len(self.entries())

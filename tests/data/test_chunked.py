@@ -1,0 +1,248 @@
+"""Chunked streaming generation and the vectorized draws.
+
+Two equivalence contracts anchor the refactored data layer:
+
+1. any config whose realized jobs fit one chunk — in particular every
+   historical configuration — is **bit-identical** to the pre-chunking
+   single-shot generator, re-implemented here verbatim as the reference;
+2. the vectorized grouped block draw and ``np.digitize`` stratum codes
+   reproduce their Python-loop predecessors element for element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import LODESDataset
+from repro.data.generator import (
+    SyntheticConfig,
+    _draw_establishment_blocks,
+    _plan_establishments_per_place,
+    generate,
+)
+from repro.data.geography import (
+    PLACE_STRATA,
+    GeographyConfig,
+    generate_geography,
+    stratum_codes_of_populations,
+    stratum_of_population,
+)
+from repro.data.naics import NAICS_SECTORS, sector_shares
+from repro.data.schema import worker_schema, workplace_schema
+from repro.data.workers import (
+    WORKER_COLUMNS,
+    chunk_ranges,
+    draw_place_mixes,
+    sample_workforce_batch,
+)
+from repro.db.table import Table
+from repro.util import as_generator, derive_seed
+
+
+def _legacy_generate(config: SyntheticConfig) -> LODESDataset:
+    """The pre-chunking generator, verbatim: the bit-identity reference.
+
+    Per-establishment ``rng.choice`` block loop and one single-shot
+    ``sample_workforce_batch`` call over the whole economy — exactly the
+    algorithm every figure in PRs 0–3 was generated with.
+    """
+    geo_rng = as_generator(derive_seed(config.seed, "geography"))
+    geography = generate_geography(config.geography, geo_rng)
+
+    plan_rng = as_generator(derive_seed(config.seed, "establishments"))
+    mean_size = config.sizes.mean()
+    n_establishments = max(
+        geography.n_places, int(round(config.target_jobs / mean_size))
+    )
+    per_place = _plan_establishments_per_place(
+        geography.place_populations,
+        n_establishments,
+        config.population_exponent,
+        plan_rng,
+    )
+    n_establishments = int(per_place.sum())
+    estab_place = np.repeat(
+        np.arange(geography.n_places, dtype=np.int64), per_place
+    )
+
+    sector = plan_rng.choice(
+        len(NAICS_SECTORS), size=n_establishments, p=sector_shares()
+    ).astype(np.int64)
+    public_share = np.array([s.public_share for s in NAICS_SECTORS])
+    ownership = (
+        plan_rng.random(n_establishments) < public_share[sector]
+    ).astype(np.int64)
+    block = np.array(
+        [plan_rng.choice(geography.blocks_of_place[p]) for p in estab_place],
+        dtype=np.int64,
+    )
+
+    size_rng = as_generator(derive_seed(config.seed, "sizes"))
+    multipliers = np.array([s.size_multiplier for s in NAICS_SECTORS])[sector]
+    sizes = config.sizes.sample(n_establishments, multipliers, size_rng)
+
+    workplace = Table(
+        workplace_schema(geography),
+        {
+            "naics": sector,
+            "ownership": ownership,
+            "state": geography.place_state[estab_place],
+            "county": geography.place_county[estab_place],
+            "place": estab_place,
+            "block": block,
+        },
+    )
+
+    worker_rng = as_generator(derive_seed(config.seed, "workers"))
+    place_mixes = draw_place_mixes(geography.n_places, worker_rng)
+    worker_columns = sample_workforce_batch(
+        sizes, sector, estab_place, place_mixes, worker_rng
+    )
+    worker = Table(worker_schema(), worker_columns)
+
+    n_jobs = worker.n_rows
+    return LODESDataset(
+        worker=worker,
+        workplace=workplace,
+        job_worker=np.arange(n_jobs, dtype=np.int64),
+        job_establishment=np.repeat(
+            np.arange(n_establishments, dtype=np.int64), sizes
+        ),
+        geography=geography,
+    )
+
+
+def _assert_bit_identical(a: LODESDataset, b: LODESDataset):
+    for table_name in ("worker", "workplace"):
+        left, right = getattr(a, table_name), getattr(b, table_name)
+        for column in left.schema.names:
+            np.testing.assert_array_equal(
+                left.column(column), right.column(column), err_msg=column
+            )
+    np.testing.assert_array_equal(a.job_worker, b.job_worker)
+    np.testing.assert_array_equal(a.job_establishment, b.job_establishment)
+
+
+class TestSingleShotEquivalence:
+    @pytest.mark.parametrize("target_jobs,seed", [(8_000, 123), (20_000, 99)])
+    def test_bit_identical_to_legacy_generator(self, target_jobs, seed):
+        config = SyntheticConfig(target_jobs=target_jobs, seed=seed)
+        _assert_bit_identical(generate(config), _legacy_generate(config))
+
+    def test_default_config_is_single_chunk(self):
+        # The byte-compat guarantee rests on the default economy fitting
+        # one chunk; realized jobs overshoot target by < 2.5x in practice.
+        config = SyntheticConfig()
+        dataset = generate(config)
+        assert dataset.n_jobs <= config.chunk_jobs
+
+
+class TestChunkRanges:
+    def test_partition_covers_establishments_in_order(self):
+        sizes = np.array([30, 10, 50, 5, 5, 100, 1])
+        ranges = chunk_ranges(sizes, 60)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == len(sizes)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_single_chunk_when_everything_fits(self):
+        assert chunk_ranges(np.array([10, 10, 10]), 1_000) == [(0, 3)]
+
+    def test_giant_establishment_ends_its_chunk(self):
+        # An establishment straddling a boundary stays whole in the
+        # chunk it starts in; the next establishment opens a new chunk.
+        assert chunk_ranges(np.array([5, 500, 5]), 10) == [(0, 2), (2, 3)]
+
+    def test_empty_and_invalid(self):
+        assert chunk_ranges(np.array([], dtype=np.int64), 10) == []
+        with pytest.raises(ValueError):
+            chunk_ranges(np.array([1]), 0)
+
+
+class TestMultiChunkGeneration:
+    CHUNKED = SyntheticConfig(target_jobs=20_000, seed=99, chunk_jobs=2_000)
+
+    def test_deterministic(self):
+        _assert_bit_identical(generate(self.CHUNKED), generate(self.CHUNKED))
+
+    def test_establishment_plan_independent_of_chunking(self):
+        # Chunking only reshapes the worker-attribute draws: geography,
+        # establishments, sizes and job links are chunk-invariant.
+        chunked = generate(self.CHUNKED)
+        single = generate(SyntheticConfig(target_jobs=20_000, seed=99))
+        for column in chunked.workplace.schema.names:
+            np.testing.assert_array_equal(
+                chunked.workplace.column(column),
+                single.workplace.column(column),
+            )
+        np.testing.assert_array_equal(
+            chunked.job_establishment, single.job_establishment
+        )
+        assert chunked.n_jobs == single.n_jobs
+
+    def test_worker_marginals_statistically_stable(self):
+        # Different chunkings draw different noise but the same law:
+        # attribute shares must agree to Monte Carlo accuracy.
+        chunked = generate(self.CHUNKED)
+        single = generate(SyntheticConfig(target_jobs=20_000, seed=99))
+        for column in WORKER_COLUMNS:
+            a = np.bincount(chunked.worker.column(column)) / chunked.n_jobs
+            b = np.bincount(single.worker.column(column)) / single.n_jobs
+            size = max(len(a), len(b))
+            np.testing.assert_allclose(
+                np.pad(a, (0, size - len(a))),
+                np.pad(b, (0, size - len(b))),
+                atol=0.02,
+            )
+
+
+class TestVectorizedBlockDraw:
+    def test_bit_identical_to_choice_loop(self):
+        geo = generate_geography(GeographyConfig(), as_generator(7))
+        per_place = _plan_establishments_per_place(
+            geo.place_populations, 500, 0.95, as_generator(3)
+        )
+        estab_place = np.repeat(
+            np.arange(geo.n_places, dtype=np.int64), per_place
+        )
+        legacy_rng = as_generator(42)
+        legacy = np.array(
+            [legacy_rng.choice(geo.blocks_of_place[p]) for p in estab_place],
+            dtype=np.int64,
+        )
+        grouped = _draw_establishment_blocks(
+            geo.blocks_of_place, per_place, as_generator(42)
+        )
+        np.testing.assert_array_equal(legacy, grouped)
+
+    def test_handles_non_contiguous_block_indices(self):
+        # The flat+offset gather must respect arbitrary index tuples,
+        # not assume each place's blocks are a contiguous range.
+        blocks_of_place = ((7, 3), (11,), (0, 5, 9))
+        per_place = np.array([3, 2, 4])
+        drawn = _draw_establishment_blocks(
+            blocks_of_place, per_place, as_generator(0)
+        )
+        place_of = np.repeat(np.arange(3), per_place)
+        for place, block in zip(place_of, drawn):
+            assert int(block) in blocks_of_place[place]
+
+
+class TestDigitizedStrata:
+    def test_matches_scalar_function_at_edges(self):
+        populations = np.array(
+            [0, 1, 99, 100, 101, 9_999, 10_000, 99_999, 100_000, 2_500_000,
+             10_000_000, 25_000_000]
+        )
+        expected = [stratum_of_population(int(p)) for p in populations]
+        np.testing.assert_array_equal(
+            stratum_codes_of_populations(populations), expected
+        )
+
+    def test_output_dtype_and_range(self):
+        codes = stratum_codes_of_populations(np.array([50, 5_000, 500_000]))
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0
+        assert codes.max() < len(PLACE_STRATA)

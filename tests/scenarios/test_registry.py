@@ -1,0 +1,139 @@
+"""Tests for the scenario registry and the built-in library."""
+
+import pytest
+
+from repro.data.generator import SyntheticConfig
+from repro.experiments.config import ExperimentConfig
+from repro.scenarios import (
+    available_scenarios,
+    dataset_fingerprint,
+    register_scenario,
+    scenario_config,
+    scenario_spec,
+    unregister_scenario,
+)
+
+BUILTINS = (
+    "paper-default",
+    "national-1m",
+    "metro-heavy",
+    "sparse-rural",
+    "heavy-skew",
+    "panel-5yr",
+)
+
+
+class TestLibrary:
+    def test_builtins_registered(self):
+        names = available_scenarios()
+        for name in BUILTINS:
+            assert name in names
+
+    def test_paper_default_is_the_plain_config(self):
+        # The scenario must fingerprint exactly like runs that never
+        # mention scenarios, so its cached figure points are shared.
+        assert scenario_config("paper-default") == SyntheticConfig()
+
+    def test_every_factory_returns_a_valid_config(self):
+        for name in available_scenarios():
+            config = scenario_config(name)
+            assert isinstance(config, SyntheticConfig)
+            assert config.target_jobs > 0
+
+    def test_fingerprints_distinct(self):
+        fingerprints = {
+            dataset_fingerprint(scenario_config(name)) for name in BUILTINS
+        }
+        assert len(fingerprints) == len(BUILTINS)
+
+    def test_descriptions_present(self):
+        for name in available_scenarios():
+            assert scenario_spec(name).description
+
+    def test_tag_filtering(self):
+        assert "sparse-rural" in available_scenarios(tag="geography")
+        assert "heavy-skew" not in available_scenarios(tag="geography")
+
+    def test_national_scale_chunks(self):
+        config = scenario_config("national-1m")
+        assert config.target_jobs // config.chunk_jobs >= 4
+
+
+class TestRegistry:
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="paper-default"):
+            scenario_spec("no-such-economy")
+
+    def test_duplicate_registration_raises(self):
+        @register_scenario("registry-test-dup")
+        def first():
+            """First registration."""
+            return SyntheticConfig(target_jobs=100)
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+
+                @register_scenario("registry-test-dup")
+                def second():
+                    return SyntheticConfig(target_jobs=200)
+
+        finally:
+            unregister_scenario("registry-test-dup")
+
+    def test_replace_overrides_deliberately(self):
+        @register_scenario("registry-test-replace")
+        def first():
+            return SyntheticConfig(target_jobs=100)
+
+        try:
+
+            @register_scenario("registry-test-replace", replace=True)
+            def second():
+                return SyntheticConfig(target_jobs=200)
+
+            assert scenario_config("registry-test-replace").target_jobs == 200
+        finally:
+            unregister_scenario("registry-test-replace")
+
+    def test_description_defaults_to_docstring(self):
+        @register_scenario("registry-test-doc")
+        def documented():
+            """One-line summary.
+
+            Longer body ignored.
+            """
+            return SyntheticConfig(target_jobs=100)
+
+        try:
+            assert (
+                scenario_spec("registry-test-doc").description
+                == "One-line summary."
+            )
+        finally:
+            unregister_scenario("registry-test-doc")
+
+    def test_factory_must_return_synthetic_config(self):
+        @register_scenario("registry-test-bad")
+        def bad():
+            return {"target_jobs": 100}
+
+        try:
+            with pytest.raises(TypeError, match="SyntheticConfig"):
+                scenario_config("registry-test-bad")
+        finally:
+            unregister_scenario("registry-test-bad")
+
+
+class TestExperimentConfigIntegration:
+    def test_for_scenario_carries_name_and_data(self):
+        config = ExperimentConfig.for_scenario("sparse-rural", n_trials=2)
+        assert config.scenario == "sparse-rural"
+        assert config.data == scenario_config("sparse-rural")
+        assert config.n_trials == 2
+        # Experiment seed defaults to the scenario's data seed.
+        assert config.seed == config.data.seed
+
+    def test_for_scenario_seed_override(self):
+        config = ExperimentConfig.for_scenario("sparse-rural", seed=99)
+        assert config.seed == 99
+        assert config.data.seed == scenario_config("sparse-rural").seed

@@ -1,0 +1,288 @@
+"""Snapshot-store tests: round-trip fidelity, mmap sessions, robustness.
+
+The store's contract is that opening a snapshot can never be *wrong* —
+only faster than regenerating: round-trips are bit-exact, memory-mapped
+sessions fingerprint and evaluate identically to generated ones, and
+anything corrupt or partial is a miss that falls back to generation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.api.session import ReleaseSession
+from repro.data.generator import SyntheticConfig, generate
+from repro.engine.executors import ProcessExecutor, SerialExecutor
+from repro.engine.plan import grid_plan
+from repro.engine.sweep import run_plan
+from repro.experiments.config import ExperimentConfig
+from repro.scenarios import SnapshotStore, dataset_fingerprint
+
+SMALL = SyntheticConfig(target_jobs=5_000, seed=5)
+
+# Big enough that every stratum is populated, small enough for a
+# process-pool test to stay fast.
+SESSION_CONFIG = ExperimentConfig(
+    data=SyntheticConfig(target_jobs=4_000, seed=11),
+    n_trials=2,
+    seed=11,
+)
+
+
+@pytest.fixture()
+def store(tmp_path) -> SnapshotStore:
+    return SnapshotStore(tmp_path / "snapshots")
+
+
+def _assert_datasets_equal(a, b):
+    for table_name in ("worker", "workplace"):
+        left, right = getattr(a, table_name), getattr(b, table_name)
+        assert left.schema.names == right.schema.names
+        for column in left.schema.names:
+            np.testing.assert_array_equal(
+                left.column(column), right.column(column), err_msg=column
+            )
+    np.testing.assert_array_equal(a.job_worker, b.job_worker)
+    np.testing.assert_array_equal(a.job_establishment, b.job_establishment)
+    geo_a, geo_b = a.geography, b.geography
+    assert geo_a.state_names == geo_b.state_names
+    assert geo_a.county_names == geo_b.county_names
+    assert geo_a.place_names == geo_b.place_names
+    assert geo_a.block_names == geo_b.block_names
+    assert geo_a.blocks_of_place == geo_b.blocks_of_place
+    np.testing.assert_array_equal(geo_a.place_state, geo_b.place_state)
+    np.testing.assert_array_equal(geo_a.place_county, geo_b.place_county)
+    np.testing.assert_array_equal(
+        geo_a.place_populations, geo_b.place_populations
+    )
+
+
+class TestRoundTrip:
+    def test_all_tables_and_geography_bit_exact(self, store):
+        dataset = generate(SMALL)
+        store.save(dataset, SMALL)
+        for mmap in (False, True):
+            loaded = store.load(dataset_fingerprint(SMALL), mmap=mmap)
+            assert loaded is not None
+            _assert_datasets_equal(dataset, loaded)
+
+    def test_mmap_load_returns_memory_maps(self, store):
+        store.save(generate(SMALL), SMALL)
+        loaded = store.load(dataset_fingerprint(SMALL), mmap=True)
+        assert isinstance(loaded.job_worker, np.memmap)
+        assert isinstance(loaded.job_establishment, np.memmap)
+        age = loaded.worker.column("age")
+        assert isinstance(age, np.memmap) or isinstance(age.base, np.memmap)
+
+    def test_load_or_generate_miss_then_hit(self, store):
+        first, hit_first = store.load_or_generate(SMALL)
+        assert not hit_first
+        assert store.stats == {"hits": 0, "misses": 1, "writes": 1}
+        second, hit_second = store.load_or_generate(SMALL)
+        assert hit_second
+        assert store.stats == {"hits": 1, "misses": 1, "writes": 1}
+        _assert_datasets_equal(first, second)
+
+    def test_store_loaded_equals_generated(self, store):
+        loaded, _ = store.load_or_generate(SMALL)
+        _assert_datasets_equal(loaded, generate(SMALL))
+
+    def test_fingerprint_scopes_by_every_knob(self):
+        base = dataset_fingerprint(SMALL)
+        assert base == dataset_fingerprint(SyntheticConfig(target_jobs=5_000, seed=5))
+        assert base != dataset_fingerprint(SyntheticConfig(target_jobs=5_001, seed=5))
+        assert base != dataset_fingerprint(SyntheticConfig(target_jobs=5_000, seed=6))
+        assert base != dataset_fingerprint(
+            SyntheticConfig(target_jobs=5_000, seed=5, chunk_jobs=1_000)
+        )
+
+    def test_entries_and_info(self, store):
+        assert store.entries() == []
+        store.load_or_generate(SMALL)
+        entries = store.entries()
+        assert len(entries) == len(store) == 1
+        meta = store.info(dataset_fingerprint(SMALL))
+        assert meta["n_jobs"] == entries[0]["n_jobs"] > 0
+        assert meta["config"]["seed"] == 5
+        assert store.size_bytes(dataset_fingerprint(SMALL)) > 0
+
+    def test_delete(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        assert store.delete(fingerprint)
+        assert not store.contains(fingerprint)
+        assert not store.delete(fingerprint)
+
+
+class TestRobustness:
+    def test_missing_snapshot_is_a_miss(self, store):
+        assert store.load("0123456789abcdef") is None
+        assert store.misses == 1
+
+    def test_corrupt_meta_is_a_miss(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        (store.path_for(fingerprint) / "meta.json").write_text("{not json")
+        assert store.load(fingerprint) is None
+        assert not store.contains(fingerprint) or store.info(fingerprint) is None
+
+    def test_partial_snapshot_is_a_miss(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        (store.path_for(fingerprint) / "worker__age.npy").unlink()
+        assert store.load(fingerprint) is None
+
+    def test_truncated_column_is_a_miss(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        path = store.path_for(fingerprint) / "job_worker.npy"
+        path.write_bytes(path.read_bytes()[:16])
+        assert store.load(fingerprint) is None
+
+    def test_version_skew_is_a_miss(self, store):
+        import json
+
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        meta_path = store.path_for(fingerprint) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = 999
+        meta_path.write_text(json.dumps(meta))
+        assert store.load(fingerprint) is None
+
+    def test_save_repairs_a_corrupt_snapshot(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        dataset, _ = store.load_or_generate(SMALL)
+        (store.path_for(fingerprint) / "worker__age.npy").write_bytes(b"junk")
+        assert store.load(fingerprint) is None
+        store.save(generate(SMALL), SMALL)
+        repaired = store.load(fingerprint)
+        assert repaired is not None
+        _assert_datasets_equal(repaired, generate(SMALL))
+
+    def test_save_keeps_an_existing_loadable_snapshot(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        created = store.info(fingerprint)["created_at"]
+        store.save(generate(SMALL), SMALL)
+        assert store.info(fingerprint)["created_at"] == created
+
+    def test_save_overwrite_replaces_a_loadable_snapshot(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        created = store.info(fingerprint)["created_at"]
+        store.save(generate(SMALL), SMALL, overwrite=True)
+        assert store.info(fingerprint)["created_at"] != created
+        assert store.load(fingerprint) is not None
+
+    def test_miss_falls_back_to_regeneration(self, store):
+        fingerprint = dataset_fingerprint(SMALL)
+        store.load_or_generate(SMALL)
+        (store.path_for(fingerprint) / "meta.json").write_text("{not json")
+        dataset, hit = store.load_or_generate(SMALL)
+        assert not hit
+        _assert_datasets_equal(dataset, generate(SMALL))
+
+    def test_bad_fingerprint_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.path_for("../escape")
+        with pytest.raises(ValueError):
+            store.path_for("")
+
+
+class TestSessionIntegration:
+    def test_mmap_session_matches_generated_session(self, store):
+        plain = ReleaseSession(SESSION_CONFIG)
+        mapped = ReleaseSession(SESSION_CONFIG, snapshot_store=store)
+        assert not mapped.dataset_provided
+        assert mapped.snapshot_fingerprint == plain.snapshot_fingerprint
+        _assert_datasets_equal(plain.dataset, mapped.dataset)
+
+        plan = grid_plan(
+            "workload-1",
+            "l1-ratio",
+            ("smooth-laplace",),
+            (0.1,),
+            (1.0, 2.0),
+            fingerprint=plain.snapshot_fingerprint,
+            delta=0.05,
+            n_trials=2,
+            seed=11,
+        )
+        points_plain = run_plan(plan, plain, executor=SerialExecutor()).points
+        points_mapped = run_plan(plan, mapped, executor=SerialExecutor()).points
+        assert _same_points(points_plain, points_mapped)
+
+    def test_from_scenario_uses_store(self, store):
+        session = ReleaseSession.from_scenario(
+            "paper-default", snapshot_store=store, n_trials=1
+        )
+        assert session.config.scenario == "paper-default"
+        assert store.writes == 1
+        again = ReleaseSession.from_scenario(
+            "paper-default", snapshot_store=store, n_trials=1
+        )
+        assert store.hits == 1
+        assert again.snapshot_fingerprint == session.snapshot_fingerprint
+
+    def test_provided_dataset_ignores_store(self, store):
+        dataset = generate(SMALL)
+        session = ReleaseSession(SESSION_CONFIG, dataset=dataset)
+        assert session.snapshot_store is None
+        assert session.dataset_provided
+
+
+def _same_points(a, b) -> bool:
+    from repro.engine.points import points_identical
+
+    return len(a) == len(b) and all(
+        points_identical(x, y) for x, y in zip(a, b)
+    )
+
+
+def _boom(*args, **kwargs):  # pragma: no cover - must never run
+    raise AssertionError("workers must open the stored snapshot, not regenerate")
+
+
+class TestWorkerBootstrap:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method required to inherit the patched generator",
+    )
+    def test_process_workers_load_from_store_not_generate(
+        self, store, monkeypatch
+    ):
+        """Workers of a store-backed session never call generate().
+
+        The parent session persists the snapshot; generation is then
+        patched to raise before the (forked) pool spins up, so any
+        worker falling back to regeneration would fail its shard.
+        """
+        session = ReleaseSession(SESSION_CONFIG, snapshot_store=store)
+        plan = grid_plan(
+            "workload-1",
+            "l1-ratio",
+            ("smooth-laplace", "log-laplace"),
+            (0.1,),
+            (1.0, 2.0),
+            fingerprint=session.snapshot_fingerprint,
+            delta=0.05,
+            n_trials=2,
+            seed=11,
+        )
+        serial = run_plan(plan, session, executor=SerialExecutor())
+
+        monkeypatch.setattr("repro.data.generator.generate", _boom)
+        monkeypatch.setattr("repro.api.session.generate", _boom)
+        monkeypatch.setattr("repro.scenarios.store.generate", _boom)
+        parallel = run_plan(
+            plan,
+            session,
+            executor=ProcessExecutor(workers=2, start_method="fork"),
+            merge_spend=False,
+        )
+
+        assert _same_points(serial.points, parallel.points)
