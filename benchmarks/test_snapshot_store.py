@@ -11,7 +11,15 @@ through the chunked generator):
 - store-open wall clock (what runs and workers pay now), with a
   ≥``MIN_LOAD_SPEEDUP``× gate over regeneration — the acceptance
   criterion that opening a snapshot beats rebuilding it by a wide
-  margin even for the fastest generator configs.
+  margin even for the fastest generator configs;
+- **sharded build** wall clock (``SnapshotStore.build`` fanning the
+  workforce chunks out to ``SHARD_WORKERS`` processes that write the
+  store files directly) vs the sequential ``generate + save`` it
+  replaces, with a byte-identity check of the two snapshot directories
+  and a ≥``MIN_SHARDED_SPEEDUP``× gate — enforced only on machines
+  with at least ``SHARD_WORKERS`` cores, since the speedup is a
+  physical impossibility below that (the measurement is still taken
+  and recorded).
 
 Timings land in ``BENCH_snapshot.json`` at the repo root (companion of
 ``BENCH_trials.json`` and ``BENCH_grid.json``) so successive PRs can
@@ -19,8 +27,12 @@ diff them.
 """
 
 import json
+import os
 import time
+from dataclasses import replace
 from pathlib import Path
+
+import pytest
 
 from benchmarks.conftest import write_report
 from repro.data.generator import generate
@@ -34,11 +46,28 @@ SCENARIO = "national-1m"
 MIN_LOAD_SPEEDUP = 5.0
 LOAD_TRIALS = 3
 
+SHARD_WORKERS = 4
+MIN_SHARDED_SPEEDUP = 3.0
+
 
 def _timed(fn):
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def _merge_bench_json(fields: dict) -> None:
+    """Fold ``fields`` into BENCH_snapshot.json, keeping existing keys."""
+    payload = {}
+    if BENCH_JSON.is_file():
+        try:
+            payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(fields)
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def test_snapshot_store_wall_clock(out_dir, tmp_path):
@@ -74,29 +103,119 @@ def test_snapshot_store_wall_clock(out_dir, tmp_path):
     )
     write_report(out_dir, "bench-snapshot-store", report)
 
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "scenario": SCENARIO,
-                "fingerprint": fingerprint,
-                "n_jobs": int(dataset.n_jobs),
-                "n_establishments": int(dataset.n_establishments),
-                "size_bytes": store.size_bytes(fingerprint),
-                "generate_s": generate_s,
-                "save_s": save_s,
-                "load_s": load_s,
-                "load_speedup": speedup,
-                "min_load_speedup_gate": MIN_LOAD_SPEEDUP,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n",
-        encoding="utf-8",
+    _merge_bench_json(
+        {
+            "scenario": SCENARIO,
+            "fingerprint": fingerprint,
+            "n_jobs": int(dataset.n_jobs),
+            "n_establishments": int(dataset.n_establishments),
+            "size_bytes": store.size_bytes(fingerprint),
+            "generate_s": generate_s,
+            "save_s": save_s,
+            "load_s": load_s,
+            "load_speedup": speedup,
+            "min_load_speedup_gate": MIN_LOAD_SPEEDUP,
+        }
     )
 
     assert speedup >= MIN_LOAD_SPEEDUP, (
         f"store-load speedup {speedup:.1f}x below the "
         f"{MIN_LOAD_SPEEDUP}x gate (generate {generate_s:.3f}s, "
         f"load {load_s:.3f}s)"
+    )
+
+
+def _assert_snapshot_dirs_identical(a: Path, b: Path) -> int:
+    """Byte-compare two snapshot dirs (meta modulo created_at); file count."""
+    names_a = sorted(p.name for p in a.iterdir())
+    names_b = sorted(p.name for p in b.iterdir())
+    assert names_a == names_b, (names_a, names_b)
+    for name in names_a:
+        bytes_a = (a / name).read_bytes()
+        bytes_b = (b / name).read_bytes()
+        if name == "meta.json":
+            meta_a, meta_b = json.loads(bytes_a), json.loads(bytes_b)
+            meta_a.pop("created_at")
+            meta_b.pop("created_at")
+            assert meta_a == meta_b, "meta payload differs"
+        else:
+            assert bytes_a == bytes_b, f"{name} differs"
+    return len(names_a)
+
+
+def test_sharded_build_wall_clock(out_dir, tmp_path):
+    """Sharded store-build vs sequential generate+save at national scale.
+
+    The sharded config is the ``national-1m`` economy scaled to ~3.7M
+    realized jobs and chunked at 150k (~25 chunks), so
+    ``SHARD_WORKERS`` round-robin shards stay balanced and the serial
+    prologue (geography + establishment planning) plus pool start-up
+    amortize to a few percent of the build.  The chunk partition is
+    part of the fingerprint, so both paths build the *same* snapshot
+    and the directories must match byte for byte.
+    """
+    config = replace(
+        scenario_config(SCENARIO), target_jobs=3_000_000, chunk_jobs=150_000
+    )
+    fingerprint = dataset_fingerprint(config)
+
+    sequential = SnapshotStore(tmp_path / "sequential")
+    dataset, generate_s = _timed(lambda: generate(config))
+    _, save_s = _timed(lambda: sequential.save(dataset, config))
+    sequential_s = generate_s + save_s
+    n_jobs = int(dataset.n_jobs)
+    del dataset
+
+    sharded = SnapshotStore(tmp_path / "sharded")
+    built, sharded_s = _timed(
+        lambda: sharded.build(config, workers=SHARD_WORKERS)
+    )
+    n_files = _assert_snapshot_dirs_identical(
+        sequential.path_for(fingerprint), built
+    )
+
+    speedup = sequential_s / sharded_s
+    cpus = os.cpu_count() or 1
+    rows = [
+        ["generate + save", f"{sequential_s:.3f}", "the sequential build"],
+        [
+            f"build (x{SHARD_WORKERS})",
+            f"{sharded_s:.3f}",
+            f"{speedup:.2f}x, byte-identical across {n_files} files",
+        ],
+    ]
+    report = format_table(
+        headers=["path", "seconds", "note"],
+        rows=rows,
+        title=(
+            f"sharded snapshot build @ {SCENARIO} "
+            f"({n_jobs:,} jobs, {cpus} core(s))"
+        ),
+    )
+    write_report(out_dir, "bench-snapshot-sharded", report)
+
+    _merge_bench_json(
+        {
+            "sharded_fingerprint": fingerprint,
+            "sharded_n_jobs": n_jobs,
+            "sharded_chunk_jobs": config.chunk_jobs,
+            "sequential_build_s": sequential_s,
+            "sharded_build_s": sharded_s,
+            "sharded_speedup": speedup,
+            "shard_workers": SHARD_WORKERS,
+            "cpu_count": cpus,
+            "min_sharded_speedup_gate": MIN_SHARDED_SPEEDUP,
+        }
+    )
+
+    if cpus < SHARD_WORKERS:
+        pytest.skip(
+            f"{cpus} core(s) < {SHARD_WORKERS} workers: the "
+            f"{MIN_SHARDED_SPEEDUP}x gate needs real parallelism "
+            f"(measured {speedup:.2f}x, recorded in BENCH_snapshot.json)"
+        )
+    assert speedup >= MIN_SHARDED_SPEEDUP, (
+        f"sharded build speedup {speedup:.2f}x below the "
+        f"{MIN_SHARDED_SPEEDUP}x gate (sequential {sequential_s:.3f}s, "
+        f"sharded {sharded_s:.3f}s with {SHARD_WORKERS} workers)"
     )

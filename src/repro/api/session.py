@@ -100,6 +100,7 @@ class ReleaseSession:
         dataset=None,
         snapshot_store=None,
         snapshot_mmap: bool = True,
+        snapshot_workers: int | None = None,
         budget: float | None = None,
         delta_budget: float | None = None,
         on_overdraft: str = "raise",
@@ -119,11 +120,16 @@ class ReleaseSession:
         # a read-only memory map instead of regenerated.
         self.dataset_provided = dataset is not None
         self.snapshot_store = None if dataset is not None else snapshot_store
+        # How many processes a snapshot-store miss may fan the build out
+        # to (SnapshotStore.build); None/1 keeps the sequential path.
+        self.snapshot_workers = snapshot_workers
         if dataset is not None:
             self.dataset = dataset
         elif self.snapshot_store is not None:
             self.dataset, _ = self.snapshot_store.load_or_generate(
-                self.config.data, mmap=snapshot_mmap
+                self.config.data,
+                mmap=snapshot_mmap,
+                build_workers=snapshot_workers,
             )
         else:
             self.dataset = generate(self.config.data)
@@ -169,9 +175,12 @@ class ReleaseSession:
         makes the scenario's economy a persistent artifact: the first
         session generates and saves it, every later one — in this or any
         other process — opens the stored snapshot as a memory map.
-        Extra ``kwargs`` split between the experiment config
-        (``n_trials``, ``seed``, grid overrides ...) and the session
-        (``budget``, ``worker_attrs`` ...).
+        ``snapshot_workers=N`` (> 1) lets that first build fan its
+        workforce chunks out to N processes writing the store files
+        directly — byte-identical to the sequential build, several
+        times faster at national scale.  Extra ``kwargs`` split between
+        the experiment config (``n_trials``, ``seed``, grid overrides
+        ...) and the session (``budget``, ``worker_attrs`` ...).
         """
         from repro.experiments.config import ExperimentConfig
         import dataclasses

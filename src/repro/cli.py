@@ -12,7 +12,9 @@ Subcommands:
   the noisy marginal plus the privacy-ledger state;
 - ``generate`` — generate a synthetic LODES snapshot and save it as CSV;
 - ``scenarios`` — list the registered scenario library, build a named
-  scenario's snapshot into the persistent store, or inspect one.
+  scenario's snapshot into the persistent store (``--workers N`` shards
+  the build over a process pool, byte-identically), inspect one, or
+  prune staging directories left by crashed builds.
 
 Every data-touching command builds one :class:`repro.api.ReleaseSession`
 per invocation: the snapshot is generated once, the SDL baseline fitted
@@ -97,7 +99,9 @@ examples:
   repro generate --jobs 60000 --out snapshot/
   repro scenarios list                    # the registered economy library
   repro scenarios build national-1m       # persist a snapshot to the store
+  repro scenarios build national-1m --workers 4   # sharded, byte-identical
   repro scenarios info metro-heavy
+  repro scenarios prune                   # clear stale staging dirs (--all: every one)
 
 sweep engine (figures / tables / sweep):
   --workers N      parallel grid evaluation (bit-identical to serial)
@@ -111,6 +115,9 @@ snapshot store (figures / tables / sweep / scenarios):
   --snapshot-dir DIR persistent snapshot store (default reports/snapshots);
                      runs and process workers mmap the stored economy
   --no-snapshots     regenerate in-process, do not touch the store
+  --workers N        a snapshot miss builds sharded over N processes
+                     (scenarios build; figures/tables/sweep reuse their
+                     executor worker count for the build, bit-identically)
 """
 
 
@@ -322,9 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios = subparsers.add_parser(
         "scenarios",
         help="list the scenario library, build snapshots into the "
-        "persistent store, or inspect one",
+        "persistent store, inspect one, or prune stale staging dirs",
     )
-    scenarios.add_argument("action", choices=("list", "build", "info"))
+    scenarios.add_argument("action", choices=("list", "build", "info", "prune"))
     scenarios.add_argument(
         "name", nargs="?", default=None, help="scenario name (build/info)"
     )
@@ -339,6 +346,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--force",
         action="store_true",
         help="rebuild the snapshot even if the store already has it",
+    )
+    scenarios.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build the snapshot sharded over N processes, each writing "
+        "its workforce chunks straight into the store files "
+        "(byte-identical to the sequential build; default: sequential)",
+    )
+    scenarios.add_argument(
+        "--all",
+        action="store_true",
+        help="prune: remove every staging directory regardless of age "
+        "(default: only those older than an hour, so concurrent "
+        "builds are safe)",
     )
     return parser
 
@@ -382,9 +405,14 @@ def _config_from_args(args, trials_batch: int | None = None) -> ExperimentConfig
 
 
 def _session_from_args(args, trials_batch: int | None = None) -> ReleaseSession:
+    # --workers does double duty: grid points fan out to that many
+    # executor workers, and a snapshot-store *miss* builds the economy
+    # sharded over the same count (byte-identical to sequential).
+    workers = getattr(args, "workers", None)
     return ReleaseSession(
         _config_from_args(args, trials_batch),
         snapshot_store=_snapshot_store_from_args(args),
+        snapshot_workers=workers,
     )
 
 
@@ -590,10 +618,23 @@ def _require_scenario_name(args) -> str:
 
 
 def run_scenarios(args) -> int:
-    """``repro scenarios list|build|info`` against the snapshot store."""
+    """``repro scenarios list|build|info|prune`` against the snapshot store."""
     import time as _time
 
     store = SnapshotStore(args.snapshot_dir)
+    if args.action == "prune":
+        removed = (
+            store.prune(max_age_s=0.0) if args.all else store.prune()
+        )
+        if removed:
+            for path in removed:
+                print(f"pruned {path}")
+        print(
+            f"{len(removed)} stale staging dir(s) removed under {store.root}"
+            + ("" if args.all else " (age-gated; --all removes every one)")
+        )
+        return 0
+
     if args.action == "list":
         rows = []
         for name in available_scenarios():
@@ -633,22 +674,24 @@ def run_scenarios(args) -> int:
                 "(use --force to rebuild)"
             )
             return 0
+        workers = args.workers if args.workers and args.workers > 1 else 1
         start = _time.perf_counter()
-        from repro.data.generator import generate as _generate
-
-        dataset = _generate(config)
-        generate_s = _time.perf_counter() - start
-        start = _time.perf_counter()
-        path = store.save(
-            dataset, config, fingerprint=fingerprint, overwrite=args.force
+        path = store.build(
+            config,
+            workers=workers,
+            fingerprint=fingerprint,
+            overwrite=args.force,
         )
-        save_s = _time.perf_counter() - start
-        summary = dataset.summary()
+        build_s = _time.perf_counter() - start
+        meta = store.info(fingerprint) or {}
+        how = (
+            f"sharded over {workers} workers" if workers > 1 else "sequential"
+        )
         print(
-            f"built {name}: {int(summary['n_jobs'])} jobs, "
-            f"{int(summary['n_establishments'])} establishments, "
-            f"{int(summary['n_places'])} places "
-            f"(generated in {generate_s:.2f}s, persisted in {save_s:.2f}s)"
+            f"built {name}: {meta.get('n_jobs', 0):,} jobs, "
+            f"{meta.get('n_establishments', 0):,} establishments, "
+            f"{meta.get('n_places', 0):,} places "
+            f"({how}, {build_s:.2f}s)"
         )
         print(f"stored at {path} ({store.size_bytes(fingerprint):,} bytes)")
         return 0

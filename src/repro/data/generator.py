@@ -114,8 +114,57 @@ def _draw_establishment_blocks(
     return out
 
 
-def generate(config: SyntheticConfig | None = None) -> LODESDataset:
-    """Generate a full synthetic LODES snapshot from ``config``."""
+@dataclass
+class EconomyPlan:
+    """Everything about a snapshot except the worker-attribute draws.
+
+    The deterministic prologue of generation — geography, establishment
+    placement, public attributes, realized sizes, per-place demographic
+    mixes — plus ``worker_rng``, the ``derive_seed(seed, "workers")``
+    stream advanced past the place-mix draw and therefore positioned
+    exactly where chunk 0 of the workforce sampling continues it.
+
+    The plan is what the sharded snapshot builder ships to worker
+    processes: it is a pure function of ``config`` (and cheap, O(places
+    + establishments)), while the O(jobs) workforce columns it seeds are
+    drawn chunk-by-chunk wherever they are needed.  ``np.random.Generator``
+    pickles with its exact bit-stream position, so a shipped plan draws
+    chunk 0 bit-identically to the in-process path.
+    """
+
+    config: SyntheticConfig
+    geography: object
+    workplace: Table
+    sizes: np.ndarray
+    place_mixes: object
+    worker_rng: np.random.Generator
+
+    @property
+    def n_establishments(self) -> int:
+        return self.workplace.n_rows
+
+    @property
+    def n_jobs(self) -> int:
+        """Realized jobs (the sum of realized establishment sizes)."""
+        return int(self.sizes.sum())
+
+    @property
+    def sector(self) -> np.ndarray:
+        return self.workplace.column("naics")
+
+    @property
+    def estab_place(self) -> np.ndarray:
+        return self.workplace.column("place")
+
+
+def plan_economy(config: SyntheticConfig | None = None) -> EconomyPlan:
+    """Plan a snapshot: every deterministic draw up to the workforce.
+
+    Consumes the ``geography``/``establishments``/``sizes``/``workers``
+    derived streams in exactly the order :func:`generate` always has, so
+    a plan followed by chunked workforce sampling is bit-identical to
+    the historical single-pass generator.
+    """
     config = config or SyntheticConfig()
     geo_rng = as_generator(derive_seed(config.seed, "geography"))
     geography = generate_geography(config.geography, geo_rng)
@@ -166,12 +215,26 @@ def generate(config: SyntheticConfig | None = None) -> LODESDataset:
 
     worker_rng = as_generator(derive_seed(config.seed, "workers"))
     place_mixes = draw_place_mixes(geography.n_places, worker_rng)
+    return EconomyPlan(
+        config=config,
+        geography=geography,
+        workplace=workplace,
+        sizes=sizes,
+        place_mixes=place_mixes,
+        worker_rng=worker_rng,
+    )
+
+
+def generate(config: SyntheticConfig | None = None) -> LODESDataset:
+    """Generate a full synthetic LODES snapshot from ``config``."""
+    plan = plan_economy(config)
+    config = plan.config
     worker_columns = sample_workforce_chunked(
-        sizes,
-        sector,
-        estab_place,
-        place_mixes,
-        worker_rng,
+        plan.sizes,
+        plan.sector,
+        plan.estab_place,
+        plan.place_mixes,
+        plan.worker_rng,
         base_seed=config.seed,
         chunk_jobs=config.chunk_jobs,
     )
@@ -180,13 +243,13 @@ def generate(config: SyntheticConfig | None = None) -> LODESDataset:
     n_jobs = worker.n_rows
     job_worker = np.arange(n_jobs, dtype=np.int64)
     job_establishment = np.repeat(
-        np.arange(n_establishments, dtype=np.int64), sizes
+        np.arange(plan.n_establishments, dtype=np.int64), plan.sizes
     )
 
     return LODESDataset(
         worker=worker,
-        workplace=workplace,
+        workplace=plan.workplace,
         job_worker=job_worker,
         job_establishment=job_establishment,
-        geography=geography,
+        geography=plan.geography,
     )

@@ -26,7 +26,7 @@ from repro.data.dataset import LODESDataset
 from repro.data.generator import SyntheticConfig, generate
 from repro.data.schema import worker_schema
 from repro.data.sizes import SizeModel
-from repro.data.workers import draw_place_mixes, sample_workforce_batch
+from repro.data.workers import draw_place_mixes, sample_workforce_chunked
 from repro.db.table import Table
 from repro.util import as_generator, check_nonnegative, check_positive, derive_seed
 
@@ -149,11 +149,21 @@ def generate_panel(config: PanelConfig | None = None) -> LODESPanel:
     years = []
     for year in range(config.n_years):
         sizes = sizes_by_year[year]
-        worker_rng = as_generator(
-            derive_seed(config.base.seed, f"panel-workers-{year}")
-        )
-        columns = sample_workforce_batch(
-            sizes, sector, place, place_mixes, worker_rng
+        # Per-year draws stream through the chunked sampler so a scaled
+        # panel never materializes a full-year inverse-CDF transient.
+        # Chunk 0 continues the year's historical stream — any year
+        # fitting one chunk (every current config) is bit-identical to
+        # the old direct sample_workforce_batch call — and later chunks
+        # derive from the year seed, keeping years' streams disjoint.
+        year_seed = derive_seed(config.base.seed, f"panel-workers-{year}")
+        columns = sample_workforce_chunked(
+            sizes,
+            sector,
+            place,
+            place_mixes,
+            as_generator(year_seed),
+            base_seed=year_seed,
+            chunk_jobs=config.base.chunk_jobs,
         )
         worker = Table(schema, columns)
         n_jobs = worker.n_rows

@@ -11,6 +11,7 @@ profile.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -178,6 +179,22 @@ def chunk_ranges(sizes: np.ndarray, chunk_jobs: int) -> list[tuple[int, int]]:
     return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
 
 
+def chunk_generator(
+    index: int, rng: np.random.Generator, base_seed: int
+) -> np.random.Generator:
+    """The noise stream chunk ``index`` draws from.
+
+    Chunk 0 continues ``rng`` — the stream the single-shot path has
+    always used — so single-chunk configs stay bit-identical to the
+    historical generator; later chunks get independent derived streams.
+    Shared by the sequential and sharded builders, which is what makes
+    them byte-for-byte interchangeable.
+    """
+    if index == 0:
+        return rng
+    return as_generator(derive_seed(base_seed, f"workers:chunk:{index}"))
+
+
 def sample_workforce_chunked(
     sizes: np.ndarray,
     sector_indices: np.ndarray,
@@ -215,11 +232,7 @@ def sample_workforce_chunked(
     columns = {name: np.empty(total, dtype=np.int64) for name in WORKER_COLUMNS}
     offset = 0
     for index, (lo, hi) in enumerate(ranges):
-        chunk_rng = (
-            rng
-            if index == 0
-            else as_generator(derive_seed(base_seed, f"workers:chunk:{index}"))
-        )
+        chunk_rng = chunk_generator(index, rng, base_seed)
         chunk = sample_workforce_batch(
             sizes[lo:hi],
             sector_indices[lo:hi],
@@ -232,3 +245,129 @@ def sample_workforce_chunked(
             columns[name][offset : offset + n_chunk_jobs] = chunk[name]
         offset += n_chunk_jobs
     return columns
+
+
+# -- sharded (process-parallel) builds ---------------------------------
+
+# File names of the job-indexed link arrays, as laid out by the snapshot
+# store; the sharded builder writes them chunk-by-chunk alongside the
+# worker columns so no O(jobs) array ever materializes in the parent.
+JOB_ARRAYS: tuple[str, ...] = ("job_worker", "job_establishment")
+
+
+@dataclass(frozen=True)
+class _ShardedBuildContext:
+    """Everything a build worker needs, picklable in one piece.
+
+    Shipped once per worker shard by :func:`repro.engine.executors.run_sharded`:
+    the O(establishments) plan arrays, the per-place mixes, the advanced
+    chunk-0 generator (pickled with its exact bit-stream position) and
+    the target ``.npy`` paths the chunk slices land in.
+    """
+
+    sizes: np.ndarray
+    sector_indices: np.ndarray
+    place_indices: np.ndarray
+    place_mixes: PlaceMixes
+    rng0: np.random.Generator
+    base_seed: int
+    paths: dict  # column/link name -> str path of a preallocated .npy
+
+
+def _write_chunk(context: _ShardedBuildContext, item) -> int:
+    """Build-worker task: draw one chunk and write its job slices.
+
+    Each chunk owns the disjoint job range ``[job_lo, job_hi)``, so
+    concurrent workers write non-overlapping slices of the shared
+    ``.npy`` files — opened as ``mmap_mode="r+"`` views of the arrays
+    the parent preallocated with :func:`np.lib.format.open_memmap`.
+    """
+    index, lo, hi, job_lo, job_hi = item
+    rng = chunk_generator(index, context.rng0, context.base_seed)
+    chunk = sample_workforce_batch(
+        context.sizes[lo:hi],
+        context.sector_indices[lo:hi],
+        context.place_indices[lo:hi],
+        context.place_mixes,
+        rng,
+    )
+    chunk["job_worker"] = np.arange(job_lo, job_hi, dtype=np.int64)
+    chunk["job_establishment"] = np.repeat(
+        np.arange(lo, hi, dtype=np.int64), context.sizes[lo:hi]
+    )
+    for name, values in chunk.items():
+        out = np.load(context.paths[name], mmap_mode="r+")
+        out[job_lo:job_hi] = values
+        out.flush()
+        del out
+    return job_hi - job_lo
+
+
+def build_workforce_sharded(
+    sizes: np.ndarray,
+    sector_indices: np.ndarray,
+    place_indices: np.ndarray,
+    place_mixes: PlaceMixes,
+    rng: np.random.Generator,
+    *,
+    base_seed: int,
+    chunk_jobs: int,
+    paths: dict[str, Path | str],
+    workers: int = 1,
+    start_method: str | None = None,
+) -> int:
+    """Write the workforce directly into ``.npy`` files, chunks in parallel.
+
+    The sharded counterpart of :func:`sample_workforce_chunked` for
+    snapshot *persistence*: instead of assembling in-memory columns, the
+    five worker columns plus the two job link arrays are preallocated on
+    disk via :func:`np.lib.format.open_memmap` and each chunk's slice is
+    drawn and written by a process-pool task (``workers=1`` runs the
+    same tasks inline).  Chunks are independently seeded through
+    :func:`chunk_generator`, so the files are **byte-identical** to what
+    ``np.save`` of the sequential build produces, whatever the worker
+    count or scheduling.  Returns the total number of jobs written.
+
+    ``paths`` maps every :data:`WORKER_COLUMNS` name and both
+    :data:`JOB_ARRAYS` names to its target file (typically a snapshot
+    store's staging directory).
+    """
+    missing = [n for n in (*WORKER_COLUMNS, *JOB_ARRAYS) if n not in paths]
+    if missing:
+        raise ValueError(f"paths is missing targets for {missing}")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    ranges = chunk_ranges(sizes, chunk_jobs)
+    job_edges = np.concatenate([[0], np.cumsum(sizes)])
+    items = [
+        (index, lo, hi, int(job_edges[lo]), int(job_edges[hi]))
+        for index, (lo, hi) in enumerate(ranges)
+    ]
+    total = int(sizes.sum())
+    str_paths = {name: str(path) for name, path in paths.items()}
+    for name in (*WORKER_COLUMNS, *JOB_ARRAYS):
+        # Preallocate (and write the header of) every target file; the
+        # chunk tasks only fill disjoint slices.
+        out = np.lib.format.open_memmap(
+            str_paths[name], mode="w+", dtype=np.int64, shape=(total,)
+        )
+        out.flush()
+        del out
+    context = _ShardedBuildContext(
+        sizes=sizes,
+        sector_indices=np.asarray(sector_indices, dtype=np.int64),
+        place_indices=np.asarray(place_indices, dtype=np.int64),
+        place_mixes=place_mixes,
+        rng0=rng,
+        base_seed=base_seed,
+        paths=str_paths,
+    )
+    from repro.engine.executors import run_sharded
+
+    written = run_sharded(
+        _write_chunk,
+        items,
+        workers=workers,
+        context_args=(context,),
+        start_method=start_method,
+    )
+    return int(sum(written))

@@ -42,7 +42,12 @@ __all__ = [
     "EXECUTOR_NAMES",
     "resolve_executor",
     "default_workers",
+    "run_sharded",
 ]
+
+# Caps default_workers() regardless of the machine's core count, so CI
+# (and any shared box) can bound process fan-out without touching code.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
 
 @runtime_checkable
@@ -127,10 +132,69 @@ def _shard_session(config, worker_attrs, snapshot_root):
 _WORKER_SESSION: tuple | None = None
 
 
-def _run_shard(fn, config, worker_attrs, snapshot_root, indexed_items):
-    """Worker entry point: evaluate one shard against a rebuilt session."""
-    session = _shard_session(config, worker_attrs, snapshot_root)
-    return [(index, fn(session, item)) for index, item in indexed_items]
+def _run_shard(make_context, context_args, fn, indexed_items):
+    """Worker entry point: evaluate one shard against a rebuilt context.
+
+    ``make_context(*context_args)`` builds (or fetches this process's
+    cached) task context — a :class:`~repro.api.session.ReleaseSession`
+    for sweeps, a plain picklable build context for sharded snapshot
+    generation — and the shard streams through ``fn(context, item)``.
+    """
+    context = make_context(*context_args)
+    return [(index, fn(context, item)) for index, item in indexed_items]
+
+
+def _context_passthrough(context):
+    """Identity ``make_context`` for callers shipping the context itself."""
+    return context
+
+
+def run_sharded(
+    fn: Callable,
+    items: Sequence,
+    *,
+    workers: int,
+    make_context: Callable = _context_passthrough,
+    context_args: tuple = (),
+    start_method: str | None = None,
+) -> list:
+    """Ordered ``fn(context, item)`` map over a process pool.
+
+    The process-parallel core shared by :class:`ProcessExecutor` (whose
+    context is a per-process rebuilt session) and the sharded snapshot
+    builder (whose context is the picklable generation plan).  Items are
+    sharded round-robin so each worker receives one submission —
+    amortizing whatever ``make_context`` costs across its whole shard —
+    and results come back in item order.  With one item or one worker
+    the map runs inline in the calling process, context built the same
+    way, so callers get a single code path.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    items = list(items)
+    if not items:
+        return []
+    if len(items) == 1 or workers == 1:
+        context = make_context(*context_args)
+        return [fn(context, item) for item in items]
+    import multiprocessing
+
+    mp_context = multiprocessing.get_context(start_method)
+    n_workers = min(workers, len(items))
+    indexed = list(enumerate(items))
+    shards = [indexed[offset::n_workers] for offset in range(n_workers)]
+    results: list = [None] * len(items)
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=mp_context
+    ) as pool:
+        futures = [
+            pool.submit(_run_shard, make_context, context_args, fn, shard)
+            for shard in shards
+        ]
+        for future in futures:
+            for index, result in future.result():
+                results[index] = result
+    return results
 
 
 class ProcessExecutor:
@@ -163,39 +227,20 @@ class ProcessExecutor:
         items = list(items)
         if len(items) <= 1 or self.workers == 1:
             return SerialExecutor().map(fn, session, items)
-        import multiprocessing
-
-        context = multiprocessing.get_context(self.start_method)
-        n_workers = min(self.workers, len(items))
-        shards = [
-            list(enumerate(items))[offset::n_workers]
-            for offset in range(n_workers)
-        ]
         # Where workers should open the snapshot from.  A session built
         # over a SnapshotStore has already persisted its snapshot (the
         # store saves on first generation), so workers map the stored
         # bytes instead of regenerating the economy per process.
         store = getattr(session, "snapshot_store", None)
         snapshot_root = None if store is None else str(store.root)
-        results: list = [None] * len(items)
-        with ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _run_shard,
-                    fn,
-                    session.config,
-                    session.worker_attrs,
-                    snapshot_root,
-                    shard,
-                )
-                for shard in shards
-            ]
-            for future in futures:
-                for index, result in future.result():
-                    results[index] = result
-        return results
+        return run_sharded(
+            fn,
+            items,
+            workers=self.workers,
+            make_context=_shard_session,
+            context_args=(session.config, session.worker_attrs, snapshot_root),
+            start_method=self.start_method,
+        )
 
     def __repr__(self) -> str:
         return f"ProcessExecutor(workers={self.workers})"
@@ -210,8 +255,26 @@ _POOL_FACTORIES = {
 
 
 def default_workers() -> int:
-    """A sensible worker count for this machine (bounded for CI)."""
-    return max(2, min(4, (os.cpu_count() or 2)))
+    """A sensible worker count for this machine.
+
+    Scales with ``os.cpu_count()`` — a 64-core sweep box gets 64
+    workers, not a hard-coded 4 — with a floor of 2 so ``--executor
+    process`` without a count always yields real parallelism.  The
+    ``REPRO_MAX_WORKERS`` environment variable caps the result (CI
+    runners and shared machines bound fan-out without code changes);
+    a cap of 1 forces serial-in-process execution.
+    """
+    workers = max(2, os.cpu_count() or 2)
+    override = os.environ.get(MAX_WORKERS_ENV, "").strip()
+    if override:
+        try:
+            cap = int(override)
+        except ValueError:
+            raise ValueError(
+                f"{MAX_WORKERS_ENV} must be an integer, got {override!r}"
+            ) from None
+        workers = min(workers, max(1, cap))
+    return workers
 
 
 def resolve_executor(executor=None, workers: int | None = None):

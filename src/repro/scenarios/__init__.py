@@ -35,6 +35,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.store import (
     DEFAULT_SNAPSHOT_DIR,
+    STALE_STAGING_AGE_S,
     SnapshotStore,
     dataset_fingerprint,
 )
@@ -48,5 +49,6 @@ __all__ = [
     "scenario_config",
     "SnapshotStore",
     "DEFAULT_SNAPSHOT_DIR",
+    "STALE_STAGING_AGE_S",
     "dataset_fingerprint",
 ]

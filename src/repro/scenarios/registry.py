@@ -65,6 +65,22 @@ class ScenarioSpec:
             )
         return config
 
+    def build(
+        self,
+        store,
+        *,
+        workers: int | None = None,
+        overwrite: bool = False,
+    ):
+        """Persist this scenario's snapshot into ``store``; returns its path.
+
+        ``workers > 1`` fans the workforce chunks out to a process pool
+        (:meth:`~repro.scenarios.store.SnapshotStore.build`); the
+        installed directory is byte-identical either way.  An existing
+        loadable snapshot is kept unless ``overwrite=True``.
+        """
+        return store.build(self.config(), workers=workers, overwrite=overwrite)
+
 
 _REGISTRY: dict[str, ScenarioSpec] = {}
 _builtins_loaded = False

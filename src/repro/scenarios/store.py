@@ -31,9 +31,17 @@ no-invalidation property as the engine's result store: a changed knob
 hashes to a new directory, and the engine's content-addressed point
 keys — which embed the snapshot fingerprint — compose with it for free.
 
-Writes are atomic (temp directory + ``os.replace``), and any unreadable,
+Writes are atomic (temp directory + ``os.replace``), staged trees are
+re-permissioned to honor the process umask (so a shared store is
+readable by every user the umask admits), stale staging directories
+left by crashed builds are pruned age-gated on the next write (or
+explicitly via :meth:`SnapshotStore.prune`), and any unreadable,
 partial or version-skewed snapshot is treated as a miss and rebuilt:
 persistence must never be worse than regenerating.
+:meth:`SnapshotStore.build` generates a snapshot *directly into* the
+staged layout — workforce chunks drawn by a process pool, each writing
+its slice of the final ``.npy`` files — so national-scale economies
+persist without ever materializing in the parent process.
 """
 
 from __future__ import annotations
@@ -43,21 +51,24 @@ import os
 import shutil
 import tempfile
 import time
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.dataset import LODESDataset
-from repro.data.generator import SyntheticConfig, generate
+from repro.data.generator import SyntheticConfig, generate, plan_economy
 from repro.data.geography import geography_from_payload, geography_payload
 from repro.data.schema import worker_schema, workplace_schema
+from repro.data.workers import JOB_ARRAYS, WORKER_COLUMNS, build_workforce_sharded
 from repro.db.table import Table
 from repro.engine.store import content_key
 
 __all__ = [
     "SnapshotStore",
     "DEFAULT_SNAPSHOT_DIR",
+    "STALE_STAGING_AGE_S",
     "dataset_fingerprint",
 ]
 
@@ -68,7 +79,14 @@ SNAPSHOT_SCHEMA_VERSION = 1
 META_FILE = "meta.json"
 GEOGRAPHY_FILE = "geography.json"
 
-_JOB_ARRAYS = ("job_worker", "job_establishment")
+_JOB_ARRAYS = JOB_ARRAYS
+
+# Staging directories older than this are considered orphans of a
+# crashed build and removed by prune(); the age gate keeps a concurrent
+# writer's live staging safe.
+STALE_STAGING_AGE_S = 3600.0
+
+_STAGING_MARKER = ".tmp-"
 
 
 def dataset_fingerprint(config: SyntheticConfig) -> str:
@@ -144,18 +162,106 @@ class SnapshotStore:
         """
         fingerprint = fingerprint or dataset_fingerprint(config)
         final = self.path_for(fingerprint)
-        self.root.mkdir(parents=True, exist_ok=True)
-        staging = Path(
-            tempfile.mkdtemp(dir=self.root, prefix=f".{fingerprint}.tmp-")
-        )
+        staging = self._staging_dir(fingerprint)
         try:
             self._write_snapshot(staging, dataset, config, fingerprint)
+            _honor_umask(staging)
             self._install(staging, final, fingerprint, overwrite)
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
         self.writes += 1
         return final
+
+    def build(
+        self,
+        config: SyntheticConfig,
+        *,
+        workers: int | None = None,
+        fingerprint: str | None = None,
+        overwrite: bool = False,
+        start_method: str | None = None,
+    ) -> Path:
+        """Generate ``config``'s snapshot *directly into* the store, sharded.
+
+        Unlike :meth:`save` (which persists an already-materialized
+        dataset), ``build`` runs generation against the staged snapshot
+        layout itself: the parent process plans the economy (geography,
+        establishments, sizes — O(places + establishments)) and writes
+        the small workplace columns, while the O(jobs) worker columns
+        and job link arrays are preallocated with
+        ``np.lib.format.open_memmap`` and filled chunk-by-chunk by a
+        process pool (``workers`` of them; ``None``/1 runs the chunk
+        tasks inline).  No full-economy array ever materializes in the
+        parent, and because chunks are independently seeded the
+        installed directory is **byte-identical** to a sequential
+        ``save(generate(config), config)`` — same fingerprint, same
+        file bytes — whatever the worker count.
+        """
+        workers = 1 if workers is None else int(workers)
+        fingerprint = fingerprint or dataset_fingerprint(config)
+        final = self.path_for(fingerprint)
+        # Same fingerprint ⇒ same bytes: an existing *loadable* snapshot
+        # makes the whole generation pointless, not just the install.
+        if (
+            not overwrite
+            and self._load(fingerprint, mmap=True, count=False) is not None
+        ):
+            return final
+        staging = self._staging_dir(fingerprint)
+        try:
+            plan = plan_economy(config)
+            workplace_columns = list(plan.workplace.schema.names)
+            for name in workplace_columns:
+                np.save(
+                    staging / f"workplace__{name}.npy",
+                    np.ascontiguousarray(plan.workplace.column(name)),
+                )
+            paths: dict[str, Path] = {
+                name: staging / f"worker__{name}.npy" for name in WORKER_COLUMNS
+            }
+            for name in _JOB_ARRAYS:
+                paths[name] = staging / f"{name}.npy"
+            n_jobs = build_workforce_sharded(
+                plan.sizes,
+                plan.sector,
+                plan.estab_place,
+                plan.place_mixes,
+                plan.worker_rng,
+                base_seed=config.seed,
+                chunk_jobs=config.chunk_jobs,
+                paths=paths,
+                workers=workers,
+                start_method=start_method,
+            )
+            self._write_geography(staging, plan.geography)
+            self._write_meta(
+                staging,
+                config,
+                fingerprint,
+                n_jobs=n_jobs,
+                n_establishments=plan.n_establishments,
+                n_places=plan.geography.n_places,
+                worker_columns=list(WORKER_COLUMNS),
+                workplace_columns=workplace_columns,
+            )
+            _honor_umask(staging)
+            self._install(staging, final, fingerprint, overwrite)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self.writes += 1
+        return final
+
+    def _staging_dir(self, fingerprint: str) -> Path:
+        """A fresh staging directory under the root (which this creates)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.prune()
+        return Path(
+            tempfile.mkdtemp(
+                dir=self.root, prefix=f".{fingerprint}{_STAGING_MARKER}"
+            )
+        )
 
     def _install(
         self, staging: Path, final: Path, fingerprint: str, overwrite: bool
@@ -204,19 +310,45 @@ class SnapshotStore:
             directory / "job_establishment.npy",
             np.ascontiguousarray(dataset.job_establishment),
         )
+        self._write_geography(directory, dataset.geography)
+        self._write_meta(
+            directory,
+            config,
+            fingerprint,
+            n_jobs=int(dataset.n_jobs),
+            n_establishments=int(dataset.n_establishments),
+            n_places=int(dataset.geography.n_places),
+            worker_columns=worker_columns,
+            workplace_columns=workplace_columns,
+        )
+
+    def _write_geography(self, directory: Path, geography) -> None:
         (directory / GEOGRAPHY_FILE).write_text(
-            json.dumps(geography_payload(dataset.geography)),
+            json.dumps(geography_payload(geography)),
             encoding="utf-8",
         )
+
+    def _write_meta(
+        self,
+        directory: Path,
+        config: SyntheticConfig,
+        fingerprint: str,
+        *,
+        n_jobs: int,
+        n_establishments: int,
+        n_places: int,
+        worker_columns: list[str],
+        workplace_columns: list[str],
+    ) -> None:
         meta = {
             "schema": SNAPSHOT_SCHEMA_VERSION,
             "fingerprint": fingerprint,
             "config": asdict(config),
-            "n_jobs": int(dataset.n_jobs),
-            "n_establishments": int(dataset.n_establishments),
-            "n_places": int(dataset.geography.n_places),
-            "worker_columns": worker_columns,
-            "workplace_columns": workplace_columns,
+            "n_jobs": int(n_jobs),
+            "n_establishments": int(n_establishments),
+            "n_places": int(n_places),
+            "worker_columns": list(worker_columns),
+            "workplace_columns": list(workplace_columns),
             "created_at": time.time(),
         }
         # meta.json is written last inside the staging dir: its presence
@@ -330,22 +462,63 @@ class SnapshotStore:
         return self.load(dataset_fingerprint(config), mmap=mmap)
 
     def load_or_generate(
-        self, config: SyntheticConfig, *, mmap: bool = True
+        self,
+        config: SyntheticConfig,
+        *,
+        mmap: bool = True,
+        build_workers: int | None = None,
     ) -> tuple[LODESDataset, bool]:
         """Open ``config``'s snapshot, building and persisting it on a miss.
 
-        Returns ``(dataset, was_hit)``.  On a miss the freshly generated
-        snapshot is saved and *re-opened through the store*, so the
-        caller always holds the memory-mapped artifact every other
-        session and worker will share — never a private in-process copy
-        with different physical pages.
+        Returns ``(dataset, was_hit)``.  On a miss the snapshot is built,
+        saved, and *re-opened through the store*, so the caller always
+        holds the memory-mapped artifact every other session and worker
+        will share — never a private in-process copy with different
+        physical pages.  With ``build_workers > 1`` the miss is filled
+        by the sharded :meth:`build` (workforce chunks drawn by a
+        process pool straight into the staged files); otherwise the
+        dataset is generated in-process and :meth:`save`\\ d.
+
+        Persistence must never be worse than regenerating: if the store
+        root is unwritable (read-only CI cache, permission skew), the
+        failure is reported as a :class:`RuntimeWarning` and the
+        in-memory dataset is returned instead of raising.
         """
         fingerprint = dataset_fingerprint(config)
         dataset = self.load(fingerprint, mmap=mmap)
         if dataset is not None:
             return dataset, True
+        if build_workers is not None and build_workers > 1:
+            try:
+                self.build(
+                    config, workers=build_workers, fingerprint=fingerprint
+                )
+            # OSError: unwritable root.  RuntimeError: a broken process
+            # pool (worker OOM-killed — precisely the memory-pressure
+            # regime sharded builds target).  Both have a correct, only
+            # slower, answer: generate in-process.
+            except (OSError, RuntimeError) as error:
+                warnings.warn(
+                    f"sharded snapshot build under {self.root} failed "
+                    f"({error}); falling back to in-process generation",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                reopened = self._load(fingerprint, mmap=mmap, count=False)
+                if reopened is not None:
+                    return reopened, False
         generated = generate(config)
-        self.save(generated, config, fingerprint=fingerprint)
+        try:
+            self.save(generated, config, fingerprint=fingerprint)
+        except OSError as error:
+            warnings.warn(
+                f"snapshot store root {self.root} is not writable "
+                f"({error}); returning the un-persisted in-memory snapshot",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return generated, False
         reopened = self._load(fingerprint, mmap=mmap, count=False)
         return (reopened if reopened is not None else generated), False
 
@@ -359,6 +532,82 @@ class SnapshotStore:
         shutil.rmtree(directory)
         return True
 
+    def prune(self, *, max_age_s: float = STALE_STAGING_AGE_S) -> list[Path]:
+        """Delete staging directories orphaned by crashed builds.
+
+        A build that dies between ``mkdtemp`` and ``os.replace`` leaves
+        its ``.<fingerprint>.tmp-*`` directory behind forever —
+        ``entries()`` skips it, but nothing ever reclaimed the space.
+        Every :meth:`save`/:meth:`build` calls this with the default age
+        gate, so leftovers disappear on the next write while a
+        *concurrent* writer's live staging — always younger than
+        ``max_age_s`` — is untouched.  ``max_age_s=0``
+        (``repro scenarios prune --all``) clears everything.
+
+        Returns the directories actually removed (an undeletable one —
+        say, another user's on a shared store — is not reported).
+        """
+        if not self.root.is_dir():
+            return []
+        removed = []
+        now = time.time()
+        for path in self.root.iterdir():
+            if not (
+                path.name.startswith(".")
+                and _STAGING_MARKER in path.name
+                and path.is_dir()
+            ):
+                continue
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # vanished under us (a concurrent prune/install)
+            if age >= max_age_s:
+                shutil.rmtree(path, ignore_errors=True)
+                if not path.exists():
+                    removed.append(path)
+        return removed
+
     def __len__(self) -> int:
         """Number of loadable snapshots under the root."""
         return len(self.entries())
+
+
+def _current_umask() -> int:
+    """The process umask, read without mutating it when possible.
+
+    The classic ``os.umask(0); os.umask(previous)`` dance opens a
+    window in which files created by *other threads* land
+    world-writable, so on Linux the value is read from
+    ``/proc/self/status`` instead; the set-and-restore fallback only
+    runs where no such interface exists.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("Umask:"):
+                    return int(line.split()[1], 8)
+    except (OSError, ValueError, IndexError):
+        pass
+    umask = os.umask(0)
+    os.umask(umask)
+    return umask
+
+
+def _honor_umask(staging: Path) -> None:
+    """Re-permission a staged tree to what the process umask grants.
+
+    ``tempfile.mkdtemp`` deliberately creates its directory ``0o700``
+    and ``os.replace`` preserves that mode, so without this every
+    installed snapshot would be unreadable to other users — silently
+    turning a shared store (CI cache, multi-user machine) into a
+    per-user one.  Files get ``0o666 & ~umask``, directories
+    ``0o777 & ~umask``, exactly what a plain ``mkdir``/``open`` would
+    have produced outside ``tempfile``.
+    """
+    umask = _current_umask()
+    dir_mode = 0o777 & ~umask
+    file_mode = 0o666 & ~umask
+    os.chmod(staging, dir_mode)
+    for path in staging.rglob("*"):
+        os.chmod(path, dir_mode if path.is_dir() else file_mode)

@@ -5,8 +5,10 @@ import pytest
 
 from repro.data.generator import SyntheticConfig
 from repro.data.panel import LODESPanel, PanelConfig, generate_panel
+from repro.data.workers import draw_place_mixes, sample_workforce_batch
 from repro.db import Marginal
 from repro.sdl import InputNoiseInfusion
+from repro.util import as_generator, derive_seed
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +79,74 @@ class TestPanelStructure:
             PanelConfig(n_years=0)
         with pytest.raises(ValueError):
             PanelConfig(death_rate=1.0)
+
+
+class TestChunkedYearDraws:
+    """Per-year workforces stream through the chunked sampler.
+
+    The routing pin: every current config's years fit one chunk, and
+    chunk 0 continues the year's historical rng — so the panel must be
+    bit-identical to the legacy direct ``sample_workforce_batch`` draw
+    it replaced (which materialized full-year inverse-CDF transients).
+    """
+
+    def test_single_chunk_years_bit_identical_to_legacy_batch(self, panel):
+        seed = 77  # the module fixture's base seed
+        place_mixes = draw_place_mixes(
+            panel.geography.n_places,
+            as_generator(derive_seed(seed, "panel-mixes")),
+        )
+        sector = panel.workplace.column("naics")
+        place = panel.workplace.column("place")
+        for year in range(panel.n_years):
+            legacy_rng = as_generator(
+                derive_seed(seed, f"panel-workers-{year}")
+            )
+            legacy = sample_workforce_batch(
+                panel.sizes_by_year[year], sector, place, place_mixes, legacy_rng
+            )
+            worker = panel.year(year).worker
+            for column in worker.schema.names:
+                np.testing.assert_array_equal(
+                    worker.column(column), legacy[column],
+                    err_msg=f"year {year} column {column}",
+                )
+
+    def test_chunked_years_keep_the_establishment_panel(self):
+        # chunk_jobs reshapes only the worker-attribute noise: the
+        # registry, evolution and job links are chunking-invariant.
+        chunked = generate_panel(
+            PanelConfig(
+                base=SyntheticConfig(target_jobs=2_000, seed=5, chunk_jobs=200),
+                n_years=2,
+            )
+        )
+        single = generate_panel(
+            PanelConfig(
+                base=SyntheticConfig(target_jobs=2_000, seed=5), n_years=2
+            )
+        )
+        np.testing.assert_array_equal(
+            chunked.sizes_by_year, single.sizes_by_year
+        )
+        for t in range(2):
+            np.testing.assert_array_equal(
+                chunked.year(t).job_establishment,
+                single.year(t).job_establishment,
+            )
+
+    def test_chunked_years_deterministic(self):
+        config = PanelConfig(
+            base=SyntheticConfig(target_jobs=2_000, seed=5, chunk_jobs=200),
+            n_years=2,
+        )
+        a, b = generate_panel(config), generate_panel(config)
+        for t in range(2):
+            for column in a.year(t).worker.schema.names:
+                np.testing.assert_array_equal(
+                    a.year(t).worker.column(column),
+                    b.year(t).worker.column(column),
+                )
 
 
 class TestSDLTimeInvariance:

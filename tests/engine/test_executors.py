@@ -13,10 +13,13 @@ import pytest
 from repro.api.request import ReleaseRequest
 from repro.api.session import ReleaseSession
 from repro.engine.executors import (
+    MAX_WORKERS_ENV,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    default_workers,
     resolve_executor,
+    run_sharded,
 )
 from repro.engine.plan import figure_plan
 from repro.engine.points import points_identical
@@ -182,6 +185,76 @@ class TestProvidedDatasetGuard:
             engine_config, dataset=generate(engine_config.data)
         )
         assert wrapped.snapshot_fingerprint == again.snapshot_fingerprint
+
+
+class TestDefaultWorkers:
+    """default_workers scales with the machine; the env var bounds it."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+
+    def test_scales_with_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.executors.os.cpu_count", lambda: 64)
+        assert default_workers() == 64
+
+    def test_floor_of_two_on_small_machines(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.executors.os.cpu_count", lambda: 1)
+        assert default_workers() == 2
+        monkeypatch.setattr(
+            "repro.engine.executors.os.cpu_count", lambda: None
+        )
+        assert default_workers() == 2
+
+    def test_env_override_caps_the_count(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.executors.os.cpu_count", lambda: 64)
+        monkeypatch.setenv(MAX_WORKERS_ENV, "8")
+        assert default_workers() == 8
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        assert default_workers() == 1
+
+    def test_env_override_never_raises_the_count(self, monkeypatch):
+        monkeypatch.setattr("repro.engine.executors.os.cpu_count", lambda: 2)
+        monkeypatch.setenv(MAX_WORKERS_ENV, "128")
+        assert default_workers() == 2
+
+    def test_invalid_env_override_rejected(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=MAX_WORKERS_ENV):
+            default_workers()
+
+
+def _add_context(context, item):
+    """Module-level task so process pools can pickle it by reference."""
+    return context + item
+
+
+class TestRunSharded:
+    """The generic process-map core: ordered, inline fallback, validated."""
+
+    def test_inline_when_one_worker(self):
+        result = run_sharded(
+            _add_context, [1, 2, 3], workers=1, context_args=(10,)
+        )
+        assert result == [11, 12, 13]
+
+    def test_process_pool_preserves_item_order(self):
+        result = run_sharded(
+            _add_context, list(range(7)), workers=3, context_args=(100,)
+        )
+        assert result == [100 + i for i in range(7)]
+
+    def test_empty_items(self):
+        assert run_sharded(_add_context, [], workers=4, context_args=(0,)) == []
+
+    def test_single_item_runs_inline(self):
+        assert run_sharded(
+            _add_context, [5], workers=4, context_args=(1,)
+        ) == [6]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sharded(_add_context, [1], workers=0, context_args=(0,))
 
 
 class TestResolveExecutor:

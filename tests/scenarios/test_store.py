@@ -235,6 +235,147 @@ class TestSessionIntegration:
         assert session.dataset_provided
 
 
+class TestStagingHygiene:
+    """Crashed builds must not leak staging dirs; live ones must survive."""
+
+    @staticmethod
+    def _plant_staging(root, name=".deadbeef.tmp-crashed", age_s=0.0):
+        import os
+        import time
+
+        root.mkdir(parents=True, exist_ok=True)
+        staging = root / name
+        staging.mkdir()
+        (staging / "worker__age.npy").write_bytes(b"partial")
+        if age_s:
+            old = time.time() - age_s
+            os.utime(staging, (old, old))
+        return staging
+
+    def test_next_save_removes_stale_staging(self, tmp_path):
+        root = tmp_path / "snapshots"
+        store = SnapshotStore(root)  # store opened before the crash
+        stale = self._plant_staging(root, age_s=7 * 24 * 3600)
+        store.save(generate(SMALL), SMALL)
+        assert not stale.exists()
+        assert store.load(dataset_fingerprint(SMALL)) is not None
+
+    def test_explicit_prune_reports_stale_staging(self, tmp_path):
+        # Opening a store must NOT prune (so `repro scenarios prune`
+        # has something to find and report); the API call does.
+        root = tmp_path / "snapshots"
+        stale = self._plant_staging(root, age_s=7 * 24 * 3600)
+        store = SnapshotStore(root)
+        assert stale.exists()
+        assert store.prune() == [stale]
+        assert not stale.exists()
+
+    def test_fresh_staging_survives_the_age_gate(self, tmp_path):
+        # A concurrent writer's live staging dir is younger than the
+        # gate: neither init, save, nor a default prune may touch it.
+        root = tmp_path / "snapshots"
+        fresh = self._plant_staging(root, name=".cafe.tmp-live")
+        store = SnapshotStore(root)
+        store.save(generate(SMALL), SMALL)
+        assert store.prune() == []
+        assert fresh.exists()
+        assert store.prune(max_age_s=0.0) == [fresh]
+        assert not fresh.exists()
+
+    def test_prune_ignores_non_staging_entries(self, tmp_path):
+        root = tmp_path / "snapshots"
+        root.mkdir()
+        keep_file = root / ".keep"
+        keep_file.write_text("")
+        plain_dir = root / "0123456789abcdef"
+        plain_dir.mkdir()
+        store = SnapshotStore(root)
+        assert store.prune(max_age_s=0.0) == []
+        assert keep_file.exists() and plain_dir.is_dir()
+
+    def test_entries_unaffected_by_staging_dirs(self, tmp_path):
+        root = tmp_path / "snapshots"
+        store = SnapshotStore(root)
+        self._plant_staging(root, name=".feed.tmp-x")  # fresh: survives
+        assert store.entries() == []
+        assert len(store) == 0
+
+
+class TestUmask:
+    """Installed snapshots honor the process umask, not mkdtemp's 0o700."""
+
+    @pytest.fixture()
+    def shared_umask(self):
+        import os
+
+        previous = os.umask(0o022)
+        try:
+            yield 0o022
+        finally:
+            os.umask(previous)
+
+    @staticmethod
+    def _modes(directory):
+        import stat
+
+        dir_mode = stat.S_IMODE(directory.stat().st_mode)
+        file_modes = {
+            p.name: stat.S_IMODE(p.stat().st_mode)
+            for p in directory.iterdir()
+            if p.is_file()
+        }
+        return dir_mode, file_modes
+
+    def test_save_is_group_other_readable(self, store, shared_umask):
+        store.save(generate(SMALL), SMALL)
+        directory = store.path_for(dataset_fingerprint(SMALL))
+        dir_mode, file_modes = self._modes(directory)
+        assert dir_mode == 0o755
+        for name, mode in file_modes.items():
+            assert mode == 0o644, f"{name} has mode {oct(mode)}"
+
+    def test_sharded_build_is_group_other_readable(self, store, shared_umask):
+        store.build(SMALL, workers=2)
+        directory = store.path_for(dataset_fingerprint(SMALL))
+        dir_mode, file_modes = self._modes(directory)
+        assert dir_mode == 0o755
+        assert all(mode == 0o644 for mode in file_modes.values()), file_modes
+
+
+class TestUnwritableRoot:
+    """load_or_generate degrades to in-memory data instead of raising."""
+
+    @pytest.fixture()
+    def file_root(self, tmp_path):
+        # A root path occupied by a regular file defeats mkdir/mkdtemp
+        # for every uid (even root), unlike permission bits.
+        root = tmp_path / "not-a-directory"
+        root.write_text("occupied")
+        return root
+
+    def test_load_or_generate_returns_in_memory_dataset(self, file_root):
+        store = SnapshotStore(file_root)
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            dataset, hit = store.load_or_generate(SMALL)
+        assert not hit
+        _assert_datasets_equal(dataset, generate(SMALL))
+        assert store.writes == 0
+
+    def test_sharded_miss_falls_back_too(self, file_root):
+        store = SnapshotStore(file_root)
+        with pytest.warns(RuntimeWarning):
+            dataset, hit = store.load_or_generate(SMALL, build_workers=2)
+        assert not hit
+        _assert_datasets_equal(dataset, generate(SMALL))
+
+    def test_explicit_save_still_raises(self, file_root):
+        # The fallback is load_or_generate's contract, not save's: a
+        # caller persisting explicitly must hear about the failure.
+        store = SnapshotStore(file_root)
+        with pytest.raises(OSError):
+            store.save(generate(SMALL), SMALL)
+
+
 def _same_points(a, b) -> bool:
     from repro.engine.points import points_identical
 

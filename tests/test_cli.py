@@ -170,3 +170,78 @@ class TestSharedSession:
         assert (tmp_path / "table-3.txt").exists()
         # The figure grid and the table rows all debited one ledger.
         assert len(session.ledger.entries) > 12
+
+
+class TestScenariosCommand:
+    def test_build_sharded_then_cached(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "snaps")
+        code = main(
+            [
+                "scenarios", "build", "panel-5yr",
+                "--snapshot-dir", store_dir,
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built panel-5yr" in out
+        assert "sharded over 2 workers" in out
+        # Second invocation is a cache hit, not a rebuild.
+        main(["scenarios", "build", "panel-5yr", "--snapshot-dir", store_dir])
+        assert "already built" in capsys.readouterr().out
+
+    def test_sharded_cli_build_matches_sequential(self, tmp_path):
+        from repro.scenarios import dataset_fingerprint, scenario_config
+        from tests.scenarios.test_sharded import assert_snapshot_dirs_identical
+
+        sequential = tmp_path / "seq"
+        sharded = tmp_path / "sharded"
+        main(["scenarios", "build", "panel-5yr", "--snapshot-dir", str(sequential)])
+        main(
+            [
+                "scenarios", "build", "panel-5yr",
+                "--snapshot-dir", str(sharded),
+                "--workers", "2",
+            ]
+        )
+        fingerprint = dataset_fingerprint(scenario_config("panel-5yr"))
+        assert_snapshot_dirs_identical(
+            sequential / fingerprint, sharded / fingerprint
+        )
+
+    def test_prune_all(self, tmp_path, capsys):
+        root = tmp_path / "snaps"
+        root.mkdir()
+        staging = root / ".abcd.tmp-live"
+        staging.mkdir()
+        (staging / "worker__age.npy").write_bytes(b"partial")
+        # Age-gated prune leaves the fresh dir; --all removes it.
+        code = main(["scenarios", "prune", "--snapshot-dir", str(root)])
+        assert code == 0
+        assert staging.exists()
+        assert "0 stale staging dir(s)" in capsys.readouterr().out
+        code = main(["scenarios", "prune", "--all", "--snapshot-dir", str(root)])
+        assert code == 0
+        assert not staging.exists()
+        assert "1 stale staging dir(s)" in capsys.readouterr().out
+
+    def test_prune_default_reports_stale_dirs(self, tmp_path, capsys):
+        import os
+        import time
+
+        root = tmp_path / "snaps"
+        root.mkdir()
+        stale = root / ".abcd.tmp-crashed"
+        stale.mkdir()
+        old = time.time() - 7 * 24 * 3600
+        os.utime(stale, (old, old))
+        code = main(["scenarios", "prune", "--snapshot-dir", str(root)])
+        assert code == 0
+        assert not stale.exists()
+        out = capsys.readouterr().out
+        assert f"pruned {stale}" in out
+        assert "1 stale staging dir(s)" in out
+
+    def test_build_requires_a_name(self, tmp_path):
+        with pytest.raises(SystemExit, match="needs a scenario name"):
+            main(["scenarios", "build", "--snapshot-dir", str(tmp_path)])
