@@ -37,6 +37,7 @@ import pytest
 from benchmarks.conftest import write_report
 from repro.data.generator import generate
 from repro.scenarios import SnapshotStore, dataset_fingerprint, scenario_config
+from repro.storage import FilesystemObjectStore, RemoteObjectBackend
 from repro.util import format_table
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -48,6 +49,11 @@ LOAD_TRIALS = 3
 
 SHARD_WORKERS = 4
 MIN_SHARDED_SPEEDUP = 3.0
+
+REMOTE_SCENARIO = "metro-heavy"
+# A warm local cache must beat a cold-remote open by a wide margin even
+# with the remote emulated on local disk (a real network only widens it).
+MIN_WARM_OPEN_SPEEDUP = 2.0
 
 
 def _timed(fn):
@@ -122,6 +128,88 @@ def test_snapshot_store_wall_clock(out_dir, tmp_path):
         f"store-load speedup {speedup:.1f}x below the "
         f"{MIN_LOAD_SPEEDUP}x gate (generate {generate_s:.3f}s, "
         f"load {load_s:.3f}s)"
+    )
+
+
+def test_remote_open_wall_clock(out_dir, tmp_path):
+    """Cold-remote download-and-open vs warm-local-cache mmap open.
+
+    Machine A builds ``metro-heavy`` into an emulated object store
+    (``file://`` bucket); machine B — a different cache root — opens it
+    cold (every member object downloads into B's cache) and then warm
+    (pure local mmap).  The gate asserts the cache is doing its job:
+    the warm open must beat the cold one by ``MIN_WARM_OPEN_SPEEDUP``×
+    even with the "network" being local disk.
+    """
+    config = scenario_config(REMOTE_SCENARIO)
+    fingerprint = dataset_fingerprint(config)
+    bucket = FilesystemObjectStore(tmp_path / "bucket")
+    builder = SnapshotStore(
+        backend=RemoteObjectBackend(
+            bucket, tmp_path / "cache-a", prefix="snapshots"
+        )
+    )
+    dataset, generate_s = _timed(lambda: generate(config))
+    _, publish_s = _timed(lambda: builder.save(dataset, config))
+
+    reader = SnapshotStore(
+        backend=RemoteObjectBackend(
+            bucket, tmp_path / "cache-b", prefix="snapshots"
+        )
+    )
+    cold, cold_open_s = _timed(lambda: reader.load(fingerprint))
+    assert cold is not None and cold.n_jobs == dataset.n_jobs
+    bytes_downloaded = reader.statistics.bytes_read
+
+    warm_timings = []
+    for _ in range(LOAD_TRIALS):
+        warm, warm_s = _timed(lambda: reader.load(fingerprint))
+        assert warm is not None
+        warm_timings.append(warm_s)
+    warm_open_s = min(warm_timings)
+
+    warm_speedup = cold_open_s / warm_open_s
+    rows = [
+        ["generate", f"{generate_s:.3f}", "what machine B never pays"],
+        ["publish (save + upload)", f"{publish_s:.3f}", "once, machine A"],
+        [
+            "cold-remote open",
+            f"{cold_open_s:.3f}",
+            f"{bytes_downloaded:,} bytes downloaded",
+        ],
+        [
+            "warm-cache open",
+            f"{warm_open_s:.4f}",
+            f"{warm_speedup:.1f}x faster than cold",
+        ],
+    ]
+    report = format_table(
+        headers=["step", "seconds", "note"],
+        rows=rows,
+        title=(
+            f"remote snapshot store @ {REMOTE_SCENARIO} "
+            f"({dataset.n_jobs:,} jobs, file:// emulated bucket)"
+        ),
+    )
+    write_report(out_dir, "bench-snapshot-remote", report)
+
+    _merge_bench_json(
+        {
+            "remote_scenario": REMOTE_SCENARIO,
+            "remote_fingerprint": fingerprint,
+            "remote_publish_s": publish_s,
+            "remote_cold_open_s": cold_open_s,
+            "remote_cold_bytes_read": int(bytes_downloaded),
+            "remote_warm_open_s": warm_open_s,
+            "remote_warm_open_speedup": warm_speedup,
+            "min_warm_open_speedup_gate": MIN_WARM_OPEN_SPEEDUP,
+        }
+    )
+
+    assert warm_speedup >= MIN_WARM_OPEN_SPEEDUP, (
+        f"warm-cache open only {warm_speedup:.1f}x faster than "
+        f"cold-remote (cold {cold_open_s:.3f}s, warm {warm_open_s:.4f}s; "
+        f"need >= {MIN_WARM_OPEN_SPEEDUP}x)"
     )
 
 

@@ -21,11 +21,14 @@ import time
 from pathlib import Path
 
 from benchmarks.conftest import write_report
+from repro.api.session import ReleaseSession
 from repro.engine.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
 from repro.engine.plan import grid_plan, snapshot_fingerprint
 from repro.engine.points import points_identical
 from repro.engine.store import ResultStore
 from repro.engine.sweep import run_plan
+from repro.scenarios import SnapshotStore
+from repro.storage import FilesystemObjectStore, RemoteObjectBackend
 from repro.util import format_table
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -37,6 +40,25 @@ EPSILONS = (0.5, 1.0, 2.0)
 N_TRIALS = 400
 WORKERS = 2
 MIN_REPLAY_SPEEDUP = 10.0
+
+FLEET_N_TRIALS = 200
+# A cross-machine replay pays remote downloads instead of Monte Carlo
+# draws; it must still beat recomputing by a wide margin.
+MIN_FLEET_REPLAY_SPEEDUP = 3.0
+
+
+def _merge_bench_json(fields: dict) -> None:
+    """Fold ``fields`` into BENCH_grid.json, keeping other tests' keys."""
+    payload = {}
+    if BENCH_JSON.is_file():
+        try:
+            payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(fields)
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def _bench_plan(context):
@@ -139,31 +161,134 @@ def test_sweep_engine_wall_clock(context, out_dir, tmp_path):
     )
     write_report(out_dir, "sweep-engine", report)
 
-    BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "grid": {
-                    "points": len(plan),
-                    "n_trials": N_TRIALS,
-                    "workload": "workload-1",
-                    "workers": WORKERS,
-                },
-                "serial_s": serial_s,
-                "thread_s": thread_s,
-                "process_s": process_s,
-                "replay_s": replay_s,
-                "replay_speedup": replay_speedup,
-                "cache_hits": replay.cache_hits,
+    _merge_bench_json(
+        {
+            "grid": {
+                "points": len(plan),
+                "n_trials": N_TRIALS,
+                "workload": "workload-1",
+                "workers": WORKERS,
             },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n",
-        encoding="utf-8",
+            "serial_s": serial_s,
+            "thread_s": thread_s,
+            "process_s": process_s,
+            "replay_s": replay_s,
+            "replay_speedup": replay_speedup,
+            "cache_hits": replay.cache_hits,
+        }
     )
     print(f"wrote {BENCH_JSON}")
 
     assert replay_speedup >= MIN_REPLAY_SPEEDUP, (
         f"cache replay only {replay_speedup:.1f}x faster than serial "
         f"recompute (need >= {MIN_REPLAY_SPEEDUP}x)"
+    )
+
+
+def test_fleet_replay_wall_clock(bench_config, out_dir, tmp_path, monkeypatch):
+    """Cross-machine sweep replay: two cache roots, one shared remote.
+
+    Machine A computes a Workload-1 grid with both stores remote-backed
+    (``file://`` bucket): the snapshot uploads once, every computed
+    point writes through.  Machine B — fresh cache roots, generation
+    hard-disabled via ``REPRO_FORBID_GENERATE`` — opens the snapshot
+    and replays the whole grid from the remote with **zero
+    recomputation**, and the replay must beat machine A's compute by
+    ``MIN_FLEET_REPLAY_SPEEDUP``× even paying every download cold.
+    """
+    bucket = FilesystemObjectStore(tmp_path / "bucket")
+
+    def machine(name):
+        snapshots = SnapshotStore(
+            backend=RemoteObjectBackend(
+                bucket, tmp_path / name / "snapshots", prefix="snapshots"
+            )
+        )
+        results = ResultStore(
+            backend=RemoteObjectBackend(
+                bucket, tmp_path / name / "results", prefix="results"
+            )
+        )
+        return snapshots, results
+
+    snapshots_a, results_a = machine("machine-a")
+    session_a = ReleaseSession(bench_config, snapshot_store=snapshots_a)
+    plan = grid_plan(
+        "workload-1",
+        "l1-ratio",
+        MECHANISMS,
+        ALPHAS,
+        EPSILONS,
+        fingerprint=session_a.snapshot_fingerprint,
+        delta=0.05,
+        n_trials=FLEET_N_TRIALS,
+        seed=bench_config.seed,
+        tag="bench-fleet",
+    )
+    first, compute_s = _timed(
+        lambda: run_plan(
+            plan, session_a, store=results_a, resume=True, merge_spend=False
+        )
+    )
+    assert first.computed == len(plan)
+
+    monkeypatch.setenv("REPRO_FORBID_GENERATE", "1")
+    snapshots_b, results_b = machine("machine-b")
+    session_b, open_s = _timed(
+        lambda: ReleaseSession(bench_config, snapshot_store=snapshots_b)
+    )
+    second, replay_s = _timed(
+        lambda: run_plan(
+            plan, session_b, store=results_b, resume=True, merge_spend=False
+        )
+    )
+    assert second.computed == 0
+    assert second.cache_hits == len(plan)
+    assert results_b.hits == len(plan)
+    for a, b in zip(first.points, second.points):
+        assert points_identical(a, b), f"fleet replay diverged: {a} != {b}"
+
+    fleet_speedup = compute_s / replay_s
+    rows = [
+        ["machine A: compute + publish", f"{compute_s * 1e3:.1f}", "1.0x"],
+        [
+            "machine B: snapshot open",
+            f"{open_s * 1e3:.1f}",
+            "cold download, zero generation",
+        ],
+        [
+            "machine B: grid replay",
+            f"{replay_s * 1e3:.1f}",
+            f"{fleet_speedup:.1f}x, zero recomputation",
+        ],
+    ]
+    report = format_table(
+        headers=["step", "wall ms", "vs compute"],
+        rows=rows,
+        title=(
+            f"fleet replay of a {len(plan)}-point Workload-1 grid "
+            f"(n_trials={FLEET_N_TRIALS}, shared file:// bucket)"
+        ),
+    )
+    write_report(out_dir, "sweep-fleet-replay", report)
+
+    _merge_bench_json(
+        {
+            "fleet": {
+                "points": len(plan),
+                "n_trials": FLEET_N_TRIALS,
+                "workload": "workload-1",
+            },
+            "fleet_compute_s": compute_s,
+            "fleet_snapshot_open_s": open_s,
+            "fleet_replay_s": replay_s,
+            "fleet_replay_speedup": fleet_speedup,
+            "fleet_cache_hits": second.cache_hits,
+            "min_fleet_replay_speedup_gate": MIN_FLEET_REPLAY_SPEEDUP,
+        }
+    )
+
+    assert fleet_speedup >= MIN_FLEET_REPLAY_SPEEDUP, (
+        f"cross-machine replay only {fleet_speedup:.1f}x faster than "
+        f"compute (need >= {MIN_FLEET_REPLAY_SPEEDUP}x)"
     )

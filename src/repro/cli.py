@@ -66,13 +66,16 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import render_figure
 from repro.experiments.tables import table1_text, table2_text, table3_text
+from repro.data.panel import PanelConfig
 from repro.scenarios import (
     DEFAULT_SNAPSHOT_DIR,
     SnapshotStore,
     available_scenarios,
     dataset_fingerprint,
+    panel_fingerprint,
     scenario_spec,
 )
+from repro.storage import StoreStats, backend_from_url
 from repro.util import format_table
 
 FIGURES = {
@@ -100,8 +103,12 @@ examples:
   repro scenarios list                    # the registered economy library
   repro scenarios build national-1m       # persist a snapshot to the store
   repro scenarios build national-1m --workers 4   # sharded, byte-identical
+  repro scenarios build panel-5yr --panel --years 5  # resumable panel build
   repro scenarios info metro-heavy
   repro scenarios prune                   # clear stale staging dirs (--all: every one)
+  repro storage stats                     # store inventory + unified stats
+  repro storage serve --root /srv/bucket  # HTTP object store for a fleet
+  repro sweep --scenario metro-heavy --store-url file:///shared/bucket --resume
 
 sweep engine (figures / tables / sweep):
   --workers N      parallel grid evaluation (bit-identical to serial)
@@ -118,6 +125,13 @@ snapshot store (figures / tables / sweep / scenarios):
   --workers N        a snapshot miss builds sharded over N processes
                      (scenarios build; figures/tables/sweep reuse their
                      executor worker count for the build, bit-identically)
+
+storage backends (figures / tables / sweep / scenarios):
+  --store-url URL  share snapshots and results across machines through a
+                   remote object store: file:///dir (shared filesystem)
+                   or http(s)://host:port (see `repro storage serve`).
+                   --snapshot-dir / --cache-dir become the local download
+                   caches; writes mirror through, reads download-then-mmap
 """
 
 
@@ -197,6 +211,18 @@ def _add_engine_arguments(parser):
         metavar="DIR",
         help="content-addressed result store location "
         f"(default {DEFAULT_CACHE_DIR})",
+    )
+    _add_store_url_argument(parser)
+
+
+def _add_store_url_argument(parser):
+    parser.add_argument(
+        "--store-url",
+        default=None,
+        metavar="URL",
+        help="share stores through a remote object backend "
+        "(file:///dir or http(s)://host:port); --snapshot-dir and "
+        "--cache-dir become the local download caches",
     )
 
 
@@ -363,6 +389,53 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: only those older than an hour, so concurrent "
         "builds are safe)",
     )
+    scenarios.add_argument(
+        "--panel",
+        action="store_true",
+        help="build: persist a multi-year panel (registry + one "
+        "directory per year, each installed atomically, so a killed "
+        "build resumes at year granularity)",
+    )
+    scenarios.add_argument(
+        "--years",
+        type=int,
+        default=5,
+        metavar="N",
+        help="build --panel: number of panel years (default 5)",
+    )
+    _add_store_url_argument(scenarios)
+
+    storage = subparsers.add_parser(
+        "storage",
+        help="inspect the storage layer (stats) or run an HTTP object "
+        "store for a fleet (serve)",
+    )
+    storage.add_argument("action", choices=("stats", "serve"))
+    storage.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=DEFAULT_SNAPSHOT_DIR,
+        metavar="DIR",
+        help=f"snapshot store location (default {DEFAULT_SNAPSHOT_DIR})",
+    )
+    storage.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result store location (default {DEFAULT_CACHE_DIR})",
+    )
+    _add_store_url_argument(storage)
+    storage.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="serve: back objects with this directory so file:// readers "
+        "of the same path see them too (default: in-memory)",
+    )
+    storage.add_argument("--host", default="127.0.0.1")
+    storage.add_argument("--port", type=int, default=8123)
     return parser
 
 
@@ -381,7 +454,15 @@ def _selected_figures(only: str | None) -> dict:
 def _snapshot_store_from_args(args) -> SnapshotStore | None:
     if getattr(args, "no_snapshots", False):
         return None
-    return SnapshotStore(getattr(args, "snapshot_dir", DEFAULT_SNAPSHOT_DIR))
+    root = getattr(args, "snapshot_dir", DEFAULT_SNAPSHOT_DIR)
+    url = getattr(args, "store_url", None)
+    if url:
+        try:
+            backend = backend_from_url(url, cache_root=root, prefix="snapshots")
+        except (ValueError, NotImplementedError) as error:
+            raise SystemExit(str(error)) from None
+        return SnapshotStore(backend=backend)
+    return SnapshotStore(root)
 
 
 def _config_from_args(args, trials_batch: int | None = None) -> ExperimentConfig:
@@ -428,8 +509,29 @@ def _out_dir_from_args(args) -> Path:
 def _engine_from_args(args):
     """Resolve the (executor, store) pair shared by figures/tables/sweep."""
     executor = resolve_executor(args.executor, args.workers)
-    store = None if args.no_cache else ResultStore(args.cache_dir)
-    return executor, store
+    if args.no_cache:
+        return executor, None
+    url = getattr(args, "store_url", None)
+    if url:
+        try:
+            backend = backend_from_url(
+                url, cache_root=args.cache_dir, prefix="results"
+            )
+        except (ValueError, NotImplementedError) as error:
+            raise SystemExit(str(error)) from None
+        return executor, ResultStore(backend=backend)
+    return executor, ResultStore(args.cache_dir)
+
+
+def _store_stats_payload(session, store: ResultStore | None) -> dict:
+    """The unified per-store telemetry block for machine-readable output."""
+    payload = {}
+    snapshot_store = getattr(session, "snapshot_store", None)
+    if snapshot_store is not None:
+        payload["snapshots"] = snapshot_store.statistics.as_dict()
+    if store is not None:
+        payload["results"] = store.statistics.as_dict()
+    return payload
 
 
 def _print_cache_summary(store: ResultStore | None) -> None:
@@ -531,6 +633,7 @@ def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
                 "computed": outcome.computed,
                 "cache_hits": outcome.cache_hits,
                 "points": [encode_point(point) for point in outcome.points],
+                "store_stats": _store_stats_payload(session, store),
             },
             indent=2,
             sort_keys=True,
@@ -621,7 +724,7 @@ def run_scenarios(args) -> int:
     """``repro scenarios list|build|info|prune`` against the snapshot store."""
     import time as _time
 
-    store = SnapshotStore(args.snapshot_dir)
+    store = _snapshot_store_from_args(args)
     if args.action == "prune":
         removed = (
             store.prune(max_age_s=0.0) if args.all else store.prune()
@@ -666,6 +769,36 @@ def run_scenarios(args) -> int:
         raise SystemExit(str(error))
     config = spec.config()
     fingerprint = dataset_fingerprint(config)
+
+    if args.action == "build" and args.panel:
+        panel_config = PanelConfig(base=config, n_years=args.years)
+        pfp = panel_fingerprint(panel_config)
+        if store.contains_panel(pfp) and not args.force:
+            print(
+                f"{name} panel already built at {store.path_for(pfp)} "
+                "(use --force to rebuild)"
+            )
+            return 0
+        workers = args.workers if args.workers and args.workers > 1 else 1
+        start = _time.perf_counter()
+        path = store.build_panel(
+            panel_config,
+            workers=workers,
+            fingerprint=pfp,
+            overwrite=args.force,
+        )
+        build_s = _time.perf_counter() - start
+        meta = store.panel_info(pfp) or {}
+        how = (
+            f"sharded over {workers} workers" if workers > 1 else "sequential"
+        )
+        print(
+            f"built {name} panel: {meta.get('n_years', 0)} year(s), "
+            f"{meta.get('n_establishments', 0):,} registry establishments "
+            f"({how}, {build_s:.2f}s; resumable at year granularity)"
+        )
+        print(f"stored at {path} ({store.size_bytes(pfp):,} bytes)")
+        return 0
 
     if args.action == "build":
         if store.contains(fingerprint) and not args.force:
@@ -718,6 +851,97 @@ def run_scenarios(args) -> int:
     return 0
 
 
+def run_storage(args) -> int:
+    """``repro storage stats|serve`` — inspect or share the storage layer."""
+    if args.action == "serve":
+        from repro.storage.httpd import ObjectServer
+
+        server = ObjectServer(host=args.host, port=args.port, root=args.root)
+        backing = str(args.root) if args.root else "in-memory"
+        print(f"object store listening on {server.url} (backing: {backing})")
+        print(f"point workers at:  --store-url {server.url}")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    # stats: one shared ledger across both stores, plus their inventory.
+    stats = StoreStats()
+    url = getattr(args, "store_url", None)
+    if url:
+        try:
+            snapshots = SnapshotStore(
+                backend=backend_from_url(
+                    url,
+                    cache_root=args.snapshot_dir,
+                    prefix="snapshots",
+                    stats=stats,
+                )
+            )
+            results = ResultStore(
+                backend=backend_from_url(
+                    url, cache_root=args.cache_dir, prefix="results", stats=stats
+                )
+            )
+        except (ValueError, NotImplementedError) as error:
+            raise SystemExit(str(error)) from None
+    else:
+        from repro.storage import LocalFSBackend
+
+        snapshots = SnapshotStore(
+            backend=LocalFSBackend(args.snapshot_dir, stats=stats)
+        )
+        results = ResultStore(
+            backend=LocalFSBackend(args.cache_dir, stats=stats)
+        )
+
+    snapshot_entries = snapshots.entries()
+    panel_entries = snapshots.panel_entries()
+    snapshot_bytes = sum(
+        snapshots.size_bytes(meta["fingerprint"])
+        for meta in snapshot_entries + panel_entries
+    )
+    result_keys = [
+        key for key in results.backend.list_keys() if key.endswith(".json")
+    ]
+    result_bytes = sum(
+        results.backend.size_bytes(key)
+        for key in results.backend.list_keys()
+        if key.endswith((".json", ".npz"))
+    )
+    rows = [
+        [
+            "snapshots",
+            str(snapshots.root),
+            f"{len(snapshot_entries)} snapshot(s), {len(panel_entries)} panel(s)",
+            f"{snapshot_bytes:,}",
+        ],
+        [
+            "results",
+            str(results.root),
+            f"{len(result_keys)} point(s)",
+            f"{result_bytes:,}",
+        ],
+    ]
+    print(
+        format_table(
+            headers=["store", "local root", "entries", "bytes"],
+            rows=rows,
+            title=(
+                f"storage backends (remote: {url})" if url else
+                "storage backends (local)"
+            ),
+        )
+    )
+    ledger = stats.as_dict()
+    print(
+        "session stats: "
+        + ", ".join(f"{name}={value}" for name, value in ledger.items())
+    )
+    return 0
+
+
 def run_generate(args) -> Path:
     dataset = generate(SyntheticConfig(target_jobs=args.jobs, seed=args.seed))
     directory = save_dataset(dataset, args.out)
@@ -745,4 +969,6 @@ def main(argv=None) -> int:
         run_generate(args)
     elif args.command == "scenarios":
         run_scenarios(args)
+    elif args.command == "storage":
+        return run_storage(args)
     return 0

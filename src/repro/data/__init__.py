@@ -20,7 +20,14 @@ from repro.data.dataset import LODESDataset
 from repro.data.generator import SyntheticConfig, generate
 from repro.data.geography import Geography, GeographyConfig, generate_geography
 from repro.data.io import load_dataset, save_dataset
-from repro.data.panel import LODESPanel, PanelConfig, generate_panel
+from repro.data.panel import (
+    LODESPanel,
+    PanelConfig,
+    PanelPlan,
+    generate_panel,
+    panel_year,
+    plan_panel,
+)
 from repro.data.naics import NAICS_SECTORS, sector_codes
 from repro.data.schema import (
     OWNERSHIP_VALUES,
@@ -37,7 +44,10 @@ __all__ = [
     "generate",
     "LODESPanel",
     "PanelConfig",
+    "PanelPlan",
     "generate_panel",
+    "panel_year",
+    "plan_panel",
     "save_dataset",
     "load_dataset",
     "Geography",

@@ -17,6 +17,7 @@ existing at once.  Named configurations at several scales live in
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -165,6 +166,15 @@ def plan_economy(config: SyntheticConfig | None = None) -> EconomyPlan:
     a plan followed by chunked workforce sampling is bit-identical to
     the historical single-pass generator.
     """
+    # REPRO_FORBID_GENERATE turns any regeneration into a hard error.
+    # CI's remote-store replay sets it to prove a wiped local cache was
+    # served entirely from the shared remote backend.
+    if os.environ.get("REPRO_FORBID_GENERATE"):
+        raise RuntimeError(
+            "economy generation is forbidden (REPRO_FORBID_GENERATE is "
+            "set): this run was expected to be served entirely from the "
+            "snapshot store"
+        )
     config = config or SyntheticConfig()
     geo_rng = as_generator(derive_seed(config.seed, "geography"))
     geography = generate_geography(config.geography, geo_rng)

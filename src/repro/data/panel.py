@@ -14,6 +14,17 @@ a fraction die (size 0 thereafter), and a cohort of pre-registered
 births activates.  Public workplace attributes are fixed in the
 registry; workforces are redrawn each year from the same sector/place
 mixes.
+
+Generation is split the same way single-snapshot generation is split
+into :func:`~repro.data.generator.plan_economy` + the chunked workforce
+draw: :func:`plan_panel` produces the cheap deterministic prologue (the
+registry, the size evolution matrix, the place mixes — O(places +
+establishments), no O(jobs) arrays), and :func:`panel_year` draws one
+year's workforce from the plan.  The split is what lets the snapshot
+store persist and shard panel years independently — a year's draw
+depends only on the plan and the year index, never on other years'
+workforces — while :func:`generate_panel` (plan + every year, in order)
+remains bit-identical to the historical single-pass implementation.
 """
 
 from __future__ import annotations
@@ -23,9 +34,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.dataset import LODESDataset
-from repro.data.generator import SyntheticConfig, generate
+from repro.data.generator import SyntheticConfig, plan_economy
 from repro.data.schema import worker_schema
-from repro.data.sizes import SizeModel
 from repro.data.workers import draw_place_mixes, sample_workforce_chunked
 from repro.db.table import Table
 from repro.util import as_generator, check_nonnegative, check_positive, derive_seed
@@ -85,8 +95,42 @@ class LODESPanel:
         return (self.sizes_by_year > 0).all(axis=0)
 
 
+@dataclass
+class PanelPlan:
+    """The deterministic panel prologue: registry, size matrix, mixes.
+
+    Everything a year's workforce draw needs except the draw itself —
+    O(places + establishments) memory, no O(jobs) arrays — so the plan
+    is cheap to rebuild and cheap to hold while years are generated,
+    persisted or sharded one at a time.
+    """
+
+    config: PanelConfig
+    workplace: Table
+    geography: object
+    sizes_by_year: np.ndarray
+    place_mixes: np.ndarray
+
+    @property
+    def n_years(self) -> int:
+        return int(self.sizes_by_year.shape[0])
+
+    @property
+    def n_establishments(self) -> int:
+        return self.workplace.n_rows
+
+    def year_seed(self, year: int):
+        """The seed of year ``year``'s workforce stream.
+
+        Derived per year from the base seed, so years' streams are
+        disjoint and a single year can be (re)drawn — or sharded across
+        a process pool — without touching any other year's stream.
+        """
+        return derive_seed(self.config.base.seed, f"panel-workers-{year}")
+
+
 def _registry_with_births(
-    initial: LODESDataset, n_births: int, rng: np.random.Generator
+    workplace: Table, n_births: int, rng: np.random.Generator
 ) -> Table:
     """Extend the Workplace table with pre-registered birth cohorts.
 
@@ -94,22 +138,29 @@ def _registry_with_births(
     establishments (same place/sector/ownership mix as the economy).
     """
     if n_births == 0:
-        return initial.workplace
-    templates = rng.integers(0, initial.workplace.n_rows, size=n_births)
-    births = initial.workplace.take(templates)
-    return initial.workplace.concat(births)
+        return workplace
+    templates = rng.integers(0, workplace.n_rows, size=n_births)
+    births = workplace.take(templates)
+    return workplace.concat(births)
 
 
-def generate_panel(config: PanelConfig | None = None) -> LODESPanel:
-    """Generate an ``n_years`` panel from ``config``."""
+def plan_panel(config: PanelConfig | None = None) -> PanelPlan:
+    """Plan a panel: registry with births, size evolution, place mixes.
+
+    Uses :func:`plan_economy` for year 0 — the planned workplace table
+    and sizes are exactly what ``generate(config.base)`` would embed,
+    so the plan (and everything drawn from it) is bit-identical to
+    planning off a materialized base snapshot, without ever drawing the
+    base year's O(jobs) workforce.
+    """
     config = config or PanelConfig()
-    initial = generate(config.base)
+    base_plan = plan_economy(config.base)
     rng = as_generator(derive_seed(config.base.seed, "panel"))
 
-    n_initial = initial.n_establishments
+    n_initial = base_plan.n_establishments
     births_per_year = round(config.birth_rate * n_initial)
     n_birth_total = births_per_year * (config.n_years - 1)
-    workplace = _registry_with_births(initial, n_birth_total, rng)
+    workplace = _registry_with_births(base_plan.workplace, n_birth_total, rng)
     n_registry = workplace.n_rows
 
     birth_year = np.zeros(n_registry, dtype=np.int64)
@@ -119,7 +170,7 @@ def generate_panel(config: PanelConfig | None = None) -> LODESPanel:
 
     size_model = config.base.sizes
     sizes_by_year = np.zeros((config.n_years, n_registry), dtype=np.int64)
-    sizes_by_year[0, :n_initial] = initial.establishment_sizes()
+    sizes_by_year[0, :n_initial] = base_plan.sizes
 
     for year in range(1, config.n_years):
         previous = sizes_by_year[year - 1]
@@ -138,50 +189,60 @@ def generate_panel(config: PanelConfig | None = None) -> LODESPanel:
             )
         sizes_by_year[year] = grown
 
-    # Build the per-year snapshots against the shared registry.
     place_mixes = draw_place_mixes(
-        initial.geography.n_places,
+        base_plan.geography.n_places,
         as_generator(derive_seed(config.base.seed, "panel-mixes")),
     )
-    sector = workplace.column("naics")
-    place = workplace.column("place")
-    schema = worker_schema()
-    years = []
-    for year in range(config.n_years):
-        sizes = sizes_by_year[year]
-        # Per-year draws stream through the chunked sampler so a scaled
-        # panel never materializes a full-year inverse-CDF transient.
-        # Chunk 0 continues the year's historical stream — any year
-        # fitting one chunk (every current config) is bit-identical to
-        # the old direct sample_workforce_batch call — and later chunks
-        # derive from the year seed, keeping years' streams disjoint.
-        year_seed = derive_seed(config.base.seed, f"panel-workers-{year}")
-        columns = sample_workforce_chunked(
-            sizes,
-            sector,
-            place,
-            place_mixes,
-            as_generator(year_seed),
-            base_seed=year_seed,
-            chunk_jobs=config.base.chunk_jobs,
-        )
-        worker = Table(schema, columns)
-        n_jobs = worker.n_rows
-        years.append(
-            LODESDataset(
-                worker=worker,
-                workplace=workplace,
-                job_worker=np.arange(n_jobs, dtype=np.int64),
-                job_establishment=np.repeat(
-                    np.arange(n_registry, dtype=np.int64), sizes
-                ),
-                geography=initial.geography,
-            )
-        )
-
-    return LODESPanel(
+    return PanelPlan(
+        config=config,
         workplace=workplace,
-        geography=initial.geography,
+        geography=base_plan.geography,
         sizes_by_year=sizes_by_year,
-        years=tuple(years),
+        place_mixes=place_mixes,
+    )
+
+
+def panel_year(plan: PanelPlan, year: int) -> LODESDataset:
+    """Draw year ``year``'s snapshot from a panel plan."""
+    sizes = plan.sizes_by_year[year]
+    sector = plan.workplace.column("naics")
+    place = plan.workplace.column("place")
+    # Per-year draws stream through the chunked sampler so a scaled
+    # panel never materializes a full-year inverse-CDF transient.
+    # Chunk 0 continues the year's historical stream — any year
+    # fitting one chunk (every current config) is bit-identical to
+    # the old direct sample_workforce_batch call — and later chunks
+    # derive from the year seed, keeping years' streams disjoint.
+    year_seed = plan.year_seed(year)
+    columns = sample_workforce_chunked(
+        sizes,
+        sector,
+        place,
+        plan.place_mixes,
+        as_generator(year_seed),
+        base_seed=year_seed,
+        chunk_jobs=plan.config.base.chunk_jobs,
+    )
+    worker = Table(worker_schema(), columns)
+    n_jobs = worker.n_rows
+    return LODESDataset(
+        worker=worker,
+        workplace=plan.workplace,
+        job_worker=np.arange(n_jobs, dtype=np.int64),
+        job_establishment=np.repeat(
+            np.arange(plan.n_establishments, dtype=np.int64), sizes
+        ),
+        geography=plan.geography,
+    )
+
+
+def generate_panel(config: PanelConfig | None = None) -> LODESPanel:
+    """Generate an ``n_years`` panel from ``config``."""
+    plan = plan_panel(config)
+    years = tuple(panel_year(plan, year) for year in range(plan.n_years))
+    return LODESPanel(
+        workplace=plan.workplace,
+        geography=plan.geography,
+        sizes_by_year=plan.sizes_by_year,
+        years=years,
     )

@@ -96,32 +96,38 @@ class ThreadExecutor:
         return f"ThreadExecutor(workers={self.workers})"
 
 
-def _shard_session(config, worker_attrs, snapshot_root):
+def _shard_session(config, worker_attrs, store_spec):
     """Build (or reuse) this worker process's session for ``config``.
 
     One session per (config, worker_attrs, snapshot source) per process:
     a worker that receives several shards of the same sweep regenerates
-    nothing.  With ``snapshot_root`` (the parent session's
-    :class:`~repro.scenarios.SnapshotStore` location) the worker *opens*
-    the parent's persisted snapshot as a read-only memory map instead of
-    regenerating it — the parent saved it before the pool spun up, so
-    workers share physical pages and pay only the SDL fit.  Either way
-    the session is bit-identical to the parent's (same fingerprint ⇒
-    same bytes), and its ledger stays untouched — spend records flow
-    back to the parent for merging.
+    nothing.  With ``store_spec`` (the parent session's
+    :class:`~repro.scenarios.SnapshotStore` described by
+    :meth:`~repro.scenarios.SnapshotStore.spec` — a plain picklable
+    dict naming the backend, so local roots reattach and remote
+    backends reconnect) the worker *opens* the parent's persisted
+    snapshot as a read-only memory map instead of regenerating it — the
+    parent saved it before the pool spun up, so workers share physical
+    pages and pay only the SDL fit.  Either way the session is
+    bit-identical to the parent's (same fingerprint ⇒ same bytes), and
+    its ledger stays untouched — spend records flow back to the parent
+    for merging.
     """
     global _WORKER_SESSION
-    key = (repr(config), tuple(worker_attrs), snapshot_root)
+    key = (repr(config), tuple(worker_attrs), repr(store_spec))
     cached = _WORKER_SESSION
     if cached is not None and cached[0] == key:
         return cached[1]
     from repro.api.session import ReleaseSession
 
     store = None
-    if snapshot_root is not None:
+    if store_spec is not None:
         from repro.scenarios.store import SnapshotStore
 
-        store = SnapshotStore(snapshot_root)
+        if isinstance(store_spec, dict):
+            store = SnapshotStore.from_spec(store_spec)
+        else:  # a bare root path (older callers)
+            store = SnapshotStore(store_spec)
     session = ReleaseSession(
         config, worker_attrs=worker_attrs, snapshot_store=store
     )
@@ -230,15 +236,18 @@ class ProcessExecutor:
         # Where workers should open the snapshot from.  A session built
         # over a SnapshotStore has already persisted its snapshot (the
         # store saves on first generation), so workers map the stored
-        # bytes instead of regenerating the economy per process.
+        # bytes instead of regenerating the economy per process.  The
+        # store ships as its picklable backend spec — a remote-backed
+        # store reconnects in the worker and shares the same local
+        # cache directory.
         store = getattr(session, "snapshot_store", None)
-        snapshot_root = None if store is None else str(store.root)
+        store_spec = None if store is None else store.spec()
         return run_sharded(
             fn,
             items,
             workers=self.workers,
             make_context=_shard_session,
-            context_args=(session.config, session.worker_attrs, snapshot_root),
+            context_args=(session.config, session.worker_attrs, store_spec),
             start_method=self.start_method,
         )
 

@@ -14,20 +14,30 @@ Layout (two-level fan-out keeps directories small)::
         ab/abc123....json        # point payload (JSON, NaN-tolerant)
         ab/abc123....npz         # optional array sidecar
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-sweep never leaves a half-written payload that a resume would trust;
-unreadable or corrupt payloads are treated as misses and recomputed.
+All I/O goes through a :class:`repro.storage.StorageBackend` — the
+default :class:`~repro.storage.local.LocalFSBackend` reproduces the
+historical layout byte for byte (atomic temp-file + ``os.replace``
+writes), and a :class:`~repro.storage.remote.RemoteObjectBackend`
+makes the same cache fleet-shareable (write-through puts, read-through
+local cache) so N workers drain one shared plan without recomputing
+each other's points.  Unreadable or corrupt payloads are treated as
+misses, *quarantined* (evicted together with their sidecar so a bad
+artifact is never read twice), and recomputed — and a corrupt ``.npz``
+sidecar gets exactly the same treatment as a corrupt ``.json`` payload.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
-import os
-import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
+
+from repro.storage import LocalFSBackend, StorageBackend, StoreStats
+from repro.storage.url import backend_from_spec
 
 DEFAULT_CACHE_DIR = Path("reports") / "cache"
 
@@ -49,18 +59,30 @@ def content_key(payload: dict, length: int | None = None) -> str:
 
 
 class ResultStore:
-    """A content-addressed JSON/NPZ store under one root directory.
+    """A content-addressed JSON/NPZ store over a storage backend.
 
     ``hits``/``misses``/``writes`` count this instance's traffic — the
     resume tests (and the CLI's cache summary) read them to prove that a
-    second run recomputed nothing.
+    second run recomputed nothing; :attr:`statistics` adds evictions
+    and the backend's byte traffic (:class:`~repro.storage.StoreStats`).
     """
 
-    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR):
-        self.root = Path(root)
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        backend: StorageBackend | None = None,
+    ):
+        if backend is None:
+            backend = LocalFSBackend(
+                DEFAULT_CACHE_DIR if root is None else root
+            )
+        elif root is not None and Path(root) != backend.root:
+            raise ValueError(
+                f"pass either root or backend, not both "
+                f"(root={str(root)!r}, backend root={str(backend.root)!r})"
+            )
+        self.backend = backend
 
     def __repr__(self) -> str:
         return (
@@ -69,35 +91,99 @@ class ResultStore:
         )
 
     @property
+    def root(self) -> Path:
+        return self.backend.root
+
+    @property
+    def statistics(self) -> StoreStats:
+        """The full shared ledger (store counters + backend byte traffic)."""
+        return self.backend.stats
+
+    @property
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
 
-    def path_for(self, key: str, suffix: str = ".json") -> Path:
-        """Where a key's payload lives (two-level hex fan-out)."""
+    @property
+    def hits(self) -> int:
+        return self.backend.stats.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.backend.stats.hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.backend.stats.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.backend.stats.misses = value
+
+    @property
+    def writes(self) -> int:
+        return self.backend.stats.writes
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self.backend.stats.writes = value
+
+    def spec(self) -> dict:
+        """A picklable description a worker process rebuilds from."""
+        return {"store": "result", "backend": self.backend.spec()}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ResultStore":
+        return cls(backend=backend_from_spec(spec["backend"]))
+
+    def _key_for(self, key: str, suffix: str = ".json") -> str:
         if len(key) < 3:
             raise ValueError(f"store keys must be content hashes, got {key!r}")
-        return self.root / key[:2] / f"{key}{suffix}"
+        return f"{key[:2]}/{key}{suffix}"
+
+    def path_for(self, key: str, suffix: str = ".json") -> Path:
+        """Where a key's payload lives (two-level hex fan-out)."""
+        return self.root / self._key_for(key, suffix)
 
     def contains(self, key: str) -> bool:
         """Whether a payload exists for ``key`` (does not touch counters)."""
-        return self.path_for(key).is_file()
+        return self.backend.contains(self._key_for(key))
+
+    def _quarantine(self, key: str) -> None:
+        """Evict a corrupt entry (payload + sidecar) so it is never re-read.
+
+        Under a local backend this deletes the files; under a remote
+        one it drops only the cached copies — the authoritative remote
+        object may be fine (the corruption local), and if it is not,
+        the re-download-then-reparse will miss again without this
+        worker destroying shared state.
+        """
+        evicted = False
+        for suffix in (".json", ".npz"):
+            evicted = self.backend.evict(self._key_for(key, suffix)) or evicted
+        self.backend.stats.evictions += evicted
 
     # -- payloads -------------------------------------------------------
 
     def get(self, key: str) -> dict | None:
         """Load the JSON payload for ``key``; ``None`` (a miss) otherwise.
 
-        A corrupt or unreadable payload counts as a miss: resumability
-        must never be worse than recomputing.
+        A corrupt or unreadable payload counts as a miss and is
+        quarantined together with its sidecar: resumability must never
+        be worse than recomputing, and a bad artifact must never be
+        parsed twice.
         """
-        path = self.path_for(key)
+        raw = self.backend.read_bytes(self._key_for(key))
+        if raw is None:
+            self.misses += 1
+            return None
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(key)
             self.misses += 1
             return None
         if not isinstance(payload, dict):
+            self._quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
@@ -110,70 +196,54 @@ class ResultStore:
         arrays: dict[str, np.ndarray] | None = None,
     ) -> Path:
         """Atomically persist ``payload`` (and optional array sidecar)."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = dict(payload)
         payload.setdefault("schema", SCHEMA_VERSION)
         payload["key"] = key
         if arrays is not None:
-            self._write_atomic(
-                self.path_for(key, ".npz"),
-                lambda handle: np.savez_compressed(handle, **arrays),
-                binary=True,
-            )
+            # The sidecar goes first: a payload listing arrays that are
+            # not yet readable would be a torn write.
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **arrays)
+            self.backend.put_file(self._key_for(key, ".npz"), buffer.getvalue())
             payload["arrays"] = sorted(arrays)
-        self._write_atomic(
-            path,
-            lambda handle: json.dump(payload, handle, sort_keys=True),
+        path = self.backend.put_file(
+            self._key_for(key),
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
         )
         self.writes += 1
         return path
 
     def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
-        """Load the ``.npz`` sidecar for ``key``, if present."""
-        path = self.path_for(key, ".npz")
+        """Load the ``.npz`` sidecar for ``key``, if present and readable.
+
+        A corrupt or truncated sidecar counts as a miss and quarantines
+        the whole entry (payload included) — the payload's ``arrays``
+        manifest promises data the sidecar can no longer deliver, so
+        the pair must be recomputed together.
+        """
+        path = self.backend.open_local(self._key_for(key, ".npz"))
+        if path is None:
+            return None
         try:
             with np.load(path) as archive:
                 return {name: archive[name] for name in archive.files}
-        except (OSError, ValueError):
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+            self._quarantine(key)
             return None
 
     # -- maintenance ----------------------------------------------------
 
     def __len__(self) -> int:
         """Number of stored payloads (walks the tree; for tests/tools)."""
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1 for key in self.backend.list_keys() if key.endswith(".json")
+        )
 
     def clear(self) -> int:
         """Delete every stored payload and sidecar; returns the count."""
         removed = 0
-        if not self.root.is_dir():
-            return removed
-        for path in self.root.glob("*/*"):
-            if path.suffix in (".json", ".npz"):
-                path.unlink(missing_ok=True)
-                removed += path.suffix == ".json"
+        for key in self.backend.list_keys():
+            if key.endswith((".json", ".npz")):
+                self.backend.delete(key)
+                removed += key.endswith(".json")
         return removed
-
-    @staticmethod
-    def _write_atomic(path: Path, write, binary: bool = False) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-        )
-        try:
-            if binary:
-                handle = os.fdopen(descriptor, "wb")
-            else:
-                handle = os.fdopen(descriptor, "w", encoding="utf-8")
-            with handle:
-                write(handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise

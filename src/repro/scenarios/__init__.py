@@ -38,6 +38,7 @@ from repro.scenarios.store import (
     STALE_STAGING_AGE_S,
     SnapshotStore,
     dataset_fingerprint,
+    panel_fingerprint,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "DEFAULT_SNAPSHOT_DIR",
     "STALE_STAGING_AGE_S",
     "dataset_fingerprint",
+    "panel_fingerprint",
 ]

@@ -25,31 +25,41 @@ Layout (one directory per snapshot)::
             job_worker.npy
             job_establishment.npy
 
+Panels persist under their own fingerprint as one registry plus one
+directory per year, each installed atomically on its own — which is
+what makes ``panel-5yr`` resumable: a killed build keeps every year it
+finished::
+
+    reports/snapshots/
+        <panel-fingerprint>/
+            registry/              # workplace columns, geography,
+                                   # sizes_by_year.npy, meta.json
+            year-0/ ... year-4/    # worker columns + job arrays + meta
+
 The fingerprint hashes the full :class:`SyntheticConfig` (generation is
 fully seeded, so config ⇒ bytes), giving the store the same
 no-invalidation property as the engine's result store: a changed knob
 hashes to a new directory, and the engine's content-addressed point
 keys — which embed the snapshot fingerprint — compose with it for free.
 
-Writes are atomic (temp directory + ``os.replace``), staged trees are
-re-permissioned to honor the process umask (so a shared store is
-readable by every user the umask admits), stale staging directories
-left by crashed builds are pruned age-gated on the next write (or
-explicitly via :meth:`SnapshotStore.prune`), and any unreadable,
-partial or version-skewed snapshot is treated as a miss and rebuilt:
-persistence must never be worse than regenerating.
-:meth:`SnapshotStore.build` generates a snapshot *directly into* the
-staged layout — workforce chunks drawn by a process pool, each writing
-its slice of the final ``.npy`` files — so national-scale economies
-persist without ever materializing in the parent process.
+All I/O goes through a :class:`repro.storage.StorageBackend`: the
+default :class:`~repro.storage.local.LocalFSBackend` reproduces the
+historical layout byte for byte (atomic temp-dir + ``os.replace``
+installs, umask honoring, age-gated staging prune), while a
+:class:`~repro.storage.remote.RemoteObjectBackend` makes the same store
+fleet-shareable — writes mirror to an object store, reads download to a
+local cache and mmap from there.  Any unreadable, partial or
+version-skewed snapshot is treated as a miss and rebuilt: persistence
+must never be worse than regenerating.  :meth:`SnapshotStore.build`
+generates a snapshot *directly into* the staged layout — workforce
+chunks drawn by a process pool, each writing its slice of the final
+``.npy`` files — so national-scale economies persist without ever
+materializing in the parent process.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import shutil
-import tempfile
 import time
 import warnings
 from dataclasses import asdict
@@ -60,33 +70,47 @@ import numpy as np
 from repro.data.dataset import LODESDataset
 from repro.data.generator import SyntheticConfig, generate, plan_economy
 from repro.data.geography import geography_from_payload, geography_payload
+from repro.data.panel import (
+    LODESPanel,
+    PanelConfig,
+    PanelPlan,
+    generate_panel,
+    plan_panel,
+)
 from repro.data.schema import worker_schema, workplace_schema
 from repro.data.workers import JOB_ARRAYS, WORKER_COLUMNS, build_workforce_sharded
 from repro.db.table import Table
 from repro.engine.store import content_key
+from repro.storage import (
+    STALE_STAGING_AGE_S,
+    LocalFSBackend,
+    StorageBackend,
+    StoreStats,
+    backend_from_spec,
+)
+from repro.storage.backend import current_umask as _current_umask
+from repro.storage.backend import honor_umask as _honor_umask
+from repro.util import as_generator
 
 __all__ = [
     "SnapshotStore",
     "DEFAULT_SNAPSHOT_DIR",
     "STALE_STAGING_AGE_S",
     "dataset_fingerprint",
+    "panel_fingerprint",
 ]
 
 DEFAULT_SNAPSHOT_DIR = Path("reports") / "snapshots"
 
 SNAPSHOT_SCHEMA_VERSION = 1
+PANEL_SCHEMA_VERSION = 1
 
 META_FILE = "meta.json"
 GEOGRAPHY_FILE = "geography.json"
+REGISTRY_DIR = "registry"
+SIZES_FILE = "sizes_by_year.npy"
 
 _JOB_ARRAYS = JOB_ARRAYS
-
-# Staging directories older than this are considered orphans of a
-# crashed build and removed by prune(); the age gate keeps a concurrent
-# writer's live staging safe.
-STALE_STAGING_AGE_S = 3600.0
-
-_STAGING_MARKER = ".tmp-"
 
 
 def dataset_fingerprint(config: SyntheticConfig) -> str:
@@ -102,19 +126,42 @@ def dataset_fingerprint(config: SyntheticConfig) -> str:
     return content_key({"data": asdict(config)}, length=16)
 
 
+def panel_fingerprint(config: PanelConfig) -> str:
+    """Content fingerprint of the panel ``config`` generates.
+
+    Covers the full nested base config plus every evolution knob, so a
+    panel and its own base snapshot never collide — they hash different
+    payload shapes — and any changed knob addresses a fresh panel.
+    """
+    return content_key({"panel": asdict(config)}, length=16)
+
+
 class SnapshotStore:
     """A fingerprint-addressed on-disk store of LODES snapshots.
 
     ``hits``/``misses``/``writes`` count this instance's traffic, so
     tests (and ``repro scenarios info``) can prove a load was served
-    from disk rather than regenerated.
+    from disk rather than regenerated; :attr:`statistics` adds the
+    backend's byte traffic and eviction counts
+    (:class:`~repro.storage.StoreStats`).
     """
 
-    def __init__(self, root: Path | str = DEFAULT_SNAPSHOT_DIR):
-        self.root = Path(root)
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        backend: StorageBackend | None = None,
+    ):
+        if backend is None:
+            backend = LocalFSBackend(
+                DEFAULT_SNAPSHOT_DIR if root is None else root
+            )
+        elif root is not None and Path(root) != backend.root:
+            raise ValueError(
+                f"pass either root or backend, not both "
+                f"(root={str(root)!r}, backend root={str(backend.root)!r})"
+            )
+        self.backend = backend
 
     def __repr__(self) -> str:
         return (
@@ -123,14 +170,55 @@ class SnapshotStore:
         )
 
     @property
+    def root(self) -> Path:
+        return self.backend.root
+
+    @property
+    def statistics(self) -> StoreStats:
+        """The full shared ledger (store counters + backend byte traffic)."""
+        return self.backend.stats
+
+    @property
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    @property
+    def hits(self) -> int:
+        return self.backend.stats.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.backend.stats.hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.backend.stats.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.backend.stats.misses = value
+
+    @property
+    def writes(self) -> int:
+        return self.backend.stats.writes
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self.backend.stats.writes = value
+
+    def spec(self) -> dict:
+        """A picklable description a worker process rebuilds from."""
+        return {"store": "snapshot", "backend": self.backend.spec()}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SnapshotStore":
+        return cls(backend=backend_from_spec(spec["backend"]))
 
     def fingerprint(self, config: SyntheticConfig) -> str:
         return dataset_fingerprint(config)
 
     def path_for(self, fingerprint: str) -> Path:
-        """The directory a snapshot with ``fingerprint`` lives in."""
+        """The (cache-)local directory a snapshot with ``fingerprint`` lives in."""
         if not fingerprint or any(c in fingerprint for c in "/\\."):
             raise ValueError(
                 f"snapshot fingerprints are hex digests, got {fingerprint!r}"
@@ -139,7 +227,8 @@ class SnapshotStore:
 
     def contains(self, fingerprint: str) -> bool:
         """Whether a snapshot directory exists (does not touch counters)."""
-        return (self.path_for(fingerprint) / META_FILE).is_file()
+        self.path_for(fingerprint)
+        return self.backend.contains(f"{fingerprint}/{META_FILE}")
 
     # -- persistence ----------------------------------------------------
 
@@ -153,23 +242,23 @@ class SnapshotStore:
     ) -> Path:
         """Atomically persist ``dataset`` under ``config``'s fingerprint.
 
-        The snapshot is staged in a temp directory and renamed into
-        place, so a crashed build never leaves a partial directory a
-        later load would trust.  An existing *loadable* snapshot is kept
+        The snapshot is staged and renamed into place by the backend,
+        so a crashed build never leaves a partial directory a later
+        load would trust.  An existing *loadable* snapshot is kept
         (same fingerprint ⇒ same bytes) unless ``overwrite=True``; an
         existing unloadable one — corrupt or partial — is always
         replaced by the fresh build.
         """
         fingerprint = fingerprint or dataset_fingerprint(config)
         final = self.path_for(fingerprint)
-        staging = self._staging_dir(fingerprint)
-        try:
-            self._write_snapshot(staging, dataset, config, fingerprint)
-            _honor_umask(staging)
-            self._install(staging, final, fingerprint, overwrite)
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
-            raise
+        self.backend.put_dir(
+            fingerprint,
+            lambda staging: self._write_snapshot(
+                staging, dataset, config, fingerprint
+            ),
+            overwrite=overwrite,
+            keep_existing=self._keep_loadable(fingerprint),
+        )
         self.writes += 1
         return final
 
@@ -196,7 +285,9 @@ class SnapshotStore:
         parent, and because chunks are independently seeded the
         installed directory is **byte-identical** to a sequential
         ``save(generate(config), config)`` — same fingerprint, same
-        file bytes — whatever the worker count.
+        file bytes — whatever the worker count.  Under a remote
+        backend the pool still stages locally; only the parent uploads
+        the installed directory, once.
         """
         workers = 1 if workers is None else int(workers)
         fingerprint = fingerprint or dataset_fingerprint(config)
@@ -208,8 +299,8 @@ class SnapshotStore:
             and self._load(fingerprint, mmap=True, count=False) is not None
         ):
             return final
-        staging = self._staging_dir(fingerprint)
-        try:
+
+        def fill(staging: Path) -> None:
             plan = plan_economy(config)
             workplace_columns = list(plan.workplace.schema.names)
             for name in workplace_columns:
@@ -245,43 +336,21 @@ class SnapshotStore:
                 worker_columns=list(WORKER_COLUMNS),
                 workplace_columns=workplace_columns,
             )
-            _honor_umask(staging)
-            self._install(staging, final, fingerprint, overwrite)
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
-            raise
+
+        self.backend.put_dir(
+            fingerprint,
+            fill,
+            overwrite=overwrite,
+            keep_existing=self._keep_loadable(fingerprint),
+        )
         self.writes += 1
         return final
 
-    def _staging_dir(self, fingerprint: str) -> Path:
-        """A fresh staging directory under the root (which this creates)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.prune()
-        return Path(
-            tempfile.mkdtemp(
-                dir=self.root, prefix=f".{fingerprint}{_STAGING_MARKER}"
-            )
+    def _keep_loadable(self, fingerprint: str):
+        """Install-collision arbiter: keep the incumbent only if it loads."""
+        return lambda final: (
+            self._load(fingerprint, mmap=True, count=False) is not None
         )
-
-    def _install(
-        self, staging: Path, final: Path, fingerprint: str, overwrite: bool
-    ) -> None:
-        """Move a staged snapshot into place, displacing stale targets."""
-        if overwrite:
-            shutil.rmtree(final, ignore_errors=True)
-        try:
-            os.replace(staging, final)
-            return
-        except OSError:
-            pass
-        # ``final`` already exists (a concurrent writer, or a leftover
-        # directory).  Keep it only if it actually loads; a corrupt or
-        # partial snapshot must never shadow the fresh build.
-        if self._load(fingerprint, mmap=True, count=False) is not None:
-            shutil.rmtree(staging, ignore_errors=True)
-            return
-        shutil.rmtree(final, ignore_errors=True)
-        os.replace(staging, final)
 
     def _write_snapshot(
         self,
@@ -361,31 +430,43 @@ class SnapshotStore:
 
     def info(self, fingerprint: str) -> dict | None:
         """The snapshot's ``meta.json`` payload, or ``None`` if unusable."""
-        path = self.path_for(fingerprint) / META_FILE
-        try:
-            meta = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        self.path_for(fingerprint)
+        return self._read_meta(
+            f"{fingerprint}/{META_FILE}", SNAPSHOT_SCHEMA_VERSION
+        )
+
+    def _read_meta(self, key: str, schema_version: int) -> dict | None:
+        # cache=False: installing one member file of a directory
+        # artifact into a remote backend's local cache would fake a
+        # partial directory into existence.
+        raw = self.backend.read_bytes(key, cache=False)
+        if raw is None:
             return None
-        if not isinstance(meta, dict) or meta.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        try:
+            meta = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(meta, dict) or meta.get("schema") != schema_version:
             return None
         return meta
 
     def size_bytes(self, fingerprint: str) -> int:
-        """Total on-disk footprint of one snapshot directory."""
-        directory = self.path_for(fingerprint)
-        if not directory.is_dir():
-            return 0
-        return sum(p.stat().st_size for p in directory.iterdir() if p.is_file())
+        """Total stored footprint of one snapshot (or panel) directory."""
+        self.path_for(fingerprint)
+        return self.backend.size_bytes(fingerprint)
 
     def entries(self) -> list[dict]:
-        """Metadata of every loadable snapshot under the root."""
-        if not self.root.is_dir():
-            return []
+        """Metadata of every loadable snapshot in the store."""
+        fingerprints = sorted(
+            {
+                key.split("/", 1)[0]
+                for key in self.backend.list_keys()
+                if key.count("/") == 1 and key.endswith(f"/{META_FILE}")
+            }
+        )
         found = []
-        for directory in sorted(self.root.iterdir()):
-            if directory.name.startswith(".") or not directory.is_dir():
-                continue
-            meta = self.info(directory.name)
+        for fingerprint in fingerprints:
+            meta = self.info(fingerprint)
             if meta is not None:
                 found.append(meta)
         return found
@@ -406,8 +487,11 @@ class SnapshotStore:
     def _load(
         self, fingerprint: str, *, mmap: bool, count: bool
     ) -> LODESDataset | None:
-        directory = self.path_for(fingerprint)
-        meta = self.info(fingerprint)
+        self.path_for(fingerprint)
+        directory = self.backend.open_local(fingerprint)
+        meta = None
+        if directory is not None:
+            meta = self._meta_from_dir(directory, SNAPSHOT_SCHEMA_VERSION)
         if meta is None:
             self.misses += count
             return None
@@ -454,6 +538,18 @@ class SnapshotStore:
             job_establishment=job_establishment,
             geography=geography,
         )
+
+    @staticmethod
+    def _meta_from_dir(directory: Path, schema_version: int) -> dict | None:
+        try:
+            meta = json.loads(
+                (directory / META_FILE).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(meta, dict) or meta.get("schema") != schema_version:
+            return None
+        return meta
 
     def load_config(
         self, config: SyntheticConfig, *, mmap: bool = True
@@ -522,92 +618,448 @@ class SnapshotStore:
         reopened = self._load(fingerprint, mmap=mmap, count=False)
         return (reopened if reopened is not None else generated), False
 
+    # -- panels ---------------------------------------------------------
+
+    def panel_info(self, fingerprint: str) -> dict | None:
+        """The panel registry's ``meta.json`` payload, or ``None``."""
+        self.path_for(fingerprint)
+        return self._read_meta(
+            f"{fingerprint}/{REGISTRY_DIR}/{META_FILE}", PANEL_SCHEMA_VERSION
+        )
+
+    def contains_panel(self, fingerprint: str) -> bool:
+        """Whether every year of the panel exists (no counters touched)."""
+        meta = self.panel_info(fingerprint)
+        if meta is None:
+            return False
+        return all(
+            self.backend.contains(f"{fingerprint}/year-{year}/{META_FILE}")
+            for year in range(int(meta["n_years"]))
+        )
+
+    def panel_entries(self) -> list[dict]:
+        """Registry metadata of every panel in the store."""
+        fingerprints = sorted(
+            {
+                key.split("/", 1)[0]
+                for key in self.backend.list_keys()
+                if key.endswith(f"/{REGISTRY_DIR}/{META_FILE}")
+                and key.count("/") == 2
+            }
+        )
+        found = []
+        for fingerprint in fingerprints:
+            meta = self.panel_info(fingerprint)
+            if meta is not None:
+                found.append(meta)
+        return found
+
+    def save_panel(
+        self,
+        panel: LODESPanel,
+        config: PanelConfig,
+        *,
+        fingerprint: str | None = None,
+        overwrite: bool = False,
+    ) -> Path:
+        """Atomically persist a materialized panel, year by year.
+
+        Each year (and the registry) installs independently, so the
+        panel is resumable at year granularity — exactly what
+        :meth:`build_panel` exploits when it fills only missing years.
+        """
+        fingerprint = fingerprint or panel_fingerprint(config)
+        final = self.path_for(fingerprint)
+        self._put_registry(
+            fingerprint,
+            config,
+            panel.workplace,
+            panel.geography,
+            panel.sizes_by_year,
+            overwrite=overwrite,
+        )
+        for year, dataset in enumerate(panel.years):
+            worker_columns = list(dataset.worker.schema.names)
+
+            def fill(staging: Path, dataset=dataset, year=year) -> None:
+                for name in dataset.worker.schema.names:
+                    np.save(
+                        staging / f"worker__{name}.npy",
+                        np.ascontiguousarray(dataset.worker.column(name)),
+                    )
+                np.save(
+                    staging / "job_worker.npy",
+                    np.ascontiguousarray(dataset.job_worker),
+                )
+                np.save(
+                    staging / "job_establishment.npy",
+                    np.ascontiguousarray(dataset.job_establishment),
+                )
+                self._write_year_meta(
+                    staging,
+                    fingerprint,
+                    year,
+                    n_jobs=int(dataset.n_jobs),
+                    worker_columns=worker_columns,
+                )
+
+            self.backend.put_dir(
+                f"{fingerprint}/year-{year}",
+                fill,
+                overwrite=overwrite,
+                keep_existing=self._keep_year_loadable(
+                    fingerprint, year, worker_columns
+                ),
+            )
+            self.writes += 1
+        return final
+
+    def build_panel(
+        self,
+        config: PanelConfig,
+        *,
+        workers: int | None = None,
+        fingerprint: str | None = None,
+        overwrite: bool = False,
+        start_method: str | None = None,
+    ) -> Path:
+        """Generate missing panel years *directly into* the store, sharded.
+
+        The panel plan (registry, size evolution, mixes — no O(jobs)
+        arrays) is recomputed cheaply, then each missing year's
+        workforce is drawn straight into that year's staged directory,
+        its chunks fanned out over the process pool.  Because the plan
+        is deterministic and years' streams are independently seeded,
+        re-running after a crash rebuilds only the years that are not
+        yet installed — the (year × chunk) fan-out the sharded builder
+        was designed for.
+        """
+        workers = 1 if workers is None else int(workers)
+        fingerprint = fingerprint or panel_fingerprint(config)
+        final = self.path_for(fingerprint)
+        plan: PanelPlan | None = None
+        worker_columns = list(WORKER_COLUMNS)
+        if overwrite or self.panel_info(fingerprint) is None:
+            plan = plan_panel(config)
+            self._put_registry(
+                fingerprint,
+                config,
+                plan.workplace,
+                plan.geography,
+                plan.sizes_by_year,
+                overwrite=overwrite,
+            )
+        for year in range(config.n_years):
+            if not overwrite and self._load_year(
+                fingerprint, year, worker_columns, mmap=True
+            ) is not None:
+                continue
+            if plan is None:
+                plan = plan_panel(config)
+            self._build_year(
+                fingerprint,
+                plan,
+                year,
+                workers=workers,
+                overwrite=overwrite,
+                start_method=start_method,
+            )
+        return final
+
+    def _put_registry(
+        self,
+        fingerprint: str,
+        config: PanelConfig,
+        workplace: Table,
+        geography,
+        sizes_by_year: np.ndarray,
+        *,
+        overwrite: bool,
+    ) -> None:
+        workplace_columns = list(workplace.schema.names)
+
+        def fill(staging: Path) -> None:
+            for name in workplace_columns:
+                np.save(
+                    staging / f"workplace__{name}.npy",
+                    np.ascontiguousarray(workplace.column(name)),
+                )
+            np.save(
+                staging / SIZES_FILE, np.ascontiguousarray(sizes_by_year)
+            )
+            self._write_geography(staging, geography)
+            meta = {
+                "schema": PANEL_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "config": asdict(config),
+                "n_years": int(sizes_by_year.shape[0]),
+                "n_establishments": int(workplace.n_rows),
+                "n_places": int(geography.n_places),
+                "workplace_columns": workplace_columns,
+                "created_at": time.time(),
+            }
+            (staging / META_FILE).write_text(
+                json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+            )
+
+        self.backend.put_dir(
+            f"{fingerprint}/{REGISTRY_DIR}",
+            fill,
+            overwrite=overwrite,
+            keep_existing=lambda path: self.panel_info(fingerprint)
+            is not None,
+        )
+        self.writes += 1
+
+    def _build_year(
+        self,
+        fingerprint: str,
+        plan: PanelPlan,
+        year: int,
+        *,
+        workers: int,
+        overwrite: bool,
+        start_method: str | None,
+    ) -> None:
+        worker_columns = list(WORKER_COLUMNS)
+
+        def fill(staging: Path) -> None:
+            paths: dict[str, Path] = {
+                name: staging / f"worker__{name}.npy" for name in WORKER_COLUMNS
+            }
+            for name in _JOB_ARRAYS:
+                paths[name] = staging / f"{name}.npy"
+            year_seed = plan.year_seed(year)
+            n_jobs = build_workforce_sharded(
+                plan.sizes_by_year[year],
+                plan.workplace.column("naics"),
+                plan.workplace.column("place"),
+                plan.place_mixes,
+                as_generator(year_seed),
+                base_seed=year_seed,
+                chunk_jobs=plan.config.base.chunk_jobs,
+                paths=paths,
+                workers=workers,
+                start_method=start_method,
+            )
+            self._write_year_meta(
+                staging,
+                fingerprint,
+                year,
+                n_jobs=n_jobs,
+                worker_columns=worker_columns,
+            )
+
+        self.backend.put_dir(
+            f"{fingerprint}/year-{year}",
+            fill,
+            overwrite=overwrite,
+            keep_existing=self._keep_year_loadable(
+                fingerprint, year, worker_columns
+            ),
+        )
+        self.writes += 1
+
+    def _write_year_meta(
+        self,
+        directory: Path,
+        fingerprint: str,
+        year: int,
+        *,
+        n_jobs: int,
+        worker_columns: list[str],
+    ) -> None:
+        meta = {
+            "schema": PANEL_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "year": int(year),
+            "n_jobs": int(n_jobs),
+            "worker_columns": list(worker_columns),
+            "created_at": time.time(),
+        }
+        (directory / META_FILE).write_text(
+            json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    def _keep_year_loadable(
+        self, fingerprint: str, year: int, worker_columns: list[str]
+    ):
+        return lambda final: (
+            self._load_year(fingerprint, year, worker_columns, mmap=True)
+            is not None
+        )
+
+    def _load_year(
+        self,
+        fingerprint: str,
+        year: int,
+        worker_columns: list[str],
+        *,
+        mmap: bool,
+    ) -> dict | None:
+        """Open one year's arrays; ``None`` if missing/corrupt (no counters)."""
+        directory = self.backend.open_local(f"{fingerprint}/year-{year}")
+        if directory is None:
+            return None
+        meta = self._meta_from_dir(directory, PANEL_SCHEMA_VERSION)
+        if meta is None or list(meta.get("worker_columns", [])) != list(
+            worker_columns
+        ):
+            return None
+        mmap_mode = "r" if mmap else None
+        try:
+            arrays = {
+                name: np.load(
+                    directory / f"worker__{name}.npy", mmap_mode=mmap_mode
+                )
+                for name in worker_columns
+            }
+            arrays["job_worker"] = np.load(
+                directory / "job_worker.npy", mmap_mode=mmap_mode
+            )
+            arrays["job_establishment"] = np.load(
+                directory / "job_establishment.npy", mmap_mode=mmap_mode
+            )
+        except (OSError, ValueError, EOFError):
+            return None
+        return arrays
+
+    def load_panel(
+        self, fingerprint: str, *, mmap: bool = True
+    ) -> LODESPanel | None:
+        """Open the panel with ``fingerprint``; ``None`` (a miss) otherwise."""
+        return self._load_panel(fingerprint, mmap=mmap, count=True)
+
+    def _load_panel(
+        self, fingerprint: str, *, mmap: bool, count: bool
+    ) -> LODESPanel | None:
+        self.path_for(fingerprint)
+        registry_dir = self.backend.open_local(
+            f"{fingerprint}/{REGISTRY_DIR}"
+        )
+        meta = None
+        if registry_dir is not None:
+            meta = self._meta_from_dir(registry_dir, PANEL_SCHEMA_VERSION)
+        if meta is None:
+            self.misses += count
+            return None
+        mmap_mode = "r" if mmap else None
+        try:
+            geography = geography_from_payload(
+                json.loads(
+                    (registry_dir / GEOGRAPHY_FILE).read_text(encoding="utf-8")
+                )
+            )
+            workplace = Table(
+                workplace_schema(geography),
+                {
+                    name: np.load(
+                        registry_dir / f"workplace__{name}.npy",
+                        mmap_mode=mmap_mode,
+                    )
+                    for name in meta["workplace_columns"]
+                },
+            )
+            sizes_by_year = np.load(
+                registry_dir / SIZES_FILE, mmap_mode=mmap_mode
+            )
+        except (OSError, ValueError, KeyError, EOFError):
+            self.misses += count
+            return None
+        schema = worker_schema()
+        worker_columns = list(schema.names)
+        years = []
+        for year in range(int(meta["n_years"])):
+            arrays = self._load_year(
+                fingerprint, year, worker_columns, mmap=mmap
+            )
+            if arrays is None:
+                self.misses += count
+                return None
+            years.append(
+                LODESDataset(
+                    worker=Table(
+                        schema,
+                        {name: arrays[name] for name in worker_columns},
+                    ),
+                    workplace=workplace,
+                    job_worker=arrays["job_worker"],
+                    job_establishment=arrays["job_establishment"],
+                    geography=geography,
+                )
+            )
+        self.hits += count
+        return LODESPanel(
+            workplace=workplace,
+            geography=geography,
+            sizes_by_year=sizes_by_year,
+            years=tuple(years),
+        )
+
+    def load_or_generate_panel(
+        self,
+        config: PanelConfig,
+        *,
+        mmap: bool = True,
+        build_workers: int | None = None,
+    ) -> tuple[LODESPanel, bool]:
+        """Open ``config``'s panel, building missing years on a miss.
+
+        Returns ``(panel, was_hit)``.  The miss path is resumable: the
+        registry and every already-installed year are kept, only the
+        missing years are drawn (sharded across ``build_workers``
+        processes when > 1), and the panel is re-opened through the
+        store so callers hold the memory-mapped artifact.  An
+        unwritable root degrades to in-memory generation with a
+        :class:`RuntimeWarning`, exactly like :meth:`load_or_generate`.
+        """
+        fingerprint = panel_fingerprint(config)
+        panel = self._load_panel(fingerprint, mmap=mmap, count=True)
+        if panel is not None:
+            return panel, True
+        workers = 1 if build_workers is None else int(build_workers)
+        try:
+            self.build_panel(
+                config, workers=workers, fingerprint=fingerprint
+            )
+        except (OSError, RuntimeError) as error:
+            warnings.warn(
+                f"panel build under {self.root} failed ({error}); "
+                "falling back to in-memory panel generation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return generate_panel(config), False
+        reopened = self._load_panel(fingerprint, mmap=mmap, count=False)
+        if reopened is not None:
+            return reopened, False
+        return generate_panel(config), False
+
     # -- maintenance ----------------------------------------------------
 
     def delete(self, fingerprint: str) -> bool:
-        """Remove one snapshot directory; True if something was deleted."""
-        directory = self.path_for(fingerprint)
-        if not directory.is_dir():
-            return False
-        shutil.rmtree(directory)
-        return True
+        """Remove one snapshot (or panel) directory; True if deleted."""
+        self.path_for(fingerprint)
+        return self.backend.delete(fingerprint)
 
     def prune(self, *, max_age_s: float = STALE_STAGING_AGE_S) -> list[Path]:
         """Delete staging directories orphaned by crashed builds.
 
-        A build that dies between ``mkdtemp`` and ``os.replace`` leaves
-        its ``.<fingerprint>.tmp-*`` directory behind forever —
+        A build that dies between staging and install leaves its
+        ``.<fingerprint>.tmp-*`` directory behind forever —
         ``entries()`` skips it, but nothing ever reclaimed the space.
-        Every :meth:`save`/:meth:`build` calls this with the default age
-        gate, so leftovers disappear on the next write while a
-        *concurrent* writer's live staging — always younger than
-        ``max_age_s`` — is untouched.  ``max_age_s=0``
-        (``repro scenarios prune --all``) clears everything.
+        Every :meth:`save`/:meth:`build` prunes with the default age
+        gate (inside the backend's ``put_dir``), so leftovers disappear
+        on the next write while a *concurrent* writer's live staging —
+        always younger than ``max_age_s`` — is untouched.
+        ``max_age_s=0`` (``repro scenarios prune --all``) clears
+        everything.
 
         Returns the directories actually removed (an undeletable one —
         say, another user's on a shared store — is not reported).
         """
-        if not self.root.is_dir():
-            return []
-        removed = []
-        now = time.time()
-        for path in self.root.iterdir():
-            if not (
-                path.name.startswith(".")
-                and _STAGING_MARKER in path.name
-                and path.is_dir()
-            ):
-                continue
-            try:
-                age = now - path.stat().st_mtime
-            except OSError:
-                continue  # vanished under us (a concurrent prune/install)
-            if age >= max_age_s:
-                shutil.rmtree(path, ignore_errors=True)
-                if not path.exists():
-                    removed.append(path)
-        return removed
+        return self.backend.prune_staging(max_age_s=max_age_s)
 
     def __len__(self) -> int:
         """Number of loadable snapshots under the root."""
         return len(self.entries())
-
-
-def _current_umask() -> int:
-    """The process umask, read without mutating it when possible.
-
-    The classic ``os.umask(0); os.umask(previous)`` dance opens a
-    window in which files created by *other threads* land
-    world-writable, so on Linux the value is read from
-    ``/proc/self/status`` instead; the set-and-restore fallback only
-    runs where no such interface exists.
-    """
-    try:
-        with open("/proc/self/status", encoding="ascii") as status:
-            for line in status:
-                if line.startswith("Umask:"):
-                    return int(line.split()[1], 8)
-    except (OSError, ValueError, IndexError):
-        pass
-    umask = os.umask(0)
-    os.umask(umask)
-    return umask
-
-
-def _honor_umask(staging: Path) -> None:
-    """Re-permission a staged tree to what the process umask grants.
-
-    ``tempfile.mkdtemp`` deliberately creates its directory ``0o700``
-    and ``os.replace`` preserves that mode, so without this every
-    installed snapshot would be unreadable to other users — silently
-    turning a shared store (CI cache, multi-user machine) into a
-    per-user one.  Files get ``0o666 & ~umask``, directories
-    ``0o777 & ~umask``, exactly what a plain ``mkdir``/``open`` would
-    have produced outside ``tempfile``.
-    """
-    umask = _current_umask()
-    dir_mode = 0o777 & ~umask
-    file_mode = 0o666 & ~umask
-    os.chmod(staging, dir_mode)
-    for path in staging.rglob("*"):
-        os.chmod(path, dir_mode if path.is_dir() else file_mode)

@@ -1,0 +1,225 @@
+"""The storage-backend protocol: one I/O contract under every store.
+
+:class:`~repro.scenarios.store.SnapshotStore` (fingerprint-addressed
+snapshot directories) and :class:`~repro.engine.store.ResultStore`
+(content-addressed JSON/NPZ payloads) used to be two independent
+hand-rolled filesystem stores, each re-implementing atomic-rename
+installs, umask honoring, stale-staging prune and corrupt-as-miss
+reads.  This module extracts that I/O contract into a single
+:class:`StorageBackend` protocol so both stores become thin
+addressing/serialization layers and the I/O can be swapped:
+
+- :class:`~repro.storage.local.LocalFSBackend` reproduces the
+  historical on-disk layout byte for byte under one root directory;
+- :class:`~repro.storage.remote.RemoteObjectBackend` speaks a minimal
+  object-store interface (S3/GCS-shaped keys) with
+  download-to-local-cache-then-mmap reads and write-through puts, so a
+  fleet of machines shares one set of built economies and computed
+  points.
+
+**Keys** are opaque relative paths (``"<fingerprint>"`` for a snapshot
+directory, ``"ab/abc123....json"`` for a result payload).  The backend
+never interprets them beyond path mapping; addressing — fingerprints,
+content hashes, fan-out — stays entirely in the stores.
+
+**Install semantics** are atomic everywhere: a file or directory is
+staged next to its destination and renamed into place, so a crashed
+writer can never leave a partial artifact that a later read would
+trust.  Staged leftovers are age-gated garbage (:meth:`prune_staging`).
+
+**Telemetry** is one shared :class:`StoreStats`: the store layers count
+hits/misses/writes/evictions (they know what a miss *means*), the
+backend counts bytes moved (it knows what I/O actually happened), and
+both land in the same object so ``repro storage stats`` and
+``repro sweep --json`` report a unified view.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "StoreStats",
+    "StorageBackend",
+    "STALE_STAGING_AGE_S",
+    "STAGING_MARKER",
+    "current_umask",
+    "honor_umask",
+]
+
+# Staging entries older than this are considered orphans of a crashed
+# writer and removed by prune_staging(); the age gate keeps a concurrent
+# writer's live staging safe.
+STALE_STAGING_AGE_S = 3600.0
+
+# Staged directories are named ".<basename>.tmp-<random>" (tempfile
+# keeps the prefix); staged files are ".<basename>.<random>.tmp".  Both
+# start with "." so listings skip them, and both carry ".tmp" so
+# prune_staging() can recognize them.
+STAGING_MARKER = ".tmp"
+
+
+@dataclass
+class StoreStats:
+    """Unified store telemetry: hits/misses/writes/evictions/bytes moved.
+
+    One instance is shared by a store and its backend: the store
+    increments the semantic counters (``hits``/``misses``/``writes``
+    when a lookup or persist happens, ``evictions`` when a corrupt
+    artifact is quarantined or deleted), the backend the physical ones
+    (``bytes_read``/``bytes_written`` as data actually moves across
+    disk or network).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "StoreStats") -> "StoreStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Opaque-key storage with atomic installs and corrupt-as-miss reads.
+
+    ``root`` is the backend's *local* directory — the store itself for
+    :class:`~repro.storage.local.LocalFSBackend`, the download cache
+    for :class:`~repro.storage.remote.RemoteObjectBackend` — and what
+    :meth:`open_local` paths live under, so callers can always
+    ``np.load(..., mmap_mode="r")`` what they are handed.
+    """
+
+    root: Path
+    stats: StoreStats
+
+    def put_file(self, key: str, data: bytes) -> Path:
+        """Atomically install ``data`` under ``key``; returns the local path."""
+        ...
+
+    def put_dir(
+        self,
+        key: str,
+        fill: Callable[[Path], None],
+        *,
+        overwrite: bool = False,
+        keep_existing: Callable[[Path], bool] | None = None,
+    ) -> Path:
+        """Stage a directory, let ``fill`` populate it, install atomically.
+
+        ``fill(staging)`` writes the directory's contents (it may fan
+        work out to a process pool — the staged files are ordinary local
+        files).  If the destination already exists and ``overwrite`` is
+        false, ``keep_existing(final)`` decides whether the incumbent
+        survives (``True``: staging is discarded — same key ⇒ same
+        bytes) or is displaced (``False``/``None``: a corrupt or
+        partial incumbent must never shadow a fresh build).
+        """
+        ...
+
+    def open_local(self, key: str) -> Path | None:
+        """A local path for ``key``'s artifact, or ``None`` (a miss).
+
+        Local backends return the artifact in place; remote backends
+        download it into the cache root (atomically) first.  The caller
+        may memory-map the result.  Any I/O failure is a miss, never an
+        exception: reads must never be worse than recomputing.
+        """
+        ...
+
+    def read_bytes(self, key: str, *, cache: bool = True) -> bytes | None:
+        """The artifact's bytes, or ``None`` (a miss).
+
+        ``cache=False`` keeps a remote fetch out of the local cache —
+        required for keys *inside* directory artifacts (caching one
+        member file would fake a partial directory into existence).
+        """
+        ...
+
+    def contains(self, key: str) -> bool:
+        """Whether an artifact exists for ``key`` (no counters touched)."""
+        ...
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """Sorted keys of every stored file (staging excluded)."""
+        ...
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` everywhere the backend wrote it; True if found."""
+        ...
+
+    def evict(self, key: str) -> bool:
+        """Remove only the *local* copy of ``key`` (quarantine).
+
+        For a local backend this is :meth:`delete`; for a remote one it
+        drops the cached copy while the authoritative remote object
+        survives, so the next read re-downloads a clean artifact.
+        """
+        ...
+
+    def prune_staging(
+        self, *, max_age_s: float = STALE_STAGING_AGE_S
+    ) -> list[Path]:
+        """Delete staging entries orphaned by crashed writers (age-gated)."""
+        ...
+
+    def size_bytes(self, key: str) -> int:
+        """Total stored bytes under ``key`` (0 when absent)."""
+        ...
+
+    def spec(self) -> dict:
+        """A picklable description a worker process can rebuild from."""
+        ...
+
+
+def current_umask() -> int:
+    """The process umask, read without mutating it when possible.
+
+    The classic ``os.umask(0); os.umask(previous)`` dance opens a
+    window in which files created by *other threads* land
+    world-writable, so on Linux the value is read from
+    ``/proc/self/status`` instead; the set-and-restore fallback only
+    runs where no such interface exists.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("Umask:"):
+                    return int(line.split()[1], 8)
+    except (OSError, ValueError, IndexError):
+        pass
+    umask = os.umask(0)
+    os.umask(umask)
+    return umask
+
+
+def honor_umask(staging: Path) -> None:
+    """Re-permission a staged tree to what the process umask grants.
+
+    ``tempfile.mkdtemp``/``mkstemp`` deliberately create ``0o700``/
+    ``0o600`` entries and ``os.replace`` preserves the mode, so without
+    this every installed artifact would be unreadable to other users —
+    silently turning a shared store (CI cache, multi-user machine) into
+    a per-user one.  Files get ``0o666 & ~umask``, directories
+    ``0o777 & ~umask``, exactly what a plain ``mkdir``/``open`` would
+    have produced outside ``tempfile``.
+    """
+    umask = current_umask()
+    dir_mode = 0o777 & ~umask
+    file_mode = 0o666 & ~umask
+    os.chmod(staging, dir_mode if staging.is_dir() else file_mode)
+    if staging.is_dir():
+        for path in staging.rglob("*"):
+            os.chmod(path, dir_mode if path.is_dir() else file_mode)

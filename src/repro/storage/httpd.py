@@ -1,0 +1,162 @@
+"""A minimal in-process HTTP object server (stdlib only).
+
+Backs :class:`~repro.storage.remote.HTTPObjectStore` in tests and CI:
+a :class:`http.server.ThreadingHTTPServer` that stores request bodies
+by URL path — GET/HEAD read, PUT writes, DELETE removes, and
+``/_list?prefix=`` returns a JSON array of keys.  Objects live either
+in memory (the default; perfect for tests) or under a directory
+(``repro storage serve --root``, for a poor-man's fleet share where no
+common filesystem exists).
+
+This is emulation infrastructure, not a production blob store: no
+auth, no ranged reads, no multipart.  Its value is that the client
+side — :class:`HTTPObjectStore` — is exercised over a real socket with
+real request framing, so the ``http://`` scheme in ``--store-url`` is
+tested end to end without any extra dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.storage.remote import FilesystemObjectStore
+
+__all__ = ["ObjectServer"]
+
+
+class _MemoryObjects:
+    """The in-memory object table (thread-safe: the server is threading)."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            return self._objects.get(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._objects[key] = data
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def list(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._objects.pop(key, None) is not None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # tests and CI don't want per-request stderr chatter
+
+    @property
+    def objects(self):
+        return self.server.objects  # type: ignore[attr-defined]
+
+    def _key(self) -> str:
+        parsed = urllib.parse.urlsplit(self.path)
+        return urllib.parse.unquote(parsed.path.lstrip("/"))
+
+    def _reply(self, status: int, body: bytes = b"", *, head: bool = False) -> None:
+        self.send_response(status)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if not head and body:
+            self.wfile.write(body)
+
+    def do_GET(self, *, head: bool = False) -> None:
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path.lstrip("/") == "_list":
+            prefix = urllib.parse.parse_qs(parsed.query).get("prefix", [""])[0]
+            body = json.dumps(self.objects.list(prefix)).encode("utf-8")
+            self._reply(200, body, head=head)
+            return
+        data = self.objects.get(self._key())
+        if data is None:
+            self._reply(404, b"not found", head=head)
+        else:
+            self._reply(200, data, head=head)
+
+    def do_HEAD(self) -> None:
+        self.do_GET(head=True)
+
+    def do_PUT(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        self.objects.put(self._key(), self.rfile.read(length))
+        self._reply(200)
+
+    def do_DELETE(self) -> None:
+        if self.objects.delete(self._key()):
+            self._reply(200)
+        else:
+            self._reply(404, b"not found")
+
+
+class ObjectServer:
+    """A context-managed HTTP object server on an ephemeral (or fixed) port.
+
+    >>> with ObjectServer() as server:
+    ...     store = HTTPObjectStore(server.url)
+
+    With ``root`` the object table is a directory (shared with any
+    ``file://`` reader of the same path); without it, objects live in
+    memory and vanish with the server.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        root: Path | str | None = None,
+    ):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.objects = (  # type: ignore[attr-defined]
+            _MemoryObjects() if root is None else FilesystemObjectStore(root)
+        )
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ObjectServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-object-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (``repro storage serve``)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "ObjectServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,257 @@
+"""Local-filesystem backend — the historical store layout, byte for byte.
+
+This is the extraction target of the refactor: everything
+:class:`~repro.scenarios.store.SnapshotStore` and
+:class:`~repro.engine.store.ResultStore` used to do against the
+filesystem directly — staged atomic installs, umask honoring, age-gated
+staging prune, corrupt-as-miss reads — now lives here once.  A key maps
+to ``root / key`` verbatim, so a store pointed at an existing
+``reports/snapshots/`` or ``reports/cache/`` tree written before the
+refactor reads every entry as a hit with no migration, and fresh writes
+land in exactly the directories and files the old code produced.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.storage.backend import (
+    STALE_STAGING_AGE_S,
+    StoreStats,
+    honor_umask,
+)
+
+__all__ = ["LocalFSBackend"]
+
+# Staged directories keep the historical ".<name>.tmp-<random>" shape
+# (tempfile.mkdtemp appends the random part to the prefix); staged
+# files are ".<name>.<random>.tmp".  Both are dot-prefixed so listings
+# skip them, and both match one of these markers so prune_staging() can
+# tell staging from real artifacts.
+_STAGING_DIR_MARKER = ".tmp-"
+_STAGING_FILE_SUFFIX = ".tmp"
+
+
+def _is_staging_name(name: str) -> bool:
+    return name.startswith(".") and (
+        _STAGING_DIR_MARKER in name or name.endswith(_STAGING_FILE_SUFFIX)
+    )
+
+
+class LocalFSBackend:
+    """Atomic-install file/directory storage under one local root."""
+
+    def __init__(
+        self, root: Path | str, *, stats: StoreStats | None = None
+    ):
+        self.root = Path(root)
+        self.stats = stats if stats is not None else StoreStats()
+
+    def __repr__(self) -> str:
+        return f"LocalFSBackend({str(self.root)!r})"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key
+
+    # -- writes ---------------------------------------------------------
+
+    def put_file(self, key: str, data: bytes) -> Path:
+        """Atomically install ``data`` at ``root/key`` (temp + replace)."""
+        final = self._path(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=final.parent, prefix=f".{final.name}.", suffix=_STAGING_FILE_SUFFIX
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            honor_umask(Path(tmp_name))
+            os.replace(tmp_name, final)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.bytes_written += len(data)
+        return final
+
+    def put_dir(
+        self,
+        key: str,
+        fill: Callable[[Path], None],
+        *,
+        overwrite: bool = False,
+        keep_existing: Callable[[Path], bool] | None = None,
+    ) -> Path:
+        """Stage next to ``root/key``, run ``fill``, rename into place.
+
+        The staging directory is created *inside the destination's
+        parent* so ``os.replace`` is a same-filesystem rename, and every
+        write (including this one) first prunes staging orphaned by
+        crashed builds.  On an install collision, ``keep_existing``
+        arbitrates: a truthy verdict keeps the incumbent (same key ⇒
+        same bytes), anything else displaces it — a corrupt or partial
+        artifact must never shadow a fresh build.
+        """
+        final = self._path(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        self.prune_staging()
+        staging = Path(
+            tempfile.mkdtemp(
+                dir=final.parent, prefix=f".{final.name}{_STAGING_DIR_MARKER}"
+            )
+        )
+        try:
+            fill(staging)
+            honor_umask(staging)
+            self.stats.bytes_written += sum(
+                p.stat().st_size for p in staging.rglob("*") if p.is_file()
+            )
+            self._install(staging, final, overwrite, keep_existing)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return final
+
+    def _install(
+        self,
+        staging: Path,
+        final: Path,
+        overwrite: bool,
+        keep_existing: Callable[[Path], bool] | None,
+    ) -> None:
+        if overwrite:
+            shutil.rmtree(final, ignore_errors=True)
+        try:
+            os.replace(staging, final)
+            return
+        except OSError:
+            pass
+        # ``final`` already exists (a concurrent writer, or a leftover
+        # directory).  Let the caller decide whether the incumbent is
+        # worth keeping; without a verdict, the fresh build wins.
+        if keep_existing is not None and keep_existing(final):
+            shutil.rmtree(staging, ignore_errors=True)
+            return
+        shutil.rmtree(final, ignore_errors=True)
+        os.replace(staging, final)
+
+    # -- reads ----------------------------------------------------------
+
+    def open_local(self, key: str) -> Path | None:
+        path = self._path(key)
+        return path if path.exists() else None
+
+    def read_bytes(self, key: str, *, cache: bool = True) -> bytes | None:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        self.stats.bytes_read += len(data)
+        return data
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        if not self.root.is_dir():
+            return []
+        keys = []
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            base = Path(dirpath)
+            for name in filenames:
+                if name.startswith("."):
+                    continue
+                key = (base / name).relative_to(self.root).as_posix()
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+    def size_bytes(self, key: str) -> int:
+        path = self._path(key)
+        if path.is_file():
+            return path.stat().st_size
+        if not path.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+    # -- maintenance ----------------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        if path.is_dir():
+            shutil.rmtree(path)
+            return True
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    def evict(self, key: str) -> bool:
+        # Local storage *is* the authority: quarantining and deleting
+        # are the same operation.
+        return self.delete(key)
+
+    def prune_staging(
+        self, *, max_age_s: float = STALE_STAGING_AGE_S
+    ) -> list[Path]:
+        """Delete staging entries orphaned by crashed writers.
+
+        A writer that dies between staging and ``os.replace`` leaves
+        its entry behind forever — listings skip it, but nothing ever
+        reclaimed the space.  Every :meth:`put_dir` calls this with the
+        default age gate, so leftovers disappear on the next write
+        while a *concurrent* writer's live staging — always younger
+        than ``max_age_s`` — is untouched.  ``max_age_s=0`` clears
+        everything.  Staging lives next to its destination, so the scan
+        covers the root and its immediate subdirectories (the deepest
+        level artifacts install into).
+
+        Returns the entries actually removed (an undeletable one —
+        say, another user's on a shared store — is not reported).
+        """
+        if not self.root.is_dir():
+            return []
+        removed = []
+        now = time.time()
+        candidates = []
+        try:
+            for path in self.root.iterdir():
+                if _is_staging_name(path.name):
+                    candidates.append(path)
+                elif path.is_dir() and not path.name.startswith("."):
+                    candidates.extend(
+                        sub
+                        for sub in path.iterdir()
+                        if _is_staging_name(sub.name)
+                    )
+        except OSError:
+            return removed  # root vanished under us
+        for path in candidates:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # vanished under us (a concurrent prune/install)
+            if age < max_age_s:
+                continue
+            if path.is_dir():
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            if not path.exists():
+                removed.append(path)
+        return removed
+
+    def spec(self) -> dict:
+        return {"kind": "local", "root": str(self.root)}

@@ -127,3 +127,44 @@ class TestRobustness:
         store.put(KEY, {})
         store.get(KEY)
         assert store.stats == {"hits": 1, "misses": 1, "writes": 1}
+
+
+class TestQuarantine:
+    """Corrupt entries are evicted whole — payload and sidecar together."""
+
+    def test_corrupt_payload_quarantines_the_sidecar_too(self, store):
+        path = store.put(KEY, {"value": 1}, arrays={"xs": np.arange(3)})
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(KEY) is None
+        assert not store.path_for(KEY).exists()
+        assert not store.path_for(KEY, ".npz").exists()
+        assert store.statistics.evictions == 1
+
+    def test_corrupt_npz_is_a_miss_like_corrupt_json(self, store):
+        # Regression: a truncated .npz used to raise out of get_arrays
+        # while a corrupt .json was silently a miss — the two halves of
+        # one entry had different failure semantics.
+        store.put(KEY, {"value": 1}, arrays={"xs": np.arange(8)})
+        npz = store.path_for(KEY, ".npz")
+        npz.write_bytes(npz.read_bytes()[:10])  # truncate mid-archive
+        assert store.get_arrays(KEY) is None
+        # the payload promised arrays the sidecar cannot deliver, so
+        # the whole entry is gone and the point will be recomputed:
+        assert not store.path_for(KEY).exists()
+        assert not npz.exists()
+        assert store.get(KEY) is None  # a miss, never a re-parse
+
+    def test_garbage_npz_bytes_are_a_miss(self, store):
+        store.put(KEY, {"value": 1}, arrays={"xs": np.arange(4)})
+        store.path_for(KEY, ".npz").write_bytes(b"not a zip archive")
+        assert store.get_arrays(KEY) is None
+        assert not store.contains(KEY)
+
+    def test_quarantine_of_payload_only_entry(self, store):
+        path = store.put(KEY, {"value": 1})
+        path.write_text("junk", encoding="utf-8")
+        assert store.get(KEY) is None
+        assert store.statistics.evictions == 1
+        # recomputation repopulates cleanly after the quarantine:
+        store.put(KEY, {"value": 2})
+        assert store.get(KEY)["value"] == 2

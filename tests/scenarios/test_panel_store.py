@@ -1,0 +1,165 @@
+"""Panel snapshot persistence: fingerprinting, resume, bit-identity.
+
+The panel store's contract mirrors the snapshot store's — opening can
+never be wrong, only faster — plus one more property the layout was
+designed for: because the registry and every year install atomically
+*on their own*, a killed ``panel-5yr`` build keeps every year it
+finished and rebuilds only the missing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.panel import PanelConfig, generate_panel
+from repro.data.generator import SyntheticConfig
+from repro.scenarios import SnapshotStore, panel_fingerprint
+
+PANEL = PanelConfig(
+    base=SyntheticConfig(target_jobs=3_000, seed=9), n_years=3
+)
+
+
+@pytest.fixture()
+def store(tmp_path) -> SnapshotStore:
+    return SnapshotStore(tmp_path / "snapshots")
+
+
+def _assert_panels_equal(a, b):
+    assert len(a.years) == len(b.years)
+    np.testing.assert_array_equal(a.sizes_by_year, b.sizes_by_year)
+    for name in a.workplace.schema.names:
+        np.testing.assert_array_equal(
+            a.workplace.column(name), b.workplace.column(name), err_msg=name
+        )
+    for year, (left, right) in enumerate(zip(a.years, b.years)):
+        for name in left.worker.schema.names:
+            np.testing.assert_array_equal(
+                left.worker.column(name),
+                right.worker.column(name),
+                err_msg=f"year {year}: {name}",
+            )
+        np.testing.assert_array_equal(left.job_worker, right.job_worker)
+        np.testing.assert_array_equal(
+            left.job_establishment, right.job_establishment
+        )
+
+
+class TestPanelFingerprint:
+    def test_scopes_by_every_knob(self):
+        base = panel_fingerprint(PANEL)
+        assert panel_fingerprint(PanelConfig(base=PANEL.base, n_years=4)) != base
+        assert (
+            panel_fingerprint(
+                PanelConfig(base=PANEL.base, n_years=3, growth_sigma=0.2)
+            )
+            != base
+        )
+        assert (
+            panel_fingerprint(
+                PanelConfig(
+                    base=SyntheticConfig(target_jobs=3_000, seed=10), n_years=3
+                )
+            )
+            != base
+        )
+
+    def test_never_collides_with_base_snapshot(self, store):
+        assert panel_fingerprint(PANEL) != store.fingerprint(PANEL.base)
+
+
+class TestPanelRoundTrip:
+    def test_build_matches_generate_bit_for_bit(self, store):
+        store.build_panel(PANEL)
+        loaded = store.load_panel(panel_fingerprint(PANEL))
+        assert loaded is not None
+        _assert_panels_equal(generate_panel(PANEL), loaded)
+
+    def test_save_then_load(self, store):
+        panel = generate_panel(PANEL)
+        store.save_panel(panel, PANEL)
+        loaded = store.load_panel(panel_fingerprint(PANEL))
+        assert loaded is not None
+        _assert_panels_equal(panel, loaded)
+
+    def test_mmap_load_returns_memory_maps(self, store):
+        store.build_panel(PANEL)
+        loaded = store.load_panel(panel_fingerprint(PANEL))
+        assert isinstance(loaded.sizes_by_year, np.memmap)
+        assert isinstance(loaded.years[0].job_worker, np.memmap)
+
+    def test_contains_info_and_entries(self, store):
+        fingerprint = panel_fingerprint(PANEL)
+        assert not store.contains_panel(fingerprint)
+        assert store.panel_entries() == []
+        store.build_panel(PANEL)
+        assert store.contains_panel(fingerprint)
+        meta = store.panel_info(fingerprint)
+        assert meta["n_years"] == PANEL.n_years
+        assert meta["fingerprint"] == fingerprint
+        assert [e["fingerprint"] for e in store.panel_entries()] == [
+            fingerprint
+        ]
+        # panels are not snapshots: the flat listing must not see them.
+        assert store.entries() == []
+
+    def test_load_or_generate_miss_then_hit(self, store):
+        panel, was_hit = store.load_or_generate_panel(PANEL)
+        assert not was_hit
+        again, was_hit = store.load_or_generate_panel(PANEL)
+        assert was_hit
+        _assert_panels_equal(panel, again)
+        assert store.hits >= 1
+
+
+class TestPanelResume:
+    def test_missing_year_is_rebuilt_others_untouched(self, store):
+        fingerprint = panel_fingerprint(PANEL)
+        store.build_panel(PANEL)
+        reference = store.load_panel(fingerprint, mmap=False)
+        year_dir = store.path_for(fingerprint) / "year-1"
+        kept_meta = store.path_for(fingerprint) / "year-0" / "meta.json"
+        kept_mtime = kept_meta.stat().st_mtime_ns
+        store.backend.delete(f"{fingerprint}/year-1")
+        assert not store.contains_panel(fingerprint)
+
+        store.build_panel(PANEL)
+        assert store.contains_panel(fingerprint)
+        assert year_dir.is_dir()
+        # year-0 was not rewritten — resume filled only the hole.
+        assert kept_meta.stat().st_mtime_ns == kept_mtime
+        _assert_panels_equal(reference, store.load_panel(fingerprint))
+
+    def test_corrupt_year_is_a_miss_and_rebuilt(self, store):
+        fingerprint = panel_fingerprint(PANEL)
+        store.build_panel(PANEL)
+        # mmap=False: the reference must survive the corruption below
+        # (truncating a file under a live memory map is a SIGBUS).
+        reference = store.load_panel(fingerprint, mmap=False)
+        target = store.path_for(fingerprint) / "year-2" / "job_worker.npy"
+        target.write_bytes(b"not numpy")
+        assert store.load_panel(fingerprint) is None
+        panel, was_hit = store.load_or_generate_panel(PANEL)
+        assert not was_hit
+        _assert_panels_equal(reference, panel)
+
+    def test_sharded_build_matches_sequential(self, tmp_path):
+        sequential = SnapshotStore(tmp_path / "seq")
+        sharded = SnapshotStore(tmp_path / "shard")
+        sequential.build_panel(PANEL)
+        sharded.build_panel(PANEL, workers=2)
+        fingerprint = panel_fingerprint(PANEL)
+        _assert_panels_equal(
+            sequential.load_panel(fingerprint),
+            sharded.load_panel(fingerprint),
+        )
+
+    def test_unwritable_root_degrades_to_in_memory(self, tmp_path):
+        root = tmp_path / "blocked"
+        root.write_text("a file where the store root should be")
+        store = SnapshotStore(root)
+        with pytest.warns(RuntimeWarning, match="panel build under"):
+            panel, was_hit = store.load_or_generate_panel(PANEL)
+        assert not was_hit
+        _assert_panels_equal(generate_panel(PANEL), panel)

@@ -1,0 +1,427 @@
+"""Backend conformance suite — every backend speaks the same protocol.
+
+Each test in :class:`TestConformance` runs against all three shipped
+backends (local filesystem, remote over a ``file://`` object store,
+remote over a live HTTP object server): atomic installs, crashed-fill
+cleanup, collision arbitration, age-gated staging prune, umask
+honoring, listing hygiene.  Backend-specific behavior (write-through
+uploads, manifest-last directory commits, evict-vs-delete asymmetry)
+gets its own classes below.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.storage import (
+    STALE_STAGING_AGE_S,
+    FilesystemObjectStore,
+    HTTPObjectStore,
+    LocalFSBackend,
+    RemoteObjectBackend,
+    StorageBackend,
+    StoreStats,
+    backend_from_spec,
+    backend_from_url,
+)
+from repro.storage.httpd import ObjectServer
+from repro.storage.remote import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def object_server():
+    with ObjectServer() as server:
+        yield server
+
+
+@pytest.fixture(params=["local", "remote-fs", "remote-http"])
+def backend(request, tmp_path, object_server):
+    if request.param == "local":
+        return LocalFSBackend(tmp_path / "root")
+    if request.param == "remote-fs":
+        return RemoteObjectBackend(
+            FilesystemObjectStore(tmp_path / "bucket"),
+            tmp_path / "cache",
+            prefix="suite",
+        )
+    # The module-scoped HTTP server is shared across tests; a per-test
+    # prefix (tmp_path names are unique) keeps their keyspaces apart.
+    return RemoteObjectBackend(
+        HTTPObjectStore(object_server.url),
+        tmp_path / "cache",
+        prefix=f"suite-{tmp_path.name}",
+    )
+
+
+def _staging_entries(root):
+    """Dot-entries anywhere under ``root`` (the suite expects none)."""
+    if not root.is_dir():
+        return []
+    return [
+        path
+        for path in root.rglob("*")
+        if path.name.startswith(".") and path.name != MANIFEST_NAME
+    ]
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, StorageBackend)
+
+    def test_put_file_round_trip(self, backend):
+        backend.put_file("ab/entry.json", b'{"x": 1}')
+        assert backend.contains("ab/entry.json")
+        assert backend.read_bytes("ab/entry.json") == b'{"x": 1}'
+        path = backend.open_local("ab/entry.json")
+        assert path is not None and path.read_bytes() == b'{"x": 1}'
+
+    def test_missing_key_reads_as_none(self, backend):
+        assert backend.read_bytes("no/such.json") is None
+        assert backend.open_local("nothing") is None
+        assert not backend.contains("nothing")
+
+    def test_put_dir_installs_fill_output(self, backend):
+        def fill(staging):
+            (staging / "meta.json").write_text('{"schema": 1}')
+            (staging / "col.npy").write_bytes(b"\x01\x02")
+
+        final = backend.put_dir("deadbeef", fill)
+        assert final == backend.root / "deadbeef"
+        assert (final / "meta.json").read_text() == '{"schema": 1}'
+        assert (final / "col.npy").read_bytes() == b"\x01\x02"
+
+    def test_crashed_fill_leaves_nothing(self, backend):
+        def boom(staging):
+            (staging / "partial.npy").write_bytes(b"junk")
+            raise RuntimeError("killed mid-build")
+
+        with pytest.raises(RuntimeError, match="killed mid-build"):
+            backend.put_dir("deadbeef", boom)
+        assert not backend.contains("deadbeef")
+        assert backend.open_local("deadbeef") is None
+        assert _staging_entries(backend.root) == []
+
+    def test_no_staging_left_after_writes(self, backend):
+        backend.put_file("aa/one.bin", b"one")
+        backend.put_dir("bb", lambda d: (d / "f").write_bytes(b"f"))
+        assert _staging_entries(backend.root) == []
+
+    def test_collision_keeps_incumbent_when_arbiter_says_so(self, backend):
+        backend.put_dir("key", lambda d: (d / "v").write_text("first"))
+        backend.put_dir(
+            "key",
+            lambda d: (d / "v").write_text("second"),
+            keep_existing=lambda final: True,
+        )
+        assert (backend.root / "key" / "v").read_text() == "first"
+
+    def test_collision_displaces_incumbent_without_verdict(self, backend):
+        backend.put_dir("key", lambda d: (d / "v").write_text("first"))
+        backend.put_dir(
+            "key",
+            lambda d: (d / "v").write_text("second"),
+            keep_existing=lambda final: False,
+            overwrite=False,
+        )
+        assert (backend.root / "key" / "v").read_text() == "second"
+
+    def test_overwrite_replaces_incumbent(self, backend):
+        backend.put_dir("key", lambda d: (d / "v").write_text("first"))
+        backend.put_dir(
+            "key", lambda d: (d / "v").write_text("second"), overwrite=True
+        )
+        assert (backend.root / "key" / "v").read_text() == "second"
+
+    def test_prune_is_age_gated(self, backend):
+        backend.put_dir("real", lambda d: (d / "f").write_text("x"))
+        root = backend.root
+        stale = root / ".old.tmp-zzz"
+        stale.mkdir(parents=True)
+        (stale / "junk").write_text("junk")
+        ancient = 1.0  # epoch: far older than any gate
+        os.utime(stale, (ancient, ancient))
+        fresh = root / ".new.tmp-yyy"
+        fresh.mkdir()
+        removed = backend.prune_staging()
+        assert stale in removed
+        assert not stale.exists()
+        assert fresh.exists()  # younger than the gate: a live writer
+        assert (root / "real").is_dir()
+        removed = backend.prune_staging(max_age_s=0.0)
+        assert fresh in removed and not fresh.exists()
+
+    def test_prune_covers_fanout_subdirs(self, backend):
+        backend.put_file("ab/entry.json", b"{}")
+        nested = backend.root / "ab" / ".entry.json.xyz.tmp"
+        nested.write_text("torn write")
+        os.utime(nested, (1.0, 1.0))
+        removed = backend.prune_staging()
+        assert nested in removed and not nested.exists()
+        assert backend.contains("ab/entry.json")
+
+    def test_list_keys_skips_staging_and_hidden(self, backend):
+        backend.put_file("ab/one.json", b"{}")
+        backend.put_dir("cd", lambda d: (d / "meta.json").write_text("{}"))
+        (backend.root / ".hidden.tmp-x").mkdir()
+        (backend.root / "ab" / ".torn.json.x.tmp").write_text("x")
+        keys = backend.list_keys()
+        assert "ab/one.json" in keys
+        assert "cd/meta.json" in keys
+        assert all(not k.split("/")[-1].startswith(".") for k in keys)
+        assert backend.list_keys("ab/") == ["ab/one.json"]
+
+    def test_size_bytes(self, backend):
+        backend.put_file("ab/one.bin", b"12345")
+        backend.put_dir(
+            "dir",
+            lambda d: [
+                (d / "a").write_bytes(b"123"),
+                (d / "b").write_bytes(b"4567"),
+            ],
+        )
+        assert backend.size_bytes("ab/one.bin") == 5
+        assert backend.size_bytes("dir") == 7
+        assert backend.size_bytes("absent") == 0
+
+    def test_delete(self, backend):
+        backend.put_file("ab/one.bin", b"1")
+        backend.put_dir("dir", lambda d: (d / "f").write_text("x"))
+        assert backend.delete("ab/one.bin")
+        assert backend.delete("dir")
+        assert not backend.delete("dir")
+        assert not backend.contains("ab/one.bin")
+        assert not backend.contains("dir")
+
+    def test_umask_honored(self, backend):
+        previous = os.umask(0o022)
+        try:
+            backend.put_dir(
+                "shared", lambda d: (d / "col.npy").write_bytes(b"x")
+            )
+            backend.put_file("ab/entry.json", b"{}")
+        finally:
+            os.umask(previous)
+        directory = backend.root / "shared"
+        assert directory.stat().st_mode & 0o777 == 0o755
+        assert (directory / "col.npy").stat().st_mode & 0o777 == 0o644
+        assert (
+            backend.root / "ab" / "entry.json"
+        ).stat().st_mode & 0o777 == 0o644
+
+    def test_stats_count_byte_traffic(self, backend):
+        backend.put_file("ab/one.bin", b"12345")
+        assert backend.stats.bytes_written >= 5
+        backend.read_bytes("ab/one.bin")
+        assert backend.stats.bytes_read >= 5
+
+    def test_spec_round_trip(self, backend):
+        rebuilt = backend_from_spec(backend.spec())
+        assert rebuilt.root == backend.root
+        backend.put_file("ab/one.bin", b"hello")
+        assert rebuilt.read_bytes("ab/one.bin") == b"hello"
+
+
+class TestRemoteBehavior:
+    """Semantics only the remote backend has."""
+
+    @pytest.fixture()
+    def bucket(self, tmp_path):
+        return FilesystemObjectStore(tmp_path / "bucket")
+
+    @pytest.fixture()
+    def remote(self, bucket, tmp_path):
+        return RemoteObjectBackend(bucket, tmp_path / "cache-a", prefix="p")
+
+    def _second_machine(self, remote, tmp_path):
+        return RemoteObjectBackend(
+            remote.objects, tmp_path / "cache-b", prefix=remote.prefix
+        )
+
+    def test_put_file_writes_through(self, remote, bucket):
+        remote.put_file("ab/one.json", b"{}")
+        assert bucket.get("p/ab/one.json") == b"{}"
+
+    def test_directory_commits_with_manifest_last(self, remote, bucket):
+        remote.put_dir(
+            "snap",
+            lambda d: [
+                (d / "col.npy").write_bytes(b"\x01"),
+                (d / "meta.json").write_text("{}"),
+            ],
+        )
+        manifest = json.loads(bucket.get(f"p/snap/{MANIFEST_NAME}"))
+        assert manifest["files"] == {"col.npy": 1, "meta.json": 2}
+
+    def test_other_machine_downloads_directory(self, remote, tmp_path):
+        remote.put_dir(
+            "snap", lambda d: (d / "col.npy").write_bytes(b"\x01\x02")
+        )
+        other = self._second_machine(remote, tmp_path)
+        path = other.open_local("snap")
+        assert path == other.root / "snap"
+        assert (path / "col.npy").read_bytes() == b"\x01\x02"
+        # and the download is cached: a second open touches no remote.
+        assert other.open_local("snap") == path
+
+    def test_unmanifested_directory_is_invisible(self, remote, bucket, tmp_path):
+        remote.put_dir("snap", lambda d: (d / "col.npy").write_bytes(b"\x01"))
+        bucket.delete(f"p/snap/{MANIFEST_NAME}")
+        other = self._second_machine(remote, tmp_path)
+        assert other.open_local("snap") is None
+        assert not other.contains("snap")
+
+    def test_torn_download_stays_a_miss(self, remote, bucket, tmp_path):
+        remote.put_dir(
+            "snap",
+            lambda d: [
+                (d / "a.npy").write_bytes(b"\x01"),
+                (d / "b.npy").write_bytes(b"\x02"),
+            ],
+        )
+        bucket.delete("p/snap/b.npy")  # manifest promises what's gone
+        other = self._second_machine(remote, tmp_path)
+        assert other.open_local("snap") is None
+        assert not (other.root / "snap").exists()
+
+    def test_evict_drops_cache_only(self, remote, tmp_path):
+        remote.put_file("ab/one.json", b"{}")
+        assert remote.evict("ab/one.json")
+        assert not (remote.root / "ab" / "one.json").exists()
+        assert remote.contains("ab/one.json")  # the remote still has it
+        assert remote.read_bytes("ab/one.json") == b"{}"  # re-downloaded
+
+    def test_delete_removes_both_sides(self, remote, bucket, tmp_path):
+        remote.put_dir("snap", lambda d: (d / "f").write_bytes(b"x"))
+        assert remote.delete("snap")
+        other = self._second_machine(remote, tmp_path)
+        assert other.open_local("snap") is None
+        assert bucket.list("p/snap/") == []
+
+    def test_upload_failure_degrades_to_local(self, tmp_path):
+        class BrokenObjects:
+            url = "broken://nowhere"
+
+            def put(self, key, data):
+                raise OSError("bucket unreachable")
+
+            def exists(self, key):
+                return False
+
+            def get(self, key):
+                return None
+
+            def list(self, prefix=""):
+                return []
+
+            def delete(self, key):
+                return False
+
+        backend = RemoteObjectBackend(BrokenObjects(), tmp_path / "cache")
+        with pytest.warns(RuntimeWarning, match="kept in the local cache"):
+            backend.put_file("ab/one.json", b"{}")
+        with pytest.warns(RuntimeWarning, match="kept in the local cache"):
+            backend.put_dir("snap", lambda d: (d / "f").write_bytes(b"x"))
+        assert backend.read_bytes("ab/one.json") == b"{}"
+        assert (backend.root / "snap" / "f").read_bytes() == b"x"
+
+    def test_read_bytes_cache_false_does_not_fake_members(
+        self, remote, tmp_path
+    ):
+        remote.put_dir("snap", lambda d: (d / "meta.json").write_text("{}"))
+        other = self._second_machine(remote, tmp_path)
+        assert other.read_bytes("snap/meta.json", cache=False) == b"{}"
+        # the member read must not conjure a partial snap/ in the cache:
+        assert not (other.root / "snap").exists()
+
+    def test_shared_stats_ledger_with_cache(self, remote):
+        assert remote.cache.stats is remote.stats
+        stats = StoreStats()
+        explicit = RemoteObjectBackend(
+            remote.objects, remote.root, prefix="p", stats=stats
+        )
+        assert explicit.cache.stats is stats
+
+
+class TestHTTPObjectStore:
+    """Client/server pair over a real socket."""
+
+    def test_round_trip_and_list(self, object_server):
+        store = HTTPObjectStore(object_server.url)
+        store.put("t/one", b"1")
+        store.put("t/two", b"22")
+        assert store.get("t/one") == b"1"
+        assert store.exists("t/two")
+        assert not store.exists("t/three")
+        assert store.list("t/") == ["t/one", "t/two"]
+        assert store.delete("t/one")
+        assert not store.delete("t/one")
+        assert store.get("t/one") is None
+
+    def test_unreachable_server_is_oserror(self):
+        store = HTTPObjectStore("http://127.0.0.1:9", timeout=0.2)
+        assert store.get("x") is None
+        with pytest.raises(OSError):
+            store.put("x", b"1")
+
+    def test_filesystem_backed_server_shares_with_file_readers(
+        self, tmp_path
+    ):
+        with ObjectServer(root=tmp_path / "objects") as server:
+            HTTPObjectStore(server.url).put("k/one", b"1")
+            assert FilesystemObjectStore(tmp_path / "objects").get(
+                "k/one"
+            ) == b"1"
+
+
+class TestBackendFromUrl:
+    def test_bare_path_is_local(self, tmp_path):
+        backend = backend_from_url(tmp_path / "store")
+        assert isinstance(backend, LocalFSBackend)
+        assert backend.root == tmp_path / "store"
+
+    def test_file_url_is_remote_over_filesystem(self, tmp_path):
+        backend = backend_from_url(
+            f"file://{tmp_path}/bucket", cache_root=tmp_path / "cache"
+        )
+        assert isinstance(backend, RemoteObjectBackend)
+        assert isinstance(backend.objects, FilesystemObjectStore)
+        assert backend.root == tmp_path / "cache"
+
+    def test_http_url_is_remote_over_http(self, tmp_path):
+        backend = backend_from_url(
+            "http://127.0.0.1:8123", cache_root=tmp_path / "cache"
+        )
+        assert isinstance(backend.objects, HTTPObjectStore)
+
+    def test_remote_requires_cache_root(self, tmp_path):
+        with pytest.raises(ValueError, match="cache root"):
+            backend_from_url(f"file://{tmp_path}/bucket")
+
+    def test_cloud_schemes_raise_with_instructions(self, tmp_path):
+        with pytest.raises(NotImplementedError, match="cloud SDK"):
+            backend_from_url("s3://bucket", cache_root=tmp_path)
+        with pytest.raises(NotImplementedError, match="cloud SDK"):
+            backend_from_url("gs://bucket", cache_root=tmp_path)
+
+    def test_unknown_scheme_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unrecognized store URL"):
+            backend_from_url("ftp://host/dir", cache_root=tmp_path)
+
+    def test_spec_dispatch(self, tmp_path):
+        local = backend_from_spec({"kind": "local", "root": str(tmp_path)})
+        assert isinstance(local, LocalFSBackend)
+        remote = backend_from_spec(
+            {
+                "kind": "remote",
+                "url": f"file://{tmp_path}/bucket",
+                "cache_root": str(tmp_path / "cache"),
+                "prefix": "snapshots",
+            }
+        )
+        assert isinstance(remote, RemoteObjectBackend)
+        assert remote.prefix == "snapshots"
+        with pytest.raises(ValueError, match="unrecognized backend spec"):
+            backend_from_spec({"kind": "tape"})

@@ -245,3 +245,122 @@ class TestScenariosCommand:
     def test_build_requires_a_name(self, tmp_path):
         with pytest.raises(SystemExit, match="needs a scenario name"):
             main(["scenarios", "build", "--snapshot-dir", str(tmp_path)])
+
+
+class TestPanelBuildCommand:
+    def test_build_panel_then_cached(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "snaps")
+        code = main(
+            [
+                "scenarios", "build", "panel-5yr", "--panel",
+                "--years", "2",
+                "--snapshot-dir", store_dir,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built panel-5yr panel: 2 year(s)" in out
+        assert "resumable at year granularity" in out
+        # Second invocation is a hit on the complete panel, not a rebuild.
+        main(
+            [
+                "scenarios", "build", "panel-5yr", "--panel",
+                "--years", "2",
+                "--snapshot-dir", store_dir,
+            ]
+        )
+        assert "panel already built" in capsys.readouterr().out
+        # a different year count is a different panel (fresh fingerprint):
+        main(
+            [
+                "scenarios", "build", "panel-5yr", "--panel",
+                "--years", "3",
+                "--snapshot-dir", store_dir,
+            ]
+        )
+        assert "built panel-5yr panel: 3 year(s)" in capsys.readouterr().out
+
+
+class TestStoreUrl:
+    def test_scenarios_build_into_remote(self, tmp_path, capsys):
+        bucket = tmp_path / "bucket"
+        code = main(
+            [
+                "scenarios", "build", "panel-5yr",
+                "--snapshot-dir", str(tmp_path / "cache-a"),
+                "--store-url", f"file://{bucket}",
+            ]
+        )
+        assert code == 0
+        assert "built panel-5yr" in capsys.readouterr().out
+        # A second "machine" (fresh cache root, same bucket) sees the
+        # snapshot without rebuilding it.
+        main(
+            [
+                "scenarios", "build", "panel-5yr",
+                "--snapshot-dir", str(tmp_path / "cache-b"),
+                "--store-url", f"file://{bucket}",
+            ]
+        )
+        assert "already built" in capsys.readouterr().out
+
+    def test_bad_store_url_is_a_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit, match="cloud SDK"):
+            main(
+                [
+                    "scenarios", "build", "panel-5yr",
+                    "--snapshot-dir", str(tmp_path),
+                    "--store-url", "s3://bucket",
+                ]
+            )
+
+
+class TestStorageCommand:
+    def test_stats_on_empty_roots(self, tmp_path, capsys):
+        code = main(
+            [
+                "storage", "stats",
+                "--snapshot-dir", str(tmp_path / "snaps"),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "storage backends (local)" in out
+        assert "0 snapshot(s), 0 panel(s)" in out
+        assert "0 point(s)" in out
+        assert "session stats:" in out
+
+    def test_stats_counts_built_artifacts(self, tmp_path, capsys):
+        from repro.engine.store import ResultStore
+
+        snaps = tmp_path / "snaps"
+        main(["scenarios", "build", "panel-5yr", "--snapshot-dir", str(snaps)])
+        ResultStore(tmp_path / "cache").put("ab" + "0" * 62, {"value": 1})
+        capsys.readouterr()
+        main(
+            [
+                "storage", "stats",
+                "--snapshot-dir", str(snaps),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "1 snapshot(s), 0 panel(s)" in out
+        assert "1 point(s)" in out
+
+    def test_serve_and_stats_over_http(self, tmp_path, capsys):
+        from repro.storage.httpd import ObjectServer
+
+        with ObjectServer() as server:
+            code = main(
+                [
+                    "storage", "stats",
+                    "--snapshot-dir", str(tmp_path / "snap-cache"),
+                    "--cache-dir", str(tmp_path / "result-cache"),
+                    "--store-url", server.url,
+                ]
+            )
+            assert code == 0
+        out = capsys.readouterr().out
+        assert f"remote: {server.url}" in out
