@@ -1,0 +1,160 @@
+"""Two tenants against one release service: budgets, dedupe, overdraft.
+
+This example starts an in-process :class:`~repro.serve.ReleaseService`
+on an ephemeral port (the same server ``repro serve`` runs), then drives
+it with two concurrent tenants:
+
+* ``research`` — a generous ε-budget with ``on_overdraft="warn"``; it
+  keeps publishing past its budget and collects warnings.
+* ``press`` — a tight ε-budget with ``on_overdraft="raise"``; its
+  requests start bouncing with HTTP 402 once the ledger is spent, and
+  the server refuses them *before* doing any compute.
+
+Both tenants also re-request a release they already paid for, which the
+service serves from the content-addressed store: same bytes back,
+no new ledger entry, no compute.
+
+Run:  python examples/serve_client.py
+"""
+
+import asyncio
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.api import ReleaseRequest
+from repro.data import SyntheticConfig
+from repro.engine.store import ResultStore
+from repro.experiments import ExperimentConfig
+from repro.serve import (
+    ReleaseCache,
+    ReleaseService,
+    ServeClient,
+    ServeError,
+    SessionPool,
+    TenantPolicy,
+    TenantRegistry,
+)
+
+EPSILON = 1.0  # per release
+RESEARCH_BUDGET = 3.5  # warns past this
+PRESS_BUDGET = 3.0  # hard stop past this
+RELEASES_PER_TENANT = 5
+
+
+def request(seed: int) -> ReleaseRequest:
+    return ReleaseRequest(
+        attrs=("place", "naics"),
+        mechanism="smooth-laplace",
+        alpha=0.1,
+        epsilon=EPSILON,
+        delta=0.05,
+        seed=seed,
+    )
+
+
+def run_tenant(url: str, tenant: str, lines: list) -> None:
+    with ServeClient(url) as client:
+        for index in range(RELEASES_PER_TENANT):
+            try:
+                reply = client.release(tenant, request(seed=index))
+            except ServeError as error:
+                lines.append(
+                    f"[{tenant}] release {index}: HTTP {error.status} — "
+                    f"{error.payload['error']}"
+                )
+                continue
+            ledger = reply["ledger"]
+            note = f"warning: {reply['warning']}" if reply["warning"] else "ok"
+            lines.append(
+                f"[{tenant}] release {index}: spent "
+                f"{ledger['spent_epsilon']:.1f} of their budget ({note})"
+            )
+        # One deliberate duplicate: already paid, so it comes back from
+        # the store with no charge — even for an exhausted tenant.
+        reply = client.release(tenant, request(seed=0))
+        lines.append(
+            f"[{tenant}] duplicate of release 0: cached={reply['cached']}, "
+            f"charged={reply['charged']}, "
+            f"ledger entries still {reply['ledger']['n_entries']}"
+        )
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        pool = SessionPool(
+            {
+                "demo": ExperimentConfig(
+                    data=SyntheticConfig(target_jobs=50_000, seed=3),
+                    n_trials=1,
+                    seed=3,
+                )
+            }
+        )
+        tenants = TenantRegistry(
+            root=root / "ledgers",
+            policies={
+                "research": TenantPolicy(
+                    epsilon_budget=RESEARCH_BUDGET, on_overdraft="warn"
+                ),
+                "press": TenantPolicy(epsilon_budget=PRESS_BUDGET),
+            },
+        )
+        cache = ReleaseCache(ResultStore(root / "cache"))
+        service = ReleaseService(pool, tenants, cache, port=0)
+
+        ready = threading.Event()
+        stop: list = []
+
+        async def serve() -> None:
+            loop = asyncio.get_running_loop()
+            event = asyncio.Event()
+            stop.append((loop, event))
+            await service.start()
+            ready.set()
+            await event.wait()
+            await service.shutdown()
+
+        server_thread = threading.Thread(
+            target=lambda: asyncio.run(serve()), daemon=True
+        )
+        server_thread.start()
+        ready.wait(60)
+        print(f"service up at {service.url}\n")
+
+        research_lines: list = []
+        press_lines: list = []
+        workers = [
+            threading.Thread(
+                target=run_tenant,
+                args=(service.url, "research", research_lines),
+            ),
+            threading.Thread(
+                target=run_tenant, args=(service.url, "press", press_lines)
+            ),
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        for line in research_lines + press_lines:
+            print(line)
+
+        with ServeClient(service.url) as client:
+            metrics = client.metrics()
+        releases = metrics["releases"]
+        print(
+            f"\nserver totals: {releases['computed']} computed, "
+            f"{releases['deduped']} deduped, {releases['denied']} denied "
+            f"(p50 {metrics['latency_ms']['p50']} ms)"
+        )
+
+        loop, event = stop[0]
+        loop.call_soon_threadsafe(event.set)
+        server_thread.join(30)
+        print("service drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

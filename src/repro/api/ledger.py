@@ -85,6 +85,32 @@ class LedgerEntry:
             worker_domain=budget.worker_domain,
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable spend record (result store, spend journal)."""
+        return {
+            "label": self.label,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "mechanism": self.mechanism,
+            "attrs": list(self.attrs),
+            "mode": self.mode,
+            "worker_domain": self.worker_domain,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LedgerEntry":
+        """Rebuild an entry from :meth:`to_dict` output (tolerant of
+        missing optional fields, so old journals stay replayable)."""
+        return cls(
+            label=payload["label"],
+            epsilon=float(payload["epsilon"]),
+            delta=float(payload["delta"]),
+            mechanism=payload.get("mechanism", ""),
+            attrs=tuple(payload.get("attrs", ())),
+            mode=payload.get("mode", ""),
+            worker_domain=int(payload.get("worker_domain", 1)),
+        )
+
 
 @dataclass
 class PrivacyLedger:
@@ -198,6 +224,17 @@ class PrivacyLedger:
         if over is not None and self.on_overdraft == RAISE:
             raise PrivacyBudgetExceeded(over)
 
+    def would_overdraw(self, entry: LedgerEntry) -> str | None:
+        """The overdraft message recording ``entry`` would produce, or None.
+
+        Lets a caller that serializes its own debits (the release
+        service's tenant accounts) decide the raise/warn outcome itself
+        and then append via :meth:`restore`, without the global
+        ``warnings`` machinery in the request path.
+        """
+        with self._lock:
+            return self._overdraft_message(entry)
+
     def debit_amount(
         self,
         epsilon: float,
@@ -272,7 +309,45 @@ class PrivacyLedger:
             f"δ={delta_after:.6g} of {self.delta_budget}"
         )
 
+    def restore(self, entry: LedgerEntry) -> LedgerEntry:
+        """Append a *historical* entry, bypassing the overdraft check.
+
+        Journal replay is not a new debit: an entry that was acknowledged
+        and journaled has already been spent, and the books must reflect
+        it even when the budget (or policy) has since been tightened —
+        an over-budget history surfaces as a fully-drawn ledger, not a
+        rewritten one.
+        """
+        with self._lock:
+            self.entries.append(entry)
+        return entry
+
     # -- reporting ------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """The JSON-serializable ledger state (``GET /v1/ledger/<tenant>``).
+
+        Infinite remaining budgets serialize as ``None`` (JSON has no
+        ``inf``), matching the "unlimited" reading everywhere else.
+        """
+        with self._lock:
+            entries = list(self.entries)
+            return {
+                "epsilon_budget": self.epsilon_budget,
+                "delta_budget": self.delta_budget,
+                "on_overdraft": self.on_overdraft,
+                "n_entries": len(entries),
+                "spent_epsilon": self.spent_epsilon,
+                "spent_delta": self.spent_delta,
+                "remaining_epsilon": (
+                    None if self.epsilon_budget is None else self.remaining_epsilon
+                ),
+                "remaining_delta": (
+                    None if self.delta_budget is None else self.remaining_delta
+                ),
+                "utilization": self.utilization,
+                "entries": [entry.to_dict() for entry in entries],
+            }
 
     def summary(self) -> str:
         """A one-paragraph human-readable ledger state (used by the CLI)."""

@@ -12,6 +12,12 @@ execute through :meth:`repro.api.ReleaseSession.run`.
 request list for :meth:`repro.api.ReleaseSession.run_grid`, deriving a
 distinct per-point seed from one base seed the way the figure runner
 does.
+
+:meth:`ReleaseRequest.to_dict` / :meth:`ReleaseRequest.from_dict` give
+requests an exact JSON round-trip — the wire format of the release
+service (``POST /v1/release``) and the CLI's ``--json`` paths.
+``from_dict`` rejects malformed payloads with errors that *name the
+offending field*, so a remote caller learns exactly which key to fix.
 """
 
 from __future__ import annotations
@@ -86,6 +92,113 @@ class ReleaseRequest:
 
     def with_seed(self, seed: int | None) -> "ReleaseRequest":
         return replace(self, seed=seed)
+
+    # -- JSON round-trip ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable payload that round-trips via :meth:`from_dict`.
+
+        ``None``-valued optional fields are dropped, so the payload is
+        canonical: two equal requests serialize to identical dicts (the
+        property the release service's dedupe hashing relies on).
+        """
+        payload = {
+            "attrs": list(self.attrs),
+            "mechanism": self.mechanism,
+            "alpha": self.alpha,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "budget_style": self.budget_style,
+        }
+        for name in ("mode", "n_trials", "trials_batch", "seed", "label"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.mechanism_options is not None:
+            payload["mechanism_options"] = dict(self.mechanism_options)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload) -> "ReleaseRequest":
+        """Build a request from a JSON payload, naming any offending field.
+
+        Every failure raises ``ValueError`` whose message states *which*
+        field is wrong and why — the service and the CLI surface these
+        verbatim, so remote callers can fix their payloads without
+        reading this source.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                "release request payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {
+            "attrs", "mechanism", "alpha", "epsilon", "delta", "mode",
+            "budget_style", "n_trials", "trials_batch", "seed",
+            "mechanism_options", "label",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {unknown}; valid fields are "
+                f"{sorted(known)}"
+            )
+        attrs = payload.get("attrs")
+        if (
+            not isinstance(attrs, Sequence)
+            or isinstance(attrs, (str, bytes))
+            or not attrs
+            or not all(isinstance(name, str) for name in attrs)
+        ):
+            raise ValueError(
+                "field 'attrs' must be a non-empty list of attribute "
+                f"names, got {attrs!r}"
+            )
+        mechanism = payload.get("mechanism")
+        if not isinstance(mechanism, str) or not mechanism:
+            raise ValueError(
+                f"field 'mechanism' must be a mechanism name, got "
+                f"{mechanism!r}"
+            )
+        kwargs = {"attrs": tuple(attrs), "mechanism": mechanism}
+        for name, required in (("alpha", True), ("epsilon", True), ("delta", False)):
+            if name not in payload:
+                if required:
+                    raise ValueError(f"field {name!r} is required")
+                continue
+            value = payload[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"field {name!r} must be a number, got {value!r}"
+                )
+            kwargs[name] = float(value)
+        for name in ("n_trials", "trials_batch", "seed"):
+            value = payload.get(name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"field {name!r} must be an integer, got {value!r}"
+                )
+            kwargs[name] = value
+        for name in ("mode", "budget_style", "label"):
+            value = payload.get(name)
+            if value is None:
+                continue
+            if not isinstance(value, str):
+                raise ValueError(
+                    f"field {name!r} must be a string, got {value!r}"
+                )
+            kwargs[name] = value
+        options = payload.get("mechanism_options")
+        if options is not None:
+            if not isinstance(options, Mapping):
+                raise ValueError(
+                    "field 'mechanism_options' must be a JSON object, got "
+                    f"{options!r}"
+                )
+            kwargs["mechanism_options"] = dict(options)
+        return cls(**kwargs)
 
     # -- validation -----------------------------------------------------
 

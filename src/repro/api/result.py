@@ -32,6 +32,20 @@ from repro.metrics.strata import STRATUM_LABELS
 N_STRATA = len(STRATUM_LABELS)
 
 
+def _json_float(value: float) -> float | None:
+    """``nan``/``inf`` → ``None``: strict JSON has no non-finite floats."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _params_dict(params) -> dict:
+    return {
+        "alpha": params.alpha,
+        "epsilon": params.epsilon,
+        "delta": params.delta,
+    }
+
+
 @dataclass(frozen=True)
 class ReleaseResult:
     """One executed release request, with provenance and metrics.
@@ -138,6 +152,54 @@ class ReleaseResult:
         return tuple(self.spearman(cells) for cells in self._stratum_cells())
 
     # -- presentation ---------------------------------------------------
+
+    def to_dict(self, *, top: int = 10) -> dict:
+        """A JSON-serializable summary of this result (no raw arrays).
+
+        This is the wire format of the release service and the CLI's
+        ``--json`` output: provenance (the request payload and derived
+        seed), the composed budget, the Sec-10 metrics against the SDL
+        baseline, the spend record, and the ``top`` largest released
+        cells.  ``nan`` metrics serialize as ``None`` so the payload is
+        strict-JSON clean.
+        """
+        budget = self.budget
+        return {
+            "request": self.request.to_dict(),
+            "seed": self.seed,
+            "mechanism": self.mechanism,
+            "n_trials": self.n_trials,
+            "n_cells": int(self.release.marginal.n_cells),
+            "n_released": int(self.release.released.sum()),
+            "budget": {
+                "mode": budget.mode,
+                "worker_domain": budget.worker_domain,
+                "per_cell": _params_dict(budget.per_cell),
+                "total": _params_dict(budget.total),
+            },
+            "metrics": {
+                "mean_l1": _json_float(self.mean_l1()),
+                "l1_ratio": _json_float(self.l1_ratio()),
+                "spearman": _json_float(self.spearman()),
+                "l1_ratio_by_stratum": [
+                    _json_float(v) for v in self.l1_ratio_by_stratum()
+                ],
+                "spearman_by_stratum": [
+                    _json_float(v) for v in self.spearman_by_stratum()
+                ],
+            },
+            "spend": (
+                None if self.ledger_entry is None else self.ledger_entry.to_dict()
+            ),
+            "top_cells": [
+                {
+                    "cell": [str(v) for v in values],
+                    "true": true,
+                    "noisy": noisy,
+                }
+                for values, true, noisy in self.top_cells(top)
+            ],
+        }
 
     def top_cells(self, k: int = 10) -> list[tuple[tuple, float, float]]:
         """The ``k`` largest released cells as (labels, true, noisy).

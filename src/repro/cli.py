@@ -9,7 +9,12 @@ Subcommands:
 - ``sweep``   — run an ad-hoc (mechanism × α × ε) grid on any workload
   through the sweep engine and write the series as text + JSON;
 - ``release`` — execute a single declarative release request and print
-  the noisy marginal plus the privacy-ledger state;
+  the noisy marginal plus the privacy-ledger state (``--json`` emits the
+  machine-readable result instead — the same payload the service serves);
+- ``serve``   — run the long-lived multi-tenant DP release service
+  (:mod:`repro.serve`): warm sessions per scenario, durable per-tenant
+  spend journals under ``--ledger-dir``, content-addressed dedupe
+  through the result store, graceful SIGINT/SIGTERM drain;
 - ``generate`` — generate a synthetic LODES snapshot and save it as CSV;
 - ``scenarios`` — list the registered scenario library, build a named
   scenario's snapshot into the persistent store (``--workers N`` shards
@@ -99,6 +104,9 @@ examples:
   repro sweep   --scenario sparse-rural --alphas 0.1 --epsilons 1,2
   repro release --attrs place,naics --mechanism smooth-laplace \\
                 --alpha 0.1 --epsilon 2 --delta 0.05 --budget 4
+  repro release --attrs place,naics --alpha 0.1 --epsilon 2 --json
+  repro serve --scenario paper-default --port 8200   # DP release service
+  repro serve --port 0 --tenants-config tenants.json # ephemeral port on stdout
   repro generate --jobs 60000 --out snapshot/
   repro scenarios list                    # the registered economy library
   repro scenarios build national-1m       # persist a snapshot to the store
@@ -343,7 +351,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the privacy ledger with a total epsilon budget",
     )
     release.add_argument("--top", type=int, default=10, metavar="K")
+    release.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable result + ledger state as JSON "
+        "(the same payload the release service serves)",
+    )
     _add_session_arguments(release, jobs_default=20_000, trials_default=1)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant DP release service "
+        "(POST /v1/release, durable per-tenant spend journals)",
+    )
+    serve.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="host a registered scenario economy (repeatable; the first "
+        "is the default; default: one ad-hoc --jobs economy)",
+    )
+    serve.add_argument("--jobs", type=int, default=20_000)
+    serve.add_argument("--trials", type=int, default=1)
+    serve.add_argument("--seed", type=int, default=2017)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8200,
+        help="0 binds an ephemeral port, reported on stdout (default 8200)",
+    )
+    serve.add_argument(
+        "--tenants-config",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON tenant budgets: {\"tenants\": {name: {\"epsilon_budget\": "
+        "..., \"on_overdraft\": \"raise\"|\"warn\"}}, \"default\": ...}; "
+        "without it any tenant name is admitted with an unlimited ledger",
+    )
+    serve.add_argument(
+        "--compute-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded executor size for release compute and journal I/O "
+        "(default: small, CPU-derived)",
+    )
+    serve.add_argument(
+        "--ledger-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="durable per-tenant spend journals (default reports/ledgers)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=DEFAULT_SNAPSHOT_DIR,
+        metavar="DIR",
+        help=f"persistent snapshot store (default {DEFAULT_SNAPSHOT_DIR})",
+    )
+    serve.add_argument(
+        "--no-snapshots",
+        action="store_true",
+        help="generate snapshots in-process, bypassing the store",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="content-addressed release dedupe store "
+        f"(default {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable release dedupe (every request computes)",
+    )
+    serve.add_argument(
+        "--warm",
+        action="store_true",
+        help="build every hosted session before accepting requests",
+    )
+    _add_store_url_argument(serve)
 
     gen = subparsers.add_parser(
         "generate", help="generate and save a synthetic LODES snapshot"
@@ -686,6 +779,19 @@ def run_release(args, session: ReleaseSession | None = None) -> int:
     except PrivacyBudgetExceeded as error:
         raise SystemExit(f"release refused: {error}")
 
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "result": result.to_dict(top=args.top),
+                    "ledger": session.ledger.as_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
     release = result.release
     print(
         f"released {release.n_released} of {release.marginal.n_cells} cells "
@@ -854,16 +960,35 @@ def run_scenarios(args) -> int:
 def run_storage(args) -> int:
     """``repro storage stats|serve`` — inspect or share the storage layer."""
     if args.action == "serve":
+        import signal
+        import threading
+
         from repro.storage.httpd import ObjectServer
 
         server = ObjectServer(host=args.host, port=args.port, root=args.root)
         backing = str(args.root) if args.root else "in-memory"
-        print(f"object store listening on {server.url} (backing: {backing})")
-        print(f"point workers at:  --store-url {server.url}")
+        # Serve on a background thread and park the main thread on an
+        # event: a signal handler must never call shutdown() from the
+        # serving thread itself (self-join deadlock), and this way
+        # SIGINT and SIGTERM both drain in-flight requests before exit.
+        # Handlers go in before the announce — the announce is the
+        # ready signal, and a supervisor may SIGTERM the moment it sees
+        # it.
+        stop = threading.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, lambda *_: stop.set())
+        server.start()
+        print(
+            f"object store listening on {server.url} (backing: {backing})",
+            flush=True,
+        )
+        print(f"point workers at:  --store-url {server.url}", flush=True)
         try:
-            server.serve_forever()
+            stop.wait()
         except KeyboardInterrupt:
             pass
+        server.stop()
+        print("object store drained and stopped", flush=True)
         return 0
 
     # stats: one shared ledger across both stores, plus their inventory.
@@ -942,6 +1067,97 @@ def run_storage(args) -> int:
     return 0
 
 
+def run_serve(args) -> int:
+    """``repro serve`` — the long-lived multi-tenant DP release service."""
+    import asyncio
+
+    from repro.serve import (
+        DEFAULT_LEDGER_DIR,
+        ReleaseCache,
+        ReleaseService,
+        SessionPool,
+        TenantPolicy,
+        TenantRegistry,
+    )
+
+    if args.scenario:
+        try:
+            configs = {
+                name: ExperimentConfig.for_scenario(
+                    name, n_trials=args.trials, seed=args.seed
+                )
+                for name in args.scenario
+            }
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    else:
+        configs = {
+            "adhoc": ExperimentConfig(
+                data=SyntheticConfig(target_jobs=args.jobs, seed=args.seed),
+                n_trials=args.trials,
+                seed=args.seed,
+            )
+        }
+    pool = SessionPool(
+        configs,
+        snapshot_store=_snapshot_store_from_args(args),
+        compute_workers=args.compute_workers,
+    )
+
+    ledger_dir = (
+        DEFAULT_LEDGER_DIR if args.ledger_dir is None else args.ledger_dir
+    )
+    url = getattr(args, "store_url", None)
+    try:
+        ledger_backend = (
+            backend_from_url(url, cache_root=ledger_dir, prefix="ledgers")
+            if url
+            else None
+        )
+        if args.no_cache:
+            store = None
+        elif url:
+            store = ResultStore(
+                backend=backend_from_url(
+                    url, cache_root=args.cache_dir, prefix="results"
+                )
+            )
+        else:
+            store = ResultStore(args.cache_dir)
+    except (ValueError, NotImplementedError) as error:
+        raise SystemExit(str(error)) from None
+    try:
+        if args.tenants_config is not None:
+            tenants = TenantRegistry.from_config_file(
+                args.tenants_config,
+                ledger_backend,
+                **({} if ledger_backend else {"root": ledger_dir}),
+            )
+        else:
+            # Zero-config mode: any path-safe tenant name is admitted
+            # with an unlimited (tracking-only) durable ledger.
+            tenants = TenantRegistry(
+                ledger_backend,
+                default_policy=TenantPolicy(),
+                **({} if ledger_backend else {"root": ledger_dir}),
+            )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"tenants config error: {error}") from None
+
+    service = ReleaseService(
+        pool, tenants, ReleaseCache(store), host=args.host, port=args.port
+    )
+    if args.warm:
+        for name in pool.warm():
+            print(f"warmed session: {name}", flush=True)
+
+    def announce(message: str) -> None:
+        print(message, flush=True)
+
+    asyncio.run(service.run_until_signalled(announce=announce))
+    return 0
+
+
 def run_generate(args) -> Path:
     dataset = generate(SyntheticConfig(target_jobs=args.jobs, seed=args.seed))
     directory = save_dataset(dataset, args.out)
@@ -965,6 +1181,8 @@ def main(argv=None) -> int:
         run_sweep(args)
     elif args.command == "release":
         run_release(args)
+    elif args.command == "serve":
+        return run_serve(args)
     elif args.command == "generate":
         run_generate(args)
     elif args.command == "scenarios":

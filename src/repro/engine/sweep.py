@@ -107,25 +107,13 @@ def decode_point(payload: dict) -> SeriesPoint:
 
 
 def encode_spend(spend: LedgerEntry | None) -> dict | None:
-    if spend is None:
-        return None
-    payload = asdict(spend)
-    payload["attrs"] = list(spend.attrs)
-    return payload
+    # One canonical spend wire format: the ledger's own JSON hooks
+    # (shared with the release service's durable spend journal).
+    return None if spend is None else spend.to_dict()
 
 
 def decode_spend(payload: dict | None) -> LedgerEntry | None:
-    if payload is None:
-        return None
-    return LedgerEntry(
-        label=payload["label"],
-        epsilon=payload["epsilon"],
-        delta=payload["delta"],
-        mechanism=payload.get("mechanism", ""),
-        attrs=tuple(payload.get("attrs", ())),
-        mode=payload.get("mode", ""),
-        worker_domain=payload.get("worker_domain", 1),
-    )
+    return None if payload is None else LedgerEntry.from_dict(payload)
 
 
 # -- orchestration --------------------------------------------------------

@@ -1,0 +1,61 @@
+"""repro.serve — the DP release service.
+
+A long-lived, multi-tenant query server over the release session layer:
+
+- :class:`~repro.serve.app.ReleaseService` — the asyncio HTTP front end
+  (``POST /v1/release``, ledgers, scenarios, health, metrics);
+- :class:`~repro.serve.pool.SessionPool` — warm per-scenario
+  :class:`~repro.api.ReleaseSession`\\ s plus the bounded compute
+  executor that keeps the event loop unblocked;
+- :class:`~repro.serve.tenants.TenantRegistry` /
+  :class:`~repro.serve.tenants.TenantAccount` — persistent per-tenant
+  :class:`~repro.api.PrivacyLedger`\\ s backed by durable, fsync'd
+  append-only spend journals (a crashed server never forgets a debit);
+- :mod:`~repro.serve.dedupe` — content-addressed idempotency: identical
+  requests are served from the result store with zero compute and zero
+  repeat budget;
+- :class:`~repro.serve.client.ServeClient` — a small blocking client.
+
+Start one from the shell with ``repro serve`` or in-process::
+
+    import asyncio
+    from repro.serve import ReleaseCache, ReleaseService, SessionPool, TenantRegistry
+
+    pool = SessionPool.from_scenarios(["paper-default"])
+    service = ReleaseService(pool, TenantRegistry(root="reports/ledgers"))
+    asyncio.run(service.run_until_signalled())
+"""
+
+from repro.serve.app import ReleaseService, ServiceMetrics
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.dedupe import RELEASE_KIND, ReleaseCache, release_key
+from repro.serve.pool import SessionPool
+from repro.serve.tenants import (
+    DEFAULT_LEDGER_DIR,
+    JournalCorrupt,
+    SpendJournal,
+    TenantAccount,
+    TenantPolicy,
+    TenantRegistry,
+    TornJournalWarning,
+    UnknownTenant,
+)
+
+__all__ = [
+    "DEFAULT_LEDGER_DIR",
+    "JournalCorrupt",
+    "RELEASE_KIND",
+    "ReleaseCache",
+    "ReleaseService",
+    "ServeClient",
+    "ServeError",
+    "ServiceMetrics",
+    "SessionPool",
+    "SpendJournal",
+    "TenantAccount",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TornJournalWarning",
+    "UnknownTenant",
+    "release_key",
+]

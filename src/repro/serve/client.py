@@ -1,0 +1,127 @@
+"""A small blocking client for the release service (stdlib http.client).
+
+Used by the tests, the examples and the benchmark load generator — one
+persistent keep-alive connection per client instance, JSON in / JSON
+out, errors surfaced as :class:`ServeError` carrying the HTTP status
+and the server's decoded payload (so a 402's ledger state is readable
+at the call site).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+
+from repro.api.request import ReleaseRequest
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, payload: dict):
+        message = (
+            payload.get("error", "") if isinstance(payload, dict) else str(payload)
+        )
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+
+
+class ServeClient:
+    """Blocking JSON client over one keep-alive connection.
+
+    Not thread-safe — the benchmark gives each worker thread its own
+    client, which is also what exercises the server's concurrency.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # A server that drained between requests closed our
+                # keep-alive socket; reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServeError(response.status, decoded)
+        return decoded
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def scenarios(self) -> dict:
+        return self._request("GET", "/v1/scenarios")
+
+    def ledger(self, tenant: str) -> dict:
+        return self._request("GET", f"/v1/ledger/{urllib.parse.quote(tenant)}")
+
+    def release(
+        self,
+        tenant: str,
+        request: "ReleaseRequest | dict",
+        *,
+        scenario: str | None = None,
+    ) -> dict:
+        """Execute one release; raises :class:`ServeError` on any refusal.
+
+        ``request`` is a :class:`~repro.api.request.ReleaseRequest` or
+        its :meth:`~repro.api.request.ReleaseRequest.to_dict` payload.
+        """
+        if isinstance(request, ReleaseRequest):
+            request = request.to_dict()
+        envelope: dict = {"tenant": tenant, "request": request}
+        if scenario is not None:
+            envelope["scenario"] = scenario
+        return self._request("POST", "/v1/release", envelope)

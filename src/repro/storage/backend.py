@@ -109,6 +109,21 @@ class StorageBackend(Protocol):
         """Atomically install ``data`` under ``key``; returns the local path."""
         ...
 
+    def append_line(self, key: str, data: bytes, *, fsync: bool = True) -> Path:
+        """Durably append one record to the artifact at ``key``.
+
+        The journal primitive: ``data`` (one line, newline appended if
+        missing) lands at the end of the local file and — with ``fsync``
+        (the default) — is flushed to stable storage before this call
+        returns, so an acknowledged append survives a crash of the
+        writer *and* of the machine.  Appends are not atomic installs:
+        a writer that dies mid-append may leave a torn final line, which
+        readers must tolerate (and truncate) on replay.  Remote backends
+        mirror the whole journal upstream on a best-effort basis, like
+        any other write-through put.
+        """
+        ...
+
     def put_dir(
         self,
         key: str,

@@ -56,6 +56,37 @@ class _MemoryObjects:
             return self._objects.pop(key, None) is not None
 
 
+class _InFlight:
+    """Counts requests currently being handled, for graceful drain.
+
+    Connections (keep-alive sockets waiting for their next request) are
+    deliberately *not* counted — draining waits for work in progress,
+    not for idle clients to hang up.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._condition = threading.Condition()
+
+    def __enter__(self) -> "_InFlight":
+        with self._condition:
+            self._count += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._condition:
+            self._count -= 1
+            if self._count == 0:
+                self._condition.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._count == 0, timeout=timeout
+            )
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
@@ -78,31 +109,34 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body)
 
     def do_GET(self, *, head: bool = False) -> None:
-        parsed = urllib.parse.urlsplit(self.path)
-        if parsed.path.lstrip("/") == "_list":
-            prefix = urllib.parse.parse_qs(parsed.query).get("prefix", [""])[0]
-            body = json.dumps(self.objects.list(prefix)).encode("utf-8")
-            self._reply(200, body, head=head)
-            return
-        data = self.objects.get(self._key())
-        if data is None:
-            self._reply(404, b"not found", head=head)
-        else:
-            self._reply(200, data, head=head)
+        with self.server.in_flight:  # type: ignore[attr-defined]
+            parsed = urllib.parse.urlsplit(self.path)
+            if parsed.path.lstrip("/") == "_list":
+                prefix = urllib.parse.parse_qs(parsed.query).get("prefix", [""])[0]
+                body = json.dumps(self.objects.list(prefix)).encode("utf-8")
+                self._reply(200, body, head=head)
+                return
+            data = self.objects.get(self._key())
+            if data is None:
+                self._reply(404, b"not found", head=head)
+            else:
+                self._reply(200, data, head=head)
 
     def do_HEAD(self) -> None:
         self.do_GET(head=True)
 
     def do_PUT(self) -> None:
-        length = int(self.headers.get("Content-Length") or 0)
-        self.objects.put(self._key(), self.rfile.read(length))
-        self._reply(200)
+        with self.server.in_flight:  # type: ignore[attr-defined]
+            length = int(self.headers.get("Content-Length") or 0)
+            self.objects.put(self._key(), self.rfile.read(length))
+            self._reply(200)
 
     def do_DELETE(self) -> None:
-        if self.objects.delete(self._key()):
-            self._reply(200)
-        else:
-            self._reply(404, b"not found")
+        with self.server.in_flight:  # type: ignore[attr-defined]
+            if self.objects.delete(self._key()):
+                self._reply(200)
+            else:
+                self._reply(404, b"not found")
 
 
 class ObjectServer:
@@ -116,6 +150,8 @@ class ObjectServer:
     memory and vanish with the server.
     """
 
+    DRAIN_TIMEOUT_S = 10.0
+
     def __init__(
         self,
         *,
@@ -127,12 +163,18 @@ class ObjectServer:
         self._httpd.objects = (  # type: ignore[attr-defined]
             _MemoryObjects() if root is None else FilesystemObjectStore(root)
         )
+        self._httpd.in_flight = _InFlight()  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property
     def url(self) -> str:
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one the OS picked for port 0)."""
+        return int(self._httpd.server_address[1])
 
     def start(self) -> "ObjectServer":
         self._thread = threading.Thread(
@@ -142,7 +184,17 @@ class ObjectServer:
         return self
 
     def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, release the socket.
+
+        Requests already being handled finish and their responses go
+        out (bounded by ``DRAIN_TIMEOUT_S``); idle keep-alive
+        connections are not waited for — their sockets die with the
+        daemonized handler threads.
+        """
         self._httpd.shutdown()
+        self._httpd.in_flight.wait_idle(  # type: ignore[attr-defined]
+            self.DRAIN_TIMEOUT_S
+        )
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
@@ -153,6 +205,9 @@ class ObjectServer:
         try:
             self._httpd.serve_forever()
         finally:
+            self._httpd.in_flight.wait_idle(  # type: ignore[attr-defined]
+                self.DRAIN_TIMEOUT_S
+            )
             self._httpd.server_close()
 
     def __enter__(self) -> "ObjectServer":

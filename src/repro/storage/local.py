@@ -81,6 +81,32 @@ class LocalFSBackend:
         self.stats.bytes_written += len(data)
         return final
 
+    def append_line(self, key: str, data: bytes, *, fsync: bool = True) -> Path:
+        """Durably append one newline-terminated record at ``root/key``.
+
+        ``O_APPEND`` makes concurrent appenders safe (each record lands
+        whole at the then-current end of file) and ``fsync`` makes the
+        append crash-durable: once this returns, the record survives a
+        ``kill -9`` of the writer and a power loss of the host.  A brand
+        new journal file inherits the process umask like every other
+        artifact.
+        """
+        if not data.endswith(b"\n"):
+            data = data + b"\n"
+        final = self._path(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(
+            final, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666
+        )
+        try:
+            os.write(descriptor, data)
+            if fsync:
+                os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+        self.stats.bytes_written += len(data)
+        return final
+
     def put_dir(
         self,
         key: str,

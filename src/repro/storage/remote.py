@@ -291,6 +291,24 @@ class RemoteObjectBackend:
             self._warn_upload(key, error)
         return final
 
+    def append_line(self, key: str, data: bytes, *, fsync: bool = True) -> Path:
+        """Durably append to the cached journal, then mirror it whole.
+
+        The local cache file is the durability anchor (``O_APPEND`` +
+        ``fsync``, exactly as under :class:`LocalFSBackend`); the remote
+        copy is a best-effort whole-object mirror, so a fleet-visible
+        journal degrades to local-only with a warning rather than losing
+        the append.
+        """
+        final = self.cache.append_line(key, data, fsync=fsync)
+        try:
+            body = final.read_bytes()
+            self.objects.put(self._okey(key), body)
+            self.stats.bytes_written += len(body)
+        except OSError as error:
+            self._warn_upload(key, error)
+        return final
+
     def put_dir(
         self,
         key: str,

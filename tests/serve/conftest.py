@@ -1,0 +1,94 @@
+"""Fixtures for the release-service tests.
+
+The HTTP tests run a real :class:`~repro.serve.ReleaseService` on an
+ephemeral port, its asyncio loop on a background thread, against one
+small module-shared synthetic economy — so every assertion exercises
+the actual socket path the CLI server uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.data import SyntheticConfig
+from repro.engine.store import ResultStore
+from repro.experiments import ExperimentConfig
+from repro.serve import (
+    ReleaseCache,
+    ReleaseService,
+    SessionPool,
+    TenantPolicy,
+    TenantRegistry,
+)
+
+
+def tiny_config(jobs: int = 4_000, seed: int = 3) -> ExperimentConfig:
+    return ExperimentConfig(
+        data=SyntheticConfig(target_jobs=jobs, seed=seed), n_trials=1, seed=seed
+    )
+
+
+class ServiceRunner:
+    """Run a ReleaseService's event loop on a background thread."""
+
+    def __init__(self, service: ReleaseService):
+        self.service = service
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.shutdown()
+
+    def start(self) -> "ServiceRunner":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serve-test",
+            daemon=True,
+        )
+        self._thread.start()
+        assert self._ready.wait(60), "service failed to start"
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(30)
+            assert not self._thread.is_alive(), "service failed to drain"
+
+    @property
+    def url(self) -> str:
+        return self.service.url
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A running service over one warm tiny economy and three tenants.
+
+    Tenants: ``alice`` (ε-budget 5, raise), ``bob`` (ε-budget 3, warn),
+    plus an unlimited default policy admitting any other name.
+    """
+    root = tmp_path_factory.mktemp("serve")
+    pool = SessionPool({"tiny": tiny_config()}, compute_workers=2)
+    tenants = TenantRegistry(
+        root=root / "ledgers",
+        policies={
+            "alice": TenantPolicy(epsilon_budget=5.0),
+            "bob": TenantPolicy(epsilon_budget=3.0, on_overdraft="warn"),
+        },
+        default_policy=TenantPolicy(),
+    )
+    cache = ReleaseCache(ResultStore(root / "cache"))
+    service = ReleaseService(pool, tenants, cache, port=0)
+    runner = ServiceRunner(service).start()
+    yield runner
+    runner.stop()

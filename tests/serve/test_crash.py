@@ -1,0 +1,165 @@
+"""Crash durability and signal handling of the real server process.
+
+These tests spawn ``python -m repro serve`` as a subprocess, the way an
+operator would run it: a ``kill -9`` between acknowledged releases must
+lose nothing (the restarted server's replayed ledger equals the
+acknowledged debits exactly), and SIGTERM must drain and exit 0.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ServeClient
+
+_LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _spawn(*args: str) -> tuple[subprocess.Popen, str]:
+    """Start a server subprocess and return (process, base_url)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    deadline = time.monotonic() + 120
+    for line in process.stdout:
+        match = _LISTENING.search(line)
+        if match:
+            return process, match.group(1)
+        if time.monotonic() > deadline or process.poll() is not None:
+            break
+    process.kill()
+    raise AssertionError("server never reported its listening address")
+
+
+def _release_payload(seed: int) -> dict:
+    return {
+        "attrs": ["place", "naics"],
+        "mechanism": "smooth-laplace",
+        "alpha": 0.1,
+        "epsilon": 2.0,
+        "delta": 0.05,
+        "seed": seed,
+    }
+
+
+SERVE_ARGS = ("serve", "--port", "0", "--jobs", "2000", "--no-snapshots")
+
+
+class TestKillNineDurability:
+    def test_replayed_ledger_equals_acknowledged_debits(self, tmp_path):
+        ledger_dir = str(tmp_path / "ledgers")
+        cache_dir = str(tmp_path / "cache")
+        args = SERVE_ARGS + ("--ledger-dir", ledger_dir, "--cache-dir", cache_dir)
+
+        process, url = _spawn(*args)
+        acknowledged = []
+        try:
+            with ServeClient(url) as client:
+                for seed in range(6):
+                    response = client.release("acme", _release_payload(seed))
+                    assert response["charged"] is True
+                    acknowledged.append(response["result"]["spend"]["epsilon"])
+        finally:
+            # SIGKILL with acknowledged debits on the wire: no drain, no
+            # atexit, nothing but the fsync'd journal survives.
+            process.kill()
+            process.wait(30)
+        assert len(acknowledged) == 6
+
+        process, url = _spawn(*args)
+        try:
+            with ServeClient(url) as client:
+                state = client.ledger("acme")
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(30)
+        assert state["n_entries"] == len(acknowledged)
+        assert state["spent_epsilon"] == pytest.approx(sum(acknowledged))
+        assert state["paid_requests"] == len(acknowledged)
+
+    def test_restart_does_not_recharge_paid_requests(self, tmp_path):
+        ledger_dir = str(tmp_path / "ledgers")
+        cache_dir = str(tmp_path / "cache")
+        args = SERVE_ARGS + ("--ledger-dir", ledger_dir, "--cache-dir", cache_dir)
+
+        process, url = _spawn(*args)
+        try:
+            with ServeClient(url) as client:
+                first = client.release("acme", _release_payload(1))
+        finally:
+            process.kill()
+            process.wait(30)
+
+        process, url = _spawn(*args)
+        try:
+            with ServeClient(url) as client:
+                again = client.release("acme", _release_payload(1))
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(30)
+        # The journal remembers the payment, the cache still holds the
+        # result: replay across a crash costs nothing and changes nothing.
+        assert again["cached"] is True and again["charged"] is False
+        assert again["result"] == first["result"]
+        assert again["ledger"]["n_entries"] == 1
+
+
+class TestSignals:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_graceful_shutdown_exits_zero(self, tmp_path, signum):
+        process, url = _spawn(
+            *SERVE_ARGS, "--ledger-dir", str(tmp_path / "ledgers"), "--no-cache"
+        )
+        with ServeClient(url) as client:
+            assert client.healthz()["status"] == "ok"
+        process.send_signal(signum)
+        output = process.stdout.read()
+        assert process.wait(30) == 0
+        assert "release service stopped cleanly" in output
+
+    def test_object_server_drains_on_sigterm(self, tmp_path):
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "storage",
+                "serve",
+                "--port",
+                "0",
+                "--root",
+                str(tmp_path / "objects"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+        )
+        for line in process.stdout:
+            if _LISTENING.search(line):
+                break
+        else:
+            process.kill()
+            raise AssertionError("object server never reported its address")
+        process.send_signal(signal.SIGTERM)
+        output = process.stdout.read()
+        assert process.wait(30) == 0
+        assert "object store drained and stopped" in output

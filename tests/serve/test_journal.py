@@ -1,0 +1,233 @@
+"""Durability of the per-tenant spend journals (no HTTP involved).
+
+The contract under test: an acknowledged charge is on stable storage
+(journal-then-ledger-then-return), replay restores exactly the
+acknowledged history — tolerating precisely one torn final line —
+and concurrent debits against one account compose exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import LedgerEntry
+from repro.dp.composition import PrivacyBudgetExceeded
+from repro.serve import (
+    JournalCorrupt,
+    SpendJournal,
+    TenantAccount,
+    TenantPolicy,
+    TenantRegistry,
+    TornJournalWarning,
+    UnknownTenant,
+)
+from repro.serve.tenants import validate_tenant_name
+from repro.storage import LocalFSBackend
+
+
+def entry(label: str = "r", epsilon: float = 1.0, delta: float = 0.0):
+    return LedgerEntry(label=label, epsilon=epsilon, delta=delta)
+
+
+def account(tmp_path, name="acme", policy=None) -> TenantAccount:
+    backend = LocalFSBackend(tmp_path / "ledgers")
+    return TenantAccount(
+        name,
+        policy or TenantPolicy(),
+        SpendJournal(backend, f"{name}.journal.jsonl"),
+    )
+
+
+class TestSpendJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = SpendJournal(LocalFSBackend(tmp_path), "t.jsonl")
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        assert journal.replay() == [{"n": 1}, {"n": 2}]
+
+    def test_replay_of_missing_journal_is_empty(self, tmp_path):
+        journal = SpendJournal(LocalFSBackend(tmp_path), "none.jsonl")
+        assert journal.replay() == []
+
+    def test_torn_final_line_is_tolerated_and_truncated(self, tmp_path):
+        journal = SpendJournal(LocalFSBackend(tmp_path), "t.jsonl")
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"n": 3, "tru')  # killed mid-append
+        with pytest.warns(TornJournalWarning):
+            assert journal.replay() == [{"n": 1}, {"n": 2}]
+        # The torn tail is gone: the next append starts a clean record.
+        journal.append({"n": 4})
+        assert journal.replay() == [{"n": 1}, {"n": 2}, {"n": 4}]
+
+    def test_corruption_before_the_final_record_raises(self, tmp_path):
+        journal = SpendJournal(LocalFSBackend(tmp_path), "t.jsonl")
+        journal.append({"n": 1})
+        raw = journal.path.read_bytes()
+        # A garbage *complete* line followed by a good record cannot be
+        # a torn write — it is lost history, and must fail loudly.
+        journal.path.write_bytes(raw[: len(raw) // 2] + b"\n")
+        journal.append({"n": 2})
+        with pytest.raises(JournalCorrupt, match="non-final record"):
+            journal.replay()
+
+    def test_non_object_record_is_rejected(self, tmp_path):
+        journal = SpendJournal(LocalFSBackend(tmp_path), "t.jsonl")
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal.path.write_bytes(b"[1, 2]\n")
+        with pytest.warns(TornJournalWarning):
+            assert journal.replay() == []
+
+
+class TestTenantAccount:
+    def test_charge_is_journaled_before_acknowledged(self, tmp_path):
+        acct = account(tmp_path)
+        acct.charge(entry("a", 1.5, 0.01), "key-a")
+        records = [
+            json.loads(line)
+            for line in acct.journal.path.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["request_key"] == "key-a"
+        assert records[0]["spend"]["epsilon"] == 1.5
+        assert acct.has_paid("key-a") and not acct.has_paid("key-b")
+
+    def test_replay_restores_totals_and_paid_keys(self, tmp_path):
+        acct = account(tmp_path)
+        acct.charge(entry("a", 1.0), "k1")
+        acct.charge(entry("b", 2.0, 0.05), "k2")
+        # A fresh account over the same journal (a restarted server).
+        reborn = account(tmp_path)
+        assert reborn.replayed == 2
+        assert reborn.ledger.spent_epsilon == acct.ledger.spent_epsilon == 3.0
+        assert reborn.ledger.spent_delta == pytest.approx(0.05)
+        assert reborn.has_paid("k1") and reborn.has_paid("k2")
+
+    def test_replay_after_simulated_crash_mid_append(self, tmp_path):
+        acct = account(tmp_path)
+        acct.charge(entry("a", 1.0), "k1")
+        acct.charge(entry("b", 2.0), "k2")
+        with open(acct.journal.path, "ab") as handle:
+            handle.write(b'{"schema": 1, "request_key": "k3"')  # kill -9
+        with pytest.warns(TornJournalWarning):
+            reborn = account(tmp_path)
+        # Exactly the acknowledged debits — the torn k3 was never acked.
+        assert reborn.ledger.spent_epsilon == 3.0
+        assert not reborn.has_paid("k3")
+
+    def test_replay_bypasses_a_tightened_budget(self, tmp_path):
+        acct = account(tmp_path)
+        acct.charge(entry("a", 10.0), "k1")
+        tightened = account(
+            tmp_path, policy=TenantPolicy(epsilon_budget=1.0)
+        )
+        assert tightened.ledger.spent_epsilon == 10.0
+        assert tightened.ledger.remaining_epsilon == -9.0
+
+    def test_raise_policy_rejects_before_writing(self, tmp_path):
+        acct = account(tmp_path, policy=TenantPolicy(epsilon_budget=1.0))
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.charge(entry("big", 2.0), "k1")
+        assert not acct.journal.path.exists()
+        assert acct.ledger.entries == []
+
+    def test_warn_policy_charges_and_returns_the_warning(self, tmp_path):
+        acct = account(
+            tmp_path,
+            policy=TenantPolicy(epsilon_budget=1.0, on_overdraft="warn"),
+        )
+        assert acct.charge(entry("ok", 0.5), "k1") is None
+        warning = acct.charge(entry("over", 1.0), "k2")
+        assert warning is not None and "overdraws" in warning
+        assert acct.ledger.spent_epsilon == 1.5
+        assert account(tmp_path, policy=acct.policy).ledger.spent_epsilon == 1.5
+
+    def test_concurrent_debits_stay_exact(self, tmp_path):
+        acct = account(tmp_path, policy=TenantPolicy(epsilon_budget=1.05))
+        outcomes = []
+        barrier = threading.Barrier(16)
+
+        def debit(index: int) -> None:
+            barrier.wait()
+            try:
+                acct.charge(entry(f"r{index}", 0.1), f"k{index}")
+                outcomes.append(True)
+            except PrivacyBudgetExceeded:
+                outcomes.append(False)
+
+        threads = [
+            threading.Thread(target=debit, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Exactly floor(1.05 / 0.1) = 10 charges fit; no pair slipped
+        # under the last sliver, none was lost.
+        assert sum(outcomes) == 10
+        assert acct.ledger.spent_epsilon == pytest.approx(1.0)
+        replayed = account(tmp_path, policy=acct.policy)
+        assert replayed.replayed == 10
+        assert replayed.ledger.spent_epsilon == pytest.approx(1.0)
+
+
+class TestTenantRegistry:
+    def test_unknown_tenant_without_default_policy(self, tmp_path):
+        registry = TenantRegistry(
+            root=tmp_path, policies={"alice": TenantPolicy()}
+        )
+        assert registry.account("alice").name == "alice"
+        with pytest.raises(UnknownTenant, match="'mallory'"):
+            registry.account("mallory")
+
+    def test_default_policy_admits_any_safe_name(self, tmp_path):
+        registry = TenantRegistry(
+            root=tmp_path, default_policy=TenantPolicy(epsilon_budget=2.0)
+        )
+        assert registry.account("walk-in").policy.epsilon_budget == 2.0
+
+    @pytest.mark.parametrize(
+        "name", ["", "../escape", "a/b", ".hidden", "white space", 7]
+    )
+    def test_path_unsafe_names_are_rejected(self, tmp_path, name):
+        with pytest.raises(ValueError, match="tenant name"):
+            validate_tenant_name(name)
+        registry = TenantRegistry(root=tmp_path, default_policy=TenantPolicy())
+        with pytest.raises(ValueError):
+            registry.account(name)
+
+    def test_from_config_parses_policies(self, tmp_path):
+        registry = TenantRegistry.from_config(
+            {
+                "tenants": {
+                    "a": {"epsilon_budget": 1.0, "on_overdraft": "warn"},
+                    "b": {},
+                },
+                "default": None,
+            },
+            LocalFSBackend(tmp_path),
+        )
+        assert registry.account("a").policy.on_overdraft == "warn"
+        assert registry.account("b").policy.epsilon_budget is None
+        assert registry.default_policy is None
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ([], "JSON object"),
+            ({"bogus": {}}, "'bogus'"),
+            ({"tenants": {"a": {"epsilon_budget": "x"}}}, "'epsilon_budget'"),
+            ({"tenants": {"a": {"on_overdraft": "explode"}}}, "'on_overdraft'"),
+            ({"tenants": {"a": {"nope": 1}}}, "'nope'"),
+        ],
+    )
+    def test_config_errors_name_the_offending_field(
+        self, tmp_path, payload, fragment
+    ):
+        with pytest.raises(ValueError) as excinfo:
+            TenantRegistry.from_config(payload, LocalFSBackend(tmp_path))
+        assert fragment in str(excinfo.value)

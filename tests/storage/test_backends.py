@@ -78,6 +78,22 @@ class TestConformance:
         path = backend.open_local("ab/entry.json")
         assert path is not None and path.read_bytes() == b'{"x": 1}'
 
+    def test_append_line_accumulates_records(self, backend):
+        backend.append_line("journal/tenant.jsonl", b'{"n": 1}')
+        backend.append_line("journal/tenant.jsonl", b'{"n": 2}\n')
+        backend.append_line("journal/tenant.jsonl", b'{"n": 3}', fsync=False)
+        data = backend.read_bytes("journal/tenant.jsonl")
+        assert data == b'{"n": 1}\n{"n": 2}\n{"n": 3}\n'
+        path = backend.open_local("journal/tenant.jsonl")
+        assert path is not None and path.read_bytes() == data
+
+    def test_append_line_counts_bytes_written(self, backend):
+        before = backend.stats.bytes_written
+        backend.append_line("journal/bytes.jsonl", b"abc")
+        # At least the 4 appended bytes (newline added); remote backends
+        # additionally count their whole-file mirror upload.
+        assert backend.stats.bytes_written >= before + 4
+
     def test_missing_key_reads_as_none(self, backend):
         assert backend.read_bytes("no/such.json") is None
         assert backend.open_local("nothing") is None
