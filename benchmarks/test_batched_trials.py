@@ -14,6 +14,7 @@ import numpy as np
 
 from benchmarks.conftest import write_report
 from repro.core import EREEParams
+from repro.engine.evaluate import _streamed_point_values
 from repro.experiments.runner import (
     N_STRATA,
     release_trials,
@@ -21,6 +22,7 @@ from repro.experiments.runner import (
     spearman_point,
 )
 from repro.experiments.workloads import WORKLOAD_1
+from repro.metrics.error import l1_error, l1_error_batch
 from repro.metrics.ranking import spearman_correlation
 from repro.util import format_table
 
@@ -28,6 +30,9 @@ PARAMS = EREEParams(alpha=0.05, epsilon=2.0, delta=0.05)
 N_TRIALS = 100
 MIN_SPEEDUP = 5.0
 MECHANISMS = ("log-laplace", "smooth-laplace", "smooth-gamma")
+
+REDUCTION_N_TRIALS = 400
+MIN_REDUCTION_SPEEDUP = 1.3
 
 
 def _legacy_spearman_point(stats, mechanism_name, params, n_trials, seed):
@@ -88,6 +93,66 @@ def test_batched_grid_point_spearman(benchmark, context):
         spearman_point, stats, "smooth-laplace", PARAMS, N_TRIALS, 14
     )
     assert -1.0 <= point.overall <= 1.0
+
+
+def _sliced_point_values(chunks, true, sdl, strata, n_trials):
+    """The pre-one-pass L1 reducer, reconstructed verbatim: one boolean
+    slice (and one subtract + abs over the sliced copy) per cell set per
+    chunk — N_STRATA+1 passes over every chunk."""
+    cell_sets = [np.ones(len(sdl), dtype=bool)] + [
+        strata == stratum for stratum in range(N_STRATA)
+    ]
+    sums = np.zeros(len(cell_sets))
+    for chunk in chunks:
+        for j, cells in enumerate(cell_sets):
+            if cells.any():
+                sums[j] += l1_error_batch(true[cells], chunk[:, cells]).sum()
+    results = []
+    for j, cells in enumerate(cell_sets):
+        sdl_l1 = l1_error(true[cells], sdl[cells])
+        results.append((float(sums[j]) / n_trials) / sdl_l1)
+    return results[0], tuple(results[1:])
+
+
+def test_one_pass_reduction_speedup(benchmark, context):
+    """One-pass gate: |error| computed once per chunk and gathered into
+    the overall + stratum sums beats the sliced reducer >=1.3x — with
+    bit-identical values (the gather reproduces the slices' summation
+    order)."""
+    stats = context.statistics(WORKLOAD_1)
+    matrix = release_trials(
+        stats, "smooth-laplace", PARAMS, REDUCTION_N_TRIALS, 7
+    )
+    true, sdl, strata = stats.eval_true, stats.eval_sdl, stats.eval_strata
+
+    def one_pass():
+        return _streamed_point_values(
+            iter((matrix,)),
+            true,
+            sdl,
+            strata,
+            "l1-ratio",
+            REDUCTION_N_TRIALS,
+            index_sets=stats.stratum_cells,
+        )
+
+    def sliced():
+        return _sliced_point_values(
+            (matrix,), true, sdl, strata, REDUCTION_N_TRIALS
+        )
+
+    assert one_pass() == sliced()
+
+    result = benchmark(one_pass)
+    assert result == sliced()
+
+    one_pass_s = _best_of(one_pass, repeats=7)
+    sliced_s = _best_of(sliced, repeats=7)
+    speedup = sliced_s / one_pass_s
+    assert speedup >= MIN_REDUCTION_SPEEDUP, (
+        f"one-pass reduction only {speedup:.2f}x faster than the sliced "
+        f"reducer (need >= {MIN_REDUCTION_SPEEDUP}x)"
+    )
 
 
 def test_batched_speedup_over_loop(context, out_dir):

@@ -1,0 +1,93 @@
+"""EXP-B4 — Fused-grid kernels: one noise draw per (mechanism, α) group.
+
+The sweep engine's fused path (PR 8) factors every smooth mechanism's
+release into ``counts + S(x)/a · Z`` and serves all ε points of a
+(mechanism, α) group from one unit ``(n_trials, n_cells)`` draw — a
+Figure-1 ε row costs one RNG draw instead of one per point, and the
+linear mechanisms reduce their L1 ratios analytically from unit |Z|
+column sums without materializing a single noisy matrix.
+
+This suite pins the acceptance gate: the fused Figure-1 grid (75
+points, 15 groups of 5 ε) must run ≥``MIN_FUSED_SPEEDUP``× faster than
+the per-point serial path at n_trials=100.  The measured value lands in
+``BENCH_grid.json`` next to the executor/replay timings.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import write_report
+from benchmarks.test_batched_trials import _best_of
+from benchmarks.test_sweep_engine import _merge_bench_json
+from repro.engine.executors import SerialExecutor
+from repro.engine.plan import figure_plan
+from repro.engine.sweep import run_plan
+from repro.util import format_table
+
+N_TRIALS = 100
+MIN_FUSED_SPEEDUP = 3.0
+
+
+def test_fused_grid_speedup(bench_config, context, out_dir):
+    """The acceptance gate: fused Figure-1 grid ≥3x over per-point serial."""
+    config = replace(bench_config, n_trials=N_TRIALS)
+    plan = figure_plan("figure-1", config)
+
+    # Warm the workload-statistics cache so both timings compare grid
+    # execution, not one-off prologue work.
+    serial = run_plan(plan, context, executor=SerialExecutor(), merge_spend=False)
+    fused = run_plan(plan, context, merge_spend=False, fused=True)
+
+    serial_s = _best_of(
+        lambda: run_plan(
+            plan, context, executor=SerialExecutor(), merge_spend=False
+        )
+    )
+    fused_s = _best_of(
+        lambda: run_plan(plan, context, merge_spend=False, fused=True)
+    )
+    speedup = serial_s / fused_s
+
+    # The fused stream is different noise, not a different experiment:
+    # same grid, same feasibility frontier, finite values where the
+    # serial path has them.
+    assert len(fused.points) == len(serial.points)
+    for a, b in zip(serial.points, fused.points):
+        assert (b.mechanism, b.alpha, b.epsilon) == (
+            a.mechanism,
+            a.alpha,
+            a.epsilon,
+        )
+        assert b.feasible == a.feasible
+
+    report = format_table(
+        headers=["path", "wall ms", "vs serial"],
+        rows=[
+            ["per-point serial", f"{serial_s * 1e3:.1f}", "1.0x"],
+            ["fused groups", f"{fused_s * 1e3:.1f}", f"{speedup:.1f}x"],
+        ],
+        title=(
+            f"Fused Figure-1 grid ({len(plan.points)} points, "
+            f"n_trials={N_TRIALS}, {context.dataset.n_jobs} jobs): "
+            "one unit draw per (mechanism, alpha) group"
+        ),
+    )
+    write_report(out_dir, "fused-grid", report)
+
+    _merge_bench_json(
+        {
+            "fused_grid": {
+                "points": len(plan.points),
+                "n_trials": N_TRIALS,
+                "workload": "workload-1",
+            },
+            "fused_serial_s": serial_s,
+            "fused_s": fused_s,
+            "fused_speedup": speedup,
+            "min_fused_speedup_gate": MIN_FUSED_SPEEDUP,
+        }
+    )
+
+    assert speedup >= MIN_FUSED_SPEEDUP, (
+        f"fused grid only {speedup:.1f}x faster than per-point serial "
+        f"(need >= {MIN_FUSED_SPEEDUP}x)"
+    )

@@ -3,17 +3,36 @@ marginal-query engine (the substrate costs behind every experiment)."""
 
 import numpy as np
 
+from benchmarks.test_batched_trials import _best_of
 from repro.core import EREEParams, LogLaplace, SmoothGamma, SmoothLaplace
-from repro.core.smooth_sensitivity import sample_gamma4
+from repro.core.smooth_sensitivity import sample_gamma4, sample_gamma4_fast
 from repro.db import Marginal, per_establishment_counts
 
 PARAMS = EREEParams(alpha=0.1, epsilon=2.0, delta=0.05)
 N_CELLS = 50_000
+MIN_GAMMA4_FAST_SPEEDUP = 1.3
 
 
 def test_gamma4_sampler_throughput(benchmark):
     result = benchmark(sample_gamma4, N_CELLS, 1)
     assert result.shape == (N_CELLS,)
+
+
+def test_gamma4_fast_sampler_throughput(benchmark):
+    result = benchmark(sample_gamma4_fast, N_CELLS, 1)
+    assert result.shape == (N_CELLS,)
+
+
+def test_gamma4_fast_sampler_gate():
+    """The single-round oversampled sampler must not regress vs the
+    grow-as-needed rejection loop (it typically runs ~2x faster)."""
+    fast_s = _best_of(lambda: sample_gamma4_fast(N_CELLS, 1), repeats=5)
+    default_s = _best_of(lambda: sample_gamma4(N_CELLS, 1), repeats=5)
+    speedup = default_s / fast_s
+    assert speedup >= MIN_GAMMA4_FAST_SPEEDUP, (
+        f"sample_gamma4_fast only {speedup:.2f}x vs sample_gamma4 "
+        f"(need >= {MIN_GAMMA4_FAST_SPEEDUP}x)"
+    )
 
 
 def test_log_laplace_throughput(benchmark):

@@ -54,6 +54,16 @@ class MechanismSpec:
     infeasible parameters (the smooth mechanisms' hard constraints, as
     opposed to Log-Laplace's merely-unplotted unbounded-mean region), so
     request validation can fail fast.
+
+    ``unit_noise`` names the mechanism's unit-noise family (``"gamma4"``
+    or ``"laplace"``) when its release factors as a data-independent unit
+    draw transformed by ε-derived scalars — the property the fused sweep
+    path exploits to share one ``(n_trials, n_cells)`` draw across every
+    ε of a (workload, mechanism, α) group.  ``linear_unit_scale`` marks
+    the subset whose transform is exactly ``counts + scale(ε) · Z``
+    (Theorem 8.4 form), where per-cell |error| is ``scale(ε)·|Z|`` and L1
+    metrics never need the noisy matrix at all.  ``None`` means not
+    fusable (e.g. the node-DP baseline).
     """
 
     name: str
@@ -64,6 +74,8 @@ class MechanismSpec:
     feasible: Callable | None = None
     strict_feasibility: bool = False
     description: str = ""
+    unit_noise: str | None = None
+    linear_unit_scale: bool = False
 
     def is_feasible(self, params) -> bool:
         """Whether the mechanism accepts these per-cell parameters."""
@@ -102,6 +114,8 @@ def register_mechanism(
     feasible: Callable | None = None,
     strict_feasibility: bool = False,
     description: str = "",
+    unit_noise: str | None = None,
+    linear_unit_scale: bool = False,
     replace: bool = False,
 ):
     """Class (or function) decorator registering a mechanism by name.
@@ -129,6 +143,8 @@ def register_mechanism(
             feasible=feasible,
             strict_feasibility=strict_feasibility,
             description=description,
+            unit_noise=unit_noise,
+            linear_unit_scale=linear_unit_scale,
         )
         return factory
 

@@ -208,6 +208,13 @@ def _add_engine_arguments(parser):
         "only missing points are recomputed",
     )
     parser.add_argument(
+        "--fused",
+        action="store_true",
+        help="share one unit-noise draw per (mechanism, alpha) group "
+        "instead of one per grid point (statistically equivalent, "
+        "different RNG streams, cached under distinct keys)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the result store",
@@ -307,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--tag",
         default="sweep",
         help="names the output files and seeds the per-point streams",
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="record a per-stage wall-clock breakdown (draw/reduce/store) "
+        "in the JSON output",
     )
     _add_session_arguments(
         sweep, jobs_default=20_000, trials_default=5, scenario=True
@@ -643,7 +656,11 @@ def run_figures(args, session: ReleaseSession | None = None) -> list[Path]:
     written = []
     for name, generator in _selected_figures(args.only).items():
         series = generator(
-            session, executor=executor, store=store, resume=args.resume
+            session,
+            executor=executor,
+            store=store,
+            resume=args.resume,
+            fused=args.fused,
         )
         path = out / f"{name}.txt"
         path.write_text(render_figure(series) + "\n", encoding="utf-8")
@@ -671,6 +688,7 @@ def run_tables(args, session: ReleaseSession | None = None) -> list[Path]:
                 executor=executor,
                 store=store,
                 resume=args.resume,
+                fused=args.fused,
             ),
         ),
     )
@@ -706,32 +724,33 @@ def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
         executor=executor,
         store=store,
         resume=args.resume,
+        fused=args.fused,
+        profile=args.profile,
     )
     out = _out_dir_from_args(args)
     text_path = out / f"sweep-{args.tag}.txt"
     text_path.write_text(
         render_figure(outcome.series) + "\n", encoding="utf-8"
     )
+    payload = {
+        "plan": {
+            "name": plan.name,
+            "workload": args.workload,
+            "metric": plan.metric,
+            "fingerprint": plan.fingerprint,
+            "n_points": len(plan),
+        },
+        "computed": outcome.computed,
+        "cache_hits": outcome.cache_hits,
+        "fused": args.fused,
+        "points": [encode_point(point) for point in outcome.points],
+        "store_stats": _store_stats_payload(session, store),
+    }
+    if outcome.profile is not None:
+        payload["profile"] = outcome.profile
     json_path = out / f"sweep-{args.tag}.json"
     json_path.write_text(
-        json.dumps(
-            {
-                "plan": {
-                    "name": plan.name,
-                    "workload": args.workload,
-                    "metric": plan.metric,
-                    "fingerprint": plan.fingerprint,
-                    "n_points": len(plan),
-                },
-                "computed": outcome.computed,
-                "cache_hits": outcome.cache_hits,
-                "points": [encode_point(point) for point in outcome.points],
-                "store_stats": _store_stats_payload(session, store),
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     for path in (text_path, json_path):
@@ -740,6 +759,12 @@ def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
         f"swept {len(plan)} point(s): {outcome.computed} computed, "
         f"{outcome.cache_hits} replayed from cache"
     )
+    if outcome.profile is not None:
+        print(
+            "profile: draw {draw_s:.2f}s, reduce {reduce_s:.2f}s, "
+            "store {store_s:.2f}s, other {other_s:.2f}s "
+            "(total {total_s:.2f}s)".format(**outcome.profile)
+        )
     _print_cache_summary(store)
     print(session.ledger.summary().splitlines()[0])
     return [text_path, json_path]

@@ -38,6 +38,7 @@ from repro.util import as_generator
     feasible=EREEParams.log_laplace_has_bounded_mean,
     description="Algorithm 1: multiplicative Laplace noise on the shifted "
     "log count; needs no per-cell statistics",
+    unit_noise="laplace",
 )
 @dataclass(frozen=True)
 class LogLaplace:
@@ -105,6 +106,24 @@ class LogLaplace:
         shape = np.broadcast_shapes(counts.shape, (n_trials, counts.shape[-1]))
         gamma = self.gamma
         eta = rng.laplace(0.0, self.scale, size=shape)
+        noisy = np.exp(np.log(counts + gamma) + eta) - gamma
+        if self.debias:
+            noisy = self.debiased(noisy)
+        return noisy
+
+    def release_counts_from_unit(
+        self, counts: np.ndarray, unit: np.ndarray
+    ) -> np.ndarray:
+        """Algorithm 1 release from an externally drawn Laplace(1) matrix.
+
+        ``η = scale · unit`` reproduces the Laplace(scale) perturbation,
+        so the fused sweep path can share one unit draw across an α
+        group's ε points; unlike the smooth mechanisms the transform is
+        nonlinear (the exp), so each ε still pays its own apply pass.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        gamma = self.gamma
+        eta = self.scale * np.asarray(unit, dtype=np.float64)
         noisy = np.exp(np.log(counts + gamma) + eta) - gamma
         if self.debias:
             noisy = self.debiased(noisy)

@@ -35,6 +35,8 @@ from repro.core.smooth_sensitivity import (
     strict_feasibility=True,
     description="Algorithm 2: smooth-sensitivity Gamma(4) noise, pure "
     "(α, ε) guarantee",
+    unit_noise="gamma4",
+    linear_unit_scale=True,
 )
 @dataclass(frozen=True)
 class SmoothGamma:
@@ -103,6 +105,24 @@ class SmoothGamma:
         sensitivity = self.smooth_sensitivity(max_single)
         return add_smooth_noise_batch(
             counts, sensitivity, self.distribution, n_trials, seed
+        )
+
+    def release_counts_from_unit(
+        self,
+        counts: np.ndarray,
+        max_single: np.ndarray,
+        unit: np.ndarray,
+    ) -> np.ndarray:
+        """Theorem 8.4 release from an externally drawn unit matrix.
+
+        ``unit`` is unscaled γ4 noise (any shape broadcastable with
+        ``counts``); the fused sweep path draws it once per (workload,
+        mechanism, α) group and calls this per ε, since only the scalar
+        ``a = ε1/5`` differs across the group's ε points.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        return counts + self.noise_scale(max_single) * np.asarray(
+            unit, dtype=np.float64
         )
 
     def expected_l1_error(self, max_single: np.ndarray) -> np.ndarray:

@@ -35,6 +35,8 @@ from repro.core.smooth_sensitivity import (
     strict_feasibility=True,
     description="Algorithm 3: smooth-sensitivity Laplace noise, "
     "(α, ε, δ) guarantee",
+    unit_noise="laplace",
+    linear_unit_scale=True,
 )
 @dataclass(frozen=True)
 class SmoothLaplace:
@@ -96,6 +98,24 @@ class SmoothLaplace:
         sensitivity = self.smooth_sensitivity(max_single)
         return add_smooth_noise_batch(
             counts, sensitivity, self.distribution, n_trials, seed
+        )
+
+    def release_counts_from_unit(
+        self,
+        counts: np.ndarray,
+        max_single: np.ndarray,
+        unit: np.ndarray,
+    ) -> np.ndarray:
+        """Theorem 8.4 release from an externally drawn Laplace(1) matrix.
+
+        The fused sweep path draws ``unit`` once per (workload,
+        mechanism, α) group and calls this per ε — the smooth sensitivity
+        ``max(xv·α, 1)`` is ε-free, so only the scalar ``a = ε/2``
+        changes across the group.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        return counts + self.noise_scale(max_single) * np.asarray(
+            unit, dtype=np.float64
         )
 
     def expected_l1_error(self, max_single: np.ndarray) -> np.ndarray:

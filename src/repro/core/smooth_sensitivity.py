@@ -41,6 +41,10 @@ GAMMA4_EXPECTED_ABS = 1.0 / math.sqrt(2.0)
 # Rejection bound: max over z of (1+z²)/(1+z⁴) = (1+√2)/2 at z² = √2 - 1.
 _REJECTION_BOUND = (1.0 + math.sqrt(2.0)) / 2.0
 
+# Exact acceptance probability of the Cauchy-proposal rejection sampler:
+# E[(1+Z²)/((1+Z⁴)·B)] under the Cauchy = (π/√2)/(π·B) = 2 - √2 ≈ 0.5858.
+GAMMA4_ACCEPT_RATE = 2.0 - math.sqrt(2.0)
+
 
 def smooth_sensitivity_of_counts(
     max_single: np.ndarray, alpha: float, b: float
@@ -97,6 +101,48 @@ def sample_gamma4(size, seed=None) -> np.ndarray:
         accept_probability = (1.0 + z2) / ((1.0 + z4) * _REJECTION_BOUND)
         accepted = z[rng.random(batch) < accept_probability]
         take = min(len(accepted), need)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+    return out.reshape(shape)
+
+
+def _gamma4_round_size(need: int) -> int:
+    """Proposals for one rejection round sized so the round almost
+    always yields ``need`` acceptances: the mean need/p plus four
+    binomial standard deviations (shortfall probability ~3e-5)."""
+    p = GAMMA4_ACCEPT_RATE
+    return int(need / p + 4.0 * math.sqrt(need * (1.0 - p)) / p) + 16
+
+
+def sample_gamma4_fast(size, seed=None) -> np.ndarray:
+    """Draw from h(z) ∝ 1/(1 + z⁴): same rejection scheme as
+    :func:`sample_gamma4`, restructured for throughput.
+
+    Two changes, neither affecting exactness: the Cauchy proposals come
+    from one inverse-CDF transform ``tan(π(u - ½))`` of a single
+    ``rng.random((2, m))`` block (one RNG call per round instead of two),
+    and the round is sized from the exact acceptance rate 2 - √2 with a
+    ~4σ margin so nearly every draw completes in a single round, with a
+    short tail fill for the rare shortfall.
+
+    The output distribution is identical to :func:`sample_gamma4` but the
+    bit *stream* is not — callers pinning byte-identical releases (the
+    default sweep path) must keep using :func:`sample_gamma4`; the fused
+    sweep path, whose streams are new by construction, uses this one.
+    """
+    rng = as_generator(seed)
+    shape = (size,) if np.isscalar(size) else tuple(size)
+    total = int(np.prod(shape)) if shape else 1
+    out = np.empty(total, dtype=np.float64)
+    filled = 0
+    while filled < total:
+        m = _gamma4_round_size(total - filled)
+        u = rng.random((2, m))
+        z = np.tan(np.pi * (u[0] - 0.5))
+        z2 = z * z
+        z4 = z2 * z2
+        accepted = z[u[1] * ((1.0 + z4) * _REJECTION_BOUND) < (1.0 + z2)]
+        take = min(len(accepted), total - filled)
         out[filled : filled + take] = accepted[:take]
         filled += take
     return out.reshape(shape)

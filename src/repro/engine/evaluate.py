@@ -20,11 +20,28 @@ Error ratios and Spearman correlations follow Sec 10's definitions: the
 ratio is mean private L1 over trials divided by SDL L1; Spearman compares
 the private ordering to the SDL ordering; both are reported overall and
 per place-population stratum, over the cells with positive true count.
+
+Two reduction strategies coexist:
+
+- The **per-point** kernels (:func:`error_ratio_point`,
+  :func:`spearman_point`, :func:`truncated_laplace_point`) draw one noise
+  matrix per grid point and fold it chunk by chunk through
+  :func:`_streamed_point_values` — one |error| pass per chunk, scattered
+  into the overall + per-stratum sums through precomputed ascending index
+  sets, bit-identical to the historical per-stratum slicing.
+- The **fused** kernel (:func:`fused_grid_points`) exploits the
+  Theorem 8.4 release form ``q(x) + S(x)/a · Z``: the unit noise ``Z``
+  does not depend on ε, so one unit matrix per (workload, mechanism, α)
+  group serves every ε point of the group via a scale multiply (linear
+  mechanisms) or one transform pass (Log-Laplace).  The fused stream is
+  statistically identical but not bit-identical to the per-point
+  streams, so it only runs behind ``run_plan(fused=True)``.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -32,9 +49,11 @@ import numpy as np
 from repro.api.registry import create_mechanism, mechanism_spec
 from repro.core.params import EREEParams
 from repro.core.release import _trial_chunks
+from repro.core.smooth_sensitivity import sample_gamma4_fast
 from repro.dp.truncation import TruncatedLaplace
+from repro.engine import profile
 from repro.engine.points import N_STRATA, SeriesPoint, WorkloadStatistics
-from repro.metrics.error import l1_error, l1_error_batch
+from repro.metrics.error import l1_error
 from repro.metrics.ranking import spearman_correlation_batch
 from repro.util import as_generator
 
@@ -48,6 +67,8 @@ __all__ = [
     "error_ratio_point",
     "spearman_point",
     "truncated_laplace_point",
+    "sample_unit_noise",
+    "fused_grid_points",
 ]
 
 
@@ -83,8 +104,8 @@ def _release_chunks(
     needs_xv = mechanism_spec(mechanism_name).needs_xv
     mechanism = create_mechanism(mechanism_name, per_cell)
     rng = as_generator(seed)
-    true = stats.masked(stats.true)
-    xv = stats.masked(stats.xv)
+    true = stats.eval_true
+    xv = stats.eval_xv
     for chunk in _trial_chunks(n_trials, batch_size):
         if needs_xv:
             yield mechanism.release_counts_batch(true, xv, chunk, rng)
@@ -139,8 +160,8 @@ def release_trials_looped(
     needs_xv = mechanism_spec(mechanism_name).needs_xv
     mechanism = create_mechanism(mechanism_name, per_cell)
     rng = as_generator(seed)
-    true = stats.masked(stats.true)
-    xv = stats.masked(stats.xv)
+    true = stats.eval_true
+    xv = stats.eval_xv
     trials = []
     for _ in range(n_trials):
         if needs_xv:
@@ -150,24 +171,45 @@ def release_trials_looped(
     return trials
 
 
-def _ratio(true, private_trials, sdl, cells) -> float:
-    """Mean private L1 over trials / SDL L1, over the given cells.
+def _default_index_sets(strata: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Overall + per-stratum ascending cell-index sets (fallback when the
+    caller has no :attr:`WorkloadStatistics.stratum_cells` cache)."""
+    return (
+        np.arange(strata.size),
+        *(np.flatnonzero(strata == stratum) for stratum in range(N_STRATA)),
+    )
 
-    ``private_trials`` is a ``(n_trials, n_cells)`` matrix (or anything
-    array-like with that shape); the trial axis reduces vectorized.
-    """
-    if not cells.any():
-        return float("nan")
-    trials = np.asarray(private_trials, dtype=np.float64)
-    sdl_l1 = l1_error(true[cells], sdl[cells])
-    private_l1 = float(l1_error_batch(true[cells], trials[:, cells]).mean())
-    if sdl_l1 == 0.0:
-        return math.inf if private_l1 > 0 else float("nan")
-    return private_l1 / sdl_l1
+
+def _l1_ratio_results(
+    sums: np.ndarray,
+    n_trials: int,
+    true: np.ndarray,
+    sdl: np.ndarray,
+    index_sets,
+) -> list[float]:
+    """Sec-10 error ratios from accumulated per-set |error| totals."""
+    results = []
+    for j, idx in enumerate(index_sets):
+        if idx.size == 0:
+            results.append(float("nan"))
+            continue
+        sdl_l1 = l1_error(true[idx], sdl[idx])
+        private_l1 = float(sums[j]) / n_trials
+        if sdl_l1 == 0.0:
+            results.append(math.inf if private_l1 > 0 else float("nan"))
+        else:
+            results.append(private_l1 / sdl_l1)
+    return results
 
 
 def _streamed_point_values(
-    chunk_iter, true, sdl, strata, metric: str, n_trials: int
+    chunk_iter,
+    true,
+    sdl,
+    strata,
+    metric: str,
+    n_trials: int,
+    index_sets: Sequence[np.ndarray] | None = None,
 ) -> tuple[float, tuple[float, ...]]:
     """Reduce trial-chunk matrices to (overall, by-stratum) point values.
 
@@ -176,40 +218,47 @@ def _streamed_point_values(
     exists when the chunks are small.  The chunk rows arrive in trial
     order, so the statistics match the whole-matrix reduction exactly up
     to floating-point summation order (last-ULP reassociation).
+
+    The L1 reduction is one pass per chunk: ``|chunk - true|`` is
+    computed once and gathered into the overall + per-stratum sums
+    through the ascending ``index_sets`` (by default the
+    :attr:`WorkloadStatistics.stratum_cells` cache).  The gather always
+    copies — even for the full-size overall set — because a
+    ``m[:, indices]`` gather is Fortran-ordered exactly like the
+    historical ``m[:, boolean_mask]`` slices, and the axis-1 float
+    summation order depends on that layout; reducing the C-ordered
+    ``abs_err`` directly would shift the overall value by last-ULP
+    reassociation.  Values are therefore bit-identical to the slicing
+    reducer while the subtraction runs once instead of once per set.
     """
-    cell_sets = [np.ones(len(sdl), dtype=bool)] + [
-        strata == stratum for stratum in range(N_STRATA)
-    ]
-    sums = np.zeros(len(cell_sets))
-    counts = np.zeros(len(cell_sets))
+    if index_sets is None:
+        index_sets = _default_index_sets(strata)
+    sums = np.zeros(len(index_sets))
+    counts = np.zeros(len(index_sets))
+    if profile.active():
+        chunk_iter = profile.timed_iter(chunk_iter)
     for chunk in chunk_iter:
-        for j, cells in enumerate(cell_sets):
+        with profile.stage("reduce"):
             if metric == "l1-ratio":
-                if cells.any():
-                    sums[j] += l1_error_batch(true[cells], chunk[:, cells]).sum()
+                abs_err = np.abs(chunk - true)
+                for j, idx in enumerate(index_sets):
+                    if idx.size:
+                        sums[j] += abs_err[:, idx].sum(axis=1).sum()
             else:
-                if int(cells.sum()) >= 2:
-                    values = spearman_correlation_batch(
-                        chunk[:, cells], sdl[cells]
-                    )
-                    sums[j] += np.nansum(values)
-                    counts[j] += np.count_nonzero(~np.isnan(values))
-    results = []
-    for j, cells in enumerate(cell_sets):
-        if metric == "l1-ratio":
-            if not cells.any():
-                results.append(float("nan"))
-                continue
-            sdl_l1 = l1_error(true[cells], sdl[cells])
-            private_l1 = float(sums[j]) / n_trials
-            if sdl_l1 == 0.0:
-                results.append(math.inf if private_l1 > 0 else float("nan"))
-            else:
-                results.append(private_l1 / sdl_l1)
-        else:
-            results.append(
-                float(sums[j] / counts[j]) if counts[j] else float("nan")
-            )
+                for j, idx in enumerate(index_sets):
+                    if idx.size >= 2:
+                        values = spearman_correlation_batch(
+                            chunk[:, idx], sdl[idx]
+                        )
+                        sums[j] += np.nansum(values)
+                        counts[j] += np.count_nonzero(~np.isnan(values))
+    if metric == "l1-ratio":
+        results = _l1_ratio_results(sums, n_trials, true, sdl, index_sets)
+    else:
+        results = [
+            float(sums[j] / counts[j]) if counts[j] else float("nan")
+            for j in range(len(index_sets))
+        ]
     return results[0], tuple(results[1:])
 
 
@@ -237,17 +286,14 @@ def error_ratio_point(
     per_cell = stats.per_cell_params_of(params)
     if not mechanism_is_feasible(mechanism_name, per_cell):
         return _infeasible_point(mechanism_name, params)
-    mask = stats.mask
-    true = stats.masked(stats.true)
-    sdl = stats.masked(stats.sdl_noisy)
-    strata = stats.strata[mask]
     overall, by_stratum = _streamed_point_values(
         _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size),
-        true,
-        sdl,
-        strata,
+        stats.eval_true,
+        stats.eval_sdl,
+        stats.eval_strata,
         "l1-ratio",
         n_trials,
+        index_sets=stats.stratum_cells,
     )
     return SeriesPoint(
         mechanism=mechanism_name,
@@ -256,17 +302,6 @@ def error_ratio_point(
         overall=overall,
         by_stratum=by_stratum,
     )
-
-
-def _mean_spearman(private_trials, sdl, cells) -> float:
-    """Mean over trials of row-wise Spearman ρ against the SDL ordering."""
-    if not cells.any() or int(cells.sum()) < 2:
-        return float("nan")
-    trials = np.asarray(private_trials, dtype=np.float64)
-    values = spearman_correlation_batch(trials[:, cells], sdl[cells])
-    if np.all(np.isnan(values)):
-        return float("nan")
-    return float(np.nanmean(values))
 
 
 def spearman_point(
@@ -281,17 +316,14 @@ def spearman_point(
     per_cell = stats.per_cell_params_of(params)
     if not mechanism_is_feasible(mechanism_name, per_cell):
         return _infeasible_point(mechanism_name, params)
-    mask = stats.mask
-    true = stats.masked(stats.true)
-    sdl = stats.masked(stats.sdl_noisy)
-    strata = stats.strata[mask]
     overall, by_stratum = _streamed_point_values(
         _release_chunks(stats, mechanism_name, per_cell, n_trials, seed, batch_size),
-        true,
-        sdl,
-        strata,
+        stats.eval_true,
+        stats.eval_sdl,
+        stats.eval_strata,
         "spearman",
         n_trials,
+        index_sets=stats.stratum_cells,
     )
     return SeriesPoint(
         mechanism=mechanism_name,
@@ -333,11 +365,14 @@ def truncated_laplace_point(
             )
             yield result.noisy[:, mask]
 
-    true = stats.masked(stats.true)
-    sdl = stats.masked(stats.sdl_noisy)
-    strata = stats.strata[mask]
     overall, by_stratum = _streamed_point_values(
-        chunk_iter(), true, sdl, strata, metric, n_trials
+        chunk_iter(),
+        stats.eval_true,
+        stats.eval_sdl,
+        stats.eval_strata,
+        metric,
+        n_trials,
+        index_sets=stats.stratum_cells,
     )
     return SeriesPoint(
         mechanism="truncated-laplace",
@@ -347,3 +382,187 @@ def truncated_laplace_point(
         by_stratum=by_stratum,
         theta=theta,
     )
+
+
+# -- fused evaluation ------------------------------------------------------
+
+
+def sample_unit_noise(kind: str, shape, seed=None) -> np.ndarray:
+    """One unscaled matrix from a mechanism family's unit distribution.
+
+    ``kind`` is a registry ``unit_noise`` tag: ``"gamma4"`` draws the
+    Smooth Gamma h(z) ∝ 1/(1+z⁴) noise (through the oversampled
+    single-round sampler — same distribution as the default sampler,
+    different bit stream), ``"laplace"`` draws Laplace(1).
+    """
+    rng = as_generator(seed)
+    if kind == "gamma4":
+        return sample_gamma4_fast(shape, rng)
+    if kind == "laplace":
+        return rng.laplace(0.0, 1.0, size=shape)
+    raise ValueError(f"unknown unit-noise family {kind!r}")
+
+
+def fused_grid_points(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    *,
+    alpha: float,
+    delta: float,
+    epsilons: Sequence[float],
+    n_trials: int,
+    seed,
+    batch_size: int | None = None,
+    metrics: Sequence[str] = ("l1-ratio",),
+) -> dict[str, list[SeriesPoint]]:
+    """Every ε point of one (workload, mechanism, α) group from one draw.
+
+    Theorem 8.4 releases are ``q(x) + S(x)/a · Z`` with the unit noise
+    ``Z`` independent of ε — the smooth sensitivity ``max(xv·α, 1)``
+    depends only on α — so a grid's ε axis can share one unit matrix:
+
+    - **Linear mechanisms** (``linear_unit_scale``, the two smooth
+      mechanisms) reporting only the L1 ratio never materialize the
+      noisy matrices at all: ``E-sum per cell`` is ``noise_scale(xv) ·
+      Σ|Z|`` exactly, so the reduction accumulates the unit |Z| column
+      sums once and each ε point is a scale multiply plus a
+      ``bincount`` scatter into the strata.
+    - Otherwise each ε applies its transform to the shared unit chunk
+      (Log-Laplace's exp, or a Spearman metric that needs the noisy
+      values) and folds through the same one-pass reduction.
+
+    The fused stream draws different random bits than the per-point
+    kernels (one group stream instead of one stream per ε), so results
+    are statistically — not bit — identical to the unfused path; the
+    sweep engine stores them under fused-specific keys.
+    """
+    spec = mechanism_spec(mechanism_name)
+    unit_kind = spec.unit_noise
+    if unit_kind is None:
+        raise ValueError(
+            f"{mechanism_name!r} declares no unit-noise family; "
+            "fused evaluation needs a registry unit_noise tag"
+        )
+    metrics = tuple(metrics)
+    for metric in metrics:
+        if metric not in ("l1-ratio", "spearman"):
+            raise ValueError(
+                f"metric must be 'l1-ratio' or 'spearman', got {metric!r}"
+            )
+
+    true = stats.eval_true
+    sdl = stats.eval_sdl
+    strata = stats.eval_strata
+    index_sets = stats.stratum_cells
+    xv = stats.eval_xv
+    n_cells = true.size
+    n_sets = len(index_sets)
+
+    per_eps: list[tuple[EREEParams, object]] = []
+    for epsilon in epsilons:
+        params = EREEParams(alpha, epsilon, delta)
+        per_cell = stats.per_cell_params_of(params)
+        mechanism = (
+            create_mechanism(mechanism_name, per_cell)
+            if mechanism_is_feasible(mechanism_name, per_cell)
+            else None
+        )
+        per_eps.append((params, mechanism))
+
+    rng = as_generator(seed)
+    results: dict[str, list[SeriesPoint]] = {metric: [] for metric in metrics}
+
+    def _point(params: EREEParams, values: list[float]) -> SeriesPoint:
+        return SeriesPoint(
+            mechanism=mechanism_name,
+            alpha=params.alpha,
+            epsilon=params.epsilon,
+            overall=values[0],
+            by_stratum=tuple(values[1:]),
+        )
+
+    if metrics == ("l1-ratio",) and spec.linear_unit_scale:
+        # Linear shortcut: E-sum of |error| per cell over the chunk is
+        # noise_scale(xv) · Σ|Z|, so only the unit |Z| column sums need
+        # accumulating — no per-ε work inside the chunk loop at all.
+        unit_colsum = np.zeros(n_cells)
+        for chunk in _trial_chunks(n_trials, batch_size):
+            with profile.stage("draw"):
+                unit = sample_unit_noise(unit_kind, (chunk, n_cells), rng)
+            with profile.stage("reduce"):
+                unit_colsum += np.abs(unit).sum(axis=0)
+        for params, mechanism in per_eps:
+            if mechanism is None:
+                results["l1-ratio"].append(
+                    _infeasible_point(mechanism_name, params)
+                )
+                continue
+            per_cell_err = mechanism.noise_scale(xv) * unit_colsum
+            sums = np.empty(n_sets)
+            sums[0] = per_cell_err.sum()
+            sums[1:] = np.bincount(
+                strata, weights=per_cell_err, minlength=N_STRATA
+            )
+            results["l1-ratio"].append(
+                _point(
+                    params,
+                    _l1_ratio_results(sums, n_trials, true, sdl, index_sets),
+                )
+            )
+        return results
+
+    sums = np.zeros((len(per_eps), len(metrics), n_sets))
+    counts = np.zeros((len(per_eps), len(metrics), n_sets))
+    for chunk in _trial_chunks(n_trials, batch_size):
+        with profile.stage("draw"):
+            unit = sample_unit_noise(unit_kind, (chunk, n_cells), rng)
+        for e, (params, mechanism) in enumerate(per_eps):
+            if mechanism is None:
+                continue
+            with profile.stage("draw"):
+                if spec.needs_xv:
+                    noisy = mechanism.release_counts_from_unit(true, xv, unit)
+                else:
+                    noisy = mechanism.release_counts_from_unit(true, unit)
+            with profile.stage("reduce"):
+                for m, metric in enumerate(metrics):
+                    if metric == "l1-ratio":
+                        cell_tot = np.abs(noisy - true).sum(axis=0)
+                        sums[e, m, 0] += cell_tot.sum()
+                        sums[e, m, 1:] += np.bincount(
+                            strata, weights=cell_tot, minlength=N_STRATA
+                        )
+                    else:
+                        for j, idx in enumerate(index_sets):
+                            if idx.size >= 2:
+                                sub = (
+                                    noisy
+                                    if idx.size == n_cells
+                                    else noisy[:, idx]
+                                )
+                                values = spearman_correlation_batch(
+                                    sub, sdl[idx]
+                                )
+                                sums[e, m, j] += np.nansum(values)
+                                counts[e, m, j] += np.count_nonzero(
+                                    ~np.isnan(values)
+                                )
+
+    for e, (params, mechanism) in enumerate(per_eps):
+        for m, metric in enumerate(metrics):
+            if mechanism is None:
+                results[metric].append(_infeasible_point(mechanism_name, params))
+                continue
+            if metric == "l1-ratio":
+                values = _l1_ratio_results(
+                    sums[e, m], n_trials, true, sdl, index_sets
+                )
+            else:
+                values = [
+                    float(sums[e, m, j] / counts[e, m, j])
+                    if counts[e, m, j]
+                    else float("nan")
+                    for j in range(n_sets)
+                ]
+            results[metric].append(_point(params, values))
+    return results

@@ -203,6 +203,137 @@ class SweepPlan:
         return [spec.key(self.fingerprint) for spec in self.points]
 
 
+@dataclass(frozen=True)
+class FusedGroup:
+    """One (workload, mechanism, metric, α) bucket of a plan's ε points.
+
+    The fused evaluation path (``run_plan(fused=True)``) draws **one**
+    unit-noise matrix per group — Theorem 8.4 releases are
+    ``q(x) + S(x)/a · Z`` with ``Z`` independent of ε — and serves every
+    member ε from it.  A member's value therefore depends on the whole
+    group, not just its own spec: ``group_seed`` derives from the first
+    member's seed *and* the group's ε tuple, and :meth:`member_key`
+    mixes both into the member's content address, so fused results can
+    never collide with (or be replayed as) unfused per-point results nor
+    with a fused run over a different ε grid.
+
+    ``indices`` are positions into the owning plan's ``points``, in plan
+    order; ``epsilons`` aligns with them.
+    """
+
+    workload: str
+    mechanism: str
+    metric: str
+    alpha: float
+    delta: float
+    n_trials: int
+    batch_size: int | None
+    indices: tuple[int, ...]
+    epsilons: tuple[float, ...]
+    group_seed: int | None
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.workload}:{self.mechanism}:alpha={self.alpha}:"
+            f"eps={list(self.epsilons)}"
+        )
+
+    def _fused_token(self) -> dict:
+        return {
+            "group_seed": self.group_seed,
+            "epsilons": list(self.epsilons),
+        }
+
+    def member_key(self, spec: PointSpec, fingerprint: str) -> str:
+        """Content-address of one member point under fused evaluation."""
+        payload = spec.content(fingerprint)
+        payload["fused"] = self._fused_token()
+        return content_key(payload)
+
+    def member_content(self, spec: PointSpec, fingerprint: str) -> dict:
+        payload = spec.content(fingerprint)
+        payload["fused"] = self._fused_token()
+        return payload
+
+
+def _mechanism_unit_noise(name: str) -> str | None:
+    """The registry's unit-noise family tag, or None for unknown names.
+
+    Imported lazily: the registry sits in the api layer, which imports
+    this engine package at session-module load.
+    """
+    from repro.api.registry import mechanism_spec
+
+    try:
+        spec = mechanism_spec(name)
+    except (KeyError, ValueError):
+        return None
+    return getattr(spec, "unit_noise", None)
+
+
+def fused_groups(plan: SweepPlan) -> tuple[list[FusedGroup], list[int]]:
+    """Bucket a plan's fusable points into per-α groups.
+
+    Returns ``(groups, leftover)``: every plan index lands in exactly one
+    group's ``indices`` or in ``leftover`` (truncated-laplace points and
+    mechanisms without a unit-noise family evaluate per point even under
+    ``fused=True``).  Grouping is deterministic — buckets appear in
+    first-member plan order and members keep plan order within a bucket
+    — so group seeds and member keys are stable across runs.
+    """
+    buckets: dict[tuple, list[int]] = {}
+    leftover: list[int] = []
+    for index, spec in enumerate(plan.points):
+        if (
+            spec.mechanism == TRUNCATED_LAPLACE
+            or _mechanism_unit_noise(spec.mechanism) is None
+        ):
+            leftover.append(index)
+            continue
+        bucket = (
+            spec.workload,
+            spec.mechanism,
+            spec.metric,
+            spec.n_trials,
+            spec.batch_size,
+            spec.alpha,
+            spec.delta,
+        )
+        buckets.setdefault(bucket, []).append(index)
+
+    groups = []
+    for bucket, indices in buckets.items():
+        workload, mechanism, metric, n_trials, batch_size, alpha, delta = bucket
+        epsilons = tuple(plan.points[i].epsilon for i in indices)
+        first_seed = plan.points[indices[0]].seed
+        group_seed = (
+            None
+            if first_seed is None
+            else derive_seed(
+                first_seed,
+                "fused:{}:{}:{}".format(
+                    mechanism, alpha, ",".join(repr(e) for e in epsilons)
+                ),
+            )
+        )
+        groups.append(
+            FusedGroup(
+                workload=workload,
+                mechanism=mechanism,
+                metric=metric,
+                alpha=alpha,
+                delta=delta,
+                n_trials=n_trials,
+                batch_size=batch_size,
+                indices=tuple(indices),
+                epsilons=epsilons,
+                group_seed=group_seed,
+            )
+        )
+    return groups, leftover
+
+
 def grid_specs(
     workload: str,
     metric: str,

@@ -13,6 +13,7 @@ module and never at each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -47,12 +48,51 @@ class WorkloadStatistics:
     per_cell_params_of: object  # Callable[[EREEParams], EREEParams]
     budget_of: object = None  # Callable[[EREEParams], MarginalBudget]
 
-    @property
+    @cached_property
     def mask(self) -> np.ndarray:
+        # cached_property writes straight into __dict__, so it works on a
+        # frozen dataclass; every statistic below derives from this mask
+        # and is likewise computed once per (workload, snapshot), not
+        # once per sweep point.
         return (self.true > 0) & self.released
 
     def masked(self, values: np.ndarray) -> np.ndarray:
         return values[self.mask]
+
+    @cached_property
+    def eval_true(self) -> np.ndarray:
+        """True counts over the evaluation cells."""
+        return self.true[self.mask]
+
+    @cached_property
+    def eval_sdl(self) -> np.ndarray:
+        """SDL baseline answers over the evaluation cells."""
+        return self.sdl_noisy[self.mask]
+
+    @cached_property
+    def eval_xv(self) -> np.ndarray:
+        """Smooth-sensitivity statistic xv over the evaluation cells."""
+        return self.xv[self.mask]
+
+    @cached_property
+    def eval_strata(self) -> np.ndarray:
+        """Place-population stratum per evaluation cell."""
+        return self.strata[self.mask]
+
+    @cached_property
+    def stratum_cells(self) -> tuple[np.ndarray, ...]:
+        """Index sets over the evaluation cells: overall + one per stratum.
+
+        Precomputed once so the streaming reducers stop rebuilding
+        N_STRATA + 1 boolean masks for every point of every sweep; the
+        indices ascend, so gathering with them preserves cell order (and
+        hence float summation order) exactly.
+        """
+        strata = self.eval_strata
+        return (
+            np.arange(strata.size),
+            *(np.flatnonzero(strata == s) for s in range(N_STRATA)),
+        )
 
     def stratum_masks(self) -> list[np.ndarray]:
         """Evaluation mask restricted to each place-population stratum."""

@@ -1,0 +1,111 @@
+"""Per-stage wall-clock profiling for sweep runs (``repro sweep --profile``).
+
+The sweep kernels spend their time in three places: **draw** (producing
+noise-matrix chunks — RNG plus the mechanism transform), **reduce**
+(folding chunks into the point statistics) and **store** (persisting
+computed points).  This module attributes wall clock to those stages
+with near-zero cost when profiling is off: kernels consult one module
+flag and skip every timer.
+
+Activation is process-wide (:func:`profiled` sets a module global), which
+matches how the sweep engine runs — one plan at a time per process.  The
+serial and thread executors therefore capture kernel stages; a process
+pool's workers run in other interpreters, so only the parent-side
+``store`` stage is captured there and the draw/reduce split reads zero.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageProfile", "profiled", "active", "stage", "timed_iter"]
+
+_STAGES = ("draw", "reduce", "store")
+
+_ACTIVE: "StageProfile | None" = None
+
+
+class StageProfile:
+    """Accumulated seconds per stage plus the run's total wall clock."""
+
+    __slots__ = ("draw", "reduce", "store", "total")
+
+    def __init__(self) -> None:
+        self.draw = 0.0
+        self.reduce = 0.0
+        self.store = 0.0
+        self.total = 0.0
+
+    def add(self, name: str, seconds: float) -> None:
+        setattr(self, name, getattr(self, name) + seconds)
+
+    @property
+    def other(self) -> float:
+        """Wall clock not attributed to any instrumented stage."""
+        return max(0.0, self.total - self.draw - self.reduce - self.store)
+
+    def as_dict(self) -> dict:
+        return {
+            "draw_s": self.draw,
+            "reduce_s": self.reduce,
+            "store_s": self.store,
+            "other_s": self.other,
+            "total_s": self.total,
+        }
+
+
+def active() -> bool:
+    """Whether a profiled run is in progress in this process."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def profiled():
+    """Activate stage collection for the enclosed sweep run."""
+    global _ACTIVE
+    previous, profile = _ACTIVE, StageProfile()
+    _ACTIVE = profile
+    start = time.perf_counter()
+    try:
+        yield profile
+    finally:
+        profile.total = time.perf_counter() - start
+        _ACTIVE = previous
+
+
+@contextmanager
+def stage(name: str):
+    """Attribute the enclosed block's wall clock to ``name`` (if active)."""
+    if _ACTIVE is None:
+        yield
+        return
+    if name not in _STAGES:
+        raise ValueError(f"stage must be one of {_STAGES}, got {name!r}")
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _ACTIVE.add(name, time.perf_counter() - start)
+
+
+def timed_iter(iterator, name: str = "draw"):
+    """Wrap an iterator, attributing time spent *producing* items.
+
+    The reducers pull chunks lazily, so the generator's own work (RNG
+    draws, mechanism transforms) happens inside ``next()`` — this wrapper
+    meters exactly that, leaving the consuming loop body to the
+    ``reduce`` stage.
+    """
+    iterator = iter(iterator)
+    while True:
+        start = time.perf_counter()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            if _ACTIVE is not None:
+                _ACTIVE.add(name, time.perf_counter() - start)
+            return
+        if _ACTIVE is not None:
+            _ACTIVE.add(name, time.perf_counter() - start)
+        yield item

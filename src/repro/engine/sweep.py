@@ -26,8 +26,15 @@ from dataclasses import asdict, dataclass, field
 
 from repro.api.ledger import LedgerEntry
 from repro.core.params import EREEParams
+from repro.engine import profile as stage_profile
 from repro.engine.executors import SerialExecutor, resolve_executor
-from repro.engine.plan import TRUNCATED_LAPLACE, PointSpec, SweepPlan
+from repro.engine.plan import (
+    TRUNCATED_LAPLACE,
+    FusedGroup,
+    PointSpec,
+    SweepPlan,
+    fused_groups,
+)
 from repro.engine.points import FigureSeries, SeriesPoint
 from repro.engine.store import ResultStore
 
@@ -35,6 +42,7 @@ __all__ = [
     "SweepOutcome",
     "run_plan",
     "evaluate_point_spec",
+    "evaluate_fused_group",
     "resolve_workload",
     "figure_series",
 ]
@@ -85,6 +93,28 @@ def evaluate_point_spec(session, spec: PointSpec):
     )
 
 
+def evaluate_fused_group(session, group: FusedGroup):
+    """Task function: one fused group → aligned (points, spends) lists.
+
+    Module-level (picklable by reference) like
+    :func:`evaluate_point_spec`; one unit-noise draw serves every ε of
+    the group.  Spends come back detached — the parent merges them.
+    """
+    workload = resolve_workload(group.workload)
+    values, spends = session.evaluate_fused_outcome(
+        workload,
+        group.mechanism,
+        alpha=group.alpha,
+        delta=group.delta,
+        epsilons=list(group.epsilons),
+        metrics=(group.metric,),
+        n_trials=group.n_trials,
+        seed=group.group_seed,
+        batch_size=group.batch_size,
+    )
+    return values[group.metric], spends
+
+
 # -- store (de)serialization ----------------------------------------------
 
 
@@ -133,6 +163,9 @@ class SweepOutcome:
     computed: int = 0
     cache_hits: int = 0
     spends: list[LedgerEntry] = field(default_factory=list)
+    # Per-stage wall-clock breakdown (draw/reduce/store/other/total
+    # seconds) when the run was profiled; None otherwise.
+    profile: dict | None = None
 
     @property
     def series(self) -> FigureSeries:
@@ -158,6 +191,8 @@ def run_plan(
     store: ResultStore | None = None,
     resume: bool = False,
     merge_spend: bool = True,
+    fused: bool = False,
+    profile: bool = False,
 ) -> SweepOutcome:
     """Execute a sweep plan: resume from the store, fan out the rest.
 
@@ -168,8 +203,78 @@ def run_plan(
     a default run stays a full recomputation while writing the cache a
     later ``--resume`` run will hit.  ``merge_spend=False`` skips the
     ledger merge for callers doing their own accounting.
+
+    ``fused=True`` evaluates the plan through per-(mechanism, α)
+    :class:`~repro.engine.plan.FusedGroup`\\ s — one unit-noise draw per
+    group instead of one per point.  Fused results draw different random
+    bits than the default path (statistically, not bit, identical) and
+    are stored under fused-specific member keys, so the two paths never
+    serve each other's cached points.  The default ``fused=False`` path
+    is bit-identical to what it always produced.
+
+    ``profile=True`` wraps the run in the stage profiler
+    (:mod:`repro.engine.profile`); the outcome's ``profile`` field then
+    carries the draw/reduce/store wall-clock breakdown.
     """
+    if profile:
+        with stage_profile.profiled() as prof:
+            outcome = _run_plan(
+                plan,
+                session,
+                executor=executor,
+                workers=workers,
+                store=store,
+                resume=resume,
+                merge_spend=merge_spend,
+                fused=fused,
+            )
+        outcome.profile = prof.as_dict()
+        return outcome
+    return _run_plan(
+        plan,
+        session,
+        executor=executor,
+        workers=workers,
+        store=store,
+        resume=resume,
+        merge_spend=merge_spend,
+        fused=fused,
+    )
+
+
+def _store_point(store, key: str, content: dict, point, spend) -> None:
+    with stage_profile.stage("store"):
+        store.put(
+            key,
+            {
+                "spec": content,
+                "point": encode_point(point),
+                "spend": encode_spend(spend),
+            },
+        )
+
+
+def _run_plan(
+    plan: SweepPlan,
+    session,
+    *,
+    executor,
+    workers: int | None,
+    store: ResultStore | None,
+    resume: bool,
+    merge_spend: bool,
+    fused: bool,
+) -> SweepOutcome:
     executor = resolve_executor(executor, workers) or SerialExecutor()
+    if fused:
+        return _run_fused(
+            plan,
+            session,
+            executor=executor,
+            store=store,
+            resume=resume,
+            merge_spend=merge_spend,
+        )
     n_points = len(plan.points)
     points: list[SeriesPoint | None] = [None] * n_points
     spends: dict[int, LedgerEntry] = {}
@@ -203,13 +308,12 @@ def run_plan(
                     session.ledger.record(spend)
             if store is not None:
                 spec = plan.points[index]
-                store.put(
+                _store_point(
+                    store,
                     spec.key(plan.fingerprint),
-                    {
-                        "spec": spec.content(plan.fingerprint),
-                        "point": encode_point(point),
-                        "spend": encode_spend(spend),
-                    },
+                    spec.content(plan.fingerprint),
+                    point,
+                    spend,
                 )
 
     ordered_spends = [spends[i] for i in sorted(spends)]
@@ -218,5 +322,118 @@ def run_plan(
         points=list(points),
         computed=len(missing),
         cache_hits=cache_hits,
+        spends=ordered_spends,
+    )
+
+
+def _run_fused(
+    plan: SweepPlan,
+    session,
+    *,
+    executor,
+    store: ResultStore | None,
+    resume: bool,
+    merge_spend: bool,
+) -> SweepOutcome:
+    """The ``fused=True`` body of :func:`run_plan`.
+
+    Fusable points evaluate group-at-a-time through
+    :func:`evaluate_fused_group`; leftover points (truncated-laplace,
+    mechanisms without a unit-noise family) run through the ordinary
+    per-point path under their ordinary keys — their values are
+    identical either way, so they stay shareable with unfused runs.
+    A group recomputes whenever *any* of its members is missing from
+    the store (the draw is indivisible), but members already cached
+    keep their stored values and debit nothing; only the missing ones
+    record spend and persist.
+    """
+    groups, leftover = fused_groups(plan)
+    n_points = len(plan.points)
+    points: list[SeriesPoint | None] = [None] * n_points
+    spends: dict[int, LedgerEntry] = {}
+
+    # -- leftover (non-fusable) points: the ordinary per-point path ----
+    missing_leftover = list(leftover)
+    if store is not None and resume:
+        missing_leftover = []
+        for index in leftover:
+            spec = plan.points[index]
+            payload = store.get(spec.key(plan.fingerprint))
+            if payload is not None and "point" in payload:
+                points[index] = decode_point(payload["point"])
+            else:
+                missing_leftover.append(index)
+
+    # -- fused groups: resume member-by-member, recompute by group -----
+    cached_members: set[int] = set()
+    pending_groups: list[FusedGroup] = []
+    if store is not None and resume:
+        for group in groups:
+            complete = True
+            for index in group.indices:
+                spec = plan.points[index]
+                payload = store.get(group.member_key(spec, plan.fingerprint))
+                if payload is not None and "point" in payload:
+                    points[index] = decode_point(payload["point"])
+                    cached_members.add(index)
+                else:
+                    complete = False
+            if not complete:
+                pending_groups.append(group)
+    else:
+        pending_groups = list(groups)
+
+    computed_indices: set[int] = set(missing_leftover)
+    results: dict[int, tuple[SeriesPoint, LedgerEntry | None, FusedGroup | None]] = {}
+
+    if missing_leftover:
+        outcomes = executor.map(
+            evaluate_point_spec,
+            session,
+            [plan.points[i] for i in missing_leftover],
+        )
+        for index, (point, spend) in zip(missing_leftover, outcomes):
+            results[index] = (point, spend, None)
+
+    if pending_groups:
+        group_outcomes = executor.map(
+            evaluate_fused_group, session, pending_groups
+        )
+        for group, (group_points, group_spends) in zip(
+            pending_groups, group_outcomes
+        ):
+            for index, point, spend in zip(
+                group.indices, group_points, group_spends
+            ):
+                if index in cached_members:
+                    continue  # stored value wins; recompute spends nothing
+                results[index] = (point, spend, group)
+                computed_indices.add(index)
+
+    # Plan-order walk: record each newly computed point's spend before
+    # persisting it, exactly like the unfused path.
+    for index in sorted(results):
+        point, spend, group = results[index]
+        points[index] = point
+        if spend is not None:
+            spends[index] = spend
+            if merge_spend:
+                session.ledger.record(spend)
+        if store is not None:
+            spec = plan.points[index]
+            if group is None:
+                key = spec.key(plan.fingerprint)
+                content = spec.content(plan.fingerprint)
+            else:
+                key = group.member_key(spec, plan.fingerprint)
+                content = group.member_content(spec, plan.fingerprint)
+            _store_point(store, key, content, point, spend)
+
+    ordered_spends = [spends[i] for i in sorted(spends)]
+    return SweepOutcome(
+        plan=plan,
+        points=list(points),
+        computed=len(computed_indices),
+        cache_hits=n_points - len(computed_indices),
         spends=ordered_spends,
     )

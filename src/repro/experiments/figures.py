@@ -49,12 +49,16 @@ def run_figure(
     workers: int | None = None,
     store=None,
     resume: bool = False,
+    fused: bool = False,
 ) -> FigureSeries:
     """Plan and execute one figure's sweep through the engine.
 
     ``config`` overrides the grids/trial count (defaults to the
     session's); the snapshot fingerprint and seed base always come from
     the *session*, whose data the points are actually computed on.
+    ``fused=True`` shares one unit-noise draw per (mechanism, α) group
+    (statistically equivalent, different RNG streams, distinct result
+    keys); the default reproduces the historical figures bit-for-bit.
     """
     config = config or session.config
     plan = figure_plan(
@@ -71,6 +75,7 @@ def run_figure(
         workers=workers,
         store=store,
         resume=resume,
+        fused=fused,
     )
     return outcome.series
 

@@ -23,8 +23,6 @@ from __future__ import annotations
 
 from repro.api.session import ReleaseSession
 from repro.engine.evaluate import (
-    _mean_spearman,
-    _ratio,
     _release_chunks,
     _streamed_point_values,
     error_ratio_point,

@@ -89,24 +89,108 @@ TABLE3_EPSILONS: tuple[float, ...] = (1.0, 2.0, 4.0)
 TABLE3_DELTA: float = 0.05
 
 
-def _table3_row_key(fingerprint: str, request: ReleaseRequest) -> str:
-    """Content-address of one Table-3 row for the result store."""
+def _table3_row_key(
+    fingerprint: str, request: ReleaseRequest, fused: dict | None = None
+) -> str:
+    """Content-address of one Table-3 row for the result store.
+
+    ``fused`` carries the fused-evaluation token (group seed + the
+    group's ε tuple): fused rows come from a different noise stream than
+    per-request rows, so their cache keys must never collide.
+    """
     from repro.engine.store import content_key
 
-    return content_key(
-        {
-            "kind": "table3-row",
-            "fingerprint": fingerprint,
-            "attrs": list(request.attrs),
-            "mechanism": request.mechanism,
-            "alpha": request.alpha,
-            "epsilon": request.epsilon,
-            "delta": request.delta,
-            "budget_style": request.budget_style,
-            "n_trials": request.n_trials,
-            "seed": request.seed,
-        }
-    )
+    payload = {
+        "kind": "table3-row",
+        "fingerprint": fingerprint,
+        "attrs": list(request.attrs),
+        "mechanism": request.mechanism,
+        "alpha": request.alpha,
+        "epsilon": request.epsilon,
+        "delta": request.delta,
+        "budget_style": request.budget_style,
+        "n_trials": request.n_trials,
+        "seed": request.seed,
+    }
+    if fused is not None:
+        payload["fused"] = fused
+    return content_key(payload)
+
+
+def _table3_rows_fused(
+    session: ReleaseSession,
+    requests,
+    rows: list,
+    fingerprint: str,
+    delta: float,
+    n_trials: int,
+    store,
+    resume: bool,
+) -> list[dict]:
+    """Fill the pending Table-3 rows group-at-a-time with shared draws.
+
+    One (mechanism, α) group shares one unit-noise draw serving *both*
+    metrics of every ε row (L1 ratio and Spearman reduce from the same
+    noisy matrices), debiting once per feasible row — the same composed
+    budget the per-request path debits.  A group recomputes whenever any
+    of its rows is missing from the store; cached rows keep their stored
+    values and debit nothing.
+    """
+    from repro.util import derive_seed
+
+    groups: dict[tuple, list[int]] = {}
+    for index, request in enumerate(requests):
+        if rows[index] is not None and not rows[index]["feasible"]:
+            continue  # prefiltered infeasible rows need no draw
+        groups.setdefault((request.mechanism, request.alpha), []).append(index)
+
+    for (mechanism, alpha), indices in groups.items():
+        epsilons = [requests[i].epsilon for i in indices]
+        group_seed = derive_seed(
+            session.config.seed, f"table3-fused:{mechanism}:{alpha}"
+        )
+        token = {"group_seed": group_seed, "epsilons": list(epsilons)}
+        cached: set[int] = set()
+        if store is not None and resume:
+            for i in indices:
+                payload = store.get(
+                    _table3_row_key(fingerprint, requests[i], fused=token)
+                )
+                if payload is not None and "row" in payload:
+                    rows[i] = payload["row"]
+                    cached.add(i)
+        if len(cached) == len(indices):
+            continue
+        values, spends = session.evaluate_fused_outcome(
+            WORKLOAD_1,
+            mechanism,
+            alpha=alpha,
+            delta=delta,
+            epsilons=epsilons,
+            metrics=("l1-ratio", "spearman"),
+            n_trials=n_trials,
+            seed=group_seed,
+        )
+        for pos, i in enumerate(indices):
+            if i in cached:
+                continue
+            row = {
+                "mechanism": mechanism,
+                "alpha": alpha,
+                "epsilon": requests[i].epsilon,
+                "feasible": values["l1-ratio"][pos].feasible,
+                "l1_ratio": values["l1-ratio"][pos].overall,
+                "spearman": values["spearman"][pos].overall,
+            }
+            rows[i] = row
+            if spends[pos] is not None:
+                session.ledger.record(spends[pos])
+            if store is not None:
+                store.put(
+                    _table3_row_key(fingerprint, requests[i], fused=token),
+                    {"row": row},
+                )
+    return rows
 
 
 def table3_rows(
@@ -120,6 +204,7 @@ def table3_rows(
     workers: int | None = None,
     store=None,
     resume: bool = False,
+    fused: bool = False,
 ) -> list[dict]:
     """Empirical accuracy rows from one shared release session.
 
@@ -133,6 +218,11 @@ def table3_rows(
     accounting; with a ``store`` each computed row is cached under a
     content hash and ``resume=True`` replays completed rows without
     touching the data (cache hits debit nothing).
+
+    ``fused=True`` evaluates each (mechanism, α) group's ε rows from one
+    shared unit-noise draw (both metrics from the same matrices) instead
+    of one release per row — statistically equivalent, different RNG
+    streams, distinct cache keys; the default path is unchanged.
     """
     if n_trials is None:
         n_trials = session.config.n_trials
@@ -165,12 +255,26 @@ def table3_rows(
                 "spearman": float("nan"),
             }
             continue
+        if fused:
+            continue  # fused grouping handles resume per member key
         if store is not None and resume:
             payload = store.get(_table3_row_key(fingerprint, request))
             if payload is not None and "row" in payload:
                 rows[index] = payload["row"]
                 continue
         pending.append(index)
+
+    if fused:
+        return _table3_rows_fused(
+            session,
+            requests,
+            rows,
+            fingerprint,
+            delta,
+            n_trials,
+            store,
+            resume,
+        )
 
     results = session.run_grid(
         [requests[index] for index in pending],
@@ -201,6 +305,7 @@ def table3_text(
     workers: int | None = None,
     store=None,
     resume: bool = False,
+    fused: bool = False,
 ) -> str:
     """The session accuracy summary rendered as text."""
     rows = [
@@ -219,6 +324,7 @@ def table3_text(
             workers=workers,
             store=store,
             resume=resume,
+            fused=fused,
         )
     ]
     summary = session.dataset.summary()

@@ -14,11 +14,15 @@ from repro.core import (
     smooth_sensitivity_of_counts,
 )
 from repro.core.smooth_sensitivity import (
+    GAMMA4_ACCEPT_RATE,
     GAMMA4_EXPECTED_ABS,
     GAMMA4_NORMALIZER,
+    _REJECTION_BOUND,
+    _gamma4_round_size,
     add_smooth_noise,
     gamma4_density,
     gamma4_quantile,
+    sample_gamma4_fast,
 )
 
 
@@ -99,6 +103,64 @@ class TestGamma4Sampler:
     def test_exact_size_returned(self):
         assert sample_gamma4(1, seed=1).shape == (1,)
         assert sample_gamma4(1000, seed=1).shape == (1000,)
+
+
+class TestGamma4FastSampler:
+    """The oversampled single-round sampler: same target distribution as
+    :func:`sample_gamma4` (the rejection test is identical), different
+    bit stream (one uniform block instead of interleaved Cauchy/uniform
+    draws), so it must pass the same distributional checks."""
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return sample_gamma4_fast(400_000, seed=7)
+
+    def test_mean_zero(self, samples):
+        assert abs(samples.mean()) < 0.01
+
+    def test_expected_abs(self, samples):
+        assert abs(np.abs(samples).mean() - GAMMA4_EXPECTED_ABS) < 0.01
+
+    def test_quantiles_match_cdf_inversion(self, samples):
+        for p in (0.1, 0.25, 0.75, 0.9):
+            empirical = np.quantile(samples, p)
+            analytic = gamma4_quantile(p)
+            assert abs(empirical - analytic) < 0.02
+
+    def test_histogram_matches_density(self, samples):
+        grid = np.linspace(-2, 2, 21)
+        histogram, _ = np.histogram(samples, bins=grid, density=True)
+        centers = (grid[:-1] + grid[1:]) / 2
+        np.testing.assert_allclose(histogram, gamma4_density(centers), atol=0.02)
+
+    def test_shapes(self):
+        assert sample_gamma4_fast(1, seed=1).shape == (1,)
+        assert sample_gamma4_fast(1000, seed=1).shape == (1000,)
+        assert sample_gamma4_fast((3, 5), seed=1).shape == (3, 5)
+
+    def test_deterministic_for_fixed_seed(self):
+        np.testing.assert_array_equal(
+            sample_gamma4_fast(257, seed=3), sample_gamma4_fast(257, seed=3)
+        )
+
+    def test_acceptance_rate_is_exact(self):
+        """P(accept) = E_Cauchy[(1+z²)/((1+z⁴)B)] = 2 - √2 exactly."""
+        assert GAMMA4_ACCEPT_RATE == pytest.approx(2.0 - math.sqrt(2.0))
+        integral, _ = integrate.quad(
+            lambda z: 1.0 / (math.pi * (1.0 + z**4)), -np.inf, np.inf
+        )
+        assert integral / _REJECTION_BOUND == pytest.approx(
+            GAMMA4_ACCEPT_RATE, rel=1e-9
+        )
+
+    def test_round_size_oversamples(self):
+        """One round's expected yield covers the need with a ~4σ margin,
+        so the tail-fill loop almost never runs a second round."""
+        for need in (1, 10, 1_000, 50_000, 1_000_000):
+            m = _gamma4_round_size(need)
+            expected = m * GAMMA4_ACCEPT_RATE
+            sigma = math.sqrt(m * GAMMA4_ACCEPT_RATE * (1 - GAMMA4_ACCEPT_RATE))
+            assert expected - 3.9 * sigma >= need
 
 
 def _sliding_holds(density, a, epsilon1, grid):
