@@ -25,6 +25,7 @@ from repro.util import format_table
 
 N_TRIALS = 100
 MIN_FUSED_SPEEDUP = 3.0
+MIN_FAMILY_SPEEDUP = 2.0
 
 
 def test_fused_grid_speedup(bench_config, context, out_dir):
@@ -90,4 +91,91 @@ def test_fused_grid_speedup(bench_config, context, out_dir):
     assert speedup >= MIN_FUSED_SPEEDUP, (
         f"fused grid only {speedup:.1f}x faster than per-point serial "
         f"(need >= {MIN_FUSED_SPEEDUP}x)"
+    )
+
+
+def test_family_grid_speedup(bench_config, context, out_dir):
+    """The PR-9 gate: α×ε families ≥2x over ε-only groups on the full
+    multi-α Figure-1 + Figure-2 grid.
+
+    The family path (``fused="family"``) folds the α axis into the
+    fusion too — one unit draw per *mechanism* instead of one per
+    (mechanism, α) — and reduces Figure 2's Spearman members through the
+    tie-free fast ranking kernel against the cached SDL rank statistics.
+    Both sides run the PR-8-or-better fused machinery, so the measured
+    ratio isolates exactly what this layer adds.
+    """
+    config = replace(bench_config, n_trials=N_TRIALS)
+    plans = [figure_plan(name, config) for name in ("figure-1", "figure-2")]
+
+    def run_grouped():
+        return [
+            run_plan(plan, context, merge_spend=False, fused=True)
+            for plan in plans
+        ]
+
+    def run_family():
+        return [
+            run_plan(plan, context, merge_spend=False, fused="family")
+            for plan in plans
+        ]
+
+    # Warm every trial-invariant cache (statistics, envelopes, SDL rank
+    # stats) so both timings compare grid execution only.
+    grouped = run_grouped()
+    family = run_family()
+
+    grouped_s = _best_of(run_grouped)
+    family_s = _best_of(run_family)
+    speedup = grouped_s / family_s
+
+    # Same grid, same feasibility frontier — the family stream is
+    # different noise, not a different experiment.
+    n_points = 0
+    for grouped_outcome, family_outcome in zip(grouped, family):
+        assert len(family_outcome.points) == len(grouped_outcome.points)
+        n_points += len(family_outcome.points)
+        for a, b in zip(grouped_outcome.points, family_outcome.points):
+            assert (b.mechanism, b.alpha, b.epsilon) == (
+                a.mechanism,
+                a.alpha,
+                a.epsilon,
+            )
+            assert b.feasible == a.feasible
+
+    report = format_table(
+        headers=["path", "wall ms", "vs groups"],
+        rows=[
+            ["fused groups (per alpha)", f"{grouped_s * 1e3:.1f}", "1.0x"],
+            [
+                "fused families (alpha x eps)",
+                f"{family_s * 1e3:.1f}",
+                f"{speedup:.1f}x",
+            ],
+        ],
+        title=(
+            f"Family-fused Figure-1+2 grid ({n_points} points, "
+            f"n_trials={N_TRIALS}, {context.dataset.n_jobs} jobs): "
+            "one unit draw per mechanism family"
+        ),
+    )
+    write_report(out_dir, "family-grid", report)
+
+    _merge_bench_json(
+        {
+            "family_grid": {
+                "points": n_points,
+                "n_trials": N_TRIALS,
+                "figures": ["figure-1", "figure-2"],
+            },
+            "family_grouped_s": grouped_s,
+            "family_s": family_s,
+            "family_speedup": speedup,
+            "min_family_speedup_gate": MIN_FAMILY_SPEEDUP,
+        }
+    )
+
+    assert speedup >= MIN_FAMILY_SPEEDUP, (
+        f"family grid only {speedup:.1f}x faster than the eps-fused "
+        f"groups (need >= {MIN_FAMILY_SPEEDUP}x)"
     )

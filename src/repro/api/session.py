@@ -707,6 +707,66 @@ class ReleaseSession:
             )
         return values, spends
 
+    def evaluate_family_outcome(
+        self,
+        workload: Workload,
+        mechanism: str,
+        *,
+        members: Sequence[tuple[float, float]],
+        delta: float,
+        metrics: Sequence[str] = ("l1-ratio",),
+        n_trials: int | None = None,
+        seed=None,
+        batch_size: int | None = None,
+        evaluate: Sequence[bool] | None = None,
+    ) -> tuple[dict[str, list[SeriesPoint | None]], list[LedgerEntry | None]]:
+        """Every (α, ε) point of one mechanism's α×ε family, one draw.
+
+        The whole-grid extension of :meth:`evaluate_fused_outcome`: the
+        unit noise of Theorem 8.4 is independent of α *and* ε, so one
+        unit matrix serves the full ``members`` list of (α, ε) pairs
+        through :func:`repro.engine.evaluate.fused_family_points`.
+        ``evaluate`` masks which members to reduce (resume support);
+        masked-out members return ``None`` points and ``None`` spends.
+        Nothing is debited here — spends come back detached, one per
+        member, and equal the unfused point spends: sharing the draw
+        changes which bits are drawn, not the composed (ε, δ) total.
+        """
+        if n_trials is None:
+            n_trials = self.config.n_trials
+        if batch_size is None:
+            batch_size = self.config.trials_batch
+        stats = self.statistics(workload)
+        values = point_kernels.fused_family_points(
+            stats,
+            mechanism,
+            members=list(members),
+            delta=delta,
+            n_trials=n_trials,
+            seed=seed,
+            batch_size=batch_size,
+            metrics=metrics,
+            evaluate=evaluate,
+        )
+        spends: list[LedgerEntry | None] = []
+        for point in values[tuple(metrics)[0]]:
+            if point is None or not point.feasible:
+                spends.append(None)
+                continue
+            params = EREEParams(point.alpha, point.epsilon, delta)
+            spends.append(
+                LedgerEntry.from_budget(
+                    stats.budget_of(params),
+                    label=(
+                        f"{workload.name}:{mechanism}:"
+                        f"alpha={params.alpha}:eps={params.epsilon}"
+                    ),
+                    mechanism=mechanism,
+                    attrs=tuple(workload.attrs),
+                )
+            )
+        return values, spends
+
 
 def _execute_request(session: ReleaseSession, request: ReleaseRequest):
     """Executor task: one request → (result, spend record), no debit.

@@ -209,10 +209,16 @@ def _add_engine_arguments(parser):
     )
     parser.add_argument(
         "--fused",
-        action="store_true",
-        help="share one unit-noise draw per (mechanism, alpha) group "
-        "instead of one per grid point (statistically equivalent, "
-        "different RNG streams, cached under distinct keys)",
+        nargs="?",
+        const="group",
+        default=False,
+        choices=("group", "family"),
+        help="share unit-noise draws across the grid: 'group' (the "
+        "default when the flag is given bare) draws once per "
+        "(mechanism, alpha) epsilon row, 'family' draws once per "
+        "mechanism's whole alpha x epsilon grid (statistically "
+        "equivalent to per-point evaluation, different RNG streams, "
+        "cached under distinct keys)",
     )
     parser.add_argument(
         "--no-cache",
@@ -765,6 +771,12 @@ def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
             "store {store_s:.2f}s, other {other_s:.2f}s "
             "(total {total_s:.2f}s)".format(**outcome.profile)
         )
+        for worker in outcome.profile.get("per_worker", ()):
+            print(
+                "  worker {worker} (pid {pid}): {tasks} task(s), "
+                "draw {draw_s:.2f}s, reduce {reduce_s:.2f}s, "
+                "busy {total_s:.2f}s".format(**worker)
+            )
     _print_cache_summary(store)
     print(session.ledger.summary().splitlines()[0])
     return [text_path, json_path]

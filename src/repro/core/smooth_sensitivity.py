@@ -46,6 +46,29 @@ _REJECTION_BOUND = (1.0 + math.sqrt(2.0)) / 2.0
 GAMMA4_ACCEPT_RATE = 2.0 - math.sqrt(2.0)
 
 
+def smooth_envelope(
+    max_single: np.ndarray, alpha: float, out: np.ndarray | None = None
+) -> np.ndarray:
+    """The smooth-sensitivity envelope ``max(xv·α, 1)`` as one kernel.
+
+    The single vectorized pass behind every smooth-sensitivity value in
+    the library: two ufunc calls (a multiply and an in-place maximum),
+    no intermediate beyond the output buffer, no per-point Python.  Both
+    the per-point release path (:func:`smooth_sensitivity_of_counts`,
+    which adds the Lemma 8.5 b-check) and the sweep engine's per-α
+    envelope cache (:meth:`repro.engine.points.WorkloadStatistics.envelope`)
+    call this, so the two paths can never drift apart numerically.
+
+    ``out`` reuses a caller-owned buffer of ``max_single``'s shape.
+    Note the envelope itself is mechanism-free — the dilation-radius
+    feasibility check belongs to the mechanism's b, not to S*.
+    """
+    check_positive("alpha", alpha)
+    max_single = np.asarray(max_single, dtype=np.float64)
+    scaled = np.multiply(max_single, alpha, out=out)
+    return np.maximum(scaled, 1.0, out=scaled)
+
+
 def smooth_sensitivity_of_counts(
     max_single: np.ndarray, alpha: float, b: float
 ) -> np.ndarray:
@@ -62,8 +85,7 @@ def smooth_sensitivity_of_counts(
             f"smooth sensitivity is unbounded: exp(b)={math.exp(b):.6g} < "
             f"1+alpha={1 + alpha:.6g} (Lemma 8.5)"
         )
-    max_single = np.asarray(max_single, dtype=np.float64)
-    return np.maximum(max_single * alpha, 1.0)
+    return smooth_envelope(max_single, alpha)
 
 
 def gamma4_density(z: np.ndarray) -> np.ndarray:

@@ -54,7 +54,10 @@ from repro.dp.truncation import TruncatedLaplace
 from repro.engine import profile
 from repro.engine.points import N_STRATA, SeriesPoint, WorkloadStatistics
 from repro.metrics.error import l1_error
-from repro.metrics.ranking import spearman_correlation_batch
+from repro.metrics.ranking import (
+    spearman_correlation_batch,
+    spearman_distinct_batch,
+)
 from repro.util import as_generator
 
 if TYPE_CHECKING:  # annotation only; the session imports this module
@@ -69,6 +72,7 @@ __all__ = [
     "truncated_laplace_point",
     "sample_unit_noise",
     "fused_grid_points",
+    "fused_family_points",
 ]
 
 
@@ -566,3 +570,238 @@ def fused_grid_points(
                 ]
             results[metric].append(_point(params, values))
     return results
+
+
+def fused_family_points(
+    stats: WorkloadStatistics,
+    mechanism_name: str,
+    *,
+    members: Sequence[tuple[float, float]],
+    delta: float,
+    n_trials: int,
+    seed,
+    batch_size: int | None = None,
+    metrics: Sequence[str] = ("l1-ratio",),
+    evaluate: Sequence[bool] | None = None,
+) -> dict[str, list[SeriesPoint | None]]:
+    """Every (α, ε) point of one mechanism's whole grid from one draw.
+
+    The α×ε extension of :func:`fused_grid_points`: Theorem 8.4's unit
+    noise ``Z`` is independent of α *and* ε — α enters only through the
+    smooth-sensitivity envelope ``max(xv·α, 1)`` — so a single unit
+    matrix serves the full family of ``members`` (α, ε) pairs.
+
+    - **Linear mechanisms** reporting only the L1 ratio reduce the whole
+      family analytically in one O(trials·cells) pass: the unit |Z|
+      column sums accumulate once and every member is an envelope-scale
+      multiply plus a ``bincount`` scatter, the envelope coming from the
+      per-α cache on ``stats`` shared by all mechanisms of the sweep.
+    - Otherwise each member applies its transform to the shared unit
+      chunk; Spearman members reduce through the tie-free fast ranking
+      kernel against the cached SDL rank statistics, falling back to the
+      exact tie-averaging kernel for any chunk whose rows collide.
+
+    ``evaluate`` masks which members to reduce (a resumed family
+    recomputes only its missing members).  The unit draw never depends
+    on the mask — full chunks are drawn regardless — so a subset
+    evaluation reproduces the full run's member values bit-for-bit.
+    Masked-out members come back as ``None`` placeholders.
+    """
+    spec = mechanism_spec(mechanism_name)
+    unit_kind = spec.unit_noise
+    if unit_kind is None:
+        raise ValueError(
+            f"{mechanism_name!r} declares no unit-noise family; "
+            "family evaluation needs a registry unit_noise tag"
+        )
+    metrics = tuple(metrics)
+    for metric in metrics:
+        if metric not in ("l1-ratio", "spearman"):
+            raise ValueError(
+                f"metric must be 'l1-ratio' or 'spearman', got {metric!r}"
+            )
+    members = [(float(alpha), float(epsilon)) for alpha, epsilon in members]
+    if evaluate is None:
+        evaluate = [True] * len(members)
+    elif len(evaluate) != len(members):
+        raise ValueError(
+            f"evaluate mask length {len(evaluate)} != {len(members)} members"
+        )
+
+    true = stats.eval_true
+    sdl = stats.eval_sdl
+    strata = stats.eval_strata
+    index_sets = stats.stratum_cells
+    xv = stats.eval_xv
+    n_cells = true.size
+    n_sets = len(index_sets)
+
+    # Per-member setup: feasibility, the mechanism, and — for linear
+    # mechanisms — the unit-noise scale envelope(α)/a(ε).  The envelope
+    # is the per-α cached vector, so m members over k distinct α values
+    # compute it k times, not m.
+    per_member: list[tuple[EREEParams, object, np.ndarray | None]] = []
+    for alpha, epsilon in members:
+        params = EREEParams(alpha, epsilon, delta)
+        per_cell = stats.per_cell_params_of(params)
+        mechanism = (
+            create_mechanism(mechanism_name, per_cell)
+            if mechanism_is_feasible(mechanism_name, per_cell)
+            else None
+        )
+        scale = None
+        if mechanism is not None and spec.linear_unit_scale:
+            scale = stats.envelope(per_cell.alpha) / mechanism.distribution.a
+        per_member.append((params, mechanism, scale))
+
+    rng = as_generator(seed)
+    results: dict[str, list[SeriesPoint | None]] = {
+        metric: [] for metric in metrics
+    }
+
+    def _point(params: EREEParams, values: list[float]) -> SeriesPoint:
+        return SeriesPoint(
+            mechanism=mechanism_name,
+            alpha=params.alpha,
+            epsilon=params.epsilon,
+            overall=values[0],
+            by_stratum=tuple(values[1:]),
+        )
+
+    if metrics == ("l1-ratio",) and spec.linear_unit_scale:
+        # Whole-family analytic reduction: one pass over the unit draw
+        # accumulates Σ|Z| per cell; every member — any α, any ε — then
+        # reduces in O(cells) from the shared column sums.
+        unit_colsum = np.zeros(n_cells)
+        for chunk in _trial_chunks(n_trials, batch_size):
+            with profile.stage("draw"):
+                unit = sample_unit_noise(unit_kind, (chunk, n_cells), rng)
+            with profile.stage("reduce"):
+                unit_colsum += np.abs(unit).sum(axis=0)
+        for do_eval, (params, mechanism, scale) in zip(evaluate, per_member):
+            if not do_eval:
+                results["l1-ratio"].append(None)
+                continue
+            if mechanism is None:
+                results["l1-ratio"].append(
+                    _infeasible_point(mechanism_name, params)
+                )
+                continue
+            per_cell_err = scale * unit_colsum
+            sums = np.empty(n_sets)
+            sums[0] = per_cell_err.sum()
+            sums[1:] = np.bincount(
+                strata, weights=per_cell_err, minlength=N_STRATA
+            )
+            results["l1-ratio"].append(
+                _point(
+                    params,
+                    _l1_ratio_results(sums, n_trials, true, sdl, index_sets),
+                )
+            )
+        return results
+
+    rank_stats = stats.sdl_rank_stats if "spearman" in metrics else None
+    sums = np.zeros((len(per_member), len(metrics), n_sets))
+    counts = np.zeros((len(per_member), len(metrics), n_sets))
+    for chunk in _trial_chunks(n_trials, batch_size):
+        with profile.stage("draw"):
+            unit = sample_unit_noise(unit_kind, (chunk, n_cells), rng)
+        for e, (do_eval, (params, mechanism, scale)) in enumerate(
+            zip(evaluate, per_member)
+        ):
+            if not do_eval or mechanism is None:
+                continue
+            with profile.stage("draw"):
+                if scale is not None:
+                    noisy = true + scale * unit
+                elif spec.needs_xv:
+                    noisy = mechanism.release_counts_from_unit(true, xv, unit)
+                else:
+                    noisy = mechanism.release_counts_from_unit(true, unit)
+            with profile.stage("reduce"):
+                for m, metric in enumerate(metrics):
+                    if metric == "l1-ratio":
+                        cell_tot = np.abs(noisy - true).sum(axis=0)
+                        sums[e, m, 0] += cell_tot.sum()
+                        sums[e, m, 1:] += np.bincount(
+                            strata, weights=cell_tot, minlength=N_STRATA
+                        )
+                        continue
+                    _reduce_spearman_family(
+                        noisy,
+                        sdl,
+                        index_sets,
+                        rank_stats,
+                        sums[e, m],
+                        counts[e, m],
+                    )
+
+    for do_eval, (e, (params, mechanism, scale)) in zip(
+        evaluate, enumerate(per_member)
+    ):
+        for m, metric in enumerate(metrics):
+            if not do_eval:
+                results[metric].append(None)
+                continue
+            if mechanism is None:
+                results[metric].append(_infeasible_point(mechanism_name, params))
+                continue
+            if metric == "l1-ratio":
+                values = _l1_ratio_results(
+                    sums[e, m], n_trials, true, sdl, index_sets
+                )
+            else:
+                values = [
+                    float(sums[e, m, j] / counts[e, m, j])
+                    if counts[e, m, j]
+                    else float("nan")
+                    for j in range(n_sets)
+                ]
+            results[metric].append(_point(params, values))
+    return results
+
+
+def _reduce_spearman_family(
+    noisy: np.ndarray,
+    sdl: np.ndarray,
+    index_sets,
+    rank_stats,
+    sums: np.ndarray,
+    counts: np.ndarray,
+) -> None:
+    """Fold one member-chunk's Spearman statistics into running sums.
+
+    The overall set runs the tie-free fast kernel *with* tie detection;
+    a clean pass proves every stratum subset tie-free too (a subset of a
+    tie-free row cannot collide), so the strata skip the check.  Any
+    collision drops the whole member-chunk to the exact tie-averaging
+    kernel — same statistics, just slower — so correctness never rests
+    on the almost-sure continuity argument.
+    """
+    n_cells = noisy.shape[1]
+    centered_y, sd_y = rank_stats[0]
+    rho = (
+        spearman_distinct_batch(noisy, centered_y, sd_y)
+        if n_cells >= 2
+        else None
+    )
+    if rho is None:
+        for j, idx in enumerate(index_sets):
+            if idx.size >= 2:
+                sub = noisy if idx.size == n_cells else noisy[:, idx]
+                values = spearman_correlation_batch(sub, sdl[idx])
+                sums[j] += np.nansum(values)
+                counts[j] += np.count_nonzero(~np.isnan(values))
+        return
+    sums[0] += np.nansum(rho)
+    counts[0] += np.count_nonzero(~np.isnan(rho))
+    for j, idx in enumerate(index_sets[1:], start=1):
+        if idx.size < 2:
+            continue
+        centered_y, sd_y = rank_stats[j]
+        values = spearman_distinct_batch(
+            noisy[:, idx], centered_y, sd_y, check_ties=False
+        )
+        sums[j] += np.nansum(values)
+        counts[j] += np.count_nonzero(~np.isnan(values))

@@ -257,6 +257,70 @@ class FusedGroup:
         return payload
 
 
+@dataclass(frozen=True)
+class FusedFamily:
+    """One (workload, mechanism, metric) bucket of a plan's α×ε points.
+
+    The family evaluation path (``run_plan(fused="family")``) extends
+    the :class:`FusedGroup` idea across the α axis: Theorem 8.4 releases
+    are ``q(x) + S(x,α)/a(ε) · Z`` with the unit noise ``Z`` independent
+    of *both* α and ε — α lives only in the smooth-sensitivity envelope
+    ``max(xv·α, 1)`` — so **one** unit draw serves the whole α×ε
+    sub-grid of a mechanism.  A member's value depends on the family
+    draw, hence on the family composition: ``family_seed`` derives from
+    the first member's seed and the full (α, ε) member list, and
+    :meth:`member_key` embeds both into the member's content address.
+    Family results therefore never collide with the default per-point
+    keys nor with the ε-only ``fused`` member keys.
+
+    The unit draw depends only on ``(family_seed, n_trials, n_cells)``
+    — not on which members are reduced from it — so a resumed family
+    can recompute exactly its missing members and reproduce the original
+    run's values bit-for-bit.
+
+    ``indices`` are positions into the owning plan's ``points``, in plan
+    order; ``alphas`` and ``epsilons`` align with them.
+    """
+
+    workload: str
+    mechanism: str
+    metric: str
+    delta: float
+    n_trials: int
+    batch_size: int | None
+    indices: tuple[int, ...]
+    alphas: tuple[float, ...]
+    epsilons: tuple[float, ...]
+    family_seed: int | None
+
+    @property
+    def members(self) -> tuple[tuple[float, float], ...]:
+        """The (α, ε) coordinate of every member, aligned with ``indices``."""
+        return tuple(zip(self.alphas, self.epsilons))
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.workload}:{self.mechanism}:family["
+            f"{len(self.indices)} members]"
+        )
+
+    def _family_token(self) -> dict:
+        return {
+            "family_seed": self.family_seed,
+            "members": [[a, e] for a, e in self.members],
+        }
+
+    def member_key(self, spec: PointSpec, fingerprint: str) -> str:
+        """Content-address of one member point under family evaluation."""
+        return content_key(self.member_content(spec, fingerprint))
+
+    def member_content(self, spec: PointSpec, fingerprint: str) -> dict:
+        payload = spec.content(fingerprint)
+        payload["family"] = self._family_token()
+        return payload
+
+
 def _mechanism_unit_noise(name: str) -> str | None:
     """The registry's unit-noise family tag, or None for unknown names.
 
@@ -332,6 +396,71 @@ def fused_groups(plan: SweepPlan) -> tuple[list[FusedGroup], list[int]]:
             )
         )
     return groups, leftover
+
+
+def fused_families(plan: SweepPlan) -> tuple[list[FusedFamily], list[int]]:
+    """Bucket a plan's fusable points into whole α×ε families.
+
+    The family analogue of :func:`fused_groups`: the bucket key drops α
+    (and ε), so every (α, ε) point of one (workload, mechanism, metric,
+    trials, batch, δ) combination shares a single unit draw.  Returns
+    ``(families, leftover)`` with the same determinism guarantees —
+    buckets in first-member plan order, members in plan order within a
+    bucket — so family seeds and member keys are stable across runs.
+    """
+    buckets: dict[tuple, list[int]] = {}
+    leftover: list[int] = []
+    for index, spec in enumerate(plan.points):
+        if (
+            spec.mechanism == TRUNCATED_LAPLACE
+            or _mechanism_unit_noise(spec.mechanism) is None
+        ):
+            leftover.append(index)
+            continue
+        bucket = (
+            spec.workload,
+            spec.mechanism,
+            spec.metric,
+            spec.n_trials,
+            spec.batch_size,
+            spec.delta,
+        )
+        buckets.setdefault(bucket, []).append(index)
+
+    families = []
+    for bucket, indices in buckets.items():
+        workload, mechanism, metric, n_trials, batch_size, delta = bucket
+        alphas = tuple(plan.points[i].alpha for i in indices)
+        epsilons = tuple(plan.points[i].epsilon for i in indices)
+        first_seed = plan.points[indices[0]].seed
+        family_seed = (
+            None
+            if first_seed is None
+            else derive_seed(
+                first_seed,
+                "family:{}:{}".format(
+                    mechanism,
+                    ",".join(
+                        f"{a!r}@{e!r}" for a, e in zip(alphas, epsilons)
+                    ),
+                ),
+            )
+        )
+        families.append(
+            FusedFamily(
+                workload=workload,
+                mechanism=mechanism,
+                metric=metric,
+                delta=delta,
+                n_trials=n_trials,
+                batch_size=batch_size,
+                indices=tuple(indices),
+                alphas=alphas,
+                epsilons=epsilons,
+                family_seed=family_seed,
+            )
+        )
+    return families, leftover
 
 
 def grid_specs(

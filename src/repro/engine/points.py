@@ -94,6 +94,51 @@ class WorkloadStatistics:
             *(np.flatnonzero(strata == s) for s in range(N_STRATA)),
         )
 
+    def envelope(self, alpha: float) -> np.ndarray:
+        """Cached per-α smooth-sensitivity envelope ``max(xv·α, 1)``.
+
+        The envelope depends on the workload's xv statistic and α only —
+        never on the mechanism or ε — so one read-only vector per
+        (workload, α) serves *every* mechanism of a sweep: each
+        mechanism's noise scale is this envelope divided by its own
+        admissibility scalar ``a(ε)``.  Computed through the shared
+        :func:`~repro.core.smooth_sensitivity.smooth_envelope` kernel,
+        identical to what the per-point release path evaluates.
+        """
+        from repro.core.smooth_sensitivity import smooth_envelope
+
+        cache = self.__dict__.setdefault("_envelope_cache", {})
+        envelope = cache.get(alpha)
+        if envelope is None:
+            envelope = smooth_envelope(self.eval_xv, alpha)
+            envelope.setflags(write=False)
+            cache[alpha] = envelope
+        return envelope
+
+    @cached_property
+    def sdl_rank_stats(self) -> tuple[tuple[np.ndarray, float], ...]:
+        """Per index set: ``(centered SDL ranks, rank sd)``, computed once.
+
+        Aligned with :attr:`stratum_cells` (overall first, then one entry
+        per stratum).  Spearman points compare every noisy ordering
+        against the *same* SDL ordering, so ranking the baseline is
+        trial- and mechanism-invariant — the fused-family reducer reads
+        these instead of re-ranking the SDL answers per (mechanism, α,
+        ε, chunk).
+        """
+        from repro.metrics.ranking import centered_rank_stats
+
+        sdl = self.eval_sdl
+        stats = []
+        for idx in self.stratum_cells:
+            if idx.size < 2:
+                stats.append((np.empty(0, dtype=np.float64), 0.0))
+                continue
+            centered, sd = centered_rank_stats(sdl[idx])
+            centered.setflags(write=False)
+            stats.append((centered, sd))
+        return tuple(stats)
+
     def stratum_masks(self) -> list[np.ndarray]:
         """Evaluation mask restricted to each place-population stratum."""
         return [

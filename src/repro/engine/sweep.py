@@ -22,7 +22,9 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass, field
+from functools import partial
 
 from repro.api.ledger import LedgerEntry
 from repro.core.params import EREEParams
@@ -30,9 +32,11 @@ from repro.engine import profile as stage_profile
 from repro.engine.executors import SerialExecutor, resolve_executor
 from repro.engine.plan import (
     TRUNCATED_LAPLACE,
+    FusedFamily,
     FusedGroup,
     PointSpec,
     SweepPlan,
+    fused_families,
     fused_groups,
 )
 from repro.engine.points import FigureSeries, SeriesPoint
@@ -43,6 +47,7 @@ __all__ = [
     "run_plan",
     "evaluate_point_spec",
     "evaluate_fused_group",
+    "evaluate_fused_family",
     "resolve_workload",
     "figure_series",
 ]
@@ -115,6 +120,68 @@ def evaluate_fused_group(session, group: FusedGroup):
     return values[group.metric], spends
 
 
+def evaluate_fused_family(session, item):
+    """Task function: ``(family, evaluate mask)`` → (points, spends).
+
+    Module-level (picklable by reference); one unit draw serves the
+    family's whole α×ε grid.  The mask marks which members to reduce —
+    a resumed family recomputes only its missing members, bit-identical
+    to the full-family run because the unit draw never depends on the
+    mask.  Masked-out slots come back ``None``.
+    """
+    family, evaluate = item
+    workload = resolve_workload(family.workload)
+    values, spends = session.evaluate_family_outcome(
+        workload,
+        family.mechanism,
+        members=family.members,
+        delta=family.delta,
+        metrics=(family.metric,),
+        n_trials=family.n_trials,
+        seed=family.family_seed,
+        batch_size=family.batch_size,
+        evaluate=evaluate,
+    )
+    return values[family.metric], spends
+
+
+def _profiled_task(fn, session, item):
+    """Run one executor task under its own profiler scope.
+
+    Process-pool workers cannot see the parent's module-global profiler,
+    so a profiled sweep ships each task wrapped in this: the worker
+    captures its own draw/reduce split and returns it (tagged with the
+    worker PID) alongside the outcome for the parent to merge.
+    """
+    with stage_profile.profiled() as prof:
+        result = fn(session, item)
+    return result, (os.getpid(), prof.as_dict())
+
+
+def _executor_map(executor, fn, session, items):
+    """``executor.map`` that keeps stage attribution across process pools.
+
+    Serial and thread executors run tasks in this process, where the
+    active profiler already sees the kernels, so they map straight
+    through (the per-task wrapper would also race on the module global
+    under threads).  A process pool under an active profiler gets the
+    wrapped task; the returned per-task profiles fold into the parent's
+    stage totals and per-worker breakdown.
+    """
+    if not (
+        stage_profile.active()
+        and getattr(executor, "name", None) == "process"
+        and getattr(executor, "workers", 1) > 1
+    ):
+        return executor.map(fn, session, items)
+    outcomes = executor.map(partial(_profiled_task, fn), session, items)
+    results = []
+    for result, (pid, worker_profile) in outcomes:
+        stage_profile.merge_worker(pid, worker_profile)
+        results.append(result)
+    return results
+
+
 # -- store (de)serialization ----------------------------------------------
 
 
@@ -182,6 +249,23 @@ def figure_series(plan: SweepPlan, points) -> FigureSeries:
     )
 
 
+def _normalize_fused(fused) -> str | None:
+    """Map the ``fused`` knob onto an evaluation mode.
+
+    ``False``/``None`` → per-point; ``True``/``"group"`` → per-(mechanism,
+    α) ε groups (the PR-8 path); ``"family"`` → whole α×ε families.
+    """
+    if fused is None or fused is False:
+        return None
+    if fused is True or fused == "group":
+        return "group"
+    if fused == "family":
+        return "family"
+    raise ValueError(
+        f"fused must be False, True, 'group' or 'family', got {fused!r}"
+    )
+
+
 def run_plan(
     plan: SweepPlan,
     session,
@@ -191,7 +275,7 @@ def run_plan(
     store: ResultStore | None = None,
     resume: bool = False,
     merge_spend: bool = True,
-    fused: bool = False,
+    fused: bool | str = False,
     profile: bool = False,
 ) -> SweepOutcome:
     """Execute a sweep plan: resume from the store, fan out the rest.
@@ -204,17 +288,24 @@ def run_plan(
     later ``--resume`` run will hit.  ``merge_spend=False`` skips the
     ledger merge for callers doing their own accounting.
 
-    ``fused=True`` evaluates the plan through per-(mechanism, α)
-    :class:`~repro.engine.plan.FusedGroup`\\ s — one unit-noise draw per
-    group instead of one per point.  Fused results draw different random
-    bits than the default path (statistically, not bit, identical) and
-    are stored under fused-specific member keys, so the two paths never
-    serve each other's cached points.  The default ``fused=False`` path
-    is bit-identical to what it always produced.
+    ``fused=True`` (or ``"group"``) evaluates the plan through
+    per-(mechanism, α) :class:`~repro.engine.plan.FusedGroup`\\ s — one
+    unit-noise draw per group instead of one per point.
+    ``fused="family"`` goes further: one draw per whole
+    :class:`~repro.engine.plan.FusedFamily` α×ε grid of a mechanism,
+    with linear mechanisms reducing the entire family analytically.
+    Both fused modes draw different random bits than the default path
+    (statistically, not bit, identical) and store results under their
+    own member keys — ``fused``-token keys for groups, ``family``-token
+    keys for families — so the three paths never serve each other's
+    cached points.  The default ``fused=False`` path is bit-identical to
+    what it always produced.
 
     ``profile=True`` wraps the run in the stage profiler
     (:mod:`repro.engine.profile`); the outcome's ``profile`` field then
-    carries the draw/reduce/store wall-clock breakdown.
+    carries the draw/reduce/store wall-clock breakdown — including, for
+    process-pool runs, the per-worker stage split shipped back with each
+    task.
     """
     if profile:
         with stage_profile.profiled() as prof:
@@ -263,10 +354,20 @@ def _run_plan(
     store: ResultStore | None,
     resume: bool,
     merge_spend: bool,
-    fused: bool,
+    fused: bool | str,
 ) -> SweepOutcome:
     executor = resolve_executor(executor, workers) or SerialExecutor()
-    if fused:
+    fused_mode = _normalize_fused(fused)
+    if fused_mode == "family":
+        return _run_family(
+            plan,
+            session,
+            executor=executor,
+            store=store,
+            resume=resume,
+            merge_spend=merge_spend,
+        )
+    if fused_mode == "group":
         return _run_fused(
             plan,
             session,
@@ -291,8 +392,9 @@ def _run_plan(
     cache_hits = n_points - len(missing)
 
     if missing:
-        outcomes = executor.map(
-            evaluate_point_spec, session, [plan.points[i] for i in missing]
+        outcomes = _executor_map(
+            executor, evaluate_point_spec, session,
+            [plan.points[i] for i in missing],
         )
         # `missing` ascends and executor results come back in item
         # order, so this loop walks the plan order — each point's spend
@@ -387,7 +489,8 @@ def _run_fused(
     results: dict[int, tuple[SeriesPoint, LedgerEntry | None, FusedGroup | None]] = {}
 
     if missing_leftover:
-        outcomes = executor.map(
+        outcomes = _executor_map(
+            executor,
             evaluate_point_spec,
             session,
             [plan.points[i] for i in missing_leftover],
@@ -396,8 +499,8 @@ def _run_fused(
             results[index] = (point, spend, None)
 
     if pending_groups:
-        group_outcomes = executor.map(
-            evaluate_fused_group, session, pending_groups
+        group_outcomes = _executor_map(
+            executor, evaluate_fused_group, session, pending_groups
         )
         for group, (group_points, group_spends) in zip(
             pending_groups, group_outcomes
@@ -427,6 +530,120 @@ def _run_fused(
             else:
                 key = group.member_key(spec, plan.fingerprint)
                 content = group.member_content(spec, plan.fingerprint)
+            _store_point(store, key, content, point, spend)
+
+    ordered_spends = [spends[i] for i in sorted(spends)]
+    return SweepOutcome(
+        plan=plan,
+        points=list(points),
+        computed=len(computed_indices),
+        cache_hits=n_points - len(computed_indices),
+        spends=ordered_spends,
+    )
+
+
+def _run_family(
+    plan: SweepPlan,
+    session,
+    *,
+    executor,
+    store: ResultStore | None,
+    resume: bool,
+    merge_spend: bool,
+) -> SweepOutcome:
+    """The ``fused="family"`` body of :func:`run_plan`.
+
+    Fusable points evaluate family-at-a-time through
+    :func:`evaluate_fused_family` — one unit draw per whole α×ε grid of
+    a mechanism; leftover points run the ordinary per-point path under
+    their ordinary keys.  Resume is *member-precise*: the family's unit
+    draw depends only on the family seed, never on which members get
+    reduced, so a resumed family recomputes exactly its missing members
+    and reproduces the original run's values bit-for-bit — unlike the
+    ε-group path, cached members cost no redundant kernel work at all.
+    """
+    families, leftover = fused_families(plan)
+    n_points = len(plan.points)
+    points: list[SeriesPoint | None] = [None] * n_points
+    spends: dict[int, LedgerEntry] = {}
+
+    # -- leftover (non-fusable) points: the ordinary per-point path ----
+    missing_leftover = list(leftover)
+    if store is not None and resume:
+        missing_leftover = []
+        for index in leftover:
+            spec = plan.points[index]
+            payload = store.get(spec.key(plan.fingerprint))
+            if payload is not None and "point" in payload:
+                points[index] = decode_point(payload["point"])
+            else:
+                missing_leftover.append(index)
+
+    # -- families: resume member-by-member, recompute only the missing -
+    pending: list[tuple[FusedFamily, tuple[bool, ...]]] = []
+    if store is not None and resume:
+        for family in families:
+            evaluate = []
+            for index in family.indices:
+                spec = plan.points[index]
+                payload = store.get(family.member_key(spec, plan.fingerprint))
+                if payload is not None and "point" in payload:
+                    points[index] = decode_point(payload["point"])
+                    evaluate.append(False)
+                else:
+                    evaluate.append(True)
+            if any(evaluate):
+                pending.append((family, tuple(evaluate)))
+    else:
+        pending = [
+            (family, (True,) * len(family.indices)) for family in families
+        ]
+
+    computed_indices: set[int] = set(missing_leftover)
+    results: dict[int, tuple[SeriesPoint, LedgerEntry | None, FusedFamily | None]] = {}
+
+    if missing_leftover:
+        outcomes = _executor_map(
+            executor,
+            evaluate_point_spec,
+            session,
+            [plan.points[i] for i in missing_leftover],
+        )
+        for index, (point, spend) in zip(missing_leftover, outcomes):
+            results[index] = (point, spend, None)
+
+    if pending:
+        family_outcomes = _executor_map(
+            executor, evaluate_fused_family, session, pending
+        )
+        for (family, evaluate), (family_points, family_spends) in zip(
+            pending, family_outcomes
+        ):
+            for index, do_eval, point, spend in zip(
+                family.indices, evaluate, family_points, family_spends
+            ):
+                if not do_eval:
+                    continue  # cached member: stored value already placed
+                results[index] = (point, spend, family)
+                computed_indices.add(index)
+
+    # Plan-order walk: record each newly computed point's spend before
+    # persisting it, exactly like the unfused path.
+    for index in sorted(results):
+        point, spend, family = results[index]
+        points[index] = point
+        if spend is not None:
+            spends[index] = spend
+            if merge_spend:
+                session.ledger.record(spend)
+        if store is not None:
+            spec = plan.points[index]
+            if family is None:
+                key = spec.key(plan.fingerprint)
+                content = spec.content(plan.fingerprint)
+            else:
+                key = family.member_key(spec, plan.fingerprint)
+                content = family.member_content(spec, plan.fingerprint)
             _store_point(store, key, content, point, spend)
 
     ordered_spends = [spends[i] for i in sorted(spends)]

@@ -49,16 +49,18 @@ def run_figure(
     workers: int | None = None,
     store=None,
     resume: bool = False,
-    fused: bool = False,
+    fused: bool | str = False,
 ) -> FigureSeries:
     """Plan and execute one figure's sweep through the engine.
 
     ``config`` overrides the grids/trial count (defaults to the
     session's); the snapshot fingerprint and seed base always come from
     the *session*, whose data the points are actually computed on.
-    ``fused=True`` shares one unit-noise draw per (mechanism, α) group
-    (statistically equivalent, different RNG streams, distinct result
-    keys); the default reproduces the historical figures bit-for-bit.
+    ``fused=True`` (or ``"group"``) shares one unit-noise draw per
+    (mechanism, α) group; ``fused="family"`` shares one draw per
+    mechanism's whole α×ε grid (statistically equivalent, different RNG
+    streams, distinct result keys); the default reproduces the
+    historical figures bit-for-bit.
     """
     config = config or session.config
     plan = figure_plan(

@@ -204,7 +204,7 @@ def table3_rows(
     workers: int | None = None,
     store=None,
     resume: bool = False,
-    fused: bool = False,
+    fused: bool | str = False,
 ) -> list[dict]:
     """Empirical accuracy rows from one shared release session.
 
@@ -219,10 +219,13 @@ def table3_rows(
     content hash and ``resume=True`` replays completed rows without
     touching the data (cache hits debit nothing).
 
-    ``fused=True`` evaluates each (mechanism, α) group's ε rows from one
+    ``fused`` (any truthy mode — the sweep engine's ``"family"`` mode
+    included) evaluates each (mechanism, α) group's ε rows from one
     shared unit-noise draw (both metrics from the same matrices) instead
     of one release per row — statistically equivalent, different RNG
-    streams, distinct cache keys; the default path is unchanged.
+    streams, distinct cache keys; the default path is unchanged.  Table
+    3 rows need both metrics per point, so the table always fuses at
+    group granularity.
     """
     if n_trials is None:
         n_trials = session.config.n_trials
@@ -305,7 +308,7 @@ def table3_text(
     workers: int | None = None,
     store=None,
     resume: bool = False,
-    fused: bool = False,
+    fused: bool | str = False,
 ) -> str:
     """The session accuracy summary rendered as text."""
     rows = [

@@ -11,6 +11,8 @@ suite cross-checks against :func:`scipy.stats.spearmanr`.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -121,6 +123,69 @@ def spearman_correlation_batch(
     if sd_y == 0.0:
         rho[:] = np.nan
     return rho
+
+
+def centered_rank_stats(y: np.ndarray) -> tuple[np.ndarray, float]:
+    """Precompute ``(centered average ranks, rank sd)`` of a baseline vector.
+
+    One ranking of ``y`` serves every Spearman comparison against it —
+    the sweep engine caches this per (workload, index set) on
+    :class:`~repro.engine.points.WorkloadStatistics` so all mechanisms of
+    a fused family share one SDL tabulation instead of re-ranking the
+    baseline per (mechanism, α, ε) point.
+    """
+    ranks = average_ranks(np.asarray(y, dtype=np.float64))
+    return ranks - ranks.mean(), float(ranks.std())
+
+
+def spearman_distinct_batch(
+    x_trials: np.ndarray,
+    centered_rank_y: np.ndarray,
+    sd_y: float,
+    *,
+    check_ties: bool = True,
+) -> np.ndarray | None:
+    """Row-wise Spearman ρ against a pre-ranked baseline, tie-free rows.
+
+    The fused-family fast path: noisy releases are continuous, so their
+    rows (almost surely) hold no tied values and the tie-averaging
+    machinery of :func:`spearman_correlation_batch` is pure overhead.
+    Without ties the row ranks are a permutation of ``1..n`` — an
+    unstable (quicksort) argsort recovers them, the rank mean and sd are
+    the constants ``(n+1)/2`` and ``sqrt((n²−1)/12)``, and because the
+    baseline's centered ranks sum to zero the covariance collapses to a
+    position dot product over the sorted-order gather.
+
+    Returns ``None`` when any row *does* contain ties (exact float
+    collisions) so the caller can fall back to the tie-averaging kernel;
+    ``check_ties=False`` skips that detection — valid only when the
+    caller has already established the rows are tie-free, e.g. for a
+    stratum subset of a matrix whose full rows passed the check (a
+    subset of a tie-free row is tie-free).
+    """
+    x_trials = np.asarray(x_trials, dtype=np.float64)
+    if x_trials.ndim != 2:
+        raise ValueError(f"expected a 2-D trial matrix, got {x_trials.shape}")
+    n_trials, n = x_trials.shape
+    if n != centered_rank_y.shape[-1]:
+        raise ValueError(
+            f"shape mismatch: {x_trials.shape} vs {centered_rank_y.shape}"
+        )
+    if n < 2 or sd_y == 0.0:
+        return np.full(n_trials, np.nan)
+    order = np.argsort(x_trials, axis=1)
+    if check_ties:
+        sorted_values = np.take_along_axis(x_trials, order, axis=1)
+        if (sorted_values[:, 1:] == sorted_values[:, :-1]).any():
+            return None
+    # Rank of the cell at sorted position p is p+1, so
+    # Σ_j rank_j · cy_j = Σ_p (p+1) · cy[order_p]; Σ cy = 0 makes the
+    # centering of the rank side vanish into the same dot product.
+    cy_sorted = centered_rank_y[order]
+    positions = np.arange(1, n + 1, dtype=np.float64)
+    covariance = (cy_sorted @ positions) / n
+    sd_x = math.sqrt((n * n - 1) / 12.0)
+    return covariance / (sd_x * sd_y)
 
 
 def rank_descending(values: np.ndarray) -> np.ndarray:

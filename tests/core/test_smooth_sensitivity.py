@@ -23,7 +23,45 @@ from repro.core.smooth_sensitivity import (
     gamma4_density,
     gamma4_quantile,
     sample_gamma4_fast,
+    smooth_envelope,
 )
+
+
+class TestSmoothEnvelope:
+    """The shared one-pass envelope kernel ``max(xv·α, 1)``."""
+
+    def test_formula(self):
+        xv = np.array([0, 3, 50, 1000])
+        np.testing.assert_allclose(
+            smooth_envelope(xv, 0.1), [1.0, 1.0, 5.0, 100.0]
+        )
+
+    def test_bit_identical_to_checked_path(self):
+        """`smooth_sensitivity_of_counts` delegates here — same ufunc
+        sequence, so the two entry points can never drift."""
+        rng = np.random.default_rng(3)
+        xv = rng.integers(0, 5_000, size=400).astype(float)
+        for alpha in (0.01, 0.1, 0.2):
+            np.testing.assert_array_equal(
+                smooth_envelope(xv, alpha),
+                smooth_sensitivity_of_counts(xv, alpha, b=math.log(2.0)),
+            )
+
+    def test_out_buffer_reused(self):
+        xv = np.array([10.0, 200.0])
+        out = np.empty(2)
+        result = smooth_envelope(xv, 0.1, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, [1.0, 20.0])
+
+    def test_no_b_check(self):
+        """The envelope is mechanism-free: feasibility (Lemma 8.5's
+        exp(b) >= 1+α) is the caller's check, not the kernel's."""
+        np.testing.assert_allclose(smooth_envelope(np.array([5.0]), 0.2), [1.0])
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValueError):
+            smooth_envelope(np.array([1.0]), 0.0)
 
 
 class TestSmoothSensitivityBound:

@@ -5,7 +5,12 @@ import pytest
 from scipy import stats
 
 from repro.metrics import rank_descending, spearman_correlation
-from repro.metrics.ranking import average_ranks
+from repro.metrics.ranking import (
+    average_ranks,
+    centered_rank_stats,
+    spearman_correlation_batch,
+    spearman_distinct_batch,
+)
 
 
 class TestAverageRanks:
@@ -66,3 +71,90 @@ class TestRankDescending:
     def test_ties_break_by_index(self):
         positions = rank_descending(np.array([10.0, 10.0]))
         assert positions.tolist() == [0, 1]
+
+
+class TestSpearmanDistinctBatch:
+    """The tie-free fast kernel: exact agreement with the general
+    tie-averaging batch kernel whenever the x rows are distinct, and an
+    explicit None refusal whenever they are not."""
+
+    @staticmethod
+    def _stats(y):
+        centered, sd = centered_rank_stats(np.asarray(y, dtype=np.float64))
+        return centered, sd
+
+    def test_matches_general_kernel_on_distinct_rows(self):
+        rng = np.random.default_rng(17)
+        y = rng.normal(size=80)
+        x = y + rng.normal(scale=2.0, size=(25, 80))
+        centered, sd = self._stats(y)
+        fast = spearman_distinct_batch(x, centered, sd)
+        exact = spearman_correlation_batch(x, y)
+        np.testing.assert_allclose(fast, exact, atol=1e-12)
+
+    def test_matches_scipy_per_row(self):
+        rng = np.random.default_rng(18)
+        y = rng.normal(size=40)
+        x = y + rng.normal(size=(5, 40))
+        centered, sd = self._stats(y)
+        fast = spearman_distinct_batch(x, centered, sd)
+        for row, rho in zip(x, fast):
+            assert rho == pytest.approx(
+                stats.spearmanr(row, y).statistic, abs=1e-12
+            )
+
+    def test_returns_none_on_ties(self):
+        y = np.arange(6.0)
+        x = np.array([[3.0, 1.0, 4.0, 1.0, 5.0, 9.0]])  # 1.0 repeats
+        centered, sd = self._stats(y)
+        assert spearman_distinct_batch(x, centered, sd) is None
+
+    def test_check_ties_false_skips_detection(self):
+        """With detection off the kernel silently ranks tied rows by
+        argsort order — the caller's job is to only disable the check
+        for provably tie-free data (stratum subsets of a clean row)."""
+        y = np.arange(4.0)
+        x = np.array([[2.0, 2.0, 1.0, 3.0]])
+        centered, sd = self._stats(y)
+        rho = spearman_distinct_batch(x, centered, sd, check_ties=False)
+        assert rho is not None and rho.shape == (1,)
+
+    def test_tied_y_is_fine(self):
+        """Ties in *y* are pre-averaged into the centered ranks; only x
+        ties defeat the permutation shortcut."""
+        rng = np.random.default_rng(19)
+        y = rng.integers(0, 4, size=50).astype(float)
+        x = rng.normal(size=(8, 50))
+        centered, sd = self._stats(y)
+        fast = spearman_distinct_batch(x, centered, sd)
+        exact = spearman_correlation_batch(x, y)
+        np.testing.assert_allclose(fast, exact, atol=1e-12)
+
+    def test_degenerate_cases_are_nan(self):
+        single = spearman_distinct_batch(
+            np.array([[5.0]]), *self._stats(np.array([3.0]))
+        )
+        assert np.isnan(single).all()
+        constant_y = spearman_distinct_batch(
+            np.array([[1.0, 2.0, 3.0]]), *self._stats(np.ones(3))
+        )
+        assert np.isnan(constant_y).all()
+
+    def test_requires_2d(self):
+        centered, sd = self._stats(np.arange(3.0))
+        with pytest.raises(ValueError):
+            spearman_distinct_batch(np.arange(3.0), centered, sd)
+
+    def test_shape_mismatch(self):
+        centered, sd = self._stats(np.arange(3.0))
+        with pytest.raises(ValueError):
+            spearman_distinct_batch(np.ones((2, 4)), centered, sd)
+
+
+class TestCenteredRankStats:
+    def test_centered_mean_zero(self):
+        centered, sd = centered_rank_stats(np.array([9.0, 1.0, 5.0, 5.0]))
+        assert centered.sum() == pytest.approx(0.0)
+        assert sd == pytest.approx(average_ranks(
+            np.array([9.0, 1.0, 5.0, 5.0])
+        ).std())

@@ -41,6 +41,18 @@ class TestParser:
         assert args.attrs == "place,naics,ownership"
         assert args.alpha == 0.1
 
+    @pytest.mark.parametrize("command", ["sweep", "figures", "tables"])
+    def test_fused_modes(self, command):
+        base = [command]
+        assert build_parser().parse_args(base).fused is False
+        assert build_parser().parse_args(base + ["--fused"]).fused == "group"
+        assert (
+            build_parser().parse_args(base + ["--fused", "family"]).fused
+            == "family"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(base + ["--fused", "bogus"])
+
 
 class TestCommands:
     def test_tables_command(self, tmp_path):
