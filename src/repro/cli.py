@@ -171,8 +171,13 @@ def _add_session_arguments(
         )
 
 
-def _add_engine_arguments(parser):
-    """The sweep-engine knobs shared by figures/tables/sweep."""
+def _add_engine_arguments(parser, *, claims: bool = True):
+    """The sweep-engine knobs shared by figures/tables/sweep.
+
+    ``claims=False`` omits the cooperative-drain flags for commands
+    whose compute does not go through ``run_plan``'s per-point path
+    (Table 3 drains a request grid, not a sweep plan).
+    """
     parser.add_argument(
         "--snapshot-dir",
         type=Path,
@@ -220,6 +225,26 @@ def _add_engine_arguments(parser):
         "equivalent to per-point evaluation, different RNG streams, "
         "cached under distinct keys)",
     )
+    if claims:
+        parser.add_argument(
+            "--claim",
+            action="store_true",
+            help="coordinate with other drains of the same plan through "
+            "lease files on the result store: each missing point is "
+            "claimed before it is computed, so N concurrent processes "
+            "(or machines, via --store-url) partition the grid instead "
+            "of each computing all of it; implies --resume and "
+            "requires the result store",
+        )
+        parser.add_argument(
+            "--claim-ttl",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="lease time-to-live for --claim; a claim whose owner "
+            "crashed is taken over by another drain after this long "
+            "(default 300)",
+        )
     parser.add_argument(
         "--no-cache",
         action="store_true",
@@ -294,7 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_session_arguments(
         tables, jobs_default=20_000, trials_default=3, scenario=True
     )
-    _add_engine_arguments(tables)
+    _add_engine_arguments(tables, claims=False)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -454,6 +479,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm",
         action="store_true",
         help="build every hosted session before accepting requests",
+    )
+    serve.add_argument(
+        "--compact-on-start",
+        action="store_true",
+        help="collapse each tenant's spend journal to one snapshot record "
+        "before serving (exact totals and paid keys preserved; per-entry "
+        "audit detail dropped)",
     )
     _add_store_url_argument(serve)
 
@@ -618,6 +650,21 @@ def _out_dir_from_args(args) -> Path:
     return out
 
 
+def _claim_options_from_args(args) -> dict:
+    """The ``run_plan`` claim kwargs for a command with ``--claim`` flags."""
+    if not getattr(args, "claim", False):
+        return {}
+    if args.no_cache:
+        raise SystemExit(
+            "--claim coordinates through the result store; drop --no-cache"
+        )
+    if args.fused:
+        raise SystemExit(
+            "--claim runs on the per-point path; drop --fused"
+        )
+    return {"claim": True, "claim_ttl_s": getattr(args, "claim_ttl", None)}
+
+
 def _engine_from_args(args):
     """Resolve the (executor, store) pair shared by figures/tables/sweep."""
     executor = resolve_executor(args.executor, args.workers)
@@ -658,6 +705,7 @@ def run_figures(args, session: ReleaseSession | None = None) -> list[Path]:
     if session is None:
         session = _session_from_args(args, trials_batch=args.trials_batch)
     executor, store = _engine_from_args(args)
+    claim_options = _claim_options_from_args(args)
     out = _out_dir_from_args(args)
     written = []
     for name, generator in _selected_figures(args.only).items():
@@ -667,6 +715,7 @@ def run_figures(args, session: ReleaseSession | None = None) -> list[Path]:
             store=store,
             resume=args.resume,
             fused=args.fused,
+            **claim_options,
         )
         path = out / f"{name}.txt"
         path.write_text(render_figure(series) + "\n", encoding="utf-8")
@@ -732,6 +781,7 @@ def run_sweep(args, session: ReleaseSession | None = None) -> list[Path]:
         resume=args.resume,
         fused=args.fused,
         profile=args.profile,
+        **_claim_options_from_args(args),
     )
     out = _out_dir_from_args(args)
     text_path = out / f"sweep-{args.tag}.txt"
@@ -1180,6 +1230,17 @@ def run_serve(args) -> int:
             )
     except (OSError, ValueError) as error:
         raise SystemExit(f"tenants config error: {error}") from None
+
+    if args.compact_on_start:
+        compacted = tenants.compact_journals()
+        if compacted:
+            print(
+                f"compacted {len(compacted)} spend journal(s): "
+                + ", ".join(compacted),
+                flush=True,
+            )
+        else:
+            print("no spend journals needed compaction", flush=True)
 
     service = ReleaseService(
         pool, tenants, ReleaseCache(store), host=args.host, port=args.port

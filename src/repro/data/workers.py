@@ -259,7 +259,7 @@ JOB_ARRAYS: tuple[str, ...] = ("job_worker", "job_establishment")
 class _ShardedBuildContext:
     """Everything a build worker needs, picklable in one piece.
 
-    Shipped once per worker shard by :func:`repro.engine.executors.run_sharded`:
+    Shipped once per worker shard by :func:`repro.runtime.run_sharded`:
     the O(establishments) plan arrays, the per-place mixes, the advanced
     chunk-0 generator (pickled with its exact bit-stream position) and
     the target ``.npy`` paths the chunk slices land in.
@@ -361,7 +361,7 @@ def build_workforce_sharded(
         base_seed=base_seed,
         paths=str_paths,
     )
-    from repro.engine.executors import run_sharded
+    from repro.runtime import run_sharded
 
     written = run_sharded(
         _write_chunk,

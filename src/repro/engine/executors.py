@@ -1,38 +1,57 @@
-"""Pluggable sweep executors: serial, thread pool, and process pool.
+"""Pluggable sweep executors: the engine's adapter over ``repro.runtime``.
 
 An executor maps a *task function* over a list of items and returns the
 results **in item order**, whatever order the work actually ran in.
 Task functions are module-level callables of ``(session, item)`` — they
 must be picklable by reference so the process executor can ship them to
-workers.  Three implementations share the protocol:
+workers.  Placement itself — thread pools, round-robin process shards,
+crash recovery, worker-count policy — lives in :mod:`repro.runtime`;
+this module contributes only what is sweep-specific:
 
-- :class:`SerialExecutor` — the reference implementation: a plain loop
-  over the parent session.  Every other executor must be bit-identical
-  to it (each item's randomness is self-seeded, so execution order and
-  placement cannot change results).
-- :class:`ThreadExecutor` — a thread pool sharing the parent session.
-  The session's statistic caches are lock-guarded and the NumPy kernels
-  release the GIL for large draws, so threads help on wide grids with
-  zero per-worker setup cost.
-- :class:`ProcessExecutor` — true parallelism: items are sharded
-  round-robin across worker processes, each of which builds its session
-  **once** — opening the parent's memory-mapped snapshot from the
-  :class:`~repro.scenarios.SnapshotStore` when the parent session has
-  one, regenerating from config otherwise (both fully seeded, so the
-  worker snapshot is bit-identical either way) — streams its shard
-  through the task function, and ships the results back.  Ledger
-  debits never happen in workers — task functions return spend records
-  and the parent merges them, so privacy accounting stays exact under
-  parallelism.
+- the ``(session, item)`` calling convention and the
+  :class:`Executor` protocol the engine and CLI resolve against;
+- :func:`_shard_session` — how a worker process rebuilds (and caches)
+  its :class:`~repro.api.session.ReleaseSession`, opening the parent's
+  persisted snapshot from a :class:`~repro.scenarios.SnapshotStore`
+  when one exists instead of regenerating the economy;
+- the guard against process-parallelising a session built over an
+  explicitly provided dataset (workers rebuild from config, which would
+  silently swap in a synthetic snapshot).
+
+Three implementations share the protocol:
+
+- :class:`SerialExecutor` — the reference implementation: a
+  :class:`~repro.runtime.SerialDriver` loop over the parent session.
+  Every other executor must be bit-identical to it (each item's
+  randomness is self-seeded, so execution order and placement cannot
+  change results).
+- :class:`ThreadExecutor` — a :class:`~repro.runtime.ThreadDriver`
+  sharing the parent session.  The session's statistic caches are
+  lock-guarded and the NumPy kernels release the GIL for large draws,
+  so threads help on wide grids with zero per-worker setup cost.
+- :class:`ProcessExecutor` — a :class:`~repro.runtime.ProcessDriver`:
+  true parallelism with bounded crash recovery (a worker killed
+  mid-sweep gets its shard resubmitted, bit-identically, instead of
+  aborting the run — ``executor.driver.stats`` records what happened).
+  Ledger debits never happen in workers — task functions return spend
+  records and the parent merges them, so privacy accounting stays
+  exact under parallelism.
 """
 
 from __future__ import annotations
 
-import os
+import os  # noqa: F401  (tests monkeypatch executors.os.cpu_count)
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from functools import partial
 from typing import Protocol, runtime_checkable
+
+from repro.runtime.drivers import (
+    ProcessDriver,
+    SerialDriver,
+    ThreadDriver,
+    run_sharded,
+)
+from repro.runtime.policy import MAX_WORKERS_ENV, default_workers
+from repro.runtime.taskset import ContextSpec, TaskSet
 
 __all__ = [
     "Executor",
@@ -43,11 +62,8 @@ __all__ = [
     "resolve_executor",
     "default_workers",
     "run_sharded",
+    "MAX_WORKERS_ENV",
 ]
-
-# Caps default_workers() regardless of the machine's core count, so CI
-# (and any shared box) can bound process fan-out without touching code.
-MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
 
 @runtime_checkable
@@ -62,6 +78,13 @@ class Executor(Protocol):
         ...
 
 
+def _session_taskset(fn: Callable, session, items: Sequence) -> TaskSet:
+    """Describe an in-process sweep map: the parent session *is* the context."""
+    return TaskSet(
+        fn=fn, items=tuple(items), context=ContextSpec.of_value(session)
+    )
+
+
 class SerialExecutor:
     """Run every item in the calling thread against the parent session."""
 
@@ -69,7 +92,7 @@ class SerialExecutor:
     workers = 1
 
     def map(self, fn: Callable, session, items: Sequence) -> list:
-        return [fn(session, item) for item in items]
+        return SerialDriver().run(_session_taskset(fn, session, items))
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -81,16 +104,11 @@ class ThreadExecutor:
     name = "thread"
 
     def __init__(self, workers: int = 2):
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
+        self.driver = ThreadDriver(workers)
+        self.workers = self.driver.workers
 
     def map(self, fn: Callable, session, items: Sequence) -> list:
-        items = list(items)
-        if len(items) <= 1 or self.workers == 1:
-            return [fn(session, item) for item in items]
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(partial(fn, session), items))
+        return self.driver.run(_session_taskset(fn, session, items))
 
     def __repr__(self) -> str:
         return f"ThreadExecutor(workers={self.workers})"
@@ -138,69 +156,9 @@ def _shard_session(config, worker_attrs, store_spec):
 _WORKER_SESSION: tuple | None = None
 
 
-def _run_shard(make_context, context_args, fn, indexed_items):
-    """Worker entry point: evaluate one shard against a rebuilt context.
-
-    ``make_context(*context_args)`` builds (or fetches this process's
-    cached) task context — a :class:`~repro.api.session.ReleaseSession`
-    for sweeps, a plain picklable build context for sharded snapshot
-    generation — and the shard streams through ``fn(context, item)``.
-    """
-    context = make_context(*context_args)
-    return [(index, fn(context, item)) for index, item in indexed_items]
-
-
-def _context_passthrough(context):
+def _context_passthrough(context=None):
     """Identity ``make_context`` for callers shipping the context itself."""
     return context
-
-
-def run_sharded(
-    fn: Callable,
-    items: Sequence,
-    *,
-    workers: int,
-    make_context: Callable = _context_passthrough,
-    context_args: tuple = (),
-    start_method: str | None = None,
-) -> list:
-    """Ordered ``fn(context, item)`` map over a process pool.
-
-    The process-parallel core shared by :class:`ProcessExecutor` (whose
-    context is a per-process rebuilt session) and the sharded snapshot
-    builder (whose context is the picklable generation plan).  Items are
-    sharded round-robin so each worker receives one submission —
-    amortizing whatever ``make_context`` costs across its whole shard —
-    and results come back in item order.  With one item or one worker
-    the map runs inline in the calling process, context built the same
-    way, so callers get a single code path.
-    """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    items = list(items)
-    if not items:
-        return []
-    if len(items) == 1 or workers == 1:
-        context = make_context(*context_args)
-        return [fn(context, item) for item in items]
-    import multiprocessing
-
-    mp_context = multiprocessing.get_context(start_method)
-    n_workers = min(workers, len(items))
-    indexed = list(enumerate(items))
-    shards = [indexed[offset::n_workers] for offset in range(n_workers)]
-    results: list = [None] * len(items)
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=mp_context
-    ) as pool:
-        futures = [
-            pool.submit(_run_shard, make_context, context_args, fn, shard)
-            for shard in shards
-        ]
-        for future in futures:
-            for index, result in future.result():
-                results[index] = result
-    return results
 
 
 class ProcessExecutor:
@@ -211,14 +169,30 @@ class ProcessExecutor:
     imported modules and makes worker start cheap).  Items are sharded
     round-robin so every worker gets an even slice of the grid in one
     submission, amortizing the snapshot rebuild across its whole shard.
+
+    The underlying :class:`~repro.runtime.ProcessDriver` survives
+    worker crashes: a shard whose worker died (OOM, segfault,
+    ``kill -9``) is resubmitted — bounded by ``max_shard_retries`` —
+    and the retried points are bit-identical because every item is
+    self-seeded.  ``self.driver.stats`` records attempts and retried
+    task indices after each :meth:`map`.
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 2, start_method: str | None = None):
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
+    def __init__(
+        self,
+        workers: int = 2,
+        start_method: str | None = None,
+        *,
+        max_shard_retries: int = 1,
+    ):
+        self.driver = ProcessDriver(
+            workers=workers,
+            start_method=start_method,
+            max_shard_retries=max_shard_retries,
+        )
+        self.workers = self.driver.workers
         self.start_method = start_method
 
     def map(self, fn: Callable, session, items: Sequence) -> list:
@@ -232,6 +206,9 @@ class ProcessExecutor:
             )
         items = list(items)
         if len(items) <= 1 or self.workers == 1:
+            # Inline runs reuse the parent session: rebuilding one in
+            # the calling process would pay the snapshot cost for
+            # nothing.
             return SerialExecutor().map(fn, session, items)
         # Where workers should open the snapshot from.  A session built
         # over a SnapshotStore has already persisted its snapshot (the
@@ -242,14 +219,15 @@ class ProcessExecutor:
         # cache directory.
         store = getattr(session, "snapshot_store", None)
         store_spec = None if store is None else store.spec()
-        return run_sharded(
-            fn,
-            items,
-            workers=self.workers,
-            make_context=_shard_session,
-            context_args=(session.config, session.worker_attrs, store_spec),
-            start_method=self.start_method,
+        taskset = TaskSet(
+            fn=fn,
+            items=tuple(items),
+            context=ContextSpec(
+                make=_shard_session,
+                args=(session.config, session.worker_attrs, store_spec),
+            ),
         )
+        return self.driver.run(taskset)
 
     def __repr__(self) -> str:
         return f"ProcessExecutor(workers={self.workers})"
@@ -263,29 +241,6 @@ _POOL_FACTORIES = {
 }
 
 
-def default_workers() -> int:
-    """A sensible worker count for this machine.
-
-    Scales with ``os.cpu_count()`` — a 64-core sweep box gets 64
-    workers, not a hard-coded 4 — with a floor of 2 so ``--executor
-    process`` without a count always yields real parallelism.  The
-    ``REPRO_MAX_WORKERS`` environment variable caps the result (CI
-    runners and shared machines bound fan-out without code changes);
-    a cap of 1 forces serial-in-process execution.
-    """
-    workers = max(2, os.cpu_count() or 2)
-    override = os.environ.get(MAX_WORKERS_ENV, "").strip()
-    if override:
-        try:
-            cap = int(override)
-        except ValueError:
-            raise ValueError(
-                f"{MAX_WORKERS_ENV} must be an integer, got {override!r}"
-            ) from None
-        workers = min(workers, max(1, cap))
-    return workers
-
-
 def resolve_executor(executor=None, workers: int | None = None):
     """Normalize (executor, workers) knobs into an executor — or None.
 
@@ -294,8 +249,9 @@ def resolve_executor(executor=None, workers: int | None = None):
     it, and the sweep engine substitutes :class:`SerialExecutor`.
     Accepts an executor instance (returned as-is), one of
     ``EXECUTOR_NAMES`` (a pool name without a worker count gets
-    :func:`default_workers`), or just a worker count (> 1 selects
-    processes — the only executor with true CPU parallelism).
+    :func:`~repro.runtime.default_workers`), or just a worker count
+    (> 1 selects processes — the only executor with true CPU
+    parallelism).
     """
     if executor is None:
         if workers is None or workers <= 1:

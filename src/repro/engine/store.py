@@ -131,6 +131,19 @@ class ResultStore:
         """A picklable description a worker process rebuilds from."""
         return {"store": "result", "backend": self.backend.spec()}
 
+    def claim_board(self, *, owner: str | None = None, ttl_s: float | None = None):
+        """A :class:`~repro.runtime.ClaimBoard` over this store's backend.
+
+        Lease files land under ``claims/`` beside the payloads (same
+        backend, same fleet visibility) with a ``.lease`` suffix, so
+        :meth:`__len__` and :meth:`clear` — which look only at
+        ``.json``/``.npz`` — never count or delete live coordination
+        state.
+        """
+        from repro.runtime.claims import ClaimBoard
+
+        return ClaimBoard(self.backend, owner=owner, ttl_s=ttl_s)
+
     @classmethod
     def from_spec(cls, spec: dict) -> "ResultStore":
         return cls(backend=backend_from_spec(spec["backend"]))

@@ -23,6 +23,7 @@
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import asdict, dataclass, field
 from functools import partial
 
@@ -277,6 +278,10 @@ def run_plan(
     merge_spend: bool = True,
     fused: bool | str = False,
     profile: bool = False,
+    claim: bool = False,
+    claim_owner: str | None = None,
+    claim_ttl_s: float | None = None,
+    claim_poll_s: float = 0.2,
 ) -> SweepOutcome:
     """Execute a sweep plan: resume from the store, fan out the rest.
 
@@ -287,6 +292,24 @@ def run_plan(
     a default run stays a full recomputation while writing the cache a
     later ``--resume`` run will hit.  ``merge_spend=False`` skips the
     ledger merge for callers doing their own accounting.
+
+    ``claim=True`` turns the drain cooperative: before computing a
+    missing point this run *claims* it on the store's
+    :class:`~repro.runtime.ClaimBoard` (an atomic lease file beside the
+    payloads), so N concurrent drains of the same plan against one
+    shared store partition the grid instead of each computing all of
+    it.  Points another drain claimed are deferred: this run polls the
+    store (every ``claim_poll_s`` seconds) and adopts their results as
+    cache hits when they land; a claim whose owner crashed expires
+    after ``claim_ttl_s`` (default
+    :data:`~repro.runtime.DEFAULT_LEASE_TTL_S`) and is taken over.
+    Claims are an optimization, never a correctness mechanism — if two
+    drains ever compute the same point (expiry race, unreachable
+    backend failing open) both write bit-identical bytes and last
+    writer wins, exactly the claimless behavior.  Requires a ``store``
+    and implies ``resume`` (a cooperative drain must honor what the
+    shared store already holds); the per-point values are bit-identical
+    to a claimless run of the same plan.
 
     ``fused=True`` (or ``"group"``) evaluates the plan through
     per-(mechanism, α) :class:`~repro.engine.plan.FusedGroup`\\ s — one
@@ -307,6 +330,20 @@ def run_plan(
     process-pool runs, the per-worker stage split shipped back with each
     task.
     """
+    if claim:
+        if store is None:
+            raise ValueError("claim=True requires a result store")
+        if _normalize_fused(fused) is not None:
+            raise ValueError(
+                "claim coordination runs on the per-point path; "
+                "combine --claim with fused=False"
+            )
+        resume = True  # a cooperative drain must honor the shared store
+    claim_spec = (
+        None
+        if not claim
+        else {"owner": claim_owner, "ttl_s": claim_ttl_s, "poll_s": claim_poll_s}
+    )
     if profile:
         with stage_profile.profiled() as prof:
             outcome = _run_plan(
@@ -318,6 +355,7 @@ def run_plan(
                 resume=resume,
                 merge_spend=merge_spend,
                 fused=fused,
+                claim_spec=claim_spec,
             )
         outcome.profile = prof.as_dict()
         return outcome
@@ -330,6 +368,7 @@ def run_plan(
         resume=resume,
         merge_spend=merge_spend,
         fused=fused,
+        claim_spec=claim_spec,
     )
 
 
@@ -355,6 +394,7 @@ def _run_plan(
     resume: bool,
     merge_spend: bool,
     fused: bool | str,
+    claim_spec: dict | None = None,
 ) -> SweepOutcome:
     executor = resolve_executor(executor, workers) or SerialExecutor()
     fused_mode = _normalize_fused(fused)
@@ -391,6 +431,27 @@ def _run_plan(
                 missing.append(index)
     cache_hits = n_points - len(missing)
 
+    if missing and claim_spec is not None:
+        computed = _drain_claimed(
+            plan,
+            session,
+            executor=executor,
+            store=store,
+            missing=missing,
+            points=points,
+            spends=spends,
+            merge_spend=merge_spend,
+            claim_spec=claim_spec,
+        )
+        ordered_spends = [spends[i] for i in sorted(spends)]
+        return SweepOutcome(
+            plan=plan,
+            points=list(points),
+            computed=len(computed),
+            cache_hits=n_points - len(computed),
+            spends=ordered_spends,
+        )
+
     if missing:
         outcomes = _executor_map(
             executor, evaluate_point_spec, session,
@@ -426,6 +487,109 @@ def _run_plan(
         cache_hits=cache_hits,
         spends=ordered_spends,
     )
+
+
+def _drain_claimed(
+    plan: SweepPlan,
+    session,
+    *,
+    executor,
+    store: ResultStore,
+    missing: list[int],
+    points: list,
+    spends: dict,
+    merge_spend: bool,
+    claim_spec: dict,
+) -> set[int]:
+    """Cooperatively drain ``missing``: claim, compute, adopt, take over.
+
+    Each round: (1) poll the store for deferred points another drain
+    finished (adopted as cache hits — they debit nothing here; their
+    spend was recorded by whoever computed them); (2) claim whatever is
+    still unowned and compute the claimed batch through the executor,
+    recording spend and persisting **per round** — a drain must publish
+    its results before waiting on anyone else's, or two drains holding
+    disjoint claims would deadlock politely forever; (3) release each
+    claim only *after* its point persisted, so no gap exists in which a
+    point is neither claimed nor stored.  A round that claims nothing
+    sleeps ``poll_s`` and rescans; a crashed owner's lease expires
+    (``ttl_s``) and :meth:`~repro.runtime.ClaimBoard.try_claim` takes
+    it over, so every stall is bounded.  Returns the indices computed
+    *by this drain*.
+    """
+    board = store.claim_board(
+        owner=claim_spec.get("owner"), ttl_s=claim_spec.get("ttl_s")
+    )
+    poll_s = claim_spec.get("poll_s") or 0.2
+    pending = set(missing)
+    computed: set[int] = set()
+
+    def key_of(index: int) -> str:
+        return plan.points[index].key(plan.fingerprint)
+
+    try:
+        while pending:
+            # 1. Adopt results another drain published since last scan.
+            #    `contains` first: polling with `get` alone would count
+            #    a miss against the store every round.
+            for index in sorted(pending):
+                if not store.contains(key_of(index)):
+                    continue
+                payload = store.get(key_of(index))
+                if payload is not None and "point" in payload:
+                    points[index] = decode_point(payload["point"])
+                    pending.discard(index)
+            if not pending:
+                break
+            # 2. Claim and compute one batch.  After *winning* a claim,
+            #    re-check the store: the previous holder may have
+            #    published and released between our adoption scan and
+            #    this claim.  Holding the lease freezes the entry
+            #    (publishers store *before* releasing), so the re-check
+            #    is race-free — this is what makes two concurrent
+            #    drains compute each point exactly once.
+            claimed = []
+            for index in sorted(pending):
+                if not board.try_claim(key_of(index)):
+                    continue
+                if store.contains(key_of(index)):
+                    payload = store.get(key_of(index))
+                    if payload is not None and "point" in payload:
+                        points[index] = decode_point(payload["point"])
+                        board.release(key_of(index))
+                        pending.discard(index)
+                        continue
+                claimed.append(index)
+            if not claimed:
+                time.sleep(poll_s)
+                continue
+            outcomes = _executor_map(
+                executor,
+                evaluate_point_spec,
+                session,
+                [plan.points[i] for i in claimed],
+            )
+            # 3. Publish in plan order: record spend, persist, release.
+            for index, (point, spend) in zip(claimed, outcomes):
+                points[index] = point
+                if spend is not None:
+                    spends[index] = spend
+                    if merge_spend:
+                        session.ledger.record(spend)
+                spec = plan.points[index]
+                _store_point(
+                    store,
+                    key_of(index),
+                    spec.content(plan.fingerprint),
+                    point,
+                    spend,
+                )
+                board.release(key_of(index))
+                pending.discard(index)
+                computed.add(index)
+    finally:
+        board.release_all()
+    return computed
 
 
 def _run_fused(

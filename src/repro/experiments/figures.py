@@ -50,6 +50,8 @@ def run_figure(
     store=None,
     resume: bool = False,
     fused: bool | str = False,
+    claim: bool = False,
+    claim_ttl_s: float | None = None,
 ) -> FigureSeries:
     """Plan and execute one figure's sweep through the engine.
 
@@ -78,6 +80,8 @@ def run_figure(
         store=store,
         resume=resume,
         fused=fused,
+        claim=claim,
+        claim_ttl_s=claim_ttl_s,
     )
     return outcome.series
 

@@ -1,0 +1,73 @@
+"""One runtime: task placement for sweeps, snapshot builds, and serve.
+
+This package owns *where work runs* for the whole codebase.  The three
+execution layers that grew independently — the sweep executors
+(:mod:`repro.engine.executors`), the sharded snapshot build
+(:func:`repro.data.workers.build_workforce_sharded`), and the release
+service's compute pool (:mod:`repro.serve.pool`) — are all thin
+adapters over four pieces:
+
+- :mod:`~repro.runtime.taskset` — :class:`TaskSet`: content-keyed,
+  self-seeded tasks plus a picklable context spec; the unit of
+  placement.
+- :mod:`~repro.runtime.drivers` — :class:`SerialDriver` /
+  :class:`ThreadDriver` / :class:`ProcessDriver`: ordered, bit-identical
+  execution at any worker count, with bounded crash recovery on the
+  process path (a killed worker's shard is resubmitted, not fatal).
+- :mod:`~repro.runtime.claims` — :class:`ClaimBoard`: optimistic lease
+  files (TTL + owner id) over any storage backend, so N processes or
+  machines draining one plan *partition* the grid; last-writer-wins
+  result puts remain the correctness safety net.
+- :mod:`~repro.runtime.policy` — the one worker-count policy
+  (``default_workers`` / ``serve_compute_workers`` /
+  ``REPRO_MAX_WORKERS``) every layer resolves through.
+"""
+
+from repro.runtime.claims import (
+    CLAIMS_PREFIX,
+    DEFAULT_LEASE_TTL_S,
+    ClaimBoard,
+    Lease,
+    default_owner,
+)
+from repro.runtime.drivers import (
+    KILL_TASK_ENV,
+    Driver,
+    DriverStats,
+    ProcessDriver,
+    SerialDriver,
+    ThreadDriver,
+    run_sharded,
+)
+from repro.runtime.policy import (
+    MAX_WORKERS_ENV,
+    default_workers,
+    resolve_workers,
+    serve_compute_workers,
+    worker_cap,
+)
+from repro.runtime.pool import ComputePool
+from repro.runtime.taskset import ContextSpec, TaskSet
+
+__all__ = [
+    "CLAIMS_PREFIX",
+    "DEFAULT_LEASE_TTL_S",
+    "ClaimBoard",
+    "ComputePool",
+    "ContextSpec",
+    "Driver",
+    "DriverStats",
+    "KILL_TASK_ENV",
+    "Lease",
+    "MAX_WORKERS_ENV",
+    "ProcessDriver",
+    "SerialDriver",
+    "TaskSet",
+    "ThreadDriver",
+    "default_owner",
+    "default_workers",
+    "resolve_workers",
+    "run_sharded",
+    "serve_compute_workers",
+    "worker_cap",
+]

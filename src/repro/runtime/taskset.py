@@ -1,0 +1,127 @@
+"""The TaskSet abstraction: what runs, over what, against which context.
+
+A :class:`TaskSet` is the unit of placement for the whole codebase —
+sweep grids, sharded snapshot chunks, and ad-hoc process maps all
+describe themselves as one: a module-level task function, an ordered
+item list, a picklable :class:`ContextSpec` saying how each worker
+obtains its evaluation context, and (optionally) per-item **content
+keys** for claim/lease coordination.
+
+Three invariants make placement irrelevant to results:
+
+- **Task functions are module-level** callables of ``(context, item)``,
+  picklable by reference, so a process driver can ship them.
+- **Items carry their own derived seeds.**  Every stochastic item in
+  this repo (a :class:`~repro.engine.plan.PointSpec`, a snapshot build
+  chunk) embeds a seed derived from its *content*, never from its
+  position in a schedule — :meth:`TaskSet.derive_seed` is the shared
+  derivation for new task kinds.  Rerunning a task — on another worker,
+  after a crash, on another machine — therefore reproduces its result
+  bit for bit.
+- **Context is a spec, not an object.**  :class:`ContextSpec` ships a
+  module-level factory plus picklable args; each worker process builds
+  (or process-caches) its own context, so nothing unpicklable ever
+  crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["ContextSpec", "TaskSet"]
+
+
+def _context_passthrough(context=None):
+    """Identity factory for callers shipping the (picklable) context itself.
+
+    With no args — the default ``ContextSpec()`` — the built context is
+    ``None``: tasks that need no context just ignore the argument.
+    """
+    return context
+
+
+@dataclass(frozen=True)
+class ContextSpec:
+    """How a worker obtains the task context: a factory plus its args.
+
+    ``make`` must be module-level (picklable by reference) and
+    ``args`` a picklable tuple; ``build()`` is what runs — inline in
+    the calling process for serial/thread drivers, once per worker
+    process for process drivers (factories are free to cache per
+    process, as :func:`repro.engine.executors._shard_session` does).
+    """
+
+    make: Callable = _context_passthrough
+    args: tuple = ()
+
+    def build(self):
+        return self.make(*self.args)
+
+    @classmethod
+    def of_value(cls, context) -> "ContextSpec":
+        """A spec wrapping an already-built context (shared in-process)."""
+        return cls(make=_context_passthrough, args=(context,))
+
+
+@dataclass(frozen=True, eq=False)
+class TaskSet:
+    """An ordered set of tasks: ``fn(context, item)`` per item.
+
+    ``keys``, when given, aligns one content key per item — the
+    addressing a :class:`~repro.runtime.claims.ClaimBoard` leases and a
+    result store persists under.  Drivers return results **in item
+    order** whatever order the work ran in.
+    """
+
+    fn: Callable
+    items: tuple = ()
+    context: ContextSpec = field(default_factory=ContextSpec)
+    keys: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "items", tuple(self.items))
+        if self.keys is not None:
+            keys = tuple(self.keys)
+            if len(keys) != len(self.items):
+                raise ValueError(
+                    f"keys must align with items: {len(keys)} key(s) for "
+                    f"{len(self.items)} item(s)"
+                )
+            object.__setattr__(self, "keys", keys)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def key_of(self, index: int) -> str | None:
+        """The content key of item ``index`` (``None`` when unkeyed)."""
+        return None if self.keys is None else self.keys[index]
+
+    def subset(self, indices: Sequence[int]) -> "TaskSet":
+        """The same task over a subset of items (for retries/partitions)."""
+        indices = list(indices)
+        return TaskSet(
+            fn=self.fn,
+            items=tuple(self.items[i] for i in indices),
+            context=self.context,
+            keys=(
+                None
+                if self.keys is None
+                else tuple(self.keys[i] for i in indices)
+            ),
+        )
+
+    @staticmethod
+    def derive_seed(base_seed: int, key: str) -> int:
+        """A stable per-task seed from the run seed and the task's key.
+
+        Content-derived, position-free: the same ``(base_seed, key)``
+        yields the same 63-bit seed on every machine and Python build
+        (SHA-256, not ``hash()``), so a retried or stolen task draws
+        exactly the noise the original placement would have.
+        """
+        digest = hashlib.sha256(
+            f"{base_seed}:{key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") >> 1

@@ -9,34 +9,29 @@ marginals, release masks, smooth-sensitivity statistics, SDL answers)
 are lock-guarded, so a thousand requests against one scenario pay the
 expensive statistics exactly once and only draw noise per request.
 
-Compute runs on a **bounded** :class:`~concurrent.futures.ThreadPoolExecutor`
+Compute runs on a **bounded** :class:`~repro.runtime.ComputePool`
 (`--compute-workers`): the asyncio front end awaits
 :meth:`SessionPool.run` for anything that touches a dataset, a journal
 or the result store, so the event loop itself never blocks on NumPy or
 disk — it keeps accepting connections and serving ``/healthz`` while
-releases grind.  Threads (not processes) are the right pool here because
-the sessions' statistic caches are shared in-memory state and the noise
-kernels release the GIL inside NumPy.
+releases grind.  Sizing goes through the one
+:mod:`repro.runtime.policy` every pool in the codebase uses: an
+explicit ``--compute-workers`` wins, otherwise
+:func:`~repro.runtime.serve_compute_workers` (small, CPU-derived, and —
+new with the shared policy — bounded by ``REPRO_MAX_WORKERS`` like
+every other pool).
 """
 
 from __future__ import annotations
 
-import asyncio
-import os
 import threading
 from collections.abc import Mapping, Sequence
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.session import ReleaseSession
 from repro.engine.plan import snapshot_fingerprint
+from repro.runtime import ComputePool
 
 __all__ = ["SessionPool"]
-
-
-def _default_compute_workers() -> int:
-    # Enough to overlap noise draws with journal fsyncs without
-    # oversubscribing small CI machines.
-    return max(2, min(4, os.cpu_count() or 2))
 
 
 class SessionPool:
@@ -67,18 +62,14 @@ class SessionPool:
             )
         self.default = default if default is not None else next(iter(self._configs))
         self.snapshot_store = snapshot_store
-        self.compute_workers = (
-            compute_workers
-            if compute_workers and compute_workers > 0
-            else _default_compute_workers()
+        self._pool = ComputePool(
+            compute_workers, thread_name_prefix="repro-serve"
         )
+        self.compute_workers = self._pool.workers
         self._sessions: dict[str, ReleaseSession] = {}
         self._build_locks = {
             name: threading.Lock() for name in self._configs
         }
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.compute_workers, thread_name_prefix="repro-serve"
-        )
 
     @classmethod
     def from_scenarios(
@@ -156,9 +147,8 @@ class SessionPool:
     # -- compute offload ------------------------------------------------
 
     async def run(self, fn, /, *args):
-        """Run blocking work on the bounded executor, off the event loop."""
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, fn, *args)
+        """Run blocking work on the bounded compute pool, off the event loop."""
+        return await self._pool.run(fn, *args)
 
     async def session_async(self, name: str | None = None) -> ReleaseSession:
         """:meth:`session` off-loop (a cold first build is expensive)."""
@@ -166,4 +156,4 @@ class SessionPool:
 
     def close(self) -> None:
         """Finish queued compute and release the worker threads."""
-        self._executor.shutdown(wait=True)
+        self._pool.shutdown(wait=True)

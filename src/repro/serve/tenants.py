@@ -149,6 +149,77 @@ class SpendJournal:
             consumed = end
         return records
 
+    def size_bytes(self) -> int:
+        """The journal's current size (0 when it does not exist yet)."""
+        return self.backend.size_bytes(self.key)
+
+    def compact(self, *, min_bytes: int = 0) -> bool:
+        """Collapse the journal to one snapshot record; True if rewritten.
+
+        An append-only journal grows without bound — one record per
+        charge, forever.  Compaction replays the journal and atomically
+        rewrites it as a single **snapshot record** carrying everything
+        replay needs for exact accounting: the aggregate spend (the
+        same left-to-right float sum replay would have produced, so
+        ledger totals are bit-equal), every paid request key (duplicate
+        suppression survives), and the count of records folded in
+        (``replayed`` counts stay honest).  What it deliberately drops
+        is per-entry audit detail — individual labels, mechanisms and
+        (ε, δ) splits — which is the space being reclaimed; operators
+        who need the full history should archive the journal before
+        compacting.
+
+        ``min_bytes`` gates the rewrite: journals at or below the
+        threshold are left alone (compacting a tiny journal trades
+        audit detail for nothing).  An already-compact journal (one
+        snapshot record) is never rewritten again.  The rewrite goes
+        through :meth:`~repro.storage.StorageBackend.put_file`, so it
+        is atomic: a crash mid-compaction leaves the old journal, never
+        a half-written one.
+        """
+        if self.size_bytes() <= min_bytes:
+            return False
+        records = self.replay()
+        if not records:
+            return False
+        if len(records) == 1 and records[0].get("compacted"):
+            return False
+        epsilon = 0.0
+        delta = 0.0
+        folded = 0
+        tenant = ""
+        request_keys: list[str] = []
+        seen: set[str] = set()
+        for record in records:
+            spend = LedgerEntry.from_dict(record["spend"])
+            epsilon += spend.epsilon
+            delta += spend.delta
+            tenant = record.get("tenant", tenant) or tenant
+            if record.get("compacted"):
+                folded += int(record["compacted"])
+                keys = record.get("request_keys", ())
+            else:
+                folded += 1
+                keys = (record.get("request_key"),)
+            for key in keys:
+                if key and key not in seen:
+                    seen.add(key)
+                    request_keys.append(key)
+        snapshot = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "tenant": tenant,
+            "compacted": folded,
+            "request_keys": request_keys,
+            "spend": LedgerEntry(
+                label=f"compacted:{folded}", epsilon=epsilon, delta=delta
+            ).to_dict(),
+        }
+        self.backend.put_file(
+            self.key,
+            (json.dumps(snapshot, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        return True
+
 
 @dataclass(frozen=True)
 class TenantPolicy:
@@ -217,10 +288,19 @@ class TenantAccount:
         self.replayed = 0
         for record in journal.replay():
             self.ledger.restore(LedgerEntry.from_dict(record["spend"]))
-            key = record.get("request_key")
-            if key:
-                self.paid.add(key)
-            self.replayed += 1
+            if record.get("compacted"):
+                # A snapshot record (see SpendJournal.compact): one
+                # aggregate spend standing in for `compacted` original
+                # charges, with every paid key preserved.
+                self.paid.update(
+                    key for key in record.get("request_keys", ()) if key
+                )
+                self.replayed += int(record["compacted"])
+            else:
+                key = record.get("request_key")
+                if key:
+                    self.paid.add(key)
+                self.replayed += 1
 
     def has_paid(self, request_key: str) -> bool:
         """Whether this exact request was already charged (ever)."""
@@ -348,6 +428,25 @@ class TenantRegistry:
         """Configured plus materialized tenant names, sorted."""
         with self._lock:
             return sorted(set(self.policies) | set(self._accounts))
+
+    def compact_journals(self, *, min_bytes: int = 0) -> list[str]:
+        """Compact every on-disk tenant journal; returns compacted names.
+
+        Walks the backend for ``*.journal.jsonl`` keys rather than the
+        in-memory accounts, so journals left by tenants that have not
+        been touched this process lifetime compact too.  Meant for
+        startup (``repro serve --compact-on-start``) — before accounts
+        materialize — so replay of the freshly compacted journals is
+        what builds the ledgers.
+        """
+        suffix = ".journal.jsonl"
+        compacted = []
+        for key in self.backend.list_keys():
+            if not key.endswith(suffix):
+                continue
+            if SpendJournal(self.backend, key).compact(min_bytes=min_bytes):
+                compacted.append(key[: -len(suffix)])
+        return compacted
 
     def accounts(self) -> list[TenantAccount]:
         with self._lock:

@@ -109,6 +109,33 @@ class StorageBackend(Protocol):
         """Atomically install ``data`` under ``key``; returns the local path."""
         ...
 
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Create ``key`` atomically iff no artifact exists; True if created.
+
+        The coordination primitive under
+        :class:`~repro.runtime.claims.ClaimBoard` lease files: of N
+        concurrent callers, exactly one wins (``O_EXCL`` locally,
+        conditional PUT remotely).  Unlike every other write this is
+        *not* staged — the conditional create is itself the atomicity —
+        and remote backends go straight to the authoritative store,
+        never through a local cache.  Backends that cannot coordinate
+        (an unreachable remote) fail *open* — claims are an
+        optimization; duplicated work is always acceptable, waiting
+        forever on a phantom owner is not.
+        """
+        ...
+
+    def peek(self, key: str) -> bytes | None:
+        """An *authoritative, uncached* read of ``key``'s bytes.
+
+        Lease files change out-of-band (another machine released or
+        took over), so reading them through a write-through cache would
+        serve stale coordination state.  Local backends read the file;
+        remote backends ask the object store directly and never
+        populate the cache.
+        """
+        ...
+
     def append_line(self, key: str, data: bytes, *, fsync: bool = True) -> Path:
         """Durably append one record to the artifact at ``key``.
 

@@ -43,6 +43,13 @@ class _MemoryObjects:
         with self._lock:
             self._objects[key] = data
 
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        with self._lock:
+            if key in self._objects:
+                return False
+            self._objects[key] = data
+            return True
+
     def exists(self, key: str) -> bool:
         with self._lock:
             return key in self._objects
@@ -128,7 +135,20 @@ class _Handler(BaseHTTPRequestHandler):
     def do_PUT(self) -> None:
         with self.server.in_flight:  # type: ignore[attr-defined]
             length = int(self.headers.get("Content-Length") or 0)
-            self.objects.put(self._key(), self.rfile.read(length))
+            body = self.rfile.read(length)
+            key = self._key()
+            # "If-None-Match: *" is the conditional-create precondition
+            # (RFC 9110 §13.1.2): create iff no object exists, 412
+            # otherwise.  Both object tables arbitrate atomically —
+            # under the memory table's lock, or via O_EXCL on disk —
+            # so racing fleet clients get exactly one 200.
+            if self.headers.get("If-None-Match") == "*":
+                if self.objects.put_if_absent(key, body):
+                    self._reply(200)
+                else:
+                    self._reply(412, b"precondition failed")
+                return
+            self.objects.put(key, body)
             self._reply(200)
 
     def do_DELETE(self) -> None:

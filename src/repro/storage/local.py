@@ -81,6 +81,38 @@ class LocalFSBackend:
         self.stats.bytes_written += len(data)
         return final
 
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Atomically create ``root/key``; True iff this call created it.
+
+        The bytes are staged first and *published* with ``os.link``,
+        which fails with ``FileExistsError`` when the key already
+        exists — so the create is both exclusive **and** content-atomic.
+        A plain ``O_EXCL`` create-then-write would expose a momentarily
+        empty lease file, which a rival claimant reads as garbage and
+        "takes over", defeating the exactly-once partition two
+        concurrent drains rely on.
+        """
+        final = self._path(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=final.parent, prefix=f".{final.name}.", suffix=_STAGING_FILE_SUFFIX
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            honor_umask(Path(tmp_name))
+            try:
+                os.link(tmp_name, final)
+            except FileExistsError:
+                return False
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        self.stats.bytes_written += len(data)
+        return True
+
     def append_line(self, key: str, data: bytes, *, fsync: bool = True) -> Path:
         """Durably append one newline-terminated record at ``root/key``.
 
@@ -182,6 +214,10 @@ class LocalFSBackend:
             return None
         self.stats.bytes_read += len(data)
         return data
+
+    def peek(self, key: str) -> bytes | None:
+        """Local storage is the authority: peek is a plain read."""
+        return self.read_bytes(key)
 
     def contains(self, key: str) -> bool:
         return self._path(key).exists()

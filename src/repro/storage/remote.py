@@ -37,6 +37,7 @@ constructor, not a refactor.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import tempfile
 import urllib.error
@@ -79,6 +80,15 @@ class ObjectStore(Protocol):
     def put(self, key: str, data: bytes) -> None:
         """Store ``data`` under ``key`` (last write wins)."""
         ...
+
+    # Stores MAY additionally provide
+    #     put_if_absent(key, data) -> bool
+    # (atomic conditional create; True iff this call created the
+    # object).  It is not part of the required protocol so that thin
+    # adapters over dumb blob stores still qualify;
+    # RemoteObjectBackend falls back to a non-atomic exists-then-put
+    # when it is missing, which claim coordination tolerates (last
+    # writer wins stays the safety net).
 
     def exists(self, key: str) -> bool:
         ...
@@ -130,6 +140,31 @@ class FilesystemObjectStore:
         except BaseException:
             Path(tmp_name).unlink(missing_ok=True)
             raise
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Atomic conditional create; True iff created here.
+
+        On a shared filesystem this is exactly the arbitration lease
+        files need: of N machines racing, the one whose ``os.link``
+        publish succeeds holds the claim.  Staging the bytes first
+        keeps the create content-atomic — a rival must never observe a
+        half-written (hence "garbage, take it over") lease.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with open(descriptor, "wb") as handle:
+                handle.write(data)
+            try:
+                os.link(tmp_name, path)
+            except FileExistsError:
+                return False
+        finally:
+            Path(tmp_name).unlink(missing_ok=True)
+        return True
 
     def exists(self, key: str) -> bool:
         return self._path(key).is_file()
@@ -200,6 +235,31 @@ class HTTPObjectStore:
 
     def put(self, key: str, data: bytes) -> None:
         self._request(key, method="PUT", data=data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Conditional PUT (``If-None-Match: *``); 412 means someone won.
+
+        The server arbitrates atomically (``ObjectServer`` honors the
+        precondition under its object-table lock), so this is a real
+        fleet-wide conditional create, not exists-then-put.
+        """
+        request = urllib.request.Request(
+            f"{self.url}/{urllib.parse.quote(key)}",
+            data=data,
+            method="PUT",
+            headers={"If-None-Match": "*"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout):
+                return True
+        except urllib.error.HTTPError as error:
+            if error.code == 412:
+                return False
+            raise OSError(
+                f"PUT {key} failed: HTTP {error.code}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise OSError(f"PUT {key} failed: {error.reason}") from error
 
     def exists(self, key: str) -> bool:
         try:
@@ -290,6 +350,39 @@ class RemoteObjectBackend:
         except OSError as error:
             self._warn_upload(key, error)
         return final
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Conditional create *on the remote only* — never via the cache.
+
+        Lease files coordinate the fleet, so the authoritative store
+        must arbitrate; a locally-cached lease would only coordinate
+        one machine with itself.  A remote that cannot answer fails
+        *open* (claim granted, warning emitted): claims are an
+        optimization, and a fleet that cannot coordinate degrades to
+        the pre-claim behavior — everyone computes, last writer wins —
+        rather than stalling on an unreachable lease.
+        """
+        okey = self._okey(key)
+        conditional = getattr(self.objects, "put_if_absent", None)
+        try:
+            if conditional is not None:
+                created = bool(conditional(okey, data))
+            elif self.objects.exists(okey):
+                created = False
+            else:
+                self.objects.put(okey, data)
+                created = True
+        except OSError as error:
+            warnings.warn(
+                f"conditional put of {key!r} to {self.objects.url} failed "
+                f"({error}); claiming optimistically (fail-open)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return True
+        if created:
+            self.stats.bytes_written += len(data)
+        return created
 
     def append_line(self, key: str, data: bytes, *, fsync: bool = True) -> Path:
         """Durably append to the cached journal, then mirror it whole.
@@ -424,6 +517,22 @@ class RemoteObjectBackend:
         self.stats.bytes_read += len(data)
         if cache:
             self.cache.put_file(key, data)
+        return data
+
+    def peek(self, key: str) -> bytes | None:
+        """Read the *remote* object directly; never consult or fill the cache.
+
+        :meth:`read_bytes` serves the cached copy first, which is right
+        for immutable content-addressed payloads and wrong for lease
+        files that another machine may have released or taken over.
+        """
+        try:
+            data = self.objects.get(self._okey(key))
+        except OSError:
+            return None
+        if data is None:
+            return None
+        self.stats.bytes_read += len(data)
         return data
 
     def contains(self, key: str) -> bool:

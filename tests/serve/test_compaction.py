@@ -1,0 +1,166 @@
+"""Journal compaction: one snapshot record, exact replay, nothing lost.
+
+The contract: compacting a spend journal changes its *size*, never its
+*accounting* — a fresh account replayed over the compacted journal has
+bit-equal ledger totals (the snapshot stores the same left-to-right
+float sum replay would have produced), the same paid-request set, and
+the same replayed count as one replayed over the original.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import LedgerEntry
+from repro.serve import SpendJournal, TenantAccount, TenantPolicy, TenantRegistry
+from repro.storage import LocalFSBackend
+
+
+def entry(label: str = "r", epsilon: float = 1.0, delta: float = 0.0):
+    return LedgerEntry(label=label, epsilon=epsilon, delta=delta)
+
+
+def account(tmp_path, name="acme", policy=None) -> TenantAccount:
+    backend = LocalFSBackend(tmp_path / "ledgers")
+    return TenantAccount(
+        name,
+        policy or TenantPolicy(),
+        SpendJournal(backend, f"{name}.journal.jsonl"),
+    )
+
+
+def charge_history(acct: TenantAccount, n: int = 7) -> None:
+    # Deliberately awkward floats: the snapshot must preserve the exact
+    # left-to-right sum, not a prettier re-association of it.
+    for index in range(n):
+        acct.charge(
+            entry(f"release-{index}", 0.1 * (index + 1), 1e-6 * index),
+            f"key-{index}",
+        )
+
+
+class TestCompactReplayEquality:
+    def test_totals_paid_set_and_replayed_count_survive(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct)
+        before = account(tmp_path)
+
+        assert acct.journal.compact()
+        after = account(tmp_path)
+
+        # Bit-equal totals: the snapshot stored replay's own float sum.
+        assert after.ledger.spent_epsilon == before.ledger.spent_epsilon
+        assert after.ledger.spent_delta == before.ledger.spent_delta
+        assert after.paid == before.paid
+        assert after.replayed == before.replayed == 7
+
+    def test_compacted_journal_is_one_snapshot_record(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct)
+        assert acct.journal.compact()
+        lines = acct.journal.path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["compacted"] == 7
+        assert record["request_keys"] == [f"key-{i}" for i in range(7)]
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct)
+        assert acct.journal.compact()
+        raw = acct.journal.path.read_bytes()
+        # A journal that is already one snapshot is never rewritten.
+        assert not acct.journal.compact()
+        assert acct.journal.path.read_bytes() == raw
+
+    def test_charges_after_compaction_fold_into_the_next_one(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct)
+        assert acct.journal.compact()
+        resumed = account(tmp_path)
+        resumed.charge(entry("late", 0.5), "key-late")
+        baseline = account(tmp_path)
+
+        # Second compaction folds the prior snapshot plus the new charge.
+        assert resumed.journal.compact()
+        after = account(tmp_path)
+        assert after.ledger.spent_epsilon == baseline.ledger.spent_epsilon
+        assert after.paid == baseline.paid
+        assert after.replayed == baseline.replayed == 8
+        assert after.has_paid("key-late")
+
+    def test_duplicate_suppression_survives_compaction(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct, n=3)
+        assert acct.journal.compact()
+        reborn = account(tmp_path)
+        assert all(reborn.has_paid(f"key-{i}") for i in range(3))
+        assert not reborn.has_paid("key-99")
+
+
+class TestCompactGates:
+    def test_min_bytes_threshold_skips_small_journals(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct, n=2)
+        size = acct.journal.size_bytes()
+        assert size > 0
+        assert not acct.journal.compact(min_bytes=size)
+        assert not acct.journal.compact(min_bytes=10**9)
+        assert acct.journal.compact(min_bytes=size - 1)
+
+    def test_missing_journal_is_left_alone(self, tmp_path):
+        journal = SpendJournal(LocalFSBackend(tmp_path), "none.journal.jsonl")
+        assert journal.size_bytes() == 0
+        assert not journal.compact()
+
+    def test_compaction_reclaims_space(self, tmp_path):
+        acct = account(tmp_path)
+        charge_history(acct, n=50)
+        before = acct.journal.size_bytes()
+        assert acct.journal.compact()
+        assert acct.journal.size_bytes() < before
+
+
+class TestRegistryCompaction:
+    def test_compacts_untouched_journals_from_disk(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "ledgers")
+        for name in ("alice", "bob"):
+            acct = TenantAccount(
+                name,
+                TenantPolicy(),
+                SpendJournal(backend, f"{name}.journal.jsonl"),
+            )
+            acct.charge(entry("a", 1.0), "k1")
+            acct.charge(entry("b", 2.0), "k2")
+        # A fresh registry (a restarted server) that has materialized
+        # *no* accounts still finds and compacts both journals.
+        registry = TenantRegistry(backend, default_policy=TenantPolicy())
+        assert registry.compact_journals() == ["alice", "bob"]
+        for name in ("alice", "bob"):
+            acct = registry.account(name)
+            assert acct.ledger.spent_epsilon == 3.0
+            assert acct.replayed == 2
+            assert acct.has_paid("k1") and acct.has_paid("k2")
+
+    def test_second_pass_compacts_nothing(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "ledgers")
+        acct = TenantAccount(
+            "acme", TenantPolicy(), SpendJournal(backend, "acme.journal.jsonl")
+        )
+        acct.charge(entry("a", 1.0), "k1")
+        registry = TenantRegistry(backend, default_policy=TenantPolicy())
+        assert registry.compact_journals() == ["acme"]
+        assert registry.compact_journals() == []
+
+    def test_budgets_still_enforced_over_a_compacted_journal(self, tmp_path):
+        from repro.dp.composition import PrivacyBudgetExceeded
+
+        acct = account(tmp_path)
+        charge_history(acct, n=5)  # 0.1+0.2+...+0.5 = 1.5 epsilon
+        assert acct.journal.compact()
+        tight = account(tmp_path, policy=TenantPolicy(epsilon_budget=2.0))
+        assert tight.ledger.spent_epsilon == pytest.approx(1.5)
+        with pytest.raises(PrivacyBudgetExceeded):
+            tight.charge(entry("big", 1.0), "key-big")

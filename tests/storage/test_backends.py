@@ -239,6 +239,24 @@ class TestConformance:
         backend.put_file("ab/one.bin", b"hello")
         assert rebuilt.read_bytes("ab/one.bin") == b"hello"
 
+    def test_put_if_absent_creates_exactly_once(self, backend):
+        assert backend.put_if_absent("cl/key.lease", b"first")
+        assert not backend.put_if_absent("cl/key.lease", b"second")
+        assert backend.read_bytes("cl/key.lease") == b"first"
+
+    def test_put_if_absent_after_delete_succeeds(self, backend):
+        assert backend.put_if_absent("cl/key.lease", b"first")
+        assert backend.delete("cl/key.lease")
+        assert backend.put_if_absent("cl/key.lease", b"second")
+        assert backend.read_bytes("cl/key.lease") == b"second"
+
+    def test_peek_reads_current_bytes(self, backend):
+        assert backend.peek("cl/absent.lease") is None
+        backend.put_file("cl/key.lease", b"v1")
+        assert backend.peek("cl/key.lease") == b"v1"
+        backend.put_file("cl/key.lease", b"v2")
+        assert backend.peek("cl/key.lease") == b"v2"
+
 
 class TestRemoteBehavior:
     """Semantics only the remote backend has."""
@@ -259,6 +277,20 @@ class TestRemoteBehavior:
     def test_put_file_writes_through(self, remote, bucket):
         remote.put_file("ab/one.json", b"{}")
         assert bucket.get("p/ab/one.json") == b"{}"
+
+    def test_peek_bypasses_the_local_cache(self, remote, tmp_path):
+        """Coordination reads must see out-of-band lease changes."""
+        other = self._second_machine(remote, tmp_path)
+        remote.put_file("cl/key.lease", b"v1")
+        assert remote.read_bytes("cl/key.lease") == b"v1"  # cache warmed
+        other.put_file("cl/key.lease", b"v2")
+        assert remote.peek("cl/key.lease") == b"v2"
+
+    def test_put_if_absent_arbitrates_across_machines(self, remote, tmp_path):
+        other = self._second_machine(remote, tmp_path)
+        assert remote.put_if_absent("cl/key.lease", b"mine")
+        assert not other.put_if_absent("cl/key.lease", b"theirs")
+        assert other.peek("cl/key.lease") == b"mine"
 
     def test_directory_commits_with_manifest_last(self, remote, bucket):
         remote.put_dir(
